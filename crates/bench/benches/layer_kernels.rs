@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the hot layer kernels: conv2d forward /
+//! backward, matmul and group normalization — the per-stage costs that set
+//! the pipeline's step time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbp_nn::Layer;
+use pbp_tensor::ops::{conv2d, conv2d_backward, Conv2dSpec};
+use pbp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    for &(ch, size) in &[(8usize, 16usize), (16, 8), (32, 4)] {
+        let spec = Conv2dSpec::new(ch, ch, 3, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let input = pbp_tensor::normal(&[1, ch, size, size], 0.0, 1.0, &mut rng);
+        let weight = pbp_tensor::normal(&spec.weight_shape(), 0.0, 0.1, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("forward", format!("{ch}c{size}px")),
+            &(),
+            |b, _| b.iter(|| conv2d(black_box(&input), black_box(&weight), &spec).unwrap()),
+        );
+        let (out, cols) = conv2d(&input, &weight, &spec).unwrap();
+        let grad = Tensor::ones(out.shape());
+        group.bench_with_input(
+            BenchmarkId::new("backward", format!("{ch}c{size}px")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    conv2d_backward(black_box(&grad), &weight, &cols, (size, size), &spec).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = pbp_tensor::normal(&[n, n], 0.0, 1.0, &mut rng);
+        let b_ = pbp_tensor::normal(&[n, n], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |bch, _| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b_)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_groupnorm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("groupnorm");
+    for &(ch, size) in &[(16usize, 16usize), (64, 8)] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = pbp_tensor::normal(&[1, ch, size, size], 0.0, 1.0, &mut rng);
+        let mut gn = pbp_nn::layers::GroupNorm::with_group_size_two(ch);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ch}c{size}px")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut stack = vec![black_box(input.clone())];
+                    gn.forward(&mut stack);
+                    gn.clear_stash();
+                    stack
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv2d, bench_matmul, bench_groupnorm);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks comparing training-engine throughput: the threaded
+//! PB runtime vs threaded fill-and-drain vs the sequential emulator —
+//! the wall-clock version of Eq. 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbp_data::spirals;
+use pbp_nn::models::mlp;
+use pbp_nn::Network;
+use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule};
+use pbp_pipeline::{PbConfig, PipelinedTrainer, ThreadedConfig, ThreadedPipeline};
+use pbp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WIDTHS: &[usize] = &[2, 48, 48, 48, 48, 48, 3];
+
+fn schedule() -> LrSchedule {
+    LrSchedule::constant(scale_hyperparams(Hyperparams::new(0.1, 0.9), 8, 1))
+}
+
+fn fresh_net() -> Network {
+    let mut rng = StdRng::seed_from_u64(0);
+    mlp(WIDTHS, &mut rng)
+}
+
+fn sample_set(n: usize) -> Vec<(Tensor, usize)> {
+    let data = spirals(3, 64, 0.05, 1);
+    (0..n)
+        .map(|i| {
+            let (x, l) = data.sample(i % data.len());
+            (x.clone(), l)
+        })
+        .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let n = 128usize;
+    let samples = sample_set(n);
+    let mut group = c.benchmark_group("train_128_samples");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("threaded", "pb"), &(), |b, _| {
+        b.iter(|| {
+            let cfg = ThreadedConfig::pb(schedule());
+            ThreadedPipeline::train(fresh_net(), &samples, &cfg)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("threaded", "fill_drain"), &(), |b, _| {
+        b.iter(|| {
+            let cfg = ThreadedConfig::fill_drain(schedule());
+            ThreadedPipeline::train(fresh_net(), &samples, &cfg)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("emulator", "pb"), &(), |b, _| {
+        b.iter(|| {
+            let mut trainer = PipelinedTrainer::new(fresh_net(), PbConfig::plain(schedule()));
+            for (x, l) in &samples {
+                trainer.train_sample(x, *l);
+            }
+            trainer
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

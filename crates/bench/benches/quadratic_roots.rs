@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the convex-quadratic analysis machinery:
+//! polynomial root finding at the degrees the paper's figures need, and a
+//! full heatmap row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbp_quadratic::{char_poly, dominant_root_magnitude, Method};
+use std::hint::black_box;
+
+fn bench_root_finding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominant_root");
+    for &d in &[1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("combined_delay", d), &d, |b, &d| {
+            let m = 0.99;
+            b.iter(|| {
+                dominant_root_magnitude(black_box(Method::lwpd_scd(m, d)), m, black_box(0.01), d)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_char_poly(c: &mut Criterion) {
+    c.bench_function("char_poly_build_d16", |b| {
+        b.iter(|| char_poly(black_box(Method::lwpd_scd(0.99, 16)), 0.99, 0.01, 16))
+    });
+}
+
+fn bench_heatmap_row(c: &mut Criterion) {
+    c.bench_function("heatmap_row_48pts_d4", |b| {
+        b.iter(|| {
+            let m = 0.999;
+            let mut acc = 0.0;
+            for i in 0..48 {
+                let el = 1e-9 * 10f64.powf(9.5 * i as f64 / 47.0);
+                acc += dominant_root_magnitude(Method::scd(m, 4), m, el, 4);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_root_finding, bench_char_poly, bench_heatmap_row);
+criterion_main!(benches);

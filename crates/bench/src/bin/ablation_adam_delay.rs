@@ -1,0 +1,109 @@
+//! Ablation (Discussion section): "Optimizers such as ADAM may also
+//! increase delay tolerance." Compares SGDM vs Adam under increasing
+//! uniform, consistent gradient delay.
+
+use pbp_bench::{cifar_data, mean_std, Budget, Table};
+use pbp_nn::loss::softmax_cross_entropy;
+use pbp_nn::models::simple_cnn;
+use pbp_nn::Network;
+use pbp_optim::{scale_hyperparams, AdamState, Hyperparams, LrSchedule};
+use pbp_pipeline::{evaluate, DelayedConfig, DelayedTrainer};
+use pbp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Delayed-gradient Adam training (consistent weights), mirroring
+/// `DelayedTrainer` with an Adam update rule.
+fn train_delayed_adam(
+    mut net: Network,
+    train: &pbp_data::Dataset,
+    delay: usize,
+    batch: usize,
+    lr: f32,
+    epochs: usize,
+    seed: u64,
+) -> Network {
+    let mut adam: Vec<AdamState> = (0..net.num_stages())
+        .map(|s| AdamState::new(&net.stage(s).params()))
+        .collect();
+    let mut history: VecDeque<Vec<Vec<Tensor>>> =
+        (0..=delay).map(|_| net.snapshot()).collect();
+    for epoch in 0..epochs {
+        let order = train.epoch_order(seed, epoch);
+        for chunk in order.chunks(batch) {
+            let (x, labels) = train.batch(chunk);
+            let master = net.snapshot();
+            let stale = history.pop_front().expect("pre-filled");
+            net.load(&stale);
+            net.zero_grads();
+            let logits = net.forward(&x);
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            net.backward(&grad);
+            net.load(&master);
+            for s in 0..net.num_stages() {
+                let stage = net.stage_mut(s);
+                let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
+                if grads.is_empty() {
+                    continue;
+                }
+                let grad_refs: Vec<&Tensor> = grads.iter().collect();
+                let mut params = stage.params_mut();
+                adam[s].step(&mut params, &grad_refs, lr);
+            }
+            history.push_back(net.snapshot());
+        }
+    }
+    net
+}
+
+fn main() {
+    let budget = Budget::new(1200, 300, 8, 2);
+    let (train, val) = cifar_data(12, budget.train_samples, budget.val_samples);
+    let batch = 8usize;
+    let sgdm_hp = scale_hyperparams(Hyperparams::new(0.1, 0.9), 128, batch);
+    let adam_lr = 1e-3f32;
+    let delays = [0usize, 4, 8, 16, 32];
+
+    println!(
+        "== Ablation: Adam vs SGDM under gradient delay ({} seeds) ==\n\
+           (SGDM lr={:.4} m={:.4}; Adam lr={adam_lr})\n",
+        budget.seeds, sgdm_hp.lr, sgdm_hp.momentum
+    );
+    let mut table = Table::new(["delay", "SGDM", "Adam"]);
+    for &delay in &delays {
+        let mut sgdm_accs = Vec::new();
+        let mut adam_accs = Vec::new();
+        for seed in 0..budget.seeds as u64 {
+            let mut rng = StdRng::seed_from_u64(9500 + seed);
+            let net = simple_cnn(3, 12, 6, 10, &mut rng);
+            let cfg = DelayedConfig::consistent(delay, batch, LrSchedule::constant(sgdm_hp));
+            let mut trainer = DelayedTrainer::new(net, cfg);
+            for epoch in 0..budget.epochs {
+                trainer.train_epoch(&train, seed, epoch);
+            }
+            sgdm_accs.push(evaluate(trainer.network_mut(), &val, 16).1);
+
+            let mut rng = StdRng::seed_from_u64(9500 + seed);
+            let net = simple_cnn(3, 12, 6, 10, &mut rng);
+            let mut net =
+                train_delayed_adam(net, &train, delay, batch, adam_lr, budget.epochs, seed);
+            adam_accs.push(evaluate(&mut net, &val, 16).1);
+            eprint!(".");
+        }
+        let (ms, ss) = mean_std(&sgdm_accs);
+        let (ma, sa) = mean_std(&adam_accs);
+        table.row([
+            delay.to_string(),
+            format!("{:.1}±{:.1}%", 100.0 * ms, 100.0 * ss),
+            format!("{:.1}±{:.1}%", 100.0 * ma, 100.0 * sa),
+        ]);
+    }
+    eprintln!();
+    table.print();
+    println!(
+        "\nPaper check (Discussion): Adam's per-coordinate normalization damps\n\
+         the effective step size, so its accuracy should degrade more slowly\n\
+         with delay than momentum SGD's."
+    );
+}

@@ -1,0 +1,48 @@
+//! Appendix D cross-check: the dominant root of each method's
+//! characteristic polynomial (Eqs. 28-31) against the empirical decay rate
+//! of directly simulating the delayed optimizer on a quadratic coordinate.
+
+use pbp_bench::Table;
+use pbp_quadratic::{dominant_root_magnitude, simulate_delayed_quadratic, Method};
+
+fn main() {
+    let cases = [
+        ("GDM", Method::Gdm, 0.9, 0.02, 0usize),
+        ("GDM", Method::Gdm, 0.9, 0.02, 4),
+        ("GDM", Method::Gdm, 0.5, 0.05, 3),
+        ("Nesterov", Method::Nesterov, 0.9, 0.02, 1),
+        ("SCD", Method::scd(0.9, 4), 0.9, 0.02, 4),
+        ("SCD", Method::scd(0.95, 8), 0.95, 0.01, 8),
+        ("LWPD", Method::lwpd(4), 0.9, 0.02, 4),
+        ("LWP T=8", Method::Lwp { t: 8.0 }, 0.9, 0.01, 4),
+        ("LWPwD+SCD", Method::lwpd_scd(0.9, 4), 0.9, 0.02, 4),
+        ("LWPwD+SCD", Method::lwpd_scd(0.97, 8), 0.97, 0.005, 8),
+    ];
+    let mut table = Table::new(["method", "m", "ηλ", "D", "|r| theory", "|r| simulated", "Δ"]);
+    let mut worst = 0.0f64;
+    for (name, method, m, el, d) in cases {
+        let theory = dominant_root_magnitude(method, m, el, d);
+        let sim = simulate_delayed_quadratic(method, m, el, d, 6000);
+        let delta = (theory - sim.empirical_rate).abs();
+        if theory < 1.0 {
+            worst = worst.max(delta);
+        }
+        table.row([
+            name.to_string(),
+            format!("{m}"),
+            format!("{el}"),
+            d.to_string(),
+            format!("{theory:.5}"),
+            format!("{:.5}", sim.empirical_rate),
+            format!("{delta:.5}"),
+        ]);
+    }
+    println!("== Appendix D: characteristic polynomials vs direct simulation ==\n");
+    table.print();
+    println!("\nworst |Δ| over stable cases: {worst:.5}");
+    println!(
+        "\nPaper check (App. D): the state-transition analysis predicts the\n\
+         asymptotic convergence rate of every method; simulated rates match the\n\
+         dominant characteristic roots."
+    );
+}

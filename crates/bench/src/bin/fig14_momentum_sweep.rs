@@ -1,0 +1,113 @@
+//! Figure 14 (Appendix F): the effect of the momentum coefficient on
+//! delayed training, with consistent (a) and inconsistent (b) weights.
+//! For each momentum the learning rate is rescaled so every gradient's
+//! total contribution to the weights is unchanged (Eq. 9's second rule).
+
+use pbp_bench::{cifar_data, Budget, Table};
+use pbp_nn::models::simple_cnn;
+use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
+use pbp_pipeline::{evaluate, DelayedConfig, DelayedTrainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Learning rate for momentum `m` at batch `n`, preserving the per-sample
+/// contribution of the reference (η=0.1, m=0.9, N=128).
+fn lr_for(m: f32, n: usize) -> f32 {
+    (1.0 - m) * n as f32 / ((1.0 - 0.9) * 128.0) * 0.1
+}
+
+#[allow(clippy::too_many_arguments)] // experiment sweep axes are clearer spelled out
+fn run(
+    mitigation: Mitigation,
+    delay: usize,
+    consistent: bool,
+    m: f32,
+    batch: usize,
+    budget: Budget,
+    train: &pbp_data::Dataset,
+    val: &pbp_data::Dataset,
+) -> f64 {
+    let mut accs = Vec::new();
+    for seed in 0..budget.seeds as u64 {
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let net = simple_cnn(3, 12, 6, 10, &mut rng);
+        let hp = Hyperparams::new(lr_for(m, batch), m);
+        let cfg = DelayedConfig {
+            delay,
+            batch_size: batch,
+            consistent,
+            mitigation,
+            schedule: LrSchedule::constant(hp),
+        };
+        let mut trainer = DelayedTrainer::new(net, cfg);
+        for epoch in 0..budget.epochs {
+            trainer.train_epoch(train, seed, epoch);
+        }
+        accs.push(evaluate(trainer.network_mut(), val, 16).1);
+    }
+    accs.iter().sum::<f64>() / accs.len() as f64
+}
+
+fn main() {
+    let budget = Budget::new(1200, 300, 8, 2);
+    let (train, val) = cifar_data(12, budget.train_samples, budget.val_samples);
+    let batch = 8usize;
+    let delay = 12usize;
+    let momenta = [0.0f32, 0.9, 0.99, 0.999, 0.9999];
+
+    for consistent in [true, false] {
+        let panel = if consistent {
+            "(a) consistent weights"
+        } else {
+            "(b) inconsistent weights"
+        };
+        println!("== Figure 14{panel}: momentum sweep, delay D={delay} ==\n");
+        let mut table = Table::new([
+            "-log10(1-m)",
+            "no delay",
+            "D=12",
+            "SCD",
+            "LWPD",
+            "LWPvD+SCD",
+        ]);
+        for &m in &momenta {
+            let mlabel = if m == 0.0 {
+                "m=0".to_string()
+            } else {
+                format!("{:.0}", -(1.0 - m).log10())
+            };
+            let baseline = run(Mitigation::None, 0, true, m, batch, budget, &train, &val);
+            let plain = run(Mitigation::None, delay, consistent, m, batch, budget, &train, &val);
+            let scd = run(Mitigation::scd(), delay, consistent, m, batch, budget, &train, &val);
+            let lwp = run(Mitigation::lwpd(), delay, consistent, m, batch, budget, &train, &val);
+            let combo = run(
+                Mitigation::lwpv_scd(),
+                delay,
+                consistent,
+                m,
+                batch,
+                budget,
+                &train,
+                &val,
+            );
+            table.row([
+                mlabel,
+                format!("{:.1}%", 100.0 * baseline),
+                format!("{:.1}%", 100.0 * plain),
+                format!("{:.1}%", 100.0 * scd),
+                format!("{:.1}%", 100.0 * lwp),
+                format!("{:.1}%", 100.0 * combo),
+            ]);
+            eprint!(".");
+        }
+        eprintln!();
+        table.print();
+        println!();
+    }
+    println!(
+        "Paper check (Fig. 14): without mitigation, high momentum amplifies the\n\
+         delay damage; with SC/LWP the best accuracy moves to large momentum\n\
+         values, and the combination tracks or beats the no-delay baseline.\n\
+         With inconsistent weights, low momentum degrades all methods."
+    );
+}

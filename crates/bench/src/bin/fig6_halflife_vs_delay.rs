@@ -1,0 +1,34 @@
+//! Figure 6: optimal half-life of the error for different delays when
+//! optimizing a convex quadratic with κ = 10³.
+
+use pbp_bench::Table;
+use pbp_quadratic::{min_halflife, Method};
+
+fn main() {
+    let kappa = 1e3;
+    let max_delay: usize = std::env::var("PBP_MAX_DELAY")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let mut table = Table::new(["delay", "GDM", "LWPD", "LWPwD+SCD"]);
+    for d in (0..=max_delay).step_by(2) {
+        let gdm = min_halflife(&|_| Method::Gdm, d, kappa);
+        let lwp = min_halflife(&|_| Method::lwpd(d), d, kappa);
+        let combo = min_halflife(&|m| Method::lwpd_scd(m, d), d, kappa);
+        table.row([
+            d.to_string(),
+            format!("{gdm:.1}"),
+            format!("{lwp:.1}"),
+            format!("{combo:.1}"),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("== Figure 6: minimum half-life vs delay (κ = 1e3) ==\n");
+    table.print();
+    println!(
+        "\nPaper check (Fig. 6): GDM degrades steeply with delay; LWPD improves\n\
+         on it at every delay; the combination LWPwD+SCD stays lowest across\n\
+         the range."
+    );
+}

@@ -1,0 +1,81 @@
+//! Systems profile (Appendix G.1 flavor): per-stage forward/backward cost
+//! of a pipelined network — the load-balancing data a pipeline-parallel
+//! accelerator would need (the slowest stage sets the pipeline step time).
+
+use pbp_bench::Table;
+use pbp_nn::models::{resnet_cifar, ResNetConfig};
+use pbp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let config = ResNetConfig {
+        depth: 20,
+        base_width: 8,
+        in_channels: 3,
+        num_classes: 10,
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = resnet_cifar(config, &mut rng);
+    let x = pbp_tensor::normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let reps = 50usize;
+
+    // Warm up and collect per-stage timings by driving stages manually.
+    let num = net.num_stages();
+    let mut fwd_times = vec![0.0f64; num];
+    let mut bwd_times = vec![0.0f64; num];
+    for _ in 0..reps {
+        let mut stack = vec![x.clone()];
+        for s in 0..num {
+            let t0 = Instant::now();
+            net.stage_mut(s).forward(&mut stack);
+            fwd_times[s] += t0.elapsed().as_secs_f64();
+        }
+        let logits = stack.pop().expect("single lane");
+        let (_, grad) = pbp_nn::loss::softmax_cross_entropy(&logits, &[0]);
+        let mut gstack = vec![grad];
+        for s in (0..num).rev() {
+            let t0 = Instant::now();
+            net.stage_mut(s).backward(&mut gstack);
+            bwd_times[s] += t0.elapsed().as_secs_f64();
+        }
+        net.zero_grads();
+    }
+
+    println!(
+        "== Per-stage cost profile: ResNet20 (width {}), {} layer stages ==\n",
+        config.base_width, num
+    );
+    let mut table = Table::new(["stage", "name", "params", "fwd µs", "bwd µs", "share"]);
+    let total: f64 = fwd_times.iter().chain(bwd_times.iter()).sum();
+    let mut slowest = (0usize, 0.0f64);
+    for s in 0..num {
+        let stage_total = fwd_times[s] + bwd_times[s];
+        if stage_total > slowest.1 {
+            slowest = (s, stage_total);
+        }
+        table.row([
+            s.to_string(),
+            net.stage(s).name().to_string(),
+            net.stage(s).param_count().to_string(),
+            format!("{:.1}", fwd_times[s] / reps as f64 * 1e6),
+            format!("{:.1}", bwd_times[s] / reps as f64 * 1e6),
+            format!("{:.1}%", 100.0 * stage_total / total),
+        ]);
+    }
+    table.print();
+    let step_time = slowest.1 / reps as f64;
+    let ideal = total / reps as f64 / num as f64;
+    println!(
+        "\nslowest stage: #{} ({}) at {:.1} µs/step — pipeline step time is set\n\
+         by this stage; perfect balance would be {:.1} µs ({:.2}x speed-up left on\n\
+         the table for a load-balancing scheduler, cf. Harlap et al. 2018).",
+        slowest.0,
+        net.stage(slowest.0).name(),
+        step_time * 1e6,
+        ideal * 1e6,
+        step_time / ideal,
+    );
+    let _ = Tensor::zeros(&[1]);
+}

@@ -1,0 +1,38 @@
+//! Table 4 (Appendix E): overcompensating for the delay — LWP with a
+//! doubled horizon (LWP2D) and SC with a doubled effective delay (SC2D).
+
+use pbp_bench::suite::{run_family_table, Budget, MethodSpec};
+use pbp_bench::Family;
+use pbp_nn::models::VggVariant;
+use pbp_optim::{Hyperparams, LwpForm, Mitigation};
+
+fn main() {
+    let budget = Budget::new(1500, 300, 6, 2);
+    println!("== Table 4: overcompensation ablation ({} seeds) ==\n", budget.seeds);
+    run_family_table(
+        &[
+            Family::Vgg(VggVariant::Vgg11),
+            Family::ResNet(20),
+            Family::ResNet(56),
+            Family::ResNet(110),
+        ],
+        &[
+            MethodSpec::pb(Mitigation::None),
+            MethodSpec::pb(Mitigation::lwpd()),
+            MethodSpec::pb(Mitigation::Lwp {
+                form: LwpForm::Velocity,
+                scale: 2.0,
+            }),
+            MethodSpec::pb(Mitigation::scd()),
+            MethodSpec::pb(Mitigation::Sc { scale: 2.0 }),
+        ],
+        Hyperparams::new(0.1, 0.9),
+        128,
+        budget,
+    );
+    println!(
+        "\nPaper check (Table 4): doubling the horizon/effective delay usually\n\
+         helps on shallow pipelines (overcompensation, cf. Figures 12-13) but\n\
+         can destabilize the deepest network (RN110), where plain LWPD is safer."
+    );
+}

@@ -1,0 +1,136 @@
+//! The paper's network families at CPU-sized widths, plus the synthetic
+//! datasets that stand in for CIFAR-10 and ImageNet (see DESIGN.md for the
+//! substitution rationale). Stage *structure* and counts match Table 1
+//! exactly; widths are reduced.
+
+use pbp_data::{Dataset, DatasetSpec, SyntheticImages};
+use pbp_nn::models::{resnet50_like, resnet_cifar, vgg, ResNetConfig, VggVariant};
+use pbp_nn::Network;
+use rand::rngs::StdRng;
+
+/// A network family from the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// CIFAR VGG variant (32×32 inputs, width / 16).
+    Vgg(VggVariant),
+    /// CIFAR pre-activation ResNet of the given depth (16×16 inputs,
+    /// base width 4).
+    ResNet(usize),
+    /// ImageNet-style bottleneck ResNet50 analogue (24×24 inputs).
+    ResNet50,
+}
+
+impl Family {
+    /// All CIFAR families of Table 1, in the paper's order.
+    pub fn table1() -> Vec<Family> {
+        vec![
+            Family::Vgg(VggVariant::Vgg11),
+            Family::Vgg(VggVariant::Vgg13),
+            Family::Vgg(VggVariant::Vgg16),
+            Family::ResNet(20),
+            Family::ResNet(32),
+            Family::ResNet(44),
+            Family::ResNet(56),
+            Family::ResNet(110),
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> String {
+        match self {
+            Family::Vgg(v) => v.name().to_string(),
+            Family::ResNet(d) => format!("RN{d}"),
+            Family::ResNet50 => "RN50".to_string(),
+        }
+    }
+
+    /// Input image side length this family trains on.
+    pub fn input_size(&self) -> usize {
+        match self {
+            Family::Vgg(_) => 32, // five 2× pools need 32px
+            Family::ResNet(_) => 16,
+            // The bottleneck net downsamples five times (stem pool + three
+            // strided groups); 16px would collapse to 1×1 before the last
+            // group and stall training, so RN50 uses 24px inputs.
+            Family::ResNet50 => 24,
+        }
+    }
+
+    /// Builds a freshly initialized network of this family for
+    /// `num_classes` classes.
+    pub fn build(&self, num_classes: usize, rng: &mut StdRng) -> Network {
+        match self {
+            Family::Vgg(v) => vgg(*v, 16, 3, num_classes, 0.2, rng),
+            Family::ResNet(depth) => resnet_cifar(
+                ResNetConfig {
+                    depth: *depth,
+                    base_width: 4,
+                    in_channels: 3,
+                    num_classes,
+                },
+                rng,
+            ),
+            Family::ResNet50 => resnet50_like(4, 3, num_classes, rng),
+        }
+    }
+
+    /// Pipeline stage count (incl. loss stage), matching Table 1.
+    pub fn stage_count(&self) -> usize {
+        match self {
+            Family::Vgg(v) => v.expected_stage_count(),
+            Family::ResNet(depth) => ResNetConfig {
+                depth: *depth,
+                base_width: 4,
+                in_channels: 3,
+                num_classes: 10,
+            }
+            .expected_stage_count(),
+            Family::ResNet50 => 78,
+        }
+    }
+}
+
+/// Deterministic CIFAR-sim train/validation split for a given image size.
+pub fn cifar_data(size: usize, train_n: usize, val_n: usize) -> (Dataset, Dataset) {
+    let gen = SyntheticImages::new(DatasetSpec::cifar_sim(size), 0xC1FA);
+    (gen.generate(train_n, 0), gen.generate(val_n, 1))
+}
+
+/// The dataset a family is evaluated on in the paper's tables: CIFAR-sim
+/// for the CIFAR networks, ImageNet-sim for the RN50 analogue.
+pub fn family_data(family: Family, train_n: usize, val_n: usize) -> (Dataset, Dataset) {
+    match family {
+        Family::ResNet50 => imagenet_data(family.input_size(), train_n, val_n),
+        _ => cifar_data(family.input_size(), train_n, val_n),
+    }
+}
+
+/// Deterministic ImageNet-sim train/validation split.
+pub fn imagenet_data(size: usize, train_n: usize, val_n: usize) -> (Dataset, Dataset) {
+    let gen = SyntheticImages::new(DatasetSpec::imagenet_sim(size), 0x1AA6E);
+    (gen.generate(train_n, 0), gen.generate(val_n, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_counts_match_table1() {
+        let expected = [29usize, 33, 39, 34, 52, 70, 88, 169];
+        for (family, exp) in Family::table1().iter().zip(expected) {
+            assert_eq!(family.stage_count(), exp, "{}", family.name());
+        }
+        assert_eq!(Family::ResNet50.stage_count(), 78);
+    }
+
+    #[test]
+    fn built_networks_match_declared_stage_counts() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        for family in [Family::Vgg(VggVariant::Vgg11), Family::ResNet(20)] {
+            let net = family.build(10, &mut rng);
+            assert_eq!(net.pipeline_stage_count(), family.stage_count());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Standard CIFAR-style data augmentation: pad-and-random-crop plus random
+//! horizontal flip (the He et al. 2016a preprocessing the paper adopts).
+
+use pbp_tensor::Tensor;
+use rand::Rng;
+
+/// Zero-pads an image `[C, H, W]` by `pad` pixels on every side.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 3.
+pub fn pad(x: &Tensor, padding: usize) -> Tensor {
+    assert_eq!(x.rank(), 3, "pad expects [C, H, W]");
+    let [c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2]];
+    let (nh, nw) = (h + 2 * padding, w + 2 * padding);
+    let mut out = Tensor::zeros(&[c, nh, nw]);
+    let xs = x.as_slice();
+    let os = out.as_mut_slice();
+    for ci in 0..c {
+        for i in 0..h {
+            let src = (ci * h + i) * w;
+            let dst = (ci * nh + i + padding) * nw + padding;
+            os[dst..dst + w].copy_from_slice(&xs[src..src + w]);
+        }
+    }
+    out
+}
+
+/// Crops a `[C, H, W]` image to `size × size` starting at `(top, left)`.
+///
+/// # Panics
+///
+/// Panics if the crop window exceeds the image.
+pub fn crop(x: &Tensor, top: usize, left: usize, size: usize) -> Tensor {
+    assert_eq!(x.rank(), 3, "crop expects [C, H, W]");
+    let [c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2]];
+    assert!(top + size <= h && left + size <= w, "crop window out of bounds");
+    let mut out = Tensor::zeros(&[c, size, size]);
+    let xs = x.as_slice();
+    let os = out.as_mut_slice();
+    for ci in 0..c {
+        for i in 0..size {
+            let src = (ci * h + top + i) * w + left;
+            let dst = (ci * size + i) * size;
+            os[dst..dst + size].copy_from_slice(&xs[src..src + size]);
+        }
+    }
+    out
+}
+
+/// Mirrors a `[C, H, W]` image horizontally.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 3.
+pub fn hflip(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 3, "hflip expects [C, H, W]");
+    let [c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2]];
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let xs = x.as_slice();
+    let os = out.as_mut_slice();
+    for ci in 0..c {
+        for i in 0..h {
+            for j in 0..w {
+                os[(ci * h + i) * w + j] = xs[(ci * h + i) * w + (w - 1 - j)];
+            }
+        }
+    }
+    out
+}
+
+/// The full CIFAR recipe: pad by `padding`, crop back to the original size
+/// at a random offset, flip horizontally with probability ½.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 3 or not square.
+pub fn random_crop_flip(x: &Tensor, padding: usize, rng: &mut impl Rng) -> Tensor {
+    assert_eq!(x.rank(), 3, "augment expects [C, H, W]");
+    let size = x.shape()[1];
+    assert_eq!(size, x.shape()[2], "augment expects square images");
+    let padded = pad(x, padding);
+    let top = rng.gen_range(0..=2 * padding);
+    let left = rng.gen_range(0..=2 * padding);
+    let cropped = crop(&padded, top, left, size);
+    if rng.gen::<bool>() {
+        hflip(&cropped)
+    } else {
+        cropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn img() -> Tensor {
+        Tensor::from_fn(&[1, 3, 3], |i| i as f32)
+    }
+
+    #[test]
+    fn pad_places_image_in_center() {
+        let p = pad(&img(), 1);
+        assert_eq!(p.shape(), &[1, 5, 5]);
+        assert_eq!(p.at(&[0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 1, 1]), 0.0 /* original (0,0) */);
+        assert_eq!(p.at(&[0, 2, 2]), 4.0 /* original (1,1) */);
+    }
+
+    #[test]
+    fn center_crop_of_padded_recovers_original() {
+        let x = img();
+        let back = crop(&pad(&x, 2), 2, 2, 3);
+        assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn hflip_is_involutive() {
+        let x = img();
+        assert_eq!(hflip(&hflip(&x)).as_slice(), x.as_slice());
+        assert_eq!(hflip(&x).at(&[0, 0, 0]), x.at(&[0, 0, 2]));
+    }
+
+    #[test]
+    fn random_crop_flip_preserves_shape_and_mass_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = img();
+        for _ in 0..20 {
+            let a = random_crop_flip(&x, 1, &mut rng);
+            assert_eq!(a.shape(), x.shape());
+            // Cropping can only drop pixels; the sum never exceeds the
+            // original's (all entries non-negative here).
+            assert!(a.sum() <= x.sum() + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn crop_checks_bounds() {
+        crop(&img(), 2, 2, 3);
+    }
+}

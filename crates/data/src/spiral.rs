@@ -1,0 +1,131 @@
+//! The K-spiral 2-D classification task.
+
+use crate::Dataset;
+use pbp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the classic `k`-armed spiral dataset: `n` points per arm with
+/// Gaussian angular noise. Features are 2-D `[x, y]` vectors.
+///
+/// Cheap and highly non-linear — useful for fast optimizer and delay
+/// experiments that do not need convolutions.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n == 0`.
+pub fn spirals(k: usize, n: usize, noise: f32, seed: u64) -> Dataset {
+    assert!(k > 0 && n > 0, "spirals needs k > 0 arms and n > 0 points");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(k * n);
+    let mut labels = Vec::with_capacity(k * n);
+    for i in 0..k * n {
+        let arm = i % k;
+        let t = rng.gen_range(0.0f32..1.0);
+        let r = 0.1 + 0.9 * t;
+        let theta = t * 3.0 * std::f32::consts::PI
+            + arm as f32 * 2.0 * std::f32::consts::PI / k as f32
+            + noise * gaussian(&mut rng);
+        samples.push(Tensor::from_slice(&[r * theta.cos(), r * theta.sin()]));
+        labels.push(arm);
+    }
+    Dataset::new(samples, labels, k)
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_k_times_n_points() {
+        let d = spirals(3, 50, 0.1, 0);
+        assert_eq!(d.len(), 150);
+        assert_eq!(d.num_classes(), 3);
+    }
+
+    #[test]
+    fn points_lie_in_unit_disk_roughly() {
+        let d = spirals(2, 100, 0.0, 1);
+        for i in 0..d.len() {
+            let (x, _) = d.sample(i);
+            let r = (x.as_slice()[0].powi(2) + x.as_slice()[1].powi(2)).sqrt();
+            assert!(r <= 1.05, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = spirals(2, 10, 0.1, 5);
+        let b = spirals(2, 10, 0.1, 5);
+        assert_eq!(a.sample(3).0.as_slice(), b.sample(3).0.as_slice());
+    }
+}
+
+/// Generates `k` Gaussian clusters ("blobs") on a circle of radius 2 with
+/// unit-ish spread `noise`. Linearly separable for small noise — the
+/// cheapest sanity-check classification task in the crate.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n == 0`.
+pub fn blobs(k: usize, n: usize, noise: f32, seed: u64) -> Dataset {
+    assert!(k > 0 && n > 0, "blobs needs k > 0 clusters and n > 0 points");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(k * n);
+    let mut labels = Vec::with_capacity(k * n);
+    for i in 0..k * n {
+        let arm = i % k;
+        let theta = arm as f32 * 2.0 * std::f32::consts::PI / k as f32;
+        let cx = 2.0 * theta.cos();
+        let cy = 2.0 * theta.sin();
+        samples.push(Tensor::from_slice(&[
+            cx + noise * gaussian(&mut rng),
+            cy + noise * gaussian(&mut rng),
+        ]));
+        labels.push(arm);
+    }
+    Dataset::new(samples, labels, k)
+}
+
+#[cfg(test)]
+mod blob_tests {
+    use super::*;
+
+    #[test]
+    fn blobs_are_roughly_separable() {
+        let d = blobs(4, 50, 0.3, 0);
+        assert_eq!(d.len(), 200);
+        // Nearest-centroid classification should be near perfect.
+        let centers: Vec<(f32, f32)> = (0..4)
+            .map(|k| {
+                let theta = k as f32 * std::f32::consts::PI / 2.0;
+                (2.0 * theta.cos(), 2.0 * theta.sin())
+            })
+            .collect();
+        let mut correct = 0;
+        for i in 0..d.len() {
+            let (x, l) = d.sample(i);
+            let (px, py) = (x.as_slice()[0], x.as_slice()[1]);
+            let best = centers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    let da = (px - a.1 .0).powi(2) + (py - a.1 .1).powi(2);
+                    let db = (px - b.1 .0).powi(2) + (py - b.1 .1).powi(2);
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap()
+                .0;
+            if best == l {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / d.len() as f64 > 0.95);
+    }
+}

@@ -1,0 +1,259 @@
+//! Weight checkpointing: save/load a network's parameters to a simple,
+//! versioned binary format.
+//!
+//! The format is deliberately minimal and self-describing:
+//!
+//! ```text
+//! magic   "PBPCKPT1"                                   (8 bytes)
+//! u32     number of stages
+//! per stage:
+//!   u32   number of parameter tensors
+//!   per tensor:
+//!     u32         rank
+//!     u32 × rank  shape
+//!     f32 × len   data (little-endian)
+//! ```
+//!
+//! Only parameters are stored; optimizer state (velocities, weight-version
+//! queues) is reconstructed by the training engines. Loading validates the
+//! full layout against the target network.
+
+use crate::Network;
+use pbp_tensor::Tensor;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Errors from checkpoint serialization.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The data is not a checkpoint or is from an unknown version.
+    BadMagic,
+    /// The checkpoint's layout does not match the target network.
+    LayoutMismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a pbp checkpoint (bad magic)"),
+            CheckpointError::LayoutMismatch(msg) => {
+                write!(f, "checkpoint layout mismatch: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+const MAGIC: &[u8; 8] = b"PBPCKPT1";
+
+fn write_u32(w: &mut impl Write, v: u32) -> Result<(), CheckpointError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes the network's parameters to `w`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on write failure.
+pub fn save(net: &Network, w: &mut impl Write) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    write_u32(w, net.num_stages() as u32)?;
+    for s in 0..net.num_stages() {
+        let params = net.stage(s).params();
+        write_u32(w, params.len() as u32)?;
+        for p in params {
+            write_u32(w, p.rank() as u32)?;
+            for &dim in p.shape() {
+                write_u32(w, dim as u32)?;
+            }
+            for &v in p.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads parameters from `r` into the network, validating the layout.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadMagic`] for foreign data,
+/// [`CheckpointError::LayoutMismatch`] if stage/parameter/shape counts
+/// disagree with `net`, or [`CheckpointError::Io`] on read failure.
+pub fn load(net: &mut Network, r: &mut impl Read) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let stages = read_u32(r)? as usize;
+    if stages != net.num_stages() {
+        return Err(CheckpointError::LayoutMismatch(format!(
+            "checkpoint has {stages} stages, network has {}",
+            net.num_stages()
+        )));
+    }
+    for s in 0..stages {
+        let n_params = read_u32(r)? as usize;
+        let expected = net.stage(s).params().len();
+        if n_params != expected {
+            return Err(CheckpointError::LayoutMismatch(format!(
+                "stage {s}: checkpoint has {n_params} tensors, network has {expected}"
+            )));
+        }
+        let mut new_params: Vec<Tensor> = Vec::with_capacity(n_params);
+        for (i, current) in net.stage(s).params().iter().enumerate() {
+            let rank = read_u32(r)? as usize;
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(read_u32(r)? as usize);
+            }
+            if shape != current.shape() {
+                return Err(CheckpointError::LayoutMismatch(format!(
+                    "stage {s} param {i}: checkpoint shape {shape:?} vs network {:?}",
+                    current.shape()
+                )));
+            }
+            let len: usize = shape.iter().product();
+            let mut data = vec![0f32; len];
+            let mut buf = [0u8; 4];
+            for v in &mut data {
+                r.read_exact(&mut buf)?;
+                *v = f32::from_le_bytes(buf);
+            }
+            new_params.push(Tensor::from_vec(data, &shape).expect("shape/volume consistent"));
+        }
+        net.stage_mut(s).load(&new_params);
+    }
+    Ok(())
+}
+
+/// Saves the network to a file path.
+///
+/// # Errors
+///
+/// See [`save`].
+pub fn save_to_path(net: &Network, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save(net, &mut file)
+}
+
+/// Loads the network from a file path.
+///
+/// # Errors
+///
+/// See [`load`].
+pub fn load_from_path(
+    net: &mut Network,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), CheckpointError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    load(net, &mut file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{mlp, simple_cnn};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_weights_exactly() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = simple_cnn(3, 6, 3, 4, &mut rng);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        let mut rng = StdRng::seed_from_u64(999); // different init
+        let mut other = simple_cnn(3, 6, 3, 4, &mut rng);
+        load(&mut other, &mut buf.as_slice()).unwrap();
+        for s in 0..net.num_stages() {
+            for (p, q) in net.stage(s).params().iter().zip(other.stage(s).params()) {
+                assert_eq!(p.as_slice(), q.as_slice(), "stage {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = mlp(&[2, 4, 2], &mut rng);
+        let garbage = b"definitely not a checkpoint".to_vec();
+        match load(&mut net, &mut garbage.as_slice()) {
+            Err(CheckpointError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_layout_mismatch() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = mlp(&[2, 4, 2], &mut rng);
+        let mut big = mlp(&[2, 8, 2], &mut rng);
+        let mut buf = Vec::new();
+        save(&small, &mut buf).unwrap();
+        match load(&mut big, &mut buf.as_slice()) {
+            Err(CheckpointError::LayoutMismatch(_)) => {}
+            other => panic!("expected LayoutMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pbp_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.ckpt");
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = mlp(&[3, 5, 2], &mut rng);
+        save_to_path(&net, &path).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut other = mlp(&[3, 5, 2], &mut rng);
+        load_from_path(&mut other, &path).unwrap();
+        let x = pbp_tensor::Tensor::ones(&[1, 3]);
+        let mut a = net;
+        let ya = a.forward(&x);
+        let yb = other.forward(&x);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_an_io_error() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = mlp(&[2, 4, 2], &mut rng);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut other = mlp(&[2, 4, 2], &mut rng);
+        match load(&mut other, &mut buf.as_slice()) {
+            Err(CheckpointError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The [`Layer`] trait: explicit, stack-based forward/backward passes.
+
+use pbp_tensor::Tensor;
+
+/// The activation "stack" flowing between pipeline stages.
+///
+/// For plain feed-forward networks it holds a single tensor. Residual
+/// networks push the skip connection onto an extra lane with
+/// [`crate::layers::Dup`] and merge it back with [`crate::layers::AddLanes`].
+pub type LaneStack = Vec<Tensor>;
+
+/// A network layer with an explicit backward pass.
+///
+/// ## Contract
+///
+/// * [`Layer::forward`] pops its inputs from the top of the stack, pushes
+///   its outputs, and **stashes** whatever it needs for the corresponding
+///   backward pass in an internal FIFO.
+/// * [`Layer::backward`] pops the gradients for its forward *outputs* from
+///   the gradient stack (same positions), pushes the gradients for its
+///   forward *inputs*, pops the oldest stashed activation, and accumulates
+///   parameter gradients internally.
+/// * Calls must be FIFO-consistent: the `k`-th backward call consumes the
+///   stash of the `k`-th outstanding forward call. This is exactly the
+///   discipline pipelined backpropagation imposes — several samples may be
+///   in flight through a stage at once, and gradients return in order.
+///
+/// Parameter access ([`Layer::params`]/[`Layer::params_mut`]) is positional
+/// and stable, which the pipeline engines rely on to snapshot, predict and
+/// restore weight versions.
+pub trait Layer: Send {
+    /// Human-readable layer name (used in stage listings and diagnostics).
+    fn name(&self) -> String;
+
+    /// Runs the forward transformation in place on the lane stack.
+    fn forward(&mut self, stack: &mut LaneStack);
+
+    /// Runs the backward transformation in place on the gradient stack.
+    fn backward(&mut self, grad_stack: &mut LaneStack);
+
+    /// Borrows the trainable parameters (possibly empty).
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutably borrows the trainable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Borrows the accumulated parameter gradients, aligned with
+    /// [`Layer::params`].
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Resets the accumulated parameter gradients to zero.
+    fn zero_grads(&mut self) {}
+
+    /// Switches between training and evaluation behaviour (dropout,
+    /// batch-norm statistics). Default: no-op.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Drops all stashed activations (e.g. when a pipeline is flushed).
+    fn clear_stash(&mut self) {}
+
+    /// Number of scalar parameters in this layer.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Copies the parameter tensors of a layer into owned snapshots.
+pub fn snapshot_params(layer: &dyn Layer) -> Vec<Tensor> {
+    layer.params().into_iter().cloned().collect()
+}
+
+/// Restores parameter tensors from snapshots taken by [`snapshot_params`].
+///
+/// # Panics
+///
+/// Panics if the snapshot does not match the layer's parameter layout.
+pub fn load_params(layer: &mut dyn Layer, snapshot: &[Tensor]) {
+    let mut params = layer.params_mut();
+    assert_eq!(
+        params.len(),
+        snapshot.len(),
+        "snapshot has {} tensors but layer {} has {} parameters",
+        snapshot.len(),
+        "?",
+        params.len()
+    );
+    for (p, s) in params.iter_mut().zip(snapshot) {
+        assert_eq!(p.shape(), s.shape(), "snapshot shape mismatch");
+        p.as_mut_slice().copy_from_slice(s.as_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn snapshot_and_load_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(3, 2, true, &mut rng);
+        let snap = snapshot_params(&layer);
+        assert_eq!(snap.len(), 2); // weight + bias
+        // Perturb, then restore.
+        for p in layer.params_mut() {
+            p.map_in_place(|x| x + 1.0);
+        }
+        load_params(&mut layer, &snap);
+        for (p, s) in layer.params().iter().zip(&snap) {
+            assert_eq!(p.as_slice(), s.as_slice());
+        }
+    }
+
+    #[test]
+    fn param_count_sums_tensors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(3, 2, true, &mut rng);
+        assert_eq!(layer.param_count(), 3 * 2 + 2);
+    }
+}

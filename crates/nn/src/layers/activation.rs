@@ -1,0 +1,186 @@
+//! Pointwise activation layers: ReLU and (inverted) dropout.
+
+use crate::layer::{LaneStack, Layer};
+use pbp_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    /// FIFO of masks (1.0 where input > 0) for in-flight samples.
+    stash: VecDeque<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> String {
+        "relu".to_string()
+    }
+
+    fn forward(&mut self, stack: &mut LaneStack) {
+        let x = stack.pop().expect("relu: empty stack");
+        let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let y = x.mul(&mask).expect("same shape");
+        self.stash.push_back(mask);
+        stack.push(y);
+    }
+
+    fn backward(&mut self, grad_stack: &mut LaneStack) {
+        let g = grad_stack.pop().expect("relu: empty grad stack");
+        let mask = self.stash.pop_front().expect("relu: no stashed mask");
+        grad_stack.push(g.mul(&mask).expect("same shape"));
+    }
+
+    fn clear_stash(&mut self) {
+        self.stash.clear();
+    }
+}
+
+/// Inverted dropout: at train time zeroes activations with probability `p`
+/// and scales survivors by `1/(1-p)`; at eval time it is the identity.
+///
+/// The RNG is owned and seeded so training runs are reproducible.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    rng: SmallRng,
+    stash: VecDeque<Option<Tensor>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        Dropout {
+            p,
+            training: true,
+            rng: SmallRng::seed_from_u64(seed),
+            stash: VecDeque::new(),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> String {
+        format!("dropout(p={})", self.p)
+    }
+
+    fn forward(&mut self, stack: &mut LaneStack) {
+        let x = stack.pop().expect("dropout: empty stack");
+        if !self.training || self.p == 0.0 {
+            self.stash.push_back(None);
+            stack.push(x);
+            return;
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(x.shape(), |_| {
+            if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let y = x.mul(&mask).expect("same shape");
+        self.stash.push_back(Some(mask));
+        stack.push(y);
+    }
+
+    fn backward(&mut self, grad_stack: &mut LaneStack) {
+        let g = grad_stack.pop().expect("dropout: empty grad stack");
+        match self.stash.pop_front().expect("dropout: no stashed mask") {
+            Some(mask) => grad_stack.push(g.mul(&mask).expect("same shape")),
+            None => grad_stack.push(g),
+        }
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn clear_stash(&mut self) {
+        self.stash.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives_and_routes_grads() {
+        let mut relu = Relu::new();
+        let mut s = vec![Tensor::from_slice(&[-1.0, 2.0, -3.0, 4.0])];
+        relu.forward(&mut s);
+        assert_eq!(s[0].as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let mut g = vec![Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0])];
+        relu.backward(&mut g);
+        assert_eq!(g[0].as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_grad_at_zero_is_zero() {
+        let mut relu = Relu::new();
+        let mut s = vec![Tensor::from_slice(&[0.0])];
+        relu.forward(&mut s);
+        let mut g = vec![Tensor::from_slice(&[5.0])];
+        relu.backward(&mut g);
+        assert_eq!(g[0].as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let mut s = vec![x.clone()];
+        d.forward(&mut s);
+        assert_eq!(s[0].as_slice(), x.as_slice());
+        let mut g = vec![Tensor::ones(&[3])];
+        d.backward(&mut g);
+        assert_eq!(g[0].as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dropout_preserves_expected_value_roughly() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::ones(&[10_000]);
+        let mut s = vec![x];
+        d.forward(&mut s);
+        let mean = s[0].mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let mut s = vec![Tensor::ones(&[64])];
+        d.forward(&mut s);
+        let y = s.pop().unwrap();
+        let mut g = vec![Tensor::ones(&[64])];
+        d.backward(&mut g);
+        // Gradient must be zero exactly where the output was zeroed.
+        for (yv, gv) in y.as_slice().iter().zip(g[0].as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn dropout_rejects_p_one() {
+        Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Convolutional layer.
+
+use crate::layer::{LaneStack, Layer};
+use pbp_tensor::ops::{conv2d, conv2d_backward, Conv2dSpec};
+use pbp_tensor::{he_normal, Tensor};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Per-sample stash: im2col buffers plus the input spatial size.
+type ConvStash = (Vec<Vec<f32>>, (usize, usize));
+
+/// 2-D convolution layer (NCHW) with optional bias.
+#[derive(Debug)]
+pub struct Conv2d {
+    spec: Conv2dSpec,
+    weight: Tensor,
+    bias: Option<Tensor>,
+    grad_weight: Tensor,
+    grad_bias: Option<Tensor>,
+    /// Per-in-flight-sample stash: im2col buffers + input spatial size.
+    stash: VecDeque<ConvStash>,
+}
+
+impl Conv2d {
+    /// Creates a He-initialized convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec geometry is degenerate (zero kernel/stride).
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let spec = Conv2dSpec::new(in_channels, out_channels, kernel, stride, padding)
+            .expect("valid conv2d geometry");
+        Conv2d {
+            weight: he_normal(&spec.weight_shape(), spec.fan_in(), rng),
+            bias: bias.then(|| Tensor::zeros(&[out_channels])),
+            grad_weight: Tensor::zeros(&spec.weight_shape()),
+            grad_bias: bias.then(|| Tensor::zeros(&[out_channels])),
+            stash: VecDeque::new(),
+            spec,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        format!(
+            "conv{}x{}({}→{},s{})",
+            self.spec.kernel,
+            self.spec.kernel,
+            self.spec.in_channels,
+            self.spec.out_channels,
+            self.spec.stride
+        )
+    }
+
+    fn forward(&mut self, stack: &mut LaneStack) {
+        let x = stack.pop().expect("conv2d: empty stack");
+        let (h, w) = (x.shape()[2], x.shape()[3]);
+        let (mut y, cols) = conv2d(&x, &self.weight, &self.spec).expect("conv2d shapes");
+        if let Some(b) = &self.bias {
+            let [n, oc, oh, ow] = [y.shape()[0], y.shape()[1], y.shape()[2], y.shape()[3]];
+            let ys = y.as_mut_slice();
+            let bs = b.as_slice();
+            for ni in 0..n {
+                for c in 0..oc {
+                    let base = (ni * oc + c) * oh * ow;
+                    for p in 0..oh * ow {
+                        ys[base + p] += bs[c];
+                    }
+                }
+            }
+        }
+        self.stash.push_back((cols, (h, w)));
+        stack.push(y);
+    }
+
+    fn backward(&mut self, grad_stack: &mut LaneStack) {
+        let g = grad_stack.pop().expect("conv2d: empty grad stack");
+        let (cols, hw) = self.stash.pop_front().expect("conv2d: no stashed input");
+        let (gx, gw) =
+            conv2d_backward(&g, &self.weight, &cols, hw, &self.spec).expect("conv2d grad shapes");
+        pbp_tensor::ops::axpy(1.0, &gw, &mut self.grad_weight);
+        if let Some(gb) = &mut self.grad_bias {
+            let [n, oc, oh, ow] = [g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]];
+            let gs = g.as_slice();
+            let gbs = gb.as_mut_slice();
+            for ni in 0..n {
+                for c in 0..oc {
+                    let base = (ni * oc + c) * oh * ow;
+                    let mut acc = 0.0f32;
+                    for p in 0..oh * ow {
+                        acc += gs[base + p];
+                    }
+                    gbs[c] += acc;
+                }
+            }
+        }
+        grad_stack.push(gx);
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        match &self.bias {
+            Some(b) => vec![&self.weight, b],
+            None => vec![&self.weight],
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        match &mut self.bias {
+            Some(b) => vec![&mut self.weight, b],
+            None => vec![&mut self.weight],
+        }
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        match &self.grad_bias {
+            Some(gb) => vec![&self.grad_weight, gb],
+            None => vec![&self.grad_weight],
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.fill(0.0);
+        if let Some(gb) = &mut self.grad_bias {
+            gb.fill(0.0);
+        }
+    }
+
+    fn clear_stash(&mut self) {
+        self.stash.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_layer_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng);
+        let x = pbp_tensor::normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+
+        let run = |layer: &mut Conv2d, x: &Tensor| -> f32 {
+            let mut s = vec![x.clone()];
+            layer.forward(&mut s);
+            let y = s.pop().unwrap();
+            layer.clear_stash();
+            y.as_slice().iter().sum()
+        };
+
+        let mut s = vec![x.clone()];
+        layer.forward(&mut s);
+        let y = s.pop().unwrap();
+        let mut g = vec![Tensor::ones(y.shape())];
+        layer.backward(&mut g);
+        let gx = g.pop().unwrap();
+        let gw = layer.grads()[0].clone();
+        let gb = layer.grads()[1].clone();
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 9, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (run(&mut layer, &xp) - run(&mut layer, &xm)) / (2.0 * eps);
+            assert!((num - gx.as_slice()[idx]).abs() < 2e-2, "input grad {idx}");
+        }
+        for idx in [0usize, 13, 40] {
+            let orig = layer.weight.as_slice()[idx];
+            layer.weight.as_mut_slice()[idx] = orig + eps;
+            let lp = run(&mut layer, &x);
+            layer.weight.as_mut_slice()[idx] = orig - eps;
+            let lm = run(&mut layer, &x);
+            layer.weight.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gw.as_slice()[idx]).abs() < 2e-2, "weight grad {idx}");
+        }
+        // Bias gradient: dL/db_c = number of output pixels per channel.
+        let [_, _, oh, ow] = [1usize, 3, 4, 4];
+        for c in 0..3 {
+            assert!((gb.as_slice()[c] - (oh * ow) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn stash_is_fifo() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng);
+        let x1 = Tensor::ones(&[1, 1, 3, 3]);
+        let x2 = Tensor::zeros(&[1, 1, 3, 3]);
+        let mut s = vec![x1];
+        layer.forward(&mut s);
+        let y1_shape = s.pop().unwrap().shape().to_vec();
+        let mut s2 = vec![x2];
+        layer.forward(&mut s2);
+        // First backward consumes x1's stash: weight grad must be nonzero.
+        let mut g = vec![Tensor::ones(&y1_shape)];
+        layer.backward(&mut g);
+        assert!(layer.grads()[0].norm() > 0.0);
+        layer.zero_grads();
+        // Second backward consumes x2 (zeros): weight grad stays zero.
+        let mut g2 = vec![Tensor::ones(&y1_shape)];
+        layer.backward(&mut g2);
+        assert_eq!(layer.grads()[0].norm(), 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Fully connected layer.
+
+use crate::layer::{LaneStack, Layer};
+use pbp_tensor::{he_normal, Tensor};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Fully connected layer: `y = x·Wᵀ + b`.
+///
+/// Weight shape is `[out_features, in_features]`; inputs are
+/// `[batch, in_features]`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    grad_weight: Tensor,
+    grad_bias: Option<Tensor>,
+    stash: VecDeque<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a He-initialized linear layer.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut impl Rng) -> Self {
+        Linear {
+            weight: he_normal(&[out_features, in_features], in_features, rng),
+            bias: bias.then(|| Tensor::zeros(&[out_features])),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: bias.then(|| Tensor::zeros(&[out_features])),
+            stash: VecDeque::new(),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> String {
+        format!("linear({}→{})", self.in_features, self.out_features)
+    }
+
+    fn forward(&mut self, stack: &mut LaneStack) {
+        let x = stack.pop().expect("linear: empty stack");
+        let x2 = if x.rank() == 2 {
+            x.clone()
+        } else {
+            // Accept [N, C, H, W] or [features]; flatten to [N, features].
+            let n = if x.rank() >= 2 { x.shape()[0] } else { 1 };
+            x.reshape(&[n, x.len() / n]).expect("flattenable input")
+        };
+        let mut y = x2.matmul_transpose_b(&self.weight).expect("linear shapes");
+        if let Some(b) = &self.bias {
+            let (n, o) = (y.shape()[0], self.out_features);
+            let ys = y.as_mut_slice();
+            let bs = b.as_slice();
+            for ni in 0..n {
+                for oi in 0..o {
+                    ys[ni * o + oi] += bs[oi];
+                }
+            }
+        }
+        self.stash.push_back(x2);
+        stack.push(y);
+    }
+
+    fn backward(&mut self, grad_stack: &mut LaneStack) {
+        let g = grad_stack.pop().expect("linear: empty grad stack");
+        let x = self.stash.pop_front().expect("linear: no stashed input");
+        // grad_weight += gᵀ · x  ([out,N]ᵀ·[N,in] → [out,in])
+        let gw = g.matmul_transpose_a(&x).expect("linear grad shapes");
+        pbp_tensor::ops::axpy(1.0, &gw, &mut self.grad_weight);
+        if let Some(gb) = &mut self.grad_bias {
+            let (n, o) = (g.shape()[0], self.out_features);
+            let gs = g.as_slice();
+            let gbs = gb.as_mut_slice();
+            for ni in 0..n {
+                for oi in 0..o {
+                    gbs[oi] += gs[ni * o + oi];
+                }
+            }
+        }
+        let gx = g.matmul(&self.weight).expect("linear grad shapes");
+        grad_stack.push(gx);
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        match &self.bias {
+            Some(b) => vec![&self.weight, b],
+            None => vec![&self.weight],
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        match &mut self.bias {
+            Some(b) => vec![&mut self.weight, b],
+            None => vec![&mut self.weight],
+        }
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        match &self.grad_bias {
+            Some(gb) => vec![&self.grad_weight, gb],
+            None => vec![&self.grad_weight],
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.fill(0.0);
+        if let Some(gb) = &mut self.grad_bias {
+            gb.fill(0.0);
+        }
+    }
+
+    fn clear_stash(&mut self) {
+        self.stash.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_diff_check(bias: bool) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(4, 3, bias, &mut rng);
+        let x = pbp_tensor::normal(&[2, 4], 0.0, 1.0, &mut rng);
+        // Loss = sum(y); grad wrt y is ones.
+        let mut stack = vec![x.clone()];
+        layer.forward(&mut stack);
+        let y = stack.pop().unwrap();
+        let mut gstack = vec![Tensor::ones(y.shape())];
+        layer.backward(&mut gstack);
+        let gx = gstack.pop().unwrap();
+
+        let eps = 1e-2f32;
+        let run = |layer: &mut Linear, x: &Tensor| -> f32 {
+            let mut s = vec![x.clone()];
+            layer.forward(&mut s);
+            let y = s.pop().unwrap();
+            layer.clear_stash();
+            y.as_slice().iter().sum()
+        };
+        // Input gradient.
+        for idx in [0usize, 3, 5] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (run(&mut layer, &xp) - run(&mut layer, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[idx]).abs() < 1e-2,
+                "input grad {idx}: {num} vs {}",
+                gx.as_slice()[idx]
+            );
+        }
+        // Weight gradient.
+        let gw = layer.grads()[0].clone();
+        for idx in [0usize, 7, 11] {
+            let orig = layer.weight.as_slice()[idx];
+            layer.weight.as_mut_slice()[idx] = orig + eps;
+            let lp = run(&mut layer, &x);
+            layer.weight.as_mut_slice()[idx] = orig - eps;
+            let lm = run(&mut layer, &x);
+            layer.weight.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gw.as_slice()[idx]).abs() < 1e-2,
+                "weight grad {idx}: {num} vs {}",
+                gw.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_with_bias() {
+        finite_diff_check(true);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_without_bias() {
+        finite_diff_check(false);
+    }
+
+    #[test]
+    fn fifo_stash_supports_two_in_flight_samples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Linear::new(2, 2, false, &mut rng);
+        let x1 = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        let x2 = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let mut s1 = vec![x1.clone()];
+        layer.forward(&mut s1);
+        let mut s2 = vec![x2.clone()];
+        layer.forward(&mut s2);
+        // Backward in FIFO order: first backward must use x1's stash.
+        let mut g = vec![Tensor::ones(&[1, 2])];
+        layer.backward(&mut g);
+        let gw_after_first = layer.grads()[0].clone();
+        // dW from sample 1 alone: gᵀ·x1 puts mass only in column 0.
+        assert!(gw_after_first.as_slice()[0] != 0.0);
+        assert_eq!(gw_after_first.as_slice()[1], 0.0);
+        let mut g2 = vec![Tensor::ones(&[1, 2])];
+        layer.backward(&mut g2);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Linear::new(2, 2, true, &mut rng);
+        let mut s = vec![Tensor::ones(&[1, 2])];
+        layer.forward(&mut s);
+        let mut g = vec![Tensor::ones(&[1, 2])];
+        layer.backward(&mut g);
+        assert!(layer.grads()[0].norm() > 0.0);
+        layer.zero_grads();
+        assert_eq!(layer.grads()[0].norm(), 0.0);
+        assert_eq!(layer.grads()[1].norm(), 0.0);
+    }
+}

@@ -1,0 +1,508 @@
+//! Normalization layers.
+//!
+//! The paper trains at a per-worker batch size of one, which rules out batch
+//! normalization; it substitutes group normalization (Wu & He, 2018).
+//! [`BatchNorm2d`] is still provided for the delayed-gradient simulation
+//! experiments that run at batch size > 1 and for the discussion-section
+//! comparison (BN appears to mask delay effects relative to GN).
+
+use crate::layer::{LaneStack, Layer};
+use pbp_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// Per-sample stash: normalized activations plus per-group inverse stds.
+type NormStash = (Tensor, Vec<f32>);
+
+/// Group normalization over `[N, C, H, W]`.
+///
+/// Channels are split into `groups` groups; mean and variance are computed
+/// per sample per group over `(C/groups, H, W)`. Works at batch size one.
+#[derive(Debug)]
+pub struct GroupNorm {
+    groups: usize,
+    channels: usize,
+    eps: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    /// FIFO of (normalized activations, per-group inverse std, input shape).
+    stash: VecDeque<NormStash>,
+}
+
+impl GroupNorm {
+    /// Creates a group-norm layer with `gamma = 1`, `beta = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is not divisible by `groups` or `groups == 0`.
+    pub fn new(groups: usize, channels: usize) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        assert_eq!(
+            channels % groups,
+            0,
+            "channels {channels} must be divisible by groups {groups}"
+        );
+        GroupNorm {
+            groups,
+            channels,
+            eps: 1e-5,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            stash: VecDeque::new(),
+        }
+    }
+
+    /// Group-norm with the paper's "initial group size of two" rule
+    /// (Wu & He, 2018): the number of groups is `channels / 2` capped at
+    /// 32 groups, always dividing `channels`.
+    pub fn with_group_size_two(channels: usize) -> Self {
+        let mut groups = (channels / 2).clamp(1, 32);
+        while !channels.is_multiple_of(groups) {
+            groups -= 1;
+        }
+        GroupNorm::new(groups, channels)
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+}
+
+impl Layer for GroupNorm {
+    fn name(&self) -> String {
+        format!("groupnorm(g={},c={})", self.groups, self.channels)
+    }
+
+    fn forward(&mut self, stack: &mut LaneStack) {
+        let x = stack.pop().expect("groupnorm: empty stack");
+        assert_eq!(x.rank(), 4, "groupnorm expects NCHW");
+        let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        assert_eq!(c, self.channels, "groupnorm channel mismatch");
+        let cg = c / self.groups;
+        let group_len = cg * h * w;
+        let xs = x.as_slice();
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut y = Tensor::zeros(x.shape());
+        let mut inv_stds = Vec::with_capacity(n * self.groups);
+        {
+            let xh = xhat.as_mut_slice();
+            let ys = y.as_mut_slice();
+            let gs = self.gamma.as_slice();
+            let bs = self.beta.as_slice();
+            for ni in 0..n {
+                for g in 0..self.groups {
+                    let start = ni * c * h * w + g * group_len;
+                    let seg = &xs[start..start + group_len];
+                    let mean = seg.iter().map(|&v| v as f64).sum::<f64>() / group_len as f64;
+                    let var = seg
+                        .iter()
+                        .map(|&v| {
+                            let d = v as f64 - mean;
+                            d * d
+                        })
+                        .sum::<f64>()
+                        / group_len as f64;
+                    let inv_std = 1.0 / (var + self.eps as f64).sqrt();
+                    inv_stds.push(inv_std as f32);
+                    for (j, &v) in seg.iter().enumerate() {
+                        let xn = ((v as f64 - mean) * inv_std) as f32;
+                        let ch = g * cg + j / (h * w);
+                        xh[start + j] = xn;
+                        ys[start + j] = gs[ch] * xn + bs[ch];
+                    }
+                }
+            }
+        }
+        self.stash.push_back((xhat, inv_stds));
+        stack.push(y);
+    }
+
+    fn backward(&mut self, grad_stack: &mut LaneStack) {
+        let g = grad_stack.pop().expect("groupnorm: empty grad stack");
+        let (xhat, inv_stds) = self.stash.pop_front().expect("groupnorm: no stash");
+        let [n, c, h, w] = [g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]];
+        let cg = c / self.groups;
+        let group_len = cg * h * w;
+        let gs = g.as_slice();
+        let xh = xhat.as_slice();
+        let gam = self.gamma.as_slice();
+        // Parameter gradients.
+        {
+            let gg = self.grad_gamma.as_mut_slice();
+            let gb = self.grad_beta.as_mut_slice();
+            for ni in 0..n {
+                for ch in 0..c {
+                    let base = (ni * c + ch) * h * w;
+                    let mut sg = 0.0f32;
+                    let mut sb = 0.0f32;
+                    for p in 0..h * w {
+                        sg += gs[base + p] * xh[base + p];
+                        sb += gs[base + p];
+                    }
+                    gg[ch] += sg;
+                    gb[ch] += sb;
+                }
+            }
+        }
+        // Input gradient per group:
+        // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat ⊙ xhat))
+        let mut gx = Tensor::zeros(g.shape());
+        {
+            let gxs = gx.as_mut_slice();
+            for ni in 0..n {
+                for grp in 0..self.groups {
+                    let start = ni * c * h * w + grp * group_len;
+                    let inv_std = inv_stds[ni * self.groups + grp];
+                    let mut mean_dxhat = 0.0f64;
+                    let mut mean_dxhat_xhat = 0.0f64;
+                    for j in 0..group_len {
+                        let ch = grp * cg + j / (h * w);
+                        let dxhat = (gs[start + j] * gam[ch]) as f64;
+                        mean_dxhat += dxhat;
+                        mean_dxhat_xhat += dxhat * xh[start + j] as f64;
+                    }
+                    mean_dxhat /= group_len as f64;
+                    mean_dxhat_xhat /= group_len as f64;
+                    for j in 0..group_len {
+                        let ch = grp * cg + j / (h * w);
+                        let dxhat = (gs[start + j] * gam[ch]) as f64;
+                        gxs[start + j] = (inv_std as f64
+                            * (dxhat - mean_dxhat - xh[start + j] as f64 * mean_dxhat_xhat))
+                            as f32;
+                    }
+                }
+            }
+        }
+        grad_stack.push(gx);
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_gamma, &self.grad_beta]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
+    }
+
+    fn clear_stash(&mut self) {
+        self.stash.clear();
+    }
+}
+
+/// Batch normalization over `[N, C, H, W]` (statistics over N, H, W per
+/// channel). Requires batch parallelism; provided for reference experiments.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    training: bool,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    stash: VecDeque<NormStash>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with default momentum 0.1.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            training: true,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            stash: VecDeque::new(),
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> String {
+        format!("batchnorm(c={})", self.channels)
+    }
+
+    fn forward(&mut self, stack: &mut LaneStack) {
+        let x = stack.pop().expect("batchnorm: empty stack");
+        assert_eq!(x.rank(), 4, "batchnorm expects NCHW");
+        let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        assert_eq!(c, self.channels, "batchnorm channel mismatch");
+        let m = n * h * w;
+        let xs = x.as_slice();
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut y = Tensor::zeros(x.shape());
+        let mut inv_stds = vec![0.0f32; c];
+        {
+            let xh = xhat.as_mut_slice();
+            let ys = y.as_mut_slice();
+            for ch in 0..c {
+                let (mean, var) = if self.training {
+                    let mut mean = 0.0f64;
+                    for ni in 0..n {
+                        let base = (ni * c + ch) * h * w;
+                        for p in 0..h * w {
+                            mean += xs[base + p] as f64;
+                        }
+                    }
+                    mean /= m as f64;
+                    let mut var = 0.0f64;
+                    for ni in 0..n {
+                        let base = (ni * c + ch) * h * w;
+                        for p in 0..h * w {
+                            let d = xs[base + p] as f64 - mean;
+                            var += d * d;
+                        }
+                    }
+                    var /= m as f64;
+                    self.running_mean[ch] =
+                        (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean as f32;
+                    self.running_var[ch] =
+                        (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var as f32;
+                    (mean, var)
+                } else {
+                    (self.running_mean[ch] as f64, self.running_var[ch] as f64)
+                };
+                let inv_std = 1.0 / (var + self.eps as f64).sqrt();
+                inv_stds[ch] = inv_std as f32;
+                let (gam, bet) = (self.gamma.as_slice()[ch], self.beta.as_slice()[ch]);
+                for ni in 0..n {
+                    let base = (ni * c + ch) * h * w;
+                    for p in 0..h * w {
+                        let xn = ((xs[base + p] as f64 - mean) * inv_std) as f32;
+                        xh[base + p] = xn;
+                        ys[base + p] = gam * xn + bet;
+                    }
+                }
+            }
+        }
+        self.stash.push_back((xhat, inv_stds));
+        stack.push(y);
+    }
+
+    fn backward(&mut self, grad_stack: &mut LaneStack) {
+        let g = grad_stack.pop().expect("batchnorm: empty grad stack");
+        let (xhat, inv_stds) = self.stash.pop_front().expect("batchnorm: no stash");
+        let [n, c, h, w] = [g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]];
+        let m = n * h * w;
+        let gs = g.as_slice();
+        let xh = xhat.as_slice();
+        let mut gx = Tensor::zeros(g.shape());
+        {
+            let gxs = gx.as_mut_slice();
+            let gg = self.grad_gamma.as_mut_slice();
+            let gb = self.grad_beta.as_mut_slice();
+            for ch in 0..c {
+                let gam = self.gamma.as_slice()[ch];
+                let mut sum_dy = 0.0f64;
+                let mut sum_dy_xhat = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ch) * h * w;
+                    for p in 0..h * w {
+                        sum_dy += gs[base + p] as f64;
+                        sum_dy_xhat += gs[base + p] as f64 * xh[base + p] as f64;
+                    }
+                }
+                gg[ch] += sum_dy_xhat as f32;
+                gb[ch] += sum_dy as f32;
+                let mean_dxhat = gam as f64 * sum_dy / m as f64;
+                let mean_dxhat_xhat = gam as f64 * sum_dy_xhat / m as f64;
+                for ni in 0..n {
+                    let base = (ni * c + ch) * h * w;
+                    for p in 0..h * w {
+                        let dxhat = gs[base + p] as f64 * gam as f64;
+                        gxs[base + p] = (inv_stds[ch] as f64
+                            * (dxhat - mean_dxhat - xh[base + p] as f64 * mean_dxhat_xhat))
+                            as f32;
+                    }
+                }
+            }
+        }
+        grad_stack.push(gx);
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_gamma, &self.grad_beta]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn clear_stash(&mut self) {
+        self.stash.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn groupnorm_output_is_normalized_per_group() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = pbp_tensor::normal(&[2, 4, 3, 3], 5.0, 3.0, &mut rng);
+        let mut gn = GroupNorm::new(2, 4);
+        let mut s = vec![x];
+        gn.forward(&mut s);
+        let y = s.pop().unwrap();
+        // With gamma=1, beta=0 each (n, group) block has mean≈0 var≈1.
+        let group_len = 2 * 9;
+        for ni in 0..2 {
+            for g in 0..2 {
+                let start = ni * 4 * 9 + g * group_len;
+                let seg = &y.as_slice()[start..start + group_len];
+                let mean: f32 = seg.iter().sum::<f32>() / group_len as f32;
+                let var: f32 =
+                    seg.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / group_len as f32;
+                assert!(mean.abs() < 1e-4, "mean {mean}");
+                assert!((var - 1.0).abs() < 1e-2, "var {var}");
+            }
+        }
+    }
+
+    #[test]
+    fn groupnorm_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = pbp_tensor::normal(&[1, 4, 2, 2], 0.0, 1.0, &mut rng);
+        let mut gn = GroupNorm::new(2, 4);
+        // Use a non-trivial scalar loss: sum(y * k) with varying k.
+        let k = pbp_tensor::normal(&[1, 4, 2, 2], 0.0, 1.0, &mut rng);
+        let run = |gn: &mut GroupNorm, x: &Tensor| -> f32 {
+            let mut s = vec![x.clone()];
+            gn.forward(&mut s);
+            let y = s.pop().unwrap();
+            gn.clear_stash();
+            y.as_slice().iter().zip(k.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let mut s = vec![x.clone()];
+        gn.forward(&mut s);
+        let _ = s.pop();
+        let mut g = vec![k.clone()];
+        gn.backward(&mut g);
+        let gx = g.pop().unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (run(&mut gn, &xp) - run(&mut gn, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[idx]).abs() < 3e-2,
+                "input grad {idx}: {num} vs {}",
+                gx.as_slice()[idx]
+            );
+        }
+        // gamma / beta gradients.
+        let gg = gn.grads()[0].clone();
+        let gb = gn.grads()[1].clone();
+        for ch in 0..4 {
+            let orig = gn.gamma.as_slice()[ch];
+            gn.gamma.as_mut_slice()[ch] = orig + eps;
+            let lp = run(&mut gn, &x);
+            gn.gamma.as_mut_slice()[ch] = orig - eps;
+            let lm = run(&mut gn, &x);
+            gn.gamma.as_mut_slice()[ch] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gg.as_slice()[ch]).abs() < 3e-2, "gamma grad {ch}");
+            let origb = gn.beta.as_slice()[ch];
+            gn.beta.as_mut_slice()[ch] = origb + eps;
+            let lp = run(&mut gn, &x);
+            gn.beta.as_mut_slice()[ch] = origb - eps;
+            let lm = run(&mut gn, &x);
+            gn.beta.as_mut_slice()[ch] = origb;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gb.as_slice()[ch]).abs() < 3e-2, "beta grad {ch}");
+        }
+    }
+
+    #[test]
+    fn groupnorm_works_at_batch_size_one() {
+        let x = pbp_tensor::normal(&[1, 8, 4, 4], 0.0, 1.0, &mut StdRng::seed_from_u64(1));
+        let mut gn = GroupNorm::with_group_size_two(8);
+        assert_eq!(gn.groups(), 4);
+        let mut s = vec![x];
+        gn.forward(&mut s);
+        assert!(s[0].all_finite());
+    }
+
+    #[test]
+    fn batchnorm_train_normalizes_per_channel() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = pbp_tensor::normal(&[8, 3, 4, 4], 2.0, 2.0, &mut rng);
+        let mut bn = BatchNorm2d::new(3);
+        let mut s = vec![x];
+        bn.forward(&mut s);
+        let y = s.pop().unwrap();
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for ni in 0..8 {
+                let base = (ni * 3 + ch) * 16;
+                vals.extend_from_slice(&y.as_slice()[base..base + 16]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut bn = BatchNorm2d::new(2);
+        // Train on several batches so running stats move toward N(3, 1).
+        for _ in 0..200 {
+            let x = pbp_tensor::normal(&[16, 2, 2, 2], 3.0, 1.0, &mut rng);
+            let mut s = vec![x];
+            bn.forward(&mut s);
+            bn.clear_stash();
+        }
+        bn.set_training(false);
+        let x = Tensor::full(&[1, 2, 2, 2], 3.0);
+        let mut s = vec![x];
+        bn.forward(&mut s);
+        // Input at the running mean should map to roughly zero.
+        assert!(s[0].as_slice().iter().all(|v| v.abs() < 0.2));
+    }
+
+    #[test]
+    fn groupnorm_rejects_indivisible_channels() {
+        let result = std::panic::catch_unwind(|| GroupNorm::new(3, 4));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Softmax cross-entropy loss and classification metrics.
+//!
+//! In the paper's pipeline the softmax/loss computation is the final
+//! pipeline stage; here it is a free function the training engines call
+//! after the last network stage.
+
+use pbp_tensor::Tensor;
+
+/// Mean softmax cross-entropy over a batch of logits `[N, C]`.
+///
+/// Returns the scalar loss and the gradient with respect to the logits
+/// (`(softmax − onehot) / N`), ready to feed into the network backward
+/// pass.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or `labels.len() != N`, or if a label
+/// is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2, "logits must be [N, C]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "labels length must match batch size");
+    let ls = logits.as_slice();
+    let mut grad = Tensor::zeros(&[n, c]);
+    let gs = grad.as_mut_slice();
+    let mut loss = 0.0f64;
+    for ni in 0..n {
+        let row = &ls[ni * c..(ni + 1) * c];
+        let label = labels[ni];
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &v in row {
+            denom += ((v - max) as f64).exp();
+        }
+        let log_denom = denom.ln();
+        loss += log_denom - (row[label] - max) as f64;
+        let inv_n = 1.0 / n as f32;
+        for ci in 0..c {
+            let p = (((row[ci] - max) as f64).exp() / denom) as f32;
+            gs[ni * c + ci] = (p - if ci == label { 1.0 } else { 0.0 }) * inv_n;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or `labels.len()` differs from the
+/// batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rank(), 2, "logits must be [N, C]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n);
+    if n == 0 {
+        return 0.0;
+    }
+    let ls = logits.as_slice();
+    let mut correct = 0usize;
+    for ni in 0..n {
+        let row = &ls[ni * c..(ni + 1) * c];
+        let mut best = 0usize;
+        for ci in 1..c {
+            if row[ci] > row[best] {
+                best = ci;
+            }
+        }
+        if best == labels[ni] {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_logits_give_near_zero_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.set(&[0, 1], 100.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 2]);
+        for ni in 0..2 {
+            let s: f32 = grad.as_slice()[ni * 3..(ni + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let eps = 1e-3f32;
+        for idx in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &[1]);
+            let (fm, _) = softmax_cross_entropy(&lm, &[1]);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn loss_is_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 0.0], &[1, 2]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.all_finite());
+    }
+
+    #[test]
+    fn accuracy_counts_correct_argmax() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 1.0, 0.0, 0.0, 3.0], &[3, 3]).unwrap();
+        assert!((accuracy(&logits, &[1, 0, 2]) - 1.0).abs() < 1e-12);
+        assert!((accuracy(&logits, &[0, 0, 2]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

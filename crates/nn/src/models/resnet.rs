@@ -1,0 +1,300 @@
+//! Pre-activation residual networks (He et al., 2016b) with group
+//! normalization, stage-partitioned as in the paper.
+
+use crate::layer::Layer;
+use crate::layers::{
+    AddLanes, Conv2d, Dup, Flatten, GlobalAvgPool2d, GroupNorm, Linear, MapLane, MaxPool2d, Relu,
+};
+use crate::network::{Network, Stage};
+use rand::Rng;
+
+/// Configuration for a CIFAR-style pre-activation ResNet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResNetConfig {
+    /// Network depth; must satisfy `depth = 6n + 2` (20, 32, 44, 56, 110…).
+    pub depth: usize,
+    /// Base channel width of the first group (16 in the paper; smaller
+    /// values give CPU-sized models with the same stage structure).
+    pub base_width: usize,
+    /// Number of input channels (3 for RGB images).
+    pub in_channels: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl ResNetConfig {
+    /// Number of residual blocks per group (`n` in `depth = 6n + 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not of the form `6n + 2`.
+    pub fn blocks_per_group(&self) -> usize {
+        assert!(
+            self.depth >= 8 && (self.depth - 2).is_multiple_of(6),
+            "CIFAR ResNet depth must be 6n+2, got {}",
+            self.depth
+        );
+        (self.depth - 2) / 6
+    }
+
+    /// Pipeline stage count this config will produce (including the loss
+    /// stage), matching Table 1 of the paper:
+    /// `1 stem + 6n conv + 3n sum + 2 proj + 3 tail + 1 loss`.
+    pub fn expected_stage_count(&self) -> usize {
+        let n = self.blocks_per_group();
+        1 + 6 * n + 3 * n + 2 + 3 + 1
+    }
+}
+
+fn gn(channels: usize) -> Box<dyn Layer> {
+    Box::new(GroupNorm::with_group_size_two(channels))
+}
+
+/// Builds one pre-activation residual block as a sequence of stages.
+///
+/// Stage layout (matching the paper's fusing of conv+norm+relu and the sum
+/// node as its own stage):
+///
+/// 1. `convA`: `[Dup, GN, ReLU, Conv3x3(stride)]`
+/// 2. `convB`: `[GN, ReLU, Conv3x3(1)]`
+/// 3. `proj` (only when shape changes): `[MapLane(skip, Conv1x1(stride))]`
+/// 4. `sum`: `[AddLanes]`
+fn residual_block(
+    stages: &mut Vec<Stage>,
+    name: &str,
+    in_c: usize,
+    out_c: usize,
+    stride: usize,
+    rng: &mut impl Rng,
+) {
+    stages.push(Stage::new(
+        format!("{name}.convA"),
+        vec![
+            Box::new(Dup::new()) as Box<dyn Layer>,
+            gn(in_c),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(in_c, out_c, 3, stride, 1, false, rng)),
+        ],
+    ));
+    stages.push(Stage::new(
+        format!("{name}.convB"),
+        vec![
+            gn(out_c) as Box<dyn Layer>,
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(out_c, out_c, 3, 1, 1, false, rng)),
+        ],
+    ));
+    if stride != 1 || in_c != out_c {
+        stages.push(Stage::new(
+            format!("{name}.proj"),
+            vec![Box::new(MapLane::new(
+                1,
+                Box::new(Conv2d::new(in_c, out_c, 1, stride, 0, false, rng)),
+            )) as Box<dyn Layer>],
+        ));
+    }
+    stages.push(Stage::new(format!("{name}.sum"), vec![Box::new(AddLanes::new()) as Box<dyn Layer>]));
+}
+
+/// Builds a CIFAR-style pre-activation ResNet (RN20/32/44/56/110).
+///
+/// The returned network's [`Network::pipeline_stage_count`] equals
+/// [`ResNetConfig::expected_stage_count`], reproducing the stage counts of
+/// Table 1 (34 for RN20 … 169 for RN110).
+///
+/// # Panics
+///
+/// Panics if the depth is not `6n + 2`.
+pub fn resnet_cifar(config: ResNetConfig, rng: &mut impl Rng) -> Network {
+    let n = config.blocks_per_group();
+    let w = config.base_width;
+    let widths = [w, 2 * w, 4 * w];
+    let mut stages = Vec::new();
+    // Stem: plain conv (normalization happens inside the first pre-act block).
+    stages.push(Stage::new(
+        "stem",
+        vec![Box::new(Conv2d::new(config.in_channels, w, 3, 1, 1, false, rng)) as Box<dyn Layer>],
+    ));
+    let mut in_c = w;
+    for (g, &out_c) in widths.iter().enumerate() {
+        for b in 0..n {
+            let stride = if g > 0 && b == 0 { 2 } else { 1 };
+            residual_block(&mut stages, &format!("g{g}b{b}"), in_c, out_c, stride, rng);
+            in_c = out_c;
+        }
+    }
+    // Tail: final pre-activation, global pooling, classifier.
+    stages.push(Stage::new(
+        "tail.gnrelu",
+        vec![gn(in_c), Box::new(Relu::new()) as Box<dyn Layer>],
+    ));
+    stages.push(Stage::single(Box::new(GlobalAvgPool2d::new())));
+    stages.push(Stage::new(
+        "tail.fc",
+        vec![
+            Box::new(Flatten::new()) as Box<dyn Layer>,
+            Box::new(Linear::new(in_c, config.num_classes, true, rng)),
+        ],
+    ));
+    Network::new(stages)
+}
+
+/// Builds an ImageNet-style bottleneck pre-activation ResNet50 analogue.
+///
+/// Groups of [3, 4, 6, 3] bottleneck blocks (1×1 → 3×3 → 1×1 convs), each
+/// conv fused with its normalization and non-linearity into one stage, sum
+/// nodes as stages, and two-stage projections (conv + norm) on each group's
+/// first block. Total pipeline stage count (incl. loss):
+/// `2 stem + 48 conv + 16 sum + 8 proj + 3 tail + 1 loss = 78`,
+/// matching the 78 stages the paper reports for ImageNet ResNet50.
+pub fn resnet50_like(
+    base_width: usize,
+    in_channels: usize,
+    num_classes: usize,
+    rng: &mut impl Rng,
+) -> Network {
+    let w = base_width;
+    let group_blocks = [3usize, 4, 6, 3];
+    let mut stages: Vec<Stage> = Vec::new();
+    // Stem: conv + maxpool (two stages).
+    stages.push(Stage::new(
+        "stem.conv",
+        vec![Box::new(Conv2d::new(in_channels, w, 3, 1, 1, false, rng)) as Box<dyn Layer>],
+    ));
+    stages.push(Stage::single(Box::new(MaxPool2d::new(2, 2))));
+    let mut in_c = w;
+    for (g, &blocks) in group_blocks.iter().enumerate() {
+        let mid_c = w << g;
+        let out_c = 4 * mid_c;
+        for b in 0..blocks {
+            let stride = if g > 0 && b == 0 { 2 } else { 1 };
+            let name = format!("g{g}b{b}");
+            stages.push(Stage::new(
+                format!("{name}.conv1"),
+                vec![
+                    Box::new(Dup::new()) as Box<dyn Layer>,
+                    gn(in_c),
+                    Box::new(Relu::new()),
+                    Box::new(Conv2d::new(in_c, mid_c, 1, 1, 0, false, rng)),
+                ],
+            ));
+            stages.push(Stage::new(
+                format!("{name}.conv2"),
+                vec![
+                    gn(mid_c) as Box<dyn Layer>,
+                    Box::new(Relu::new()),
+                    Box::new(Conv2d::new(mid_c, mid_c, 3, stride, 1, false, rng)),
+                ],
+            ));
+            stages.push(Stage::new(
+                format!("{name}.conv3"),
+                vec![
+                    gn(mid_c) as Box<dyn Layer>,
+                    Box::new(Relu::new()),
+                    Box::new(Conv2d::new(mid_c, out_c, 1, 1, 0, false, rng)),
+                ],
+            ));
+            if b == 0 {
+                // Projection shortcut: conv stage + norm stage.
+                stages.push(Stage::new(
+                    format!("{name}.proj.conv"),
+                    vec![Box::new(MapLane::new(
+                        1,
+                        Box::new(Conv2d::new(in_c, out_c, 1, stride, 0, false, rng)),
+                    )) as Box<dyn Layer>],
+                ));
+                stages.push(Stage::new(
+                    format!("{name}.proj.norm"),
+                    vec![Box::new(MapLane::new(1, gn(out_c))) as Box<dyn Layer>],
+                ));
+            }
+            stages.push(Stage::new(
+                format!("{name}.sum"),
+                vec![Box::new(AddLanes::new()) as Box<dyn Layer>],
+            ));
+            in_c = out_c;
+        }
+    }
+    stages.push(Stage::new(
+        "tail.gnrelu",
+        vec![gn(in_c), Box::new(Relu::new()) as Box<dyn Layer>],
+    ));
+    stages.push(Stage::single(Box::new(GlobalAvgPool2d::new())));
+    stages.push(Stage::new(
+        "tail.fc",
+        vec![
+            Box::new(Flatten::new()) as Box<dyn Layer>,
+            Box::new(Linear::new(in_c, num_classes, true, rng)),
+        ],
+    ));
+    Network::new(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(depth: usize) -> ResNetConfig {
+        ResNetConfig {
+            depth,
+            base_width: 4,
+            in_channels: 3,
+            num_classes: 10,
+        }
+    }
+
+    #[test]
+    fn stage_counts_match_table1() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for (depth, expected) in [(20, 34), (32, 52), (44, 70), (56, 88), (110, 169)] {
+            let config = cfg(depth);
+            assert_eq!(config.expected_stage_count(), expected, "formula for RN{depth}");
+            if depth <= 44 {
+                let net = resnet_cifar(config, &mut rng);
+                assert_eq!(net.pipeline_stage_count(), expected, "built RN{depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn resnet50_like_has_78_stages() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = resnet50_like(4, 3, 10, &mut rng);
+        assert_eq!(net.pipeline_stage_count(), 78);
+    }
+
+    #[test]
+    fn rn20_forward_backward_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = resnet_cifar(cfg(20), &mut rng);
+        let x = pbp_tensor::normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let logits = net.forward(&x);
+        assert_eq!(logits.shape(), &[1, 10]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[5]);
+        assert!(loss.is_finite());
+        let gx = net.backward(&grad);
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    fn rn50_like_forward_backward_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = resnet50_like(2, 3, 10, &mut rng);
+        let x = pbp_tensor::normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let logits = net.forward(&x);
+        assert_eq!(logits.shape(), &[1, 10]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let gx = net.backward(&grad);
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "6n+2")]
+    fn rejects_bad_depth() {
+        cfg(21).blocks_per_group();
+    }
+}

@@ -1,0 +1,367 @@
+//! Stage-partitioned network container.
+
+use crate::layer::{LaneStack, Layer};
+use pbp_tensor::Tensor;
+
+/// One pipeline stage: a named, ordered group of fused layers.
+///
+/// The paper fuses each convolution with its normalization and
+/// non-linearity into one stage for ResNets, keeps every module its own
+/// stage for VGG, and gives residual sum nodes their own stages. A `Stage`
+/// is the unit the pipeline engines schedule, delay and version weights
+/// for.
+pub struct Stage {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Stage({}, {} layers)", self.name, self.layers.len())
+    }
+}
+
+impl Stage {
+    /// Creates a stage from fused layers.
+    pub fn new(name: impl Into<String>, layers: Vec<Box<dyn Layer>>) -> Self {
+        Stage {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Creates a stage holding a single layer, named after it.
+    pub fn single(layer: Box<dyn Layer>) -> Self {
+        let name = layer.name();
+        Stage {
+            name,
+            layers: vec![layer],
+        }
+    }
+
+    /// Stage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the stage's forward transformation on the lane stack.
+    pub fn forward(&mut self, stack: &mut LaneStack) {
+        for layer in &mut self.layers {
+            layer.forward(stack);
+        }
+    }
+
+    /// Runs the stage's backward transformation on the gradient stack.
+    pub fn backward(&mut self, grad_stack: &mut LaneStack) {
+        for layer in self.layers.iter_mut().rev() {
+            layer.backward(grad_stack);
+        }
+    }
+
+    /// Borrows all trainable parameters of the stage, in a stable order.
+    pub fn params(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Mutably borrows all trainable parameters of the stage.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Borrows the accumulated gradients, aligned with [`Stage::params`].
+    pub fn grads(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.grads()).collect()
+    }
+
+    /// Zeroes the accumulated gradients of every layer in the stage.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Switches training/eval behaviour for every layer in the stage.
+    pub fn set_training(&mut self, training: bool) {
+        for layer in &mut self.layers {
+            layer.set_training(training);
+        }
+    }
+
+    /// Drops all stashed activations.
+    pub fn clear_stash(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear_stash();
+        }
+    }
+
+    /// Number of scalar parameters in the stage.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Copies the stage's parameters into owned snapshots.
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.params().into_iter().cloned().collect()
+    }
+
+    /// Restores parameters from a snapshot taken by [`Stage::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot layout disagrees with the stage.
+    pub fn load(&mut self, snapshot: &[Tensor]) {
+        let mut params = self.params_mut();
+        assert_eq!(params.len(), snapshot.len(), "snapshot layout mismatch");
+        for (p, s) in params.iter_mut().zip(snapshot) {
+            assert_eq!(p.shape(), s.shape(), "snapshot shape mismatch");
+            p.as_mut_slice().copy_from_slice(s.as_slice());
+        }
+    }
+}
+
+/// A network as an ordered list of pipeline [`Stage`]s.
+///
+/// `Network` supports two modes of use:
+///
+/// * **Sequential** — [`Network::forward`]/[`Network::backward`] run all
+///   stages back-to-back, giving an exact mini-batch SGD reference.
+/// * **Staged** — the pipeline engines drive individual stages via
+///   [`Network::stage_mut`], interleaving samples and weight versions.
+pub struct Network {
+    stages: Vec<Stage>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Network({} stages, {} params)",
+            self.stages.len(),
+            self.param_count()
+        )
+    }
+}
+
+impl Network {
+    /// Creates a network from stages.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        Network { stages }
+    }
+
+    /// Consumes the network, yielding its stages — used by the threaded
+    /// pipeline runtime, which moves each stage into its own worker thread.
+    pub fn into_stages(self) -> Vec<Stage> {
+        self.stages
+    }
+
+    /// Number of layer stages (excluding the loss stage).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of pipeline stages as counted in the paper's tables, which
+    /// include the final softmax/loss computation as its own stage.
+    pub fn pipeline_stage_count(&self) -> usize {
+        self.stages.len() + 1
+    }
+
+    /// Borrows a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn stage(&self, index: usize) -> &Stage {
+        &self.stages[index]
+    }
+
+    /// Mutably borrows a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn stage_mut(&mut self, index: usize) -> &mut Stage {
+        &mut self.stages[index]
+    }
+
+    /// Iterates over stages.
+    pub fn stages(&self) -> impl Iterator<Item = &Stage> {
+        self.stages.iter()
+    }
+
+    /// Full forward pass: single input tensor to logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not reduce the lane stack back to a
+    /// single tensor (a malformed residual topology).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut stack: LaneStack = vec![input.clone()];
+        for stage in &mut self.stages {
+            stage.forward(&mut stack);
+        }
+        assert_eq!(stack.len(), 1, "network must end with a single lane");
+        stack.pop().expect("non-empty stack")
+    }
+
+    /// Full backward pass from the loss gradient; parameter gradients
+    /// accumulate inside the layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if backward does not reduce back to a single input gradient.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let mut stack: LaneStack = vec![grad_logits.clone()];
+        for stage in self.stages.iter_mut().rev() {
+            stage.backward(&mut stack);
+        }
+        assert_eq!(stack.len(), 1, "backward must end with a single lane");
+        stack.pop().expect("non-empty stack")
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for stage in &mut self.stages {
+            stage.zero_grads();
+        }
+    }
+
+    /// Switches training/eval behaviour.
+    pub fn set_training(&mut self, training: bool) {
+        for stage in &mut self.stages {
+            stage.set_training(training);
+        }
+    }
+
+    /// Drops all stashed activations in every stage.
+    pub fn clear_stash(&mut self) {
+        for stage in &mut self.stages {
+            stage.clear_stash();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.stages.iter().map(|s| s.param_count()).sum()
+    }
+
+    /// Names of all stages, in order.
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages.iter().map(|s| s.name().to_string()).collect()
+    }
+
+    /// Copies all parameters into per-stage snapshots.
+    pub fn snapshot(&self) -> Vec<Vec<Tensor>> {
+        self.stages.iter().map(Stage::snapshot).collect()
+    }
+
+    /// Restores all parameters from snapshots taken by
+    /// [`Network::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on layout mismatch.
+    pub fn load(&mut self, snapshot: &[Vec<Tensor>]) {
+        assert_eq!(snapshot.len(), self.stages.len(), "stage count mismatch");
+        for (stage, snap) in self.stages.iter_mut().zip(snapshot) {
+            stage.load(snap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{AddLanes, Dup, Linear, Relu};
+    use crate::loss::softmax_cross_entropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(vec![
+            Stage::new(
+                "fc1",
+                vec![Box::new(Linear::new(4, 8, true, &mut rng)), Box::new(Relu::new())],
+            ),
+            Stage::single(Box::new(Linear::new(8, 3, true, &mut rng))),
+        ])
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut net = tiny_net(0);
+        let x = Tensor::ones(&[2, 4]);
+        let logits = net.forward(&x);
+        assert_eq!(logits.shape(), &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        let gx = net.backward(&grad);
+        assert_eq!(gx.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn snapshot_load_round_trip() {
+        let mut net = tiny_net(1);
+        let snap = net.snapshot();
+        let x = Tensor::ones(&[1, 4]);
+        let before = net.forward(&x);
+        // Train a step-ish: perturb weights.
+        for s in 0..net.num_stages() {
+            for p in net.stage_mut(s).params_mut() {
+                p.map_in_place(|v| v * 1.5 + 0.1);
+            }
+        }
+        net.clear_stash();
+        let perturbed = net.forward(&x);
+        assert_ne!(before.as_slice(), perturbed.as_slice());
+        net.load(&snap);
+        net.clear_stash();
+        let after = net.forward(&x);
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn residual_topology_reduces_to_single_lane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Network::new(vec![
+            Stage::single(Box::new(Dup::new())),
+            Stage::single(Box::new(Linear::new(4, 4, false, &mut rng))),
+            Stage::single(Box::new(AddLanes::new())),
+        ]);
+        let x = Tensor::ones(&[1, 4]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[1, 4]);
+        let gx = net.backward(&Tensor::ones(&[1, 4]));
+        assert_eq!(gx.shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn pipeline_stage_count_includes_loss_stage() {
+        let net = tiny_net(3);
+        assert_eq!(net.pipeline_stage_count(), net.num_stages() + 1);
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss_on_tiny_problem() {
+        let mut net = tiny_net(4);
+        let x = Tensor::from_vec(vec![1.0, -1.0, 0.5, 2.0], &[1, 4]).unwrap();
+        let labels = [2usize];
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..50 {
+            net.zero_grads();
+            let logits = net.forward(&x);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            net.backward(&grad);
+            for s in 0..net.num_stages() {
+                let stage = net.stage_mut(s);
+                let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
+                for (p, g) in stage.params_mut().into_iter().zip(&grads) {
+                    pbp_tensor::ops::axpy(-0.1, g, p);
+                }
+            }
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.2, "loss did not drop");
+    }
+}

@@ -1,0 +1,238 @@
+//! Mitigation method selection and per-stage configuration.
+
+use crate::LwpForm;
+
+/// Delay-mitigation method for pipelined backpropagation, as compared in
+/// the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mitigation {
+    /// No mitigation: plain delayed SGDM (the "PB" rows of Table 1).
+    None,
+    /// Spike Compensation with effective delay `scale·D` (`scale = 1` is
+    /// the default SCD; `scale = 2` is the overcompensating SC2D of
+    /// Appendix E).
+    Sc {
+        /// Multiplier on the per-stage delay.
+        scale: f32,
+    },
+    /// Linear Weight Prediction with horizon `T = scale·D` (`scale = 1` is
+    /// LWPD; `scale = 2` is LWP2D).
+    Lwp {
+        /// Prediction form (velocity or weight-difference).
+        form: LwpForm,
+        /// Multiplier on the per-stage delay.
+        scale: f32,
+    },
+    /// Combined LWP + SC (Section 3.4) — the paper's strongest method,
+    /// `PB+LWPvD+SCD` when `form == LwpForm::Velocity`.
+    LwpSc {
+        /// Prediction form for the LWP part.
+        form: LwpForm,
+        /// Horizon multiplier for the LWP part.
+        lwp_scale: f32,
+        /// Effective-delay multiplier for the SC part.
+        sc_scale: f32,
+    },
+    /// SpecTrain-style weight prediction (Chen et al., 2018; Appendix C):
+    /// vertically synchronized horizons — every stage predicts to the same
+    /// future time step — plus re-prediction on the backward pass.
+    SpecTrain,
+    /// Gradient shrinking (Zhuang et al., 2019): gradients scaled by
+    /// `factor^D` per stage. Provided as an additional baseline.
+    GradShrink {
+        /// Per-delay-step shrink factor in `(0, 1]`.
+        factor: f32,
+    },
+}
+
+impl Mitigation {
+    /// The paper's default SCD.
+    pub fn scd() -> Self {
+        Mitigation::Sc { scale: 1.0 }
+    }
+
+    /// The paper's default LWPD (velocity form).
+    pub fn lwpd() -> Self {
+        Mitigation::Lwp {
+            form: LwpForm::Velocity,
+            scale: 1.0,
+        }
+    }
+
+    /// The paper's headline combination `LWPvD + SCD`.
+    pub fn lwpv_scd() -> Self {
+        Mitigation::LwpSc {
+            form: LwpForm::Velocity,
+            lwp_scale: 1.0,
+            sc_scale: 1.0,
+        }
+    }
+
+    /// The weight-difference combination `LWPwD + SCD` (Appendix H.5).
+    pub fn lwpw_scd() -> Self {
+        Mitigation::LwpSc {
+            form: LwpForm::WeightDiff,
+            lwp_scale: 1.0,
+            sc_scale: 1.0,
+        }
+    }
+
+    /// Builds the per-stage configuration for a stage with the given
+    /// gradient `delay` (in updates) and `stage_index` within a pipeline of
+    /// `num_stages` stages.
+    ///
+    /// SpecTrain horizons follow Appendix C's vertical sync: all stages
+    /// predict forward to the wall-clock step at which stage 0 applies this
+    /// sample's update (`T_fwd = D + s`), and re-predict on the backward
+    /// pass by the remaining offset (`T_bwd = s`).
+    pub fn stage_config(&self, delay: usize, stage_index: usize) -> StageConfig {
+        let d = delay as f32;
+        match *self {
+            Mitigation::None => StageConfig::plain(delay),
+            Mitigation::Sc { scale } => StageConfig {
+                spike_delay: d * scale,
+                ..StageConfig::plain(delay)
+            },
+            Mitigation::Lwp { form, scale } => StageConfig {
+                fwd_horizon: d * scale,
+                lwp_form: form,
+                ..StageConfig::plain(delay)
+            },
+            Mitigation::LwpSc {
+                form,
+                lwp_scale,
+                sc_scale,
+            } => StageConfig {
+                fwd_horizon: d * lwp_scale,
+                spike_delay: d * sc_scale,
+                lwp_form: form,
+                ..StageConfig::plain(delay)
+            },
+            Mitigation::SpecTrain => StageConfig {
+                fwd_horizon: d + stage_index as f32,
+                bwd_horizon: stage_index as f32,
+                lwp_form: LwpForm::Velocity,
+                ..StageConfig::plain(delay)
+            },
+            Mitigation::GradShrink { factor } => StageConfig {
+                grad_scale: factor.powf(d),
+                ..StageConfig::plain(delay)
+            },
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> String {
+        match *self {
+            Mitigation::None => "PB".to_string(),
+            Mitigation::Sc { scale: 1.0 } => "PB+SCD".to_string(),
+            Mitigation::Sc { scale } => format!("PB+SC{scale}D"),
+            Mitigation::Lwp { form, scale } => {
+                let f = if form == LwpForm::Velocity { "v" } else { "w" };
+                if scale == 1.0 {
+                    format!("PB+LWP{f}D")
+                } else {
+                    format!("PB+LWP{f}{scale}D")
+                }
+            }
+            Mitigation::LwpSc { form, .. } => {
+                let f = if form == LwpForm::Velocity { "v" } else { "w" };
+                format!("PB+LWP{f}D+SCD")
+            }
+            Mitigation::SpecTrain => "PB+SpecTrain".to_string(),
+            Mitigation::GradShrink { factor } => format!("PB+Shrink({factor})"),
+        }
+    }
+}
+
+/// Resolved per-stage mitigation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageConfig {
+    /// Gradient delay of this stage, in updates.
+    pub delay: usize,
+    /// Forward weight-prediction horizon `T` (0 = no prediction).
+    pub fwd_horizon: f32,
+    /// Backward weight-prediction horizon (SpecTrain only; 0 otherwise).
+    pub bwd_horizon: f32,
+    /// Effective delay for spike compensation (0 = plain update).
+    pub spike_delay: f32,
+    /// Which LWP form to use when a horizon is non-zero.
+    pub lwp_form: LwpForm,
+    /// Multiplier applied to gradients before the update (gradient
+    /// shrinking; 1 otherwise).
+    pub grad_scale: f32,
+}
+
+impl StageConfig {
+    /// Plain delayed SGDM for a stage with the given delay.
+    pub fn plain(delay: usize) -> Self {
+        StageConfig {
+            delay,
+            fwd_horizon: 0.0,
+            bwd_horizon: 0.0,
+            spike_delay: 0.0,
+            lwp_form: LwpForm::Velocity,
+            grad_scale: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_plain() {
+        let c = Mitigation::None.stage_config(6, 2);
+        assert_eq!(c, StageConfig::plain(6));
+    }
+
+    #[test]
+    fn scd_sets_spike_delay() {
+        let c = Mitigation::scd().stage_config(6, 2);
+        assert_eq!(c.spike_delay, 6.0);
+        assert_eq!(c.fwd_horizon, 0.0);
+    }
+
+    #[test]
+    fn sc2d_doubles_effective_delay() {
+        let c = Mitigation::Sc { scale: 2.0 }.stage_config(6, 0);
+        assert_eq!(c.spike_delay, 12.0);
+    }
+
+    #[test]
+    fn lwpd_sets_horizon_to_delay() {
+        let c = Mitigation::lwpd().stage_config(8, 1);
+        assert_eq!(c.fwd_horizon, 8.0);
+        assert_eq!(c.spike_delay, 0.0);
+        assert_eq!(c.lwp_form, LwpForm::Velocity);
+    }
+
+    #[test]
+    fn combination_sets_both() {
+        let c = Mitigation::lwpv_scd().stage_config(4, 0);
+        assert_eq!(c.fwd_horizon, 4.0);
+        assert_eq!(c.spike_delay, 4.0);
+    }
+
+    #[test]
+    fn spectrain_horizons_vertically_sync() {
+        // Stage s with delay D predicts forward to D + s and backward by s,
+        // so fwd − bwd == D for every stage: all stages meet at the same
+        // future step.
+        for (delay, s) in [(10usize, 0usize), (6, 2), (0, 5)] {
+            let c = Mitigation::SpecTrain.stage_config(delay, s);
+            assert_eq!(c.fwd_horizon - c.bwd_horizon, delay as f32);
+            assert_eq!(c.bwd_horizon, s as f32);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(Mitigation::None.label(), "PB");
+        assert_eq!(Mitigation::scd().label(), "PB+SCD");
+        assert_eq!(Mitigation::lwpd().label(), "PB+LWPvD");
+        assert_eq!(Mitigation::lwpv_scd().label(), "PB+LWPvD+SCD");
+        assert_eq!(Mitigation::lwpw_scd().label(), "PB+LWPwD+SCD");
+    }
+}

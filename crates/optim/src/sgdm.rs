@@ -1,0 +1,155 @@
+//! SGD with (heavy-ball or Nesterov) momentum.
+
+use crate::Hyperparams;
+use pbp_tensor::Tensor;
+
+/// Velocity state for SGD with momentum over a list of parameter tensors
+/// (Eqs. 7-8 of the paper):
+///
+/// ```text
+/// v ← m·v + g
+/// w ← w − η·v
+/// ```
+#[derive(Debug, Clone)]
+pub struct SgdmState {
+    velocity: Vec<Tensor>,
+}
+
+impl SgdmState {
+    /// Creates zeroed velocity matching the given parameter shapes.
+    pub fn new(params: &[&Tensor]) -> Self {
+        SgdmState {
+            velocity: params.iter().map(|p| Tensor::zeros(p.shape())).collect(),
+        }
+    }
+
+    /// Borrows the velocity tensors.
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Standard heavy-ball update: `v ← m·v + g; w ← w − η·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor lists disagree with the state layout.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor], hp: Hyperparams) {
+        self.step_with_spike(params, grads, hp, 1.0, 0.0);
+    }
+
+    /// Nesterov update: `v ← m·v + g; w ← w − η·(m·v + g)`.
+    ///
+    /// Note `m·v_{t+1} + g_t` is spike compensation with `a = m, b = 1` —
+    /// for a delay of one, SCD *is* Nesterov momentum (Section 3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor lists disagree with the state layout.
+    pub fn step_nesterov(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor], hp: Hyperparams) {
+        self.step_with_spike(params, grads, hp, hp.momentum, 1.0);
+    }
+
+    /// Generalized spike-compensated update (Eqs. 10-12):
+    ///
+    /// ```text
+    /// v ← m·v + g
+    /// w ← w − η·(a·v + b·g)
+    /// ```
+    ///
+    /// `a = 1, b = 0` recovers plain SGDM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor lists disagree with the state layout.
+    pub fn step_with_spike(
+        &mut self,
+        params: &mut [&mut Tensor],
+        grads: &[&Tensor],
+        hp: Hyperparams,
+        a: f32,
+        b: f32,
+    ) {
+        assert_eq!(params.len(), self.velocity.len(), "param/velocity layout mismatch");
+        assert_eq!(grads.len(), self.velocity.len(), "grad/velocity layout mismatch");
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            debug_assert_eq!(p.shape(), v.shape());
+            debug_assert_eq!(g.shape(), v.shape());
+            let vs = v.as_mut_slice();
+            let gs = g.as_slice();
+            let ps = p.as_mut_slice();
+            for i in 0..vs.len() {
+                vs[i] = hp.momentum * vs[i] + gs[i];
+                ps[i] -= hp.lr * (a * vs[i] + b * gs[i]);
+            }
+        }
+    }
+
+    /// Resets the velocity to zero.
+    pub fn reset(&mut self) {
+        for v in &mut self.velocity {
+            v.fill(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Tensor, Tensor) {
+        (Tensor::from_slice(&[1.0, 2.0]), Tensor::from_slice(&[0.5, -0.5]))
+    }
+
+    #[test]
+    fn single_step_matches_hand_computation() {
+        let (mut w, g) = setup();
+        let mut state = SgdmState::new(&[&w]);
+        let hp = Hyperparams::new(0.1, 0.9);
+        state.step(&mut [&mut w], &[&g], hp);
+        // v = g; w -= 0.1 * g
+        assert!((w.as_slice()[0] - (1.0 - 0.05)).abs() < 1e-6);
+        assert!((w.as_slice()[1] - (2.0 + 0.05)).abs() < 1e-6);
+        // Second step accumulates momentum: v = 0.9 g + g = 1.9 g.
+        state.step(&mut [&mut w], &[&g], hp);
+        assert!((w.as_slice()[0] - (0.95 - 0.1 * 1.9 * 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spike_with_identity_coeffs_equals_plain_sgdm() {
+        let (w0, g) = setup();
+        let hp = Hyperparams::new(0.05, 0.8);
+        let mut w1 = w0.clone();
+        let mut s1 = SgdmState::new(&[&w1]);
+        let mut w2 = w0.clone();
+        let mut s2 = SgdmState::new(&[&w2]);
+        for _ in 0..5 {
+            s1.step(&mut [&mut w1], &[&g], hp);
+            s2.step_with_spike(&mut [&mut w2], &[&g], hp, 1.0, 0.0);
+        }
+        assert_eq!(w1.as_slice(), w2.as_slice());
+    }
+
+    #[test]
+    fn nesterov_differs_from_heavy_ball_but_same_fixed_point_drift() {
+        let (w0, g) = setup();
+        let hp = Hyperparams::new(0.1, 0.9);
+        let mut w1 = w0.clone();
+        let mut s1 = SgdmState::new(&[&w1]);
+        let mut w2 = w0.clone();
+        let mut s2 = SgdmState::new(&[&w2]);
+        s1.step(&mut [&mut w1], &[&g], hp);
+        s2.step_nesterov(&mut [&mut w2], &[&g], hp);
+        // First step: heavy-ball moves by ηg, Nesterov by η(1+m)g.
+        assert!((w0.as_slice()[0] - w2.as_slice()[0]) / (w0.as_slice()[0] - w1.as_slice()[0]) > 1.5);
+    }
+
+    #[test]
+    fn reset_zeroes_velocity() {
+        let (mut w, g) = setup();
+        let mut state = SgdmState::new(&[&w]);
+        state.step(&mut [&mut w], &[&g], Hyperparams::new(0.1, 0.9));
+        assert!(state.velocity()[0].norm() > 0.0);
+        state.reset();
+        assert_eq!(state.velocity()[0].norm(), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-stage optimizer combining SGDM, spike compensation and weight
+//! prediction.
+
+use crate::{
+    predict_velocity_form, predict_weight_form, Hyperparams, LwpForm, SgdmState, SpikeCoeffs,
+    StageConfig,
+};
+use pbp_tensor::Tensor;
+
+/// Optimizer state for one pipeline stage.
+///
+/// The pipeline engines call three operations per stage:
+///
+/// 1. [`StageOptimizer::forward_weights`] — predicted weights for the
+///    forward pass (Linear Weight Prediction / SpecTrain), or `None` when
+///    no prediction is configured;
+/// 2. [`StageOptimizer::backward_weights`] — SpecTrain's backward
+///    re-prediction;
+/// 3. [`StageOptimizer::step`] — the (possibly spike-compensated) update
+///    with the gradient that just arrived.
+#[derive(Debug)]
+pub struct StageOptimizer {
+    state: SgdmState,
+    /// Previous weight snapshot, kept only when the weight-difference LWP
+    /// form needs it.
+    prev_weights: Option<Vec<Tensor>>,
+    config: StageConfig,
+    hp: Hyperparams,
+}
+
+impl StageOptimizer {
+    /// Creates the optimizer for a stage's parameter list.
+    pub fn new(params: &[&Tensor], config: StageConfig, hp: Hyperparams) -> Self {
+        let needs_prev = config.lwp_form == LwpForm::WeightDiff
+            && (config.fwd_horizon != 0.0 || config.bwd_horizon != 0.0);
+        StageOptimizer {
+            state: SgdmState::new(params),
+            prev_weights: needs_prev.then(|| params.iter().map(|p| (*p).clone()).collect()),
+            config,
+            hp,
+        }
+    }
+
+    /// Updates the hyperparameters (learning-rate schedules).
+    pub fn set_hyperparams(&mut self, hp: Hyperparams) {
+        self.hp = hp;
+    }
+
+    /// Current hyperparameters.
+    pub fn hyperparams(&self) -> Hyperparams {
+        self.hp
+    }
+
+    /// The stage configuration.
+    pub fn config(&self) -> &StageConfig {
+        &self.config
+    }
+
+    /// The velocity tensors.
+    pub fn velocity(&self) -> &[Tensor] {
+        self.state.velocity()
+    }
+
+    /// Predicts weights `horizon` update steps ahead of `params` using the
+    /// configured LWP form.
+    pub fn predict(&self, params: &[&Tensor], horizon: f32) -> Vec<Tensor> {
+        if horizon == 0.0 {
+            return params.iter().map(|p| (*p).clone()).collect();
+        }
+        match self.config.lwp_form {
+            LwpForm::Velocity => {
+                predict_velocity_form(params, self.state.velocity(), self.hp.lr, horizon)
+            }
+            LwpForm::WeightDiff => {
+                let prev = self
+                    .prev_weights
+                    .as_ref()
+                    .expect("weight-difference form requires prev_weights");
+                predict_weight_form(params, prev, horizon)
+            }
+        }
+    }
+
+    /// Forward-pass weights: the configured forward prediction, or `None`
+    /// when no prediction applies (the engine then uses the stage weights
+    /// as-is).
+    pub fn forward_weights(&self, params: &[&Tensor]) -> Option<Vec<Tensor>> {
+        (self.config.fwd_horizon != 0.0).then(|| self.predict(params, self.config.fwd_horizon))
+    }
+
+    /// Backward-pass weights (SpecTrain re-prediction), or `None`.
+    pub fn backward_weights(&self, params: &[&Tensor]) -> Option<Vec<Tensor>> {
+        (self.config.bwd_horizon != 0.0).then(|| self.predict(params, self.config.bwd_horizon))
+    }
+
+    /// Applies one update with the arrived gradient: gradient shrinking if
+    /// configured, then `v ← m·v + g` and `w ← w − η(a·v + b·g)` with the
+    /// SCD coefficients for the configured spike delay (identity when 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor layouts disagree with construction.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        if let Some(prev) = &mut self.prev_weights {
+            for (dst, src) in prev.iter_mut().zip(params.iter()) {
+                dst.as_mut_slice().copy_from_slice(src.as_slice());
+            }
+        }
+        let coeffs = if self.config.spike_delay > 0.0 {
+            SpikeCoeffs::scd(self.hp.momentum, self.config.spike_delay)
+        } else {
+            SpikeCoeffs::identity()
+        };
+        if self.config.grad_scale != 1.0 {
+            let scaled: Vec<Tensor> = grads.iter().map(|g| g.scale(self.config.grad_scale)).collect();
+            let refs: Vec<&Tensor> = scaled.iter().collect();
+            self.state
+                .step_with_spike(params, &refs, self.hp, coeffs.a, coeffs.b);
+        } else {
+            self.state
+                .step_with_spike(params, grads, self.hp, coeffs.a, coeffs.b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mitigation;
+
+    fn hp() -> Hyperparams {
+        Hyperparams::new(0.1, 0.9)
+    }
+
+    #[test]
+    fn plain_config_matches_raw_sgdm() {
+        let mut w1 = Tensor::from_slice(&[1.0, 2.0]);
+        let mut w2 = w1.clone();
+        let g = Tensor::from_slice(&[0.5, -0.2]);
+        let mut opt = StageOptimizer::new(&[&w1], Mitigation::None.stage_config(4, 0), hp());
+        let mut raw = SgdmState::new(&[&w2]);
+        for _ in 0..5 {
+            opt.step(&mut [&mut w1], &[&g]);
+            raw.step(&mut [&mut w2], &[&g], hp());
+        }
+        assert_eq!(w1.as_slice(), w2.as_slice());
+    }
+
+    #[test]
+    fn sc_with_zero_delay_matches_sgdm() {
+        let mut w1 = Tensor::from_slice(&[1.0]);
+        let mut w2 = w1.clone();
+        let g = Tensor::from_slice(&[0.3]);
+        let mut opt = StageOptimizer::new(&[&w1], Mitigation::scd().stage_config(0, 0), hp());
+        let mut raw = SgdmState::new(&[&w2]);
+        for _ in 0..4 {
+            opt.step(&mut [&mut w1], &[&g]);
+            raw.step(&mut [&mut w2], &[&g], hp());
+        }
+        assert_eq!(w1.as_slice(), w2.as_slice());
+    }
+
+    #[test]
+    fn forward_weights_none_without_prediction() {
+        let w = Tensor::from_slice(&[1.0]);
+        let opt = StageOptimizer::new(&[&w], Mitigation::scd().stage_config(4, 0), hp());
+        assert!(opt.forward_weights(&[&w]).is_none());
+    }
+
+    #[test]
+    fn lwp_velocity_prediction_moves_against_velocity() {
+        let mut w = Tensor::from_slice(&[1.0]);
+        let g = Tensor::from_slice(&[1.0]);
+        let mut opt = StageOptimizer::new(&[&w], Mitigation::lwpd().stage_config(5, 0), hp());
+        opt.step(&mut [&mut w], &[&g]); // v = 1, w = 1 - 0.1 = 0.9
+        let fw = opt.forward_weights(&[&w]).expect("prediction configured");
+        // ŵ = 0.9 − 0.1·5·1 = 0.4
+        assert!((fw[0].as_slice()[0] - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_form_tracks_previous_weights() {
+        let mut w = Tensor::from_slice(&[1.0]);
+        let g = Tensor::from_slice(&[1.0]);
+        let mit = Mitigation::Lwp {
+            form: LwpForm::WeightDiff,
+            scale: 1.0,
+        };
+        let mut opt = StageOptimizer::new(&[&w], mit.stage_config(3, 0), hp());
+        opt.step(&mut [&mut w], &[&g]); // prev = 1.0, w = 0.9
+        let fw = opt.forward_weights(&[&w]).unwrap();
+        // ŵ = 0.9 + 3·(0.9 − 1.0) = 0.6
+        assert!((fw[0].as_slice()[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spectrain_predicts_both_directions() {
+        let mut w = Tensor::from_slice(&[1.0]);
+        let g = Tensor::from_slice(&[1.0]);
+        let mut opt =
+            StageOptimizer::new(&[&w], Mitigation::SpecTrain.stage_config(4, 2), hp());
+        opt.step(&mut [&mut w], &[&g]);
+        let fw = opt.forward_weights(&[&w]).unwrap();
+        let bw = opt.backward_weights(&[&w]).unwrap();
+        // fwd horizon 6, bwd horizon 2; both along −η·v from w = 0.9.
+        assert!((fw[0].as_slice()[0] - (0.9 - 0.1 * 6.0)).abs() < 1e-6);
+        assert!((bw[0].as_slice()[0] - (0.9 - 0.1 * 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_shrink_scales_update() {
+        let mut w1 = Tensor::from_slice(&[1.0]);
+        let mut w2 = Tensor::from_slice(&[1.0]);
+        let g = Tensor::from_slice(&[1.0]);
+        let mit = Mitigation::GradShrink { factor: 0.5 };
+        // delay 2 → grad scale 0.25.
+        let mut opt = StageOptimizer::new(&[&w1], mit.stage_config(2, 0), hp());
+        opt.step(&mut [&mut w1], &[&g]);
+        let mut plain = StageOptimizer::new(&[&w2], Mitigation::None.stage_config(2, 0), hp());
+        let g_scaled = Tensor::from_slice(&[0.25]);
+        plain.step(&mut [&mut w2], &[&g_scaled]);
+        assert_eq!(w1.as_slice(), w2.as_slice());
+    }
+}

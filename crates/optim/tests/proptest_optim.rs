@@ -1,0 +1,145 @@
+//! Property-based tests for the optimizer and mitigation invariants the
+//! paper's analysis relies on.
+
+use pbp_tensor::Tensor;
+use pbp_optim::{
+    predict_velocity_form, predict_weight_form, scale_hyperparams, Hyperparams, Mitigation,
+    SgdmState, SpikeCoeffs, StageOptimizer,
+};
+use proptest::prelude::*;
+
+fn grads_strategy(steps: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(-1.0f32..1.0, dim), steps)
+}
+
+proptest! {
+    #[test]
+    fn scd_total_contribution_matches_plain_momentum(
+        m in 0.0f32..0.995,
+        d in 0usize..32,
+    ) {
+        // Section 3.2: SC redistributes each gradient's contribution over
+        // time without changing its total a/(1−m) + b == 1/(1−m).
+        let c = SpikeCoeffs::scd(m, d as f32);
+        let total = c.total_contribution(m);
+        let expected = 1.0 / (1.0 - m);
+        prop_assert!((total - expected).abs() < 1e-2 * expected, "{total} vs {expected}");
+    }
+
+    #[test]
+    fn scd_with_zero_delay_is_identity(m in 0.0f32..0.9999) {
+        prop_assert_eq!(SpikeCoeffs::scd(m, 0.0), SpikeCoeffs::identity());
+    }
+
+    #[test]
+    fn spike_zero_delay_trajectory_matches_sgdm(
+        grads in grads_strategy(10, 3),
+        lr in 0.001f32..0.2,
+        m in 0.0f32..0.99,
+    ) {
+        let hp = Hyperparams::new(lr, m);
+        let mut w1 = Tensor::from_slice(&[0.3, -0.7, 1.1]);
+        let mut w2 = w1.clone();
+        let mut plain = SgdmState::new(&[&w1]);
+        let mut opt = StageOptimizer::new(&[&w2], Mitigation::scd().stage_config(0, 0), hp);
+        for g in &grads {
+            let gt = Tensor::from_slice(g);
+            plain.step(&mut [&mut w1], &[&gt], hp);
+            opt.step(&mut [&mut w2], &[&gt]);
+        }
+        prop_assert_eq!(w1.as_slice(), w2.as_slice());
+    }
+
+    #[test]
+    fn lwp_forms_coincide_for_plain_sgdm(
+        grads in grads_strategy(8, 2),
+        lr in 0.001f32..0.1,
+        m in 0.0f32..0.99,
+        horizon in 0.0f32..20.0,
+    ) {
+        // Eqs. 18 and 19 are equivalent for unmodified SGDM, for any
+        // gradient sequence and horizon.
+        let hp = Hyperparams::new(lr, m);
+        let mut w = Tensor::from_slice(&[1.0, -1.0]);
+        let mut state = SgdmState::new(&[&w]);
+        let mut prev = w.clone();
+        for g in &grads {
+            let gt = Tensor::from_slice(g);
+            prev = w.clone();
+            state.step(&mut [&mut w], &[&gt], hp);
+        }
+        let via_v = predict_velocity_form(&[&w], state.velocity(), lr, horizon);
+        let via_w = predict_weight_form(&[&w], &[prev], horizon);
+        for (a, b) in via_v[0].as_slice().iter().zip(via_w[0].as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_per_sample_contribution(
+        lr in 0.01f32..0.5,
+        m in 0.1f32..0.99,
+        n_ref in 2usize..256,
+        n_new in 1usize..256,
+    ) {
+        // Eq. 9: η/((1−m)·N) — the long-run weight displacement per sample
+        // — is invariant under the scaling.
+        let r = Hyperparams::new(lr, m);
+        let s = scale_hyperparams(r, n_ref, n_new);
+        let c_ref = r.lr as f64 / ((1.0 - r.momentum as f64) * n_ref as f64);
+        let c_new = s.lr as f64 / ((1.0 - s.momentum as f64) * n_new as f64);
+        prop_assert!((c_ref - c_new).abs() < 1e-4 * c_ref, "{c_ref} vs {c_new}");
+    }
+
+    #[test]
+    fn scaling_preserves_momentum_decay_per_sample(
+        m in 0.1f32..0.99,
+        n_ref in 1usize..128,
+        n_new in 1usize..128,
+    ) {
+        // m_new^(1/N_new) == m_ref^(1/N_ref). Tolerance is loose because
+        // extreme scalings (e.g. m = 0.1 to batch 43 ⇒ m_new ≈ 1e-43) lose
+        // f32 precision in the round trip.
+        let r = Hyperparams::new(0.1, m);
+        let s = scale_hyperparams(r, n_ref, n_new);
+        // Skip regimes where the scaled momentum underflows f32 entirely
+        // (e.g. m = 0.1 scaled from batch 1 to batch 45 ⇒ m_new = 1e-45).
+        prop_assume!(s.momentum as f64 > 1e-20);
+        let d_ref = (r.momentum as f64).powf(1.0 / n_ref as f64);
+        let d_new = (s.momentum as f64).powf(1.0 / n_new as f64);
+        prop_assert!((d_ref - d_new).abs() < 2e-4, "{d_ref} vs {d_new}");
+    }
+
+    #[test]
+    fn scaling_round_trips(lr in 0.01f32..0.5, m in 0.1f32..0.99, n in 1usize..200) {
+        let r = Hyperparams::new(lr, m);
+        let down = scale_hyperparams(r, 128, n);
+        let back = scale_hyperparams(down, n, 128);
+        prop_assert!((back.lr - r.lr).abs() < 1e-4 * r.lr);
+        prop_assert!((back.momentum - r.momentum).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_shrink_never_increases_update_magnitude(
+        g in proptest::collection::vec(-1.0f32..1.0, 4),
+        factor in 0.1f32..1.0,
+        d in 0usize..16,
+    ) {
+        let hp = Hyperparams::new(0.05, 0.9);
+        let mit = Mitigation::GradShrink { factor };
+        let mut w_shrunk = Tensor::from_slice(&[0.0, 0.0, 0.0, 0.0]);
+        let mut w_plain = w_shrunk.clone();
+        let gt = Tensor::from_slice(&g);
+        let mut a = StageOptimizer::new(&[&w_shrunk], mit.stage_config(d, 0), hp);
+        let mut b = StageOptimizer::new(&[&w_plain], Mitigation::None.stage_config(d, 0), hp);
+        a.step(&mut [&mut w_shrunk], &[&gt]);
+        b.step(&mut [&mut w_plain], &[&gt]);
+        prop_assert!(w_shrunk.norm() <= w_plain.norm() + 1e-9);
+    }
+
+    #[test]
+    fn spectrain_horizon_gap_is_the_delay(d in 0usize..64, s in 0usize..64) {
+        let cfg = Mitigation::SpecTrain.stage_config(d, s);
+        prop_assert_eq!((cfg.fwd_horizon - cfg.bwd_horizon) as usize, d);
+    }
+}

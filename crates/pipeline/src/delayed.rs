@@ -1,0 +1,344 @@
+//! The Appendix G.2 delayed-gradient simulator: a uniform, configurable
+//! gradient delay across all layers at arbitrary batch size, with
+//! consistent or inconsistent weights.
+//!
+//! This is the tool behind Figure 10 (inconsistent weights vs stale
+//! gradients), Figure 13 (prediction-horizon sweep on a network) and
+//! Figure 14 (momentum sweep): "the modified optimizer has a buffer of old
+//! parameter values; to apply a delay D, the model is loaded with
+//! parameters from D time steps ago, a forward and backward pass is
+//! performed [and] the resulting gradients are then used to update a master
+//! copy of the weights. Weight inconsistency is simulated by … doing the
+//! forward pass then loading the model with the master weights before doing
+//! the backwards pass."
+
+use crate::trainer::{evaluate, EpochRecord, TrainReport};
+use pbp_data::Dataset;
+use pbp_nn::loss::softmax_cross_entropy;
+use pbp_nn::Network;
+use pbp_optim::{LrSchedule, Mitigation, StageOptimizer};
+use pbp_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// Configuration for delayed-gradient training.
+#[derive(Debug, Clone)]
+pub struct DelayedConfig {
+    /// Uniform gradient delay in update steps.
+    pub delay: usize,
+    /// Batch size per update.
+    pub batch_size: usize,
+    /// `true`: the backward pass reuses the delayed forward weights
+    /// ("Consistent Delay" in Figure 10). `false`: the backward pass uses
+    /// the current master weights ("Forward Delay Only" — weight
+    /// inconsistency).
+    pub consistent: bool,
+    /// Mitigation method (applied with the uniform delay at every stage).
+    pub mitigation: Mitigation,
+    /// Learning-rate schedule in samples seen.
+    pub schedule: LrSchedule,
+}
+
+impl DelayedConfig {
+    /// Plain delayed training with consistent weights.
+    pub fn consistent(delay: usize, batch_size: usize, schedule: LrSchedule) -> Self {
+        DelayedConfig {
+            delay,
+            batch_size,
+            consistent: true,
+            mitigation: Mitigation::None,
+            schedule,
+        }
+    }
+
+    /// Plain delayed training with inconsistent weights.
+    pub fn inconsistent(delay: usize, batch_size: usize, schedule: LrSchedule) -> Self {
+        DelayedConfig {
+            consistent: false,
+            ..DelayedConfig::consistent(delay, batch_size, schedule)
+        }
+    }
+
+    /// Sets the mitigation method.
+    pub fn with_mitigation(mut self, mitigation: Mitigation) -> Self {
+        self.mitigation = mitigation;
+        self
+    }
+}
+
+/// Delayed-gradient trainer (uniform delay, arbitrary batch size).
+pub struct DelayedTrainer {
+    net: Network,
+    opts: Vec<StageOptimizer>,
+    /// FIFO of whole-network forward weight versions; front is what the
+    /// next update's forward pass sees.
+    history: VecDeque<Vec<Vec<Tensor>>>,
+    config: DelayedConfig,
+    samples_seen: usize,
+}
+
+impl std::fmt::Debug for DelayedTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DelayedTrainer(D={}, batch={}, consistent={}, {})",
+            self.config.delay,
+            self.config.batch_size,
+            self.config.consistent,
+            self.config.mitigation.label()
+        )
+    }
+}
+
+impl DelayedTrainer {
+    /// Creates the trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(net: Network, config: DelayedConfig) -> Self {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let hp = config.schedule.at(0);
+        let opts: Vec<StageOptimizer> = (0..net.num_stages())
+            .map(|s| {
+                // Uniform delay; stage_index 0 so SpecTrain-style horizons
+                // degenerate to plain LWP with T = D here.
+                let cfg = config.mitigation.stage_config(config.delay, 0);
+                StageOptimizer::new(&net.stage(s).params(), cfg, hp)
+            })
+            .collect();
+        let snapshot = net.snapshot();
+        let history: VecDeque<Vec<Vec<Tensor>>> =
+            (0..=config.delay).map(|_| snapshot.clone()).collect();
+        DelayedTrainer {
+            net,
+            opts,
+            history,
+            config,
+            samples_seen: 0,
+        }
+    }
+
+    /// Borrows the network.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Consumes the trainer, returning the network.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+
+    /// Trains on one batch; returns the loss.
+    pub fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let hp = self.config.schedule.at(self.samples_seen);
+        for opt in &mut self.opts {
+            opt.set_hyperparams(hp);
+        }
+        let master = self.net.snapshot();
+        let fwd = self.history.pop_front().expect("history pre-filled");
+        // Forward with the delayed (possibly predicted) weights.
+        self.net.load(&fwd);
+        self.net.zero_grads();
+        let logits = self.net.forward(x);
+        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        if !self.config.consistent {
+            // Weight inconsistency: backward under the master weights.
+            self.net.load(&master);
+        }
+        self.net.backward(&grad);
+        // Update the master copy.
+        self.net.load(&master);
+        for s in 0..self.net.num_stages() {
+            let stage = self.net.stage_mut(s);
+            let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
+            if grads.is_empty() {
+                continue;
+            }
+            let grad_refs: Vec<&Tensor> = grads.iter().collect();
+            let mut params = stage.params_mut();
+            self.opts[s].step(&mut params, &grad_refs);
+        }
+        // Enqueue the next forward version (with prediction if configured).
+        let mut next = Vec::with_capacity(self.net.num_stages());
+        for s in 0..self.net.num_stages() {
+            let params = self.net.stage(s).params();
+            let v = self.opts[s]
+                .forward_weights(&params)
+                .unwrap_or_else(|| params.into_iter().cloned().collect());
+            next.push(v);
+        }
+        self.history.push_back(next);
+        self.samples_seen += labels.len();
+        loss
+    }
+
+    /// Trains one epoch; returns the mean batch loss.
+    pub fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        let order = data.epoch_order(seed, epoch);
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(self.config.batch_size) {
+            let (x, labels) = data.batch(chunk);
+            total += self.train_batch(&x, &labels) as f64;
+            batches += 1;
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            total / batches as f64
+        }
+    }
+
+    /// Full run with validation after each epoch.
+    pub fn run(
+        &mut self,
+        train: &Dataset,
+        val: &Dataset,
+        epochs: usize,
+        seed: u64,
+    ) -> TrainReport {
+        let label = format!(
+            "{} D={} ({})",
+            self.config.mitigation.label(),
+            self.config.delay,
+            if self.config.consistent {
+                "consistent"
+            } else {
+                "inconsistent"
+            }
+        );
+        let mut report = TrainReport::new(label);
+        for epoch in 0..epochs {
+            let train_loss = self.train_epoch(train, seed, epoch);
+            let (val_loss, val_acc) = evaluate(&mut self.net, val, 16);
+            report.records.push(EpochRecord {
+                epoch,
+                train_loss,
+                val_loss,
+                val_acc,
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::SgdmTrainer;
+    use pbp_data::spirals;
+    use pbp_nn::models::mlp;
+    use pbp_optim::Hyperparams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schedule() -> LrSchedule {
+        LrSchedule::constant(Hyperparams::new(0.05, 0.9))
+    }
+
+    #[test]
+    fn zero_delay_matches_sgdm_bitwise() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net_a = mlp(&[2, 12, 3], &mut rng);
+        let mut rng = StdRng::seed_from_u64(0);
+        let net_b = mlp(&[2, 12, 3], &mut rng);
+        let data = spirals(3, 24, 0.05, 1);
+        let mut delayed =
+            DelayedTrainer::new(net_a, DelayedConfig::consistent(0, 4, schedule()));
+        let mut sgd = SgdmTrainer::new(net_b, schedule(), 4);
+        for epoch in 0..3 {
+            delayed.train_epoch(&data, 2, epoch);
+            sgd.train_epoch(&data, 2, epoch);
+        }
+        let na = delayed.into_network();
+        let nb = sgd.into_network();
+        for s in 0..na.num_stages() {
+            for (p, q) in na.stage(s).params().iter().zip(nb.stage(s).params()) {
+                assert_eq!(p.as_slice(), q.as_slice(), "stage {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_and_inconsistent_agree_at_zero_delay() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net_a = mlp(&[2, 12, 3], &mut rng);
+        let mut rng = StdRng::seed_from_u64(1);
+        let net_b = mlp(&[2, 12, 3], &mut rng);
+        let data = spirals(3, 24, 0.05, 2);
+        let mut a = DelayedTrainer::new(net_a, DelayedConfig::consistent(0, 4, schedule()));
+        let mut b = DelayedTrainer::new(net_b, DelayedConfig::inconsistent(0, 4, schedule()));
+        a.train_epoch(&data, 3, 0);
+        b.train_epoch(&data, 3, 0);
+        let na = a.into_network();
+        let nb = b.into_network();
+        for s in 0..na.num_stages() {
+            for (p, q) in na.stage(s).params().iter().zip(nb.stage(s).params()) {
+                assert_eq!(p.as_slice(), q.as_slice(), "stage {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_training_still_learns() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = mlp(&[2, 16, 3], &mut rng);
+        let data = pbp_data::blobs(3, 40, 0.4, 5);
+        let (train, val) = data.split(0.2);
+        let mut trainer =
+            DelayedTrainer::new(net, DelayedConfig::consistent(4, 4, schedule()));
+        let report = trainer.run(&train, &val, 15, 6);
+        assert!(report.final_val_acc() > 0.8, "{}", report.final_val_acc());
+    }
+
+    #[test]
+    fn large_delay_hurts_more_than_small_delay() {
+        // Figure 10's qualitative content on a cheap task: compare final
+        // training loss at delay 0 vs a large delay with the same budget.
+        let run = |delay: usize| -> f64 {
+            let mut rng = StdRng::seed_from_u64(7);
+            let net = mlp(&[2, 24, 3], &mut rng);
+            let data = spirals(3, 90, 0.05, 8);
+            let mut t = DelayedTrainer::new(
+                net,
+                DelayedConfig::consistent(delay, 4, LrSchedule::constant(Hyperparams::new(0.1, 0.9))),
+            );
+            let mut loss = 0.0;
+            for epoch in 0..10 {
+                loss = t.train_epoch(&data, 9, epoch);
+            }
+            loss
+        };
+        let fast = run(0);
+        let slow = run(16);
+        assert!(
+            slow > fast,
+            "delay should slow optimization: D=0 loss {fast}, D=16 loss {slow}"
+        );
+    }
+
+    #[test]
+    fn mitigation_helps_under_delay() {
+        let run = |mitigation: Mitigation| -> f64 {
+            let mut rng = StdRng::seed_from_u64(10);
+            let net = mlp(&[2, 24, 3], &mut rng);
+            let data = spirals(3, 90, 0.05, 11);
+            let sched = LrSchedule::constant(Hyperparams::new(0.08, 0.95));
+            let mut t = DelayedTrainer::new(
+                net,
+                DelayedConfig::consistent(8, 4, sched).with_mitigation(mitigation),
+            );
+            let mut loss = 0.0;
+            for epoch in 0..10 {
+                loss = t.train_epoch(&data, 12, epoch);
+            }
+            loss
+        };
+        let plain = run(Mitigation::None);
+        let combo = run(Mitigation::lwpv_scd());
+        assert!(
+            combo < plain,
+            "combined mitigation should reduce loss: plain {plain}, combo {combo}"
+        );
+    }
+}

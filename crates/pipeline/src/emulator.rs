@@ -1,0 +1,476 @@
+//! Cycle-accurate emulation of fine-grained Pipelined Backpropagation at
+//! update size one.
+//!
+//! ## How the emulation works
+//!
+//! In real PB (Figure 2, bottom), sample `i`'s forward pass reaches stage
+//! `s` when that stage's weights have received `i − D_s` updates, with
+//! `D_s = 2(S−1−s)` (Eq. 5); its gradient arrives back at stage `s` after
+//! `i` updates and is applied immediately. Because updates at each stage
+//! happen in sample order, PB's weight dynamics can be reproduced exactly
+//! by a *sequential* sweep that processes one sample at a time while
+//! holding, per stage, a FIFO of the last `D_s + 1` post-update weight
+//! versions: the forward pass of sample `i` loads the version from `i −
+//! D_s`, the backward pass uses the current version (weight inconsistency)
+//! or the stashed forward version (weight stashing), and the update applies
+//! right away. This is the same emulation strategy the paper used on GPUs
+//! (Appendix G.2), generalized to per-stage delays and to the mitigation
+//! methods.
+//!
+//! Weight prediction slots in naturally: instead of enqueueing the raw
+//! post-update weights, the engine enqueues the *predicted* forward weights
+//! `ŵ` (Eqs. 18-19) computed from the state at push time — exactly what a
+//! real pipelined implementation would compute locally at forward time.
+
+use crate::schedule::stage_delay;
+use crate::trainer::{evaluate, EpochRecord, TrainReport};
+use pbp_data::Dataset;
+use pbp_nn::loss::softmax_cross_entropy;
+use pbp_nn::Network;
+use pbp_optim::{LrSchedule, Mitigation, StageOptimizer};
+use pbp_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// Configuration of a pipelined-backpropagation run.
+#[derive(Debug, Clone)]
+pub struct PbConfig {
+    /// Delay-mitigation method (Section 3).
+    pub mitigation: Mitigation,
+    /// Weight stashing (Harlap et al., 2018): reuse the forward weight
+    /// version on the backward pass, removing weight inconsistency at the
+    /// cost of storing weight versions.
+    pub weight_stashing: bool,
+    /// Learning-rate/momentum schedule, in units of samples seen. Should
+    /// already be scaled for update size one (Eq. 9).
+    pub schedule: LrSchedule,
+    /// Overrides every stage's delay (testing/ablation). `None` uses the
+    /// paper's pipeline delays `D_s = 2(S−1−s)`.
+    pub delay_override: Option<usize>,
+}
+
+impl PbConfig {
+    /// Plain PB (no mitigation, no stashing) with the given schedule.
+    pub fn plain(schedule: LrSchedule) -> Self {
+        PbConfig {
+            mitigation: Mitigation::None,
+            weight_stashing: false,
+            schedule,
+            delay_override: None,
+        }
+    }
+
+    /// Sets the mitigation method.
+    pub fn with_mitigation(mut self, mitigation: Mitigation) -> Self {
+        self.mitigation = mitigation;
+        self
+    }
+
+    /// Enables weight stashing.
+    pub fn with_weight_stashing(mut self) -> Self {
+        self.weight_stashing = true;
+        self
+    }
+}
+
+/// The cycle-accurate PB training engine.
+pub struct PipelinedTrainer {
+    net: Network,
+    opts: Vec<StageOptimizer>,
+    /// Per stage: FIFO of forward weight versions; front is the version the
+    /// next sample's forward pass must see.
+    fwd_queues: Vec<VecDeque<Vec<Tensor>>>,
+    /// Per stage: stashed forward weights for in-flight samples (weight
+    /// stashing only).
+    stashes: Vec<VecDeque<Vec<Tensor>>>,
+    config: PbConfig,
+    samples_seen: usize,
+}
+
+impl std::fmt::Debug for PipelinedTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PipelinedTrainer({} stages, {}, stashing={}, samples_seen={})",
+            self.net.pipeline_stage_count(),
+            self.config.mitigation.label(),
+            self.config.weight_stashing,
+            self.samples_seen
+        )
+    }
+}
+
+impl PipelinedTrainer {
+    /// Creates the engine for a network, setting up per-stage delays,
+    /// optimizers and weight-version queues.
+    pub fn new(net: Network, config: PbConfig) -> Self {
+        let num_pipeline_stages = net.pipeline_stage_count();
+        let layer_stages = net.num_stages();
+        let hp = config.schedule.at(0);
+        let mut opts = Vec::with_capacity(layer_stages);
+        let mut fwd_queues = Vec::with_capacity(layer_stages);
+        for s in 0..layer_stages {
+            let delay = config
+                .delay_override
+                .unwrap_or_else(|| stage_delay(s, num_pipeline_stages));
+            let stage_cfg = config.mitigation.stage_config(delay, s);
+            let params = net.stage(s).params();
+            opts.push(StageOptimizer::new(&params, stage_cfg, hp));
+            let snapshot = net.stage(s).snapshot();
+            let queue: VecDeque<Vec<Tensor>> =
+                (0..=delay).map(|_| snapshot.clone()).collect();
+            fwd_queues.push(queue);
+        }
+        let stashes = (0..layer_stages).map(|_| VecDeque::new()).collect();
+        PipelinedTrainer {
+            net,
+            opts,
+            fwd_queues,
+            stashes,
+            config,
+            samples_seen: 0,
+        }
+    }
+
+    /// The per-stage gradient delays in effect.
+    pub fn delays(&self) -> Vec<usize> {
+        self.opts.iter().map(|o| o.config().delay).collect()
+    }
+
+    /// Borrows the network (for evaluation etc.). Evaluation uses the
+    /// current (most recent) weights, as the paper does.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Consumes the trainer, returning the network.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+
+    /// Number of samples trained on so far.
+    pub fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    /// Trains on one sample (`x` without batch dimension); returns the
+    /// loss computed in the pipeline's loss stage.
+    pub fn train_sample(&mut self, x: &Tensor, label: usize) -> f32 {
+        let hp = self.config.schedule.at(self.samples_seen);
+        for opt in &mut self.opts {
+            opt.set_hyperparams(hp);
+        }
+        // Add the batch dimension.
+        let mut shape = vec![1usize];
+        shape.extend_from_slice(x.shape());
+        let batched = x.reshape(&shape).expect("same volume");
+
+        // ---- Forward sweep: each stage under its delayed weight version.
+        let mut stack = vec![batched];
+        for s in 0..self.net.num_stages() {
+            let fwd_w = self.fwd_queues[s]
+                .pop_front()
+                .expect("queue maintains delay+1 entries");
+            let stage = self.net.stage_mut(s);
+            if fwd_w.is_empty() {
+                stage.forward(&mut stack);
+            } else {
+                let current = stage.snapshot();
+                stage.load(&fwd_w);
+                stage.forward(&mut stack);
+                stage.load(&current);
+            }
+            if self.config.weight_stashing {
+                self.stashes[s].push_back(fwd_w);
+            }
+        }
+        assert_eq!(stack.len(), 1, "network must reduce to a single lane");
+        let logits = stack.pop().expect("non-empty");
+
+        // ---- Loss stage.
+        let (loss, grad) = softmax_cross_entropy(&logits, &[label]);
+
+        // ---- Backward sweep: gradient flows back, each stage updates
+        // immediately on receiving it (PB's defining property).
+        let mut gstack = vec![grad];
+        for s in (0..self.net.num_stages()).rev() {
+            let bwd_override: Option<Vec<Tensor>> = if self.config.weight_stashing {
+                let stashed = self.stashes[s].pop_front().expect("stash in sync");
+                (!stashed.is_empty()).then_some(stashed)
+            } else if self.opts[s].config().bwd_horizon != 0.0 {
+                let stage = self.net.stage(s);
+                let params = stage.params();
+                (!params.is_empty()).then(|| {
+                    self.opts[s]
+                        .backward_weights(&params)
+                        .expect("bwd horizon configured")
+                })
+            } else {
+                None
+            };
+            let stage = self.net.stage_mut(s);
+            stage.zero_grads();
+            match bwd_override {
+                Some(bw) => {
+                    let current = stage.snapshot();
+                    stage.load(&bw);
+                    stage.backward(&mut gstack);
+                    stage.load(&current);
+                }
+                None => stage.backward(&mut gstack),
+            }
+            // Apply the update with the just-arrived gradient.
+            let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
+            if !grads.is_empty() {
+                let grad_refs: Vec<&Tensor> = grads.iter().collect();
+                let mut params = stage.params_mut();
+                self.opts[s].step(&mut params, &grad_refs);
+            }
+            // Enqueue the forward weight version a future sample will see.
+            let stage = self.net.stage(s);
+            let params = stage.params();
+            let next_fwd = self.opts[s]
+                .forward_weights(&params)
+                .unwrap_or_else(|| params.into_iter().cloned().collect());
+            self.fwd_queues[s].push_back(next_fwd);
+        }
+        self.samples_seen += 1;
+        loss
+    }
+
+    /// Trains one epoch at update size one in the deterministic order for
+    /// `(seed, epoch)`; returns the mean loss.
+    pub fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        let order = data.epoch_order(seed, epoch);
+        let mut total = 0.0f64;
+        for &i in &order {
+            let (x, label) = data.sample(i);
+            let x = x.clone();
+            total += self.train_sample(&x, label) as f64;
+        }
+        if order.is_empty() {
+            0.0
+        } else {
+            total / order.len() as f64
+        }
+    }
+
+    /// Full training run: `epochs` epochs with validation after each,
+    /// returning the labelled curve.
+    pub fn run(
+        &mut self,
+        train: &Dataset,
+        val: &Dataset,
+        epochs: usize,
+        seed: u64,
+    ) -> TrainReport {
+        let mut label = self.config.mitigation.label();
+        if self.config.weight_stashing {
+            label.push_str("+WS");
+        }
+        let mut report = TrainReport::new(label);
+        for epoch in 0..epochs {
+            let train_loss = self.train_epoch(train, seed, epoch);
+            let (val_loss, val_acc) = evaluate(&mut self.net, val, 16);
+            report.records.push(EpochRecord {
+                epoch,
+                train_loss,
+                val_loss,
+                val_acc,
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::SgdmTrainer;
+    use pbp_data::spirals;
+    use pbp_nn::models::mlp;
+    use pbp_optim::Hyperparams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schedule() -> LrSchedule {
+        // Reference (η=0.1, m=0.9) at batch 8, scaled to update size one
+        // via Eq. 9 — exactly how the paper derives PB hyperparameters.
+        let hp = pbp_optim::scale_hyperparams(Hyperparams::new(0.1, 0.9), 8, 1);
+        LrSchedule::constant(hp)
+    }
+
+    #[test]
+    fn delays_match_eq5() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = mlp(&[2, 8, 8, 3], &mut rng); // 3 layer stages + loss = 4
+        let trainer = PipelinedTrainer::new(net, PbConfig::plain(schedule()));
+        assert_eq!(trainer.delays(), vec![6, 4, 2]);
+    }
+
+    #[test]
+    fn zero_delay_pb_is_bit_identical_to_sequential_sgdm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net_a = mlp(&[2, 16, 3], &mut rng);
+        let mut rng = StdRng::seed_from_u64(1);
+        let net_b = mlp(&[2, 16, 3], &mut rng);
+        let data = spirals(3, 30, 0.05, 2);
+
+        let cfg = PbConfig {
+            delay_override: Some(0),
+            ..PbConfig::plain(schedule())
+        };
+        let mut pb = PipelinedTrainer::new(net_a, cfg);
+        let mut sgd = SgdmTrainer::new(net_b, schedule(), 1);
+        for epoch in 0..2 {
+            pb.train_epoch(&data, 9, epoch);
+            sgd.train_epoch(&data, 9, epoch);
+        }
+        let na = pb.into_network();
+        let nb = sgd.into_network();
+        for s in 0..na.num_stages() {
+            for (p, q) in na.stage(s).params().iter().zip(nb.stage(s).params()) {
+                assert_eq!(p.as_slice(), q.as_slice(), "stage {s} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn pb_trains_blobs_despite_delay() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = mlp(&[2, 16, 16, 3], &mut rng);
+        let data = pbp_data::blobs(3, 40, 0.4, 4);
+        let (train, val) = data.split(0.2);
+        let mut pb = PipelinedTrainer::new(net, PbConfig::plain(schedule()));
+        let report = pb.run(&train, &val, 10, 5);
+        assert!(
+            report.final_val_acc() > 0.8,
+            "PB accuracy {}",
+            report.final_val_acc()
+        );
+    }
+
+    #[test]
+    fn mitigated_pb_trains_at_least_as_well_on_average() {
+        // Not a strict dominance claim (single seed), but the combined
+        // mitigation should train stably and reach good accuracy.
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = mlp(&[2, 16, 16, 3], &mut rng);
+        let data = pbp_data::blobs(3, 40, 0.4, 4);
+        let (train, val) = data.split(0.2);
+        let cfg = PbConfig::plain(schedule()).with_mitigation(Mitigation::lwpv_scd());
+        let mut pb = PipelinedTrainer::new(net, cfg);
+        let report = pb.run(&train, &val, 10, 5);
+        assert!(
+            report.final_val_acc() > 0.8,
+            "mitigated accuracy {}",
+            report.final_val_acc()
+        );
+    }
+
+    #[test]
+    fn weight_stashing_keeps_queue_invariants() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = mlp(&[2, 8, 3], &mut rng);
+        let data = spirals(3, 12, 0.05, 8);
+        let cfg = PbConfig::plain(schedule()).with_weight_stashing();
+        let mut pb = PipelinedTrainer::new(net, cfg);
+        pb.train_epoch(&data, 1, 0);
+        for (s, q) in pb.fwd_queues.iter().enumerate() {
+            assert_eq!(q.len(), pb.opts[s].config().delay + 1, "stage {s}");
+        }
+        assert!(pb.stashes.iter().all(|st| st.is_empty()));
+    }
+
+    #[test]
+    fn spectrain_runs_stably() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let net = mlp(&[2, 16, 16, 3], &mut rng);
+        let data = pbp_data::blobs(3, 30, 0.4, 11);
+        let (train, val) = data.split(0.2);
+        let cfg = PbConfig::plain(schedule()).with_mitigation(Mitigation::SpecTrain);
+        let mut pb = PipelinedTrainer::new(net, cfg);
+        let report = pb.run(&train, &val, 10, 12);
+        assert!(report.final_val_acc() > 0.6, "{}", report.final_val_acc());
+    }
+}
+
+#[cfg(test)]
+mod mitigation_tests {
+    use super::*;
+    use pbp_optim::{Hyperparams, LwpForm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schedule() -> LrSchedule {
+        LrSchedule::constant(pbp_optim::scale_hyperparams(
+            Hyperparams::new(0.1, 0.9),
+            8,
+            1,
+        ))
+    }
+
+    fn run_mitigation(mitigation: Mitigation) -> f64 {
+        let mut rng = StdRng::seed_from_u64(20);
+        let net = pbp_nn::models::mlp(&[2, 16, 16, 3], &mut rng);
+        let data = pbp_data::blobs(3, 30, 0.4, 21);
+        let (train, val) = data.split(0.2);
+        let cfg = PbConfig::plain(schedule()).with_mitigation(mitigation);
+        let mut pb = PipelinedTrainer::new(net, cfg);
+        pb.run(&train, &val, 8, 22).final_val_acc()
+    }
+
+    #[test]
+    fn overcompensated_variants_train_stably() {
+        for mitigation in [
+            Mitigation::Sc { scale: 2.0 },
+            Mitigation::Lwp {
+                form: LwpForm::Velocity,
+                scale: 2.0,
+            },
+            Mitigation::Lwp {
+                form: LwpForm::WeightDiff,
+                scale: 1.0,
+            },
+            Mitigation::lwpw_scd(),
+        ] {
+            let acc = run_mitigation(mitigation);
+            assert!(acc > 0.5, "{}: accuracy {acc}", mitigation.label());
+        }
+    }
+
+    #[test]
+    fn gradient_shrinking_trains_stably() {
+        let acc = run_mitigation(Mitigation::GradShrink { factor: 0.95 });
+        assert!(acc > 0.5, "shrink accuracy {acc}");
+    }
+
+    #[test]
+    fn stashing_composes_with_mitigation() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let net = pbp_nn::models::mlp(&[2, 12, 3], &mut rng);
+        let data = pbp_data::blobs(3, 18, 0.4, 24);
+        let cfg = PbConfig::plain(schedule())
+            .with_mitigation(Mitigation::lwpv_scd())
+            .with_weight_stashing();
+        let mut pb = PipelinedTrainer::new(net, cfg);
+        for epoch in 0..3 {
+            pb.train_epoch(&data, 25, epoch);
+        }
+        let net = pb.into_network();
+        for s in 0..net.num_stages() {
+            assert!(net.stage(s).params().iter().all(|p| p.all_finite()));
+        }
+    }
+
+    #[test]
+    fn run_labels_mention_stashing() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let net = pbp_nn::models::mlp(&[2, 6, 3], &mut rng);
+        let data = pbp_data::blobs(3, 9, 0.4, 27);
+        let (train, val) = data.split(0.34);
+        let cfg = PbConfig::plain(schedule()).with_weight_stashing();
+        let mut pb = PipelinedTrainer::new(net, cfg);
+        let report = pb.run(&train, &val, 1, 28);
+        assert_eq!(report.label, "PB+WS");
+    }
+}

@@ -1,0 +1,257 @@
+//! Fill-and-drain pipeline SGD (Section 2, Figure 2 top/middle).
+//!
+//! Samples stream through the pipeline one per step; the pipeline is
+//! drained before each weight update, so forward and backward passes always
+//! use the same weights and the result is *mathematically identical* to
+//! mini-batch SGDM — the only cost is utilization (Eq. 1). This engine
+//! processes samples individually (per-worker batch size one, as in the
+//! paper's GProp validation, Figure 16) and tracks the pipeline-step
+//! accounting so experiments can report utilization alongside accuracy.
+
+use crate::trainer::{evaluate, EpochRecord, TrainReport};
+use pbp_data::Dataset;
+use pbp_nn::loss::softmax_cross_entropy;
+use pbp_nn::Network;
+use pbp_optim::{LrSchedule, SgdmState};
+use pbp_tensor::Tensor;
+
+/// Fill-and-drain pipeline SGD trainer with update size `n`.
+pub struct FillDrainTrainer {
+    net: Network,
+    state: Vec<SgdmState>,
+    schedule: LrSchedule,
+    update_size: usize,
+    samples_seen: usize,
+    pipeline_steps: usize,
+    /// Accumulated (mean-scaled) gradients for the in-flight update.
+    pending: usize,
+}
+
+impl std::fmt::Debug for FillDrainTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FillDrainTrainer(N={}, samples_seen={})",
+            self.update_size, self.samples_seen
+        )
+    }
+}
+
+impl FillDrainTrainer {
+    /// Creates the trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `update_size == 0`.
+    pub fn new(net: Network, schedule: LrSchedule, update_size: usize) -> Self {
+        assert!(update_size > 0, "update size must be positive");
+        let state = (0..net.num_stages())
+            .map(|s| SgdmState::new(&net.stage(s).params()))
+            .collect();
+        FillDrainTrainer {
+            net,
+            state,
+            schedule,
+            update_size,
+            samples_seen: 0,
+            pipeline_steps: 0,
+            pending: 0,
+        }
+    }
+
+    /// Borrows the network.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Consumes the trainer, returning the network.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+
+    /// Total pipeline steps consumed so far (fill + stream + drain per
+    /// update).
+    pub fn pipeline_steps(&self) -> usize {
+        self.pipeline_steps
+    }
+
+    /// Realized utilization so far: useful work (one fully-utilized step
+    /// per sample) over pipeline steps taken, equal to Eq. 1's bound.
+    pub fn utilization(&self) -> f64 {
+        if self.pipeline_steps == 0 {
+            return 0.0;
+        }
+        self.samples_seen as f64 / self.pipeline_steps as f64
+    }
+
+    /// Trains one sample; the weight update fires after every
+    /// `update_size` samples, after draining the pipeline. Returns the
+    /// sample loss.
+    pub fn train_sample(&mut self, x: &Tensor, label: usize) -> f32 {
+        let mut shape = vec![1usize];
+        shape.extend_from_slice(x.shape());
+        let batched = x.reshape(&shape).expect("same volume");
+        if self.pending == 0 {
+            self.net.zero_grads();
+        }
+        let logits = self.net.forward(&batched);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[label]);
+        // Mean gradient over the update: scale each sample's contribution.
+        let grad = grad.scale(1.0 / self.update_size as f32);
+        self.net.backward(&grad);
+        self.pending += 1;
+        self.samples_seen += 1;
+        if self.pending == self.update_size {
+            let hp = self
+                .schedule
+                .at(self.samples_seen - self.update_size);
+            for s in 0..self.net.num_stages() {
+                let stage = self.net.stage_mut(s);
+                let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
+                let grad_refs: Vec<&Tensor> = grads.iter().collect();
+                let mut params = stage.params_mut();
+                self.state[s].step(&mut params, &grad_refs, hp);
+            }
+            // Step accounting: one fill-and-drain cycle (Eq. 1's exact
+            // denominator).
+            let s = self.net.pipeline_stage_count();
+            self.pipeline_steps += self.update_size + 2 * s - 2;
+            self.pending = 0;
+        }
+        loss
+    }
+
+    /// Trains one epoch; returns the mean loss.
+    pub fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        let order = data.epoch_order(seed, epoch);
+        let mut total = 0.0f64;
+        for &i in &order {
+            let (x, label) = data.sample(i);
+            let x = x.clone();
+            total += self.train_sample(&x, label) as f64;
+        }
+        if order.is_empty() {
+            0.0
+        } else {
+            total / order.len() as f64
+        }
+    }
+
+    /// Full run with validation after each epoch.
+    pub fn run(
+        &mut self,
+        train: &Dataset,
+        val: &Dataset,
+        epochs: usize,
+        seed: u64,
+    ) -> TrainReport {
+        let mut report = TrainReport::new(format!("Fill&Drain SGDM (N={})", self.update_size));
+        for epoch in 0..epochs {
+            let train_loss = self.train_epoch(train, seed, epoch);
+            let (val_loss, val_acc) = evaluate(&mut self.net, val, 16);
+            report.records.push(EpochRecord {
+                epoch,
+                train_loss,
+                val_loss,
+                val_acc,
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::SgdmTrainer;
+    use pbp_data::spirals;
+    use pbp_nn::models::{mlp, simple_cnn};
+    use pbp_optim::Hyperparams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::schedule::fill_drain_utilization;
+
+    fn schedule() -> LrSchedule {
+        LrSchedule::constant(Hyperparams::new(0.05, 0.9))
+    }
+
+    #[test]
+    fn fill_drain_matches_batch_sgdm_closely() {
+        // Same seeds, same data order: fill&drain (sequential samples,
+        // mean-scaled grads) must match batch-parallel SGDM up to f32
+        // accumulation order.
+        let mut rng = StdRng::seed_from_u64(0);
+        let net_a = mlp(&[2, 16, 3], &mut rng);
+        let mut rng = StdRng::seed_from_u64(0);
+        let net_b = mlp(&[2, 16, 3], &mut rng);
+        let data = spirals(3, 32, 0.05, 1);
+        let mut fd = FillDrainTrainer::new(net_a, schedule(), 8);
+        let mut sgd = SgdmTrainer::new(net_b, schedule(), 8);
+        for epoch in 0..3 {
+            fd.train_epoch(&data, 4, epoch);
+            sgd.train_epoch(&data, 4, epoch);
+        }
+        let na = fd.into_network();
+        let nb = sgd.into_network();
+        for s in 0..na.num_stages() {
+            for (p, q) in na.stage(s).params().iter().zip(nb.stage(s).params()) {
+                for (a, b) in p.as_slice().iter().zip(q.as_slice()) {
+                    assert!((a - b).abs() < 2e-4, "stage {s}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_drain_matches_batch_sgdm_with_groupnorm() {
+        // GroupNorm is per-sample, so per-sample and batched processing
+        // agree; this is the Figure 16 GProp-validation property.
+        let mut rng = StdRng::seed_from_u64(2);
+        let net_a = simple_cnn(1, 4, 2, 3, &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let net_b = simple_cnn(1, 4, 2, 3, &mut rng);
+        let gen = pbp_data::SyntheticImages::new(
+            pbp_data::DatasetSpec {
+                num_classes: 3,
+                channels: 1,
+                size: 8,
+                noise: 0.2,
+                max_shift: 1,
+                contrast_jitter: 0.1,
+            },
+            5,
+        );
+        let data = gen.generate(24, 0);
+        let mut fd = FillDrainTrainer::new(net_a, schedule(), 4);
+        let mut sgd = SgdmTrainer::new(net_b, schedule(), 4);
+        for epoch in 0..2 {
+            fd.train_epoch(&data, 4, epoch);
+            sgd.train_epoch(&data, 4, epoch);
+        }
+        let na = fd.into_network();
+        let nb = sgd.into_network();
+        for s in 0..na.num_stages() {
+            for (p, q) in na.stage(s).params().iter().zip(nb.stage(s).params()) {
+                for (a, b) in p.as_slice().iter().zip(q.as_slice()) {
+                    assert!((a - b).abs() < 5e-4, "stage {s}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_matches_eq1() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = mlp(&[2, 8, 3], &mut rng); // 2 layer stages + loss = 3
+        let data = spirals(3, 32, 0.05, 1);
+        let mut fd = FillDrainTrainer::new(net, schedule(), 8);
+        fd.train_epoch(&data, 1, 0);
+        let expected = fill_drain_utilization(8, 3);
+        assert!(
+            (fd.utilization() - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            fd.utilization()
+        );
+    }
+}

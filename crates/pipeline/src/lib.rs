@@ -1,0 +1,44 @@
+//! # pbp-pipeline
+//!
+//! Pipelined Backpropagation engines — the system contribution of
+//! *"Pipelined Backpropagation at Scale"* (Kosson et al., MLSYS 2021),
+//! built from scratch:
+//!
+//! * [`PipelinedTrainer`] — a deterministic, cycle-accurate emulator of
+//!   fine-grained pipelined backpropagation at update size one. Each
+//!   network stage sees forward weights delayed by `D_s = 2(S−1−s)` updates
+//!   (Eq. 5), with optional weight stashing (Harlap et al., 2018) and the
+//!   paper's mitigations (Spike Compensation, Linear Weight Prediction,
+//!   their combination, SpecTrain) applied per stage. This mirrors the
+//!   delayed-gradient emulation the paper itself used (Appendix G.2) and
+//!   reproduces PB's optimization dynamics exactly.
+//! * [`FillDrainTrainer`] — pipeline-parallel mini-batch SGDM that fills
+//!   and drains the pipeline for every update; mathematically identical to
+//!   sequential SGDM (validated bit-for-bit in tests) but paying the
+//!   utilization bound `N/(N+2S)` of Eq. 1.
+//! * [`DelayedTrainer`] — the Appendix G.2 simulator: a uniform,
+//!   configurable gradient delay across all layers at arbitrary batch
+//!   size, with consistent or inconsistent weights (Figure 10) and
+//!   mitigation support (Figures 13, 14).
+//! * [`ThreadedPipeline`] — a real multi-threaded pipeline runtime (one OS
+//!   thread per stage, crossbeam channels) demonstrating that PB keeps all
+//!   workers busy while fill-and-drain idles them.
+//! * [`schedule`] — the analytic utilization model behind Figure 2.
+
+pub mod asgd;
+pub mod delayed;
+pub mod emulator;
+pub mod filldrain;
+pub mod memory;
+pub mod schedule;
+pub mod threaded;
+pub mod trainer;
+
+pub use asgd::{AsgdTrainer, DelayDistribution};
+pub use delayed::{DelayedConfig, DelayedTrainer};
+pub use emulator::{PbConfig, PipelinedTrainer};
+pub use filldrain::FillDrainTrainer;
+pub use memory::MemoryModel;
+pub use schedule::{fill_drain_utilization, stage_delay, ScheduleModel, StageActivity};
+pub use threaded::{ThreadedConfig, ThreadedPipeline, ThroughputReport};
+pub use trainer::{evaluate, EpochRecord, SgdmTrainer, TrainReport};

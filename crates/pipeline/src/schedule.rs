@@ -1,0 +1,205 @@
+//! Analytic pipeline schedule and utilization model (Section 2, Figure 2).
+
+/// Gradient delay (in updates) of stage `s` in an `S`-stage pipeline at
+/// update size one: `D_s = 2(S − 1 − s)` (Eq. 5).
+///
+/// The final stage (`s = S−1`, the loss) has delay 0; stage 0 has the
+/// maximum delay `2(S−1)`.
+///
+/// # Panics
+///
+/// Panics if `s >= num_stages`.
+pub fn stage_delay(s: usize, num_stages: usize) -> usize {
+    assert!(s < num_stages, "stage {s} out of range for {num_stages} stages");
+    2 * (num_stages - 1 - s)
+}
+
+/// Utilization upper bound of fill-and-drain pipeline SGD with update size
+/// `n` over `s` stages: `N / (N + 2S − 2)` (the exact form of Eq. 1's
+/// `N/(N+2S)` approximation).
+///
+/// # Example
+///
+/// ```
+/// use pbp_pipeline::fill_drain_utilization;
+///
+/// // ResNet20's 34-stage pipeline at update size one wastes ~98.5% of
+/// // its capacity filling and draining:
+/// assert!(fill_drain_utilization(1, 34) < 0.02);
+/// // Large batches amortize the overhead:
+/// assert!(fill_drain_utilization(1024, 34) > 0.9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `s == 0`.
+pub fn fill_drain_utilization(n: usize, s: usize) -> f64 {
+    assert!(n > 0 && s > 0, "batch and stage counts must be positive");
+    n as f64 / (n + 2 * s - 2) as f64
+}
+
+/// What a stage is doing at one pipeline step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageActivity {
+    /// No work (red in Figure 2).
+    Idle,
+    /// Forward transformation only (yellow).
+    Forward,
+    /// Backward transformation only (yellow).
+    Backward,
+    /// Both forward and backward — full utilization (green).
+    Both,
+}
+
+/// Step-by-step occupancy simulation of a pipeline, reproducing the
+/// schedule diagrams of Figure 2 and their utilization numbers.
+#[derive(Debug, Clone)]
+pub struct ScheduleModel {
+    /// Number of pipeline stages.
+    pub num_stages: usize,
+}
+
+impl ScheduleModel {
+    /// Creates a model for an `S`-stage pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_stages == 0`.
+    pub fn new(num_stages: usize) -> Self {
+        assert!(num_stages > 0, "pipeline needs at least one stage");
+        ScheduleModel { num_stages }
+    }
+
+    /// Simulates fill-and-drain SGD for `batches` updates of size `n`:
+    /// the pipeline fills, streams the batch, drains, updates, repeats.
+    /// Returns the per-step activity grid `[step][stage]`.
+    pub fn fill_drain_schedule(&self, n: usize, batches: usize) -> Vec<Vec<StageActivity>> {
+        let s = self.num_stages;
+        let steps_per_batch = n + 2 * s - 2;
+        let mut grid = Vec::new();
+        for _ in 0..batches {
+            for t in 0..steps_per_batch {
+                let mut row = Vec::with_capacity(s);
+                for stage in 0..s {
+                    // Sample i occupies stage `stage` forward at step i+stage
+                    // and backward at step i + 2s − 1 − stage − ... using the
+                    // convention that fwd of sample i is at t = i + stage and
+                    // bwd at t = i + 2s − 2 − stage.
+                    let fwd = t >= stage && t < stage + n;
+                    let bwd_base = 2 * s - 2 - stage;
+                    let bwd = t >= bwd_base && t < bwd_base + n;
+                    row.push(match (fwd, bwd) {
+                        (true, true) => StageActivity::Both,
+                        (true, false) => StageActivity::Forward,
+                        (false, true) => StageActivity::Backward,
+                        (false, false) => StageActivity::Idle,
+                    });
+                }
+                grid.push(row);
+            }
+        }
+        grid
+    }
+
+    /// Simulates pipelined backpropagation for `total_steps` steps: after
+    /// the initial fill, every stage is busy with both a forward and a
+    /// backward every step (Figure 2, bottom).
+    pub fn pb_schedule(&self, total_steps: usize) -> Vec<Vec<StageActivity>> {
+        let s = self.num_stages;
+        let mut grid = Vec::new();
+        for t in 0..total_steps {
+            let mut row = Vec::with_capacity(s);
+            for stage in 0..s {
+                let fwd = t >= stage;
+                let bwd = t >= 2 * s - 2 - stage;
+                row.push(match (fwd, bwd) {
+                    (true, true) => StageActivity::Both,
+                    (true, false) => StageActivity::Forward,
+                    (false, true) => StageActivity::Backward,
+                    (false, false) => StageActivity::Idle,
+                });
+            }
+            grid.push(row);
+        }
+        grid
+    }
+
+    /// Utilization of an activity grid: fraction of (step, stage) slots
+    /// doing work, counting half for forward-only or backward-only slots.
+    pub fn utilization(grid: &[Vec<StageActivity>]) -> f64 {
+        if grid.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = grid
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|a| match a {
+                StageActivity::Idle => 0.0,
+                StageActivity::Forward | StageActivity::Backward => 0.5,
+                StageActivity::Both => 1.0,
+            })
+            .sum();
+        total / (grid.len() * grid[0].len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_decrease_toward_the_end_of_the_pipeline() {
+        assert_eq!(stage_delay(0, 4), 6);
+        assert_eq!(stage_delay(1, 4), 4);
+        assert_eq!(stage_delay(3, 4), 0);
+    }
+
+    #[test]
+    fn utilization_bound_matches_eq1() {
+        // N >> S: utilization → 1.
+        assert!(fill_drain_utilization(10_000, 4) > 0.99);
+        // N = 1, S = 34 (ResNet20): 1/67 ≈ 1.5%.
+        let u = fill_drain_utilization(1, 34);
+        assert!((u - 1.0 / 67.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_drain_schedule_utilization_matches_bound() {
+        let model = ScheduleModel::new(6);
+        for n in [1usize, 4, 32] {
+            let grid = model.fill_drain_schedule(n, 1);
+            let u = ScheduleModel::utilization(&grid);
+            let bound = fill_drain_utilization(n, 6);
+            assert!(
+                (u - bound).abs() < 1e-9,
+                "n={n}: simulated {u} vs bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn pb_schedule_reaches_full_utilization_in_steady_state() {
+        let model = ScheduleModel::new(8);
+        let grid = model.pb_schedule(200);
+        // After fill (2S−2 steps) everything is Both.
+        for row in &grid[14..] {
+            assert!(row.iter().all(|a| *a == StageActivity::Both));
+        }
+        let u = ScheduleModel::utilization(&grid);
+        assert!(u > 0.95, "PB long-run utilization {u}");
+    }
+
+    #[test]
+    fn pb_beats_fill_drain_at_small_batch() {
+        let model = ScheduleModel::new(16);
+        let fd = ScheduleModel::utilization(&model.fill_drain_schedule(1, 8));
+        let pb = ScheduleModel::utilization(&model.pb_schedule(8 * (1 + 30)));
+        assert!(pb > 3.0 * fd, "pb {pb} vs fill&drain {fd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stage_delay_bounds_checked() {
+        stage_delay(4, 4);
+    }
+}

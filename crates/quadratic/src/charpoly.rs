@@ -1,0 +1,221 @@
+//! Characteristic polynomials of delayed momentum methods (Eqs. 28-31,
+//! derived from the state-transition equations of Appendix D).
+
+use crate::Polynomial;
+
+/// Optimization method whose delayed dynamics on a quadratic coordinate we
+/// analyze.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// Gradient descent with heavy-ball momentum (delayed gradient).
+    Gdm,
+    /// Nesterov momentum (equivalent to GSC with `a = m, b = 1`).
+    Nesterov,
+    /// Generalized Spike Compensation with explicit coefficients.
+    Gsc {
+        /// Velocity coefficient.
+        a: f64,
+        /// Spike coefficient.
+        b: f64,
+    },
+    /// Linear Weight Prediction with horizon `T`.
+    Lwp {
+        /// Prediction horizon.
+        t: f64,
+    },
+    /// Combined LWPw + GSC (Eq. 31).
+    LwpGsc {
+        /// Velocity coefficient.
+        a: f64,
+        /// Spike coefficient.
+        b: f64,
+        /// Prediction horizon.
+        t: f64,
+    },
+}
+
+impl Method {
+    /// SCD: GSC with the paper's default coefficients for momentum `m` and
+    /// delay `d` (Eq. 14).
+    pub fn scd(m: f64, d: usize) -> Method {
+        let (a, b) = scd_coeffs(m, d as f64);
+        Method::Gsc { a, b }
+    }
+
+    /// LWPD: LWP with the default horizon `T = D`.
+    pub fn lwpd(d: usize) -> Method {
+        Method::Lwp { t: d as f64 }
+    }
+
+    /// The combined default `LWPwD + SCD`.
+    pub fn lwpd_scd(m: f64, d: usize) -> Method {
+        let (a, b) = scd_coeffs(m, d as f64);
+        Method::LwpGsc { a, b, t: d as f64 }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Gdm => "GDM",
+            Method::Nesterov => "Nesterov",
+            Method::Gsc { .. } => "SCD",
+            Method::Lwp { .. } => "LWPD",
+            Method::LwpGsc { .. } => "LWPwD+SCD",
+        }
+    }
+}
+
+/// SCD coefficients (Eq. 14) as `f64` for the analysis.
+fn scd_coeffs(m: f64, d: f64) -> (f64, f64) {
+    if d == 0.0 {
+        return (1.0, 0.0);
+    }
+    if m <= f64::EPSILON {
+        return (0.0, 1.0);
+    }
+    let md = m.powf(d);
+    (md, (1.0 - md) / (1.0 - m))
+}
+
+/// Builds the characteristic polynomial of the method's expected-weight
+/// recurrence for momentum `m`, normalized rate `ηλ` and delay `d`.
+///
+/// From the state-transition equations (Eqs. 39-42), with ascending
+/// coefficient order and the gradient terms at the low-order end:
+///
+/// ```text
+/// GDM:      z^{D+1} − (1+m)z^D + m z^{D−1} + ηλ            (× z to clear D=0)
+/// GSC:      z^{D+2} − (1+m)z^{D+1} + m z^D + ηλ(a+b)z − ηλmb
+/// LWP:      z^{D+2} − (1+m)z^{D+1} + m z^D + ηλ(1+T)z − ηλT
+/// LWPw+GSC: z^{D+3} − (1+m)z^{D+2} + m z^{D+1}
+///             + ηλ(a+b)(T+1)z² − ηλ[(T+1)mb + T(a+b)]z + ηλTmb
+/// ```
+///
+/// (The `+ηλ` sign of the GDM constant follows from Eq. 40 and from GSC
+/// with `a = 1, b = 0`; Eq. 28's printed `−ηλ` is inconsistent with both.)
+pub fn char_poly(method: Method, m: f64, eta_lambda: f64, d: usize) -> Polynomial {
+    let el = eta_lambda;
+    match method {
+        Method::Gdm => build(d, 1.0, 0.0, el, 0.0, m),
+        Method::Nesterov => build(d, m, 1.0, el, 0.0, m),
+        Method::Gsc { a, b } => build(d, a, b, el, 0.0, m),
+        Method::Lwp { t } => build(d, 1.0, 0.0, el, t, m),
+        Method::LwpGsc { a, b, t } => build(d, a, b, el, t, m),
+    }
+}
+
+/// Shared constructor covering all methods as special cases of the combined
+/// recurrence (Eq. 39):
+///
+/// `w_{t+1} = (1+m)w_t − m w_{t−1} − η(a+b)∇L((T+1)w_{t−D} − T w_{t−D−1})
+///            + ηmb∇L((T+1)w_{t−D−1} − T w_{t−D−2})`
+///
+/// with `∇L(w) = λ w` inserted. Specializations (`b = 0`, `T = 0`) factor
+/// as `z^k · p(z)` with `p` the method's minimal polynomial of Eqs. 28-30;
+/// the extra zero roots never affect the dominant magnitude.
+fn build(d: usize, a: f64, b: f64, el: f64, t: f64, m: f64) -> Polynomial {
+    let deg = d + 3;
+    let mut c = vec![0.0f64; deg + 1];
+    // High-order momentum terms.
+    c[d + 3] += 1.0;
+    c[d + 2] += -(1.0 + m);
+    c[d + 1] += m;
+    // Gradient terms.
+    c[2] += el * (a + b) * (t + 1.0);
+    c[1] += -el * ((t + 1.0) * m * b + t * (a + b));
+    c[0] += el * t * m * b;
+    Polynomial::new(c)
+}
+
+/// Magnitude of the dominant characteristic root `|r_max|` — the asymptotic
+/// per-step error factor (Eq. 33). Values below 1 mean convergence.
+pub fn dominant_root_magnitude(method: Method, m: f64, eta_lambda: f64, d: usize) -> f64 {
+    char_poly(method, m, eta_lambda, d).max_root_magnitude()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gdm_no_delay_matches_classical_momentum_roots() {
+        // Classical: z² − (1+m−ηλ)z + m, |r| = √m in the complex regime.
+        let (m, el) = (0.81, 0.1);
+        let r = dominant_root_magnitude(Method::Gdm, m, el, 0);
+        assert!((r - m.sqrt()).abs() < 1e-6, "got {r}");
+    }
+
+    #[test]
+    fn gdm_zero_rate_has_root_at_one() {
+        // ηλ = 0: the recurrence w_{t+1} = (1+m)w_t − m w_{t−1} has roots
+        // {1, m}: no contraction.
+        let r = dominant_root_magnitude(Method::Gdm, 0.9, 0.0, 3);
+        assert!((r - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_shrinks_stability_region() {
+        let (m, el) = (0.9, 0.15);
+        let no_delay = dominant_root_magnitude(Method::Gdm, m, el, 0);
+        let delayed = dominant_root_magnitude(Method::Gdm, m, el, 4);
+        assert!(no_delay < 1.0);
+        assert!(delayed > 1.0, "delay should destabilize: {delayed}");
+    }
+
+    #[test]
+    fn scd_with_delay_one_equals_nesterov() {
+        // Section 3.5: for D=1, Nesterov momentum IS spike compensation.
+        for &el in &[0.01, 0.1, 0.5] {
+            let m = 0.9;
+            let scd = dominant_root_magnitude(Method::scd(m, 1), m, el, 1);
+            let nest = dominant_root_magnitude(Method::Nesterov, m, el, 1);
+            assert!((scd - nest).abs() < 1e-8, "el={el}: {scd} vs {nest}");
+        }
+    }
+
+    #[test]
+    fn scd_zero_delay_reduces_to_gdm() {
+        for &el in &[0.05, 0.2] {
+            let m = 0.85;
+            let a = dominant_root_magnitude(Method::scd(m, 0), m, el, 0);
+            let b = dominant_root_magnitude(Method::Gdm, m, el, 0);
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lwp_with_zero_horizon_reduces_to_gdm() {
+        for &el in &[0.05, 0.2] {
+            let (m, d) = (0.9, 3);
+            let a = dominant_root_magnitude(Method::Lwp { t: 0.0 }, m, el, d);
+            let b = dominant_root_magnitude(Method::Gdm, m, el, d);
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mitigations_beat_plain_gdm_under_delay() {
+        // High momentum, moderate rate, delay 4: both SCD and LWPD should
+        // contract faster (smaller dominant root) than delayed GDM.
+        let (m, el, d) = (0.95, 0.05, 4);
+        let gdm = dominant_root_magnitude(Method::Gdm, m, el, d);
+        let scd = dominant_root_magnitude(Method::scd(m, d), m, el, d);
+        let lwp = dominant_root_magnitude(Method::lwpd(d), m, el, d);
+        let combo = dominant_root_magnitude(Method::lwpd_scd(m, d), m, el, d);
+        assert!(scd < gdm, "SCD {scd} vs GDM {gdm}");
+        assert!(lwp < gdm, "LWP {lwp} vs GDM {gdm}");
+        assert!(combo < gdm, "combo {combo} vs GDM {gdm}");
+    }
+
+    #[test]
+    fn gsc_equivalent_lwp_choice_matches_on_linear_gradient(){
+        // Appendix D: GSC with a = 1 − (1−m)T/m, b = T/m equals LWP with
+        // horizon T for a linear gradient.
+        let (m, el, d, t) = (0.9, 0.03, 3usize, 2.0);
+        let a = 1.0 - (1.0 - m) / m * t;
+        let b = t / m;
+        let gsc = dominant_root_magnitude(Method::Gsc { a, b }, m, el, d);
+        let lwp = dominant_root_magnitude(Method::Lwp { t }, m, el, d);
+        assert!((gsc - lwp).abs() < 1e-7, "{gsc} vs {lwp}");
+    }
+}

@@ -1,0 +1,437 @@
+//! Dominant-root heatmaps (Figure 4) and the minimum-half-life search over
+//! hyperparameters (Figures 5, 6, 7, 12).
+
+use crate::{dominant_root_magnitude, Method};
+
+/// A grid of momentum values, log-spaced in `1 − m` as in Figure 4.
+#[derive(Debug, Clone)]
+pub struct MomentumGrid {
+    values: Vec<f64>,
+}
+
+impl MomentumGrid {
+    /// Paper-style grid: `m = 0` plus `1 − 10^{−k}` for `k` log-spaced up
+    /// to `1 − 10^{−5}`, `n` values total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn paper_default(n: usize) -> Self {
+        assert!(n >= 2, "momentum grid needs at least two values");
+        let mut values = vec![0.0];
+        for i in 0..n - 1 {
+            let k = 5.0 * (i as f64 + 1.0) / (n - 1) as f64; // up to 1 − 1e-5
+            values.push(1.0 - 10f64.powf(-k));
+        }
+        MomentumGrid { values }
+    }
+
+    /// Grid from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is outside `[0, 1)`.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|&m| (0.0..1.0).contains(&m)),
+            "momentum values must be in [0, 1)"
+        );
+        MomentumGrid { values }
+    }
+
+    /// The grid values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A computed heatmap of `|r_max|` over (momentum, normalized rate).
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Momentum axis values.
+    pub momenta: Vec<f64>,
+    /// Normalized rate (`ηλ`) axis values, ascending.
+    pub rates: Vec<f64>,
+    /// Row-major values: `values[i_m * rates.len() + i_rate]`.
+    pub values: Vec<f64>,
+}
+
+impl Heatmap {
+    /// Value at a (momentum index, rate index) cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn at(&self, i_m: usize, i_rate: usize) -> f64 {
+        self.values[i_m * self.rates.len() + i_rate]
+    }
+
+    /// Fraction of cells that are stable (`|r_max| < 1`), a scalar summary
+    /// of the stability region area in Figure 4.
+    pub fn stable_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|&&v| v < 1.0).count() as f64 / self.values.len() as f64
+    }
+}
+
+/// Computes the dominant-root heatmap for a method under delay `d`.
+///
+/// `method` receives the momentum (SCD coefficients depend on it, Eq. 14).
+/// Rates are log-spaced between `rate_min` and `rate_max`.
+///
+/// # Panics
+///
+/// Panics if bounds are non-positive or `n_rates < 2`.
+pub fn root_heatmap(
+    method: &dyn Fn(f64) -> Method,
+    d: usize,
+    momenta: &MomentumGrid,
+    rate_min: f64,
+    rate_max: f64,
+    n_rates: usize,
+) -> Heatmap {
+    assert!(rate_min > 0.0 && rate_max > rate_min, "invalid rate bounds");
+    assert!(n_rates >= 2, "need at least two rate points");
+    let log_min = rate_min.log10();
+    let log_max = rate_max.log10();
+    let rates: Vec<f64> = (0..n_rates)
+        .map(|i| 10f64.powf(log_min + (log_max - log_min) * i as f64 / (n_rates - 1) as f64))
+        .collect();
+    let mut values = Vec::with_capacity(momenta.values.len() * n_rates);
+    for &m in &momenta.values {
+        let meth = method(m);
+        for &el in &rates {
+            values.push(dominant_root_magnitude(meth, m, el, d));
+        }
+    }
+    Heatmap {
+        momenta: momenta.values.clone(),
+        rates,
+        values,
+    }
+}
+
+/// Converts an asymptotic per-step rate `|r|` into an error half-life
+/// `−ln 2 / ln |r|` (Section 3.5). Returns `f64::INFINITY` for `|r| ≥ 1`.
+///
+/// # Example
+///
+/// ```
+/// use pbp_quadratic::halflife_from_rate;
+///
+/// assert_eq!(halflife_from_rate(0.5), 1.0);     // error halves every step
+/// assert!(halflife_from_rate(1.0).is_infinite()); // no contraction
+/// ```
+pub fn halflife_from_rate(r: f64) -> f64 {
+    if r >= 1.0 || r <= 0.0 {
+        f64::INFINITY
+    } else {
+        -(2f64.ln()) / r.ln()
+    }
+}
+
+/// Search configuration for the minimum-half-life optimization.
+///
+/// For a condition number κ and a dense eigenvalue spectrum in
+/// `[λ_N, λ_1]`, the convergence rate at hyperparameters `(η, m)` is the
+/// *maximum* `|r_max|` over a log-width-κ window of normalized rates
+/// (Figure 4's horizontal line segment); the search minimizes that maximum
+/// over the window position (i.e. η) and momentum.
+#[derive(Debug, Clone)]
+pub struct HalflifeSearch {
+    /// Lower bound of the normalized-rate grid.
+    pub rate_min: f64,
+    /// Upper bound of the normalized-rate grid.
+    pub rate_max: f64,
+    /// Grid resolution (points per decade of ηλ).
+    pub points_per_decade: usize,
+    /// Momentum grid.
+    pub momenta: MomentumGrid,
+}
+
+impl Default for HalflifeSearch {
+    fn default() -> Self {
+        HalflifeSearch {
+            rate_min: 1e-9,
+            rate_max: 4.0,
+            points_per_decade: 24,
+            momenta: MomentumGrid::paper_default(25),
+        }
+    }
+}
+
+impl HalflifeSearch {
+    /// Minimum half-life for `method` under delay `d` at condition number
+    /// `kappa`, optimizing over learning rate and momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa < 1`.
+    pub fn min_halflife(&self, method: &dyn Fn(f64) -> Method, d: usize, kappa: f64) -> f64 {
+        assert!(kappa >= 1.0, "condition number must be ≥ 1");
+        let mut best = f64::INFINITY;
+        for &m in self.momenta.values() {
+            best = best.min(self.best_rate_fixed_momentum(method(m), m, d, kappa));
+        }
+        halflife_from_rate(best)
+    }
+
+    /// Minimum half-life at a *fixed* momentum, optimizing only over the
+    /// learning rate — the quantity on the vertical axis of Figure 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa < 1` or `m ∉ [0, 1)`.
+    pub fn min_halflife_fixed_momentum(
+        &self,
+        method: Method,
+        m: f64,
+        d: usize,
+        kappa: f64,
+    ) -> f64 {
+        assert!(kappa >= 1.0, "condition number must be ≥ 1");
+        assert!((0.0..1.0).contains(&m), "momentum must be in [0, 1)");
+        halflife_from_rate(self.best_rate_fixed_momentum(method, m, d, kappa))
+    }
+
+    /// Best (smallest) worst-case `|r_max|` over all length-κ learning-rate
+    /// windows, at fixed momentum.
+    fn best_rate_fixed_momentum(&self, method: Method, m: f64, d: usize, kappa: f64) -> f64 {
+        let decades = (self.rate_max / self.rate_min).log10();
+        let n = (decades * self.points_per_decade as f64).ceil() as usize + 1;
+        let window = ((kappa.log10() * self.points_per_decade as f64).round() as usize).max(1);
+        if n <= window {
+            return f64::INFINITY;
+        }
+        // Row of |r_max| over the rate grid.
+        let row: Vec<f64> = (0..n)
+            .map(|i| {
+                let el = self.rate_min * 10f64.powf(decades * i as f64 / (n - 1) as f64);
+                dominant_root_magnitude(method, m, el, d)
+            })
+            .collect();
+        // Sliding-window maximum, minimized over positions.
+        let mut best = f64::INFINITY;
+        for start in 0..n - window {
+            let mut wmax = 0.0f64;
+            for &v in &row[start..=start + window] {
+                wmax = wmax.max(v);
+                if wmax >= best.min(1.0) {
+                    break; // cannot improve
+                }
+            }
+            best = best.min(wmax);
+        }
+        best
+    }
+}
+
+/// [`HalflifeSearch::min_halflife`] with the default search configuration.
+pub fn min_halflife(method: &dyn Fn(f64) -> Method, d: usize, kappa: f64) -> f64 {
+    HalflifeSearch::default().min_halflife(method, d, kappa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halflife_conversion_basics() {
+        assert!(halflife_from_rate(1.0).is_infinite());
+        assert!(halflife_from_rate(1.2).is_infinite());
+        assert!((halflife_from_rate(0.5) - 1.0).abs() < 1e-12);
+        // r = 0.917 → about 8 steps to halve.
+        assert!((halflife_from_rate(2f64.powf(-1.0 / 8.0)) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heatmap_has_expected_layout() {
+        let grid = MomentumGrid::from_values(vec![0.0, 0.9]);
+        let hm = root_heatmap(&|_| Method::Gdm, 1, &grid, 1e-3, 1.0, 10);
+        assert_eq!(hm.momenta.len(), 2);
+        assert_eq!(hm.rates.len(), 10);
+        assert_eq!(hm.values.len(), 20);
+        assert!(hm.rates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn delay_reduces_stable_area_and_scd_restores_it() {
+        // Figure 4's qualitative content, as a scalar check.
+        let grid = MomentumGrid::paper_default(8);
+        let no_delay = root_heatmap(&|_| Method::Gdm, 0, &grid, 1e-4, 3.0, 40);
+        let delayed = root_heatmap(&|_| Method::Gdm, 3, &grid, 1e-4, 3.0, 40);
+        let scd = root_heatmap(&|m| Method::scd(m, 3), 3, &grid, 1e-4, 3.0, 40);
+        assert!(
+            delayed.stable_fraction() < no_delay.stable_fraction(),
+            "delay must shrink stability: {} vs {}",
+            delayed.stable_fraction(),
+            no_delay.stable_fraction()
+        );
+        assert!(
+            scd.stable_fraction() > delayed.stable_fraction(),
+            "SCD must widen stability: {} vs {}",
+            scd.stable_fraction(),
+            delayed.stable_fraction()
+        );
+    }
+
+    #[test]
+    fn no_delay_halflife_matches_heavy_ball_theory() {
+        // For GDM without delay the optimal rate is (√κ−1)/(√κ+1).
+        let kappa = 100.0;
+        let search = HalflifeSearch {
+            points_per_decade: 40,
+            momenta: MomentumGrid::paper_default(40),
+            ..HalflifeSearch::default()
+        };
+        let hl = search.min_halflife(&|_| Method::Gdm, 0, kappa);
+        let r_opt = (kappa.sqrt() - 1.0) / (kappa.sqrt() + 1.0);
+        let hl_theory = halflife_from_rate(r_opt);
+        assert!(
+            (hl / hl_theory - 1.0).abs() < 0.35,
+            "half-life {hl} vs theory {hl_theory}"
+        );
+    }
+
+    #[test]
+    fn mitigation_improves_delayed_halflife() {
+        // Figure 5's qualitative content at one κ.
+        let kappa = 1e3;
+        let d = 1;
+        let gdm = min_halflife(&|_| Method::Gdm, d, kappa);
+        let scd = min_halflife(&|m| Method::scd(m, d), d, kappa);
+        let combo = min_halflife(&|m| Method::lwpd_scd(m, d), d, kappa);
+        assert!(scd < gdm, "SCD {scd} vs GDM {gdm}");
+        assert!(combo <= scd * 1.05, "combo {combo} vs SCD {scd}");
+    }
+}
+
+/// Largest stable normalized rate for a method at fixed momentum and
+/// delay: the supremum of `ηλ` with `|r_max| < 1`, found by bisection over
+/// `[lo, hi]` (the stability region of these methods is an interval in
+/// `ηλ` starting at 0).
+///
+/// Returns 0 if even `lo` is unstable.
+///
+/// # Example
+///
+/// ```
+/// use pbp_quadratic::{max_stable_rate, Method};
+///
+/// let no_delay = max_stable_rate(Method::Gdm, 0.9, 0, 1e-9, 10.0);
+/// let delayed = max_stable_rate(Method::Gdm, 0.9, 4, 1e-9, 10.0);
+/// assert!(delayed < no_delay); // delay shrinks the stability region
+/// ```
+pub fn max_stable_rate(method: Method, m: f64, d: usize, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo, "invalid bisection bounds");
+    if dominant_root_magnitude(method, m, lo, d) >= 1.0 {
+        return 0.0;
+    }
+    if dominant_root_magnitude(method, m, hi, d) < 1.0 {
+        return hi;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..60 {
+        let mid = (lo * hi).sqrt(); // geometric midpoint: the scale is log
+        if dominant_root_magnitude(method, m, mid, d) < 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    use super::*;
+
+    #[test]
+    fn gdm_no_delay_boundary_matches_theory() {
+        // Heavy ball is stable for ηλ < 2(1 + m).
+        for &m in &[0.0f64, 0.5, 0.9] {
+            let b = max_stable_rate(Method::Gdm, m, 0, 1e-6, 10.0);
+            assert!(
+                (b - 2.0 * (1.0 + m)).abs() < 0.05 * (1.0 + m),
+                "m={m}: boundary {b} vs {}",
+                2.0 * (1.0 + m)
+            );
+        }
+    }
+
+    #[test]
+    fn delay_shrinks_boundary_and_scd_recovers_part() {
+        let m = 0.9;
+        let b0 = max_stable_rate(Method::Gdm, m, 0, 1e-9, 10.0);
+        let bd = max_stable_rate(Method::Gdm, m, 4, 1e-9, 10.0);
+        let bs = max_stable_rate(Method::scd(m, 4), m, 4, 1e-9, 10.0);
+        assert!(bd < b0);
+        assert!(bs > bd, "SCD boundary {bs} vs GDM-delayed {bd}");
+    }
+
+    #[test]
+    fn unstable_at_lo_returns_zero() {
+        // Huge lower bound: even that is unstable under delay.
+        let b = max_stable_rate(Method::Gdm, 0.9, 8, 5.0, 10.0);
+        assert_eq!(b, 0.0);
+    }
+}
+
+/// The classical optimal heavy-ball momentum for condition number κ
+/// without delay: `m* = ((√κ − 1)/(√κ + 1))²` (Zhang & Mitliagkas, 2017 —
+/// cited by the paper when discussing how delay erases momentum's
+/// advantage).
+///
+/// # Panics
+///
+/// Panics if `kappa < 1`.
+pub fn optimal_momentum(kappa: f64) -> f64 {
+    assert!(kappa >= 1.0, "condition number must be ≥ 1");
+    let s = kappa.sqrt();
+    ((s - 1.0) / (s + 1.0)).powi(2)
+}
+
+#[cfg(test)]
+mod momentum_tests {
+    use super::*;
+    use crate::Method;
+
+    #[test]
+    fn optimal_momentum_limits() {
+        assert_eq!(optimal_momentum(1.0), 0.0);
+        assert!(optimal_momentum(1e6) > 0.99);
+    }
+
+    #[test]
+    fn optimal_momentum_beats_neighbors_without_delay() {
+        // At κ = 100 the theoretical m* should achieve a half-life no worse
+        // than clearly suboptimal momenta, when each uses its own best lr.
+        let kappa = 100.0;
+        let m_star = optimal_momentum(kappa);
+        let search = HalflifeSearch {
+            points_per_decade: 40,
+            ..HalflifeSearch::default()
+        };
+        let at = |m: f64| search.min_halflife_fixed_momentum(Method::Gdm, m, 0, kappa);
+        let h_star = at(m_star);
+        assert!(h_star <= at(0.0) * 1.05, "m* {h_star} vs m=0 {}", at(0.0));
+        assert!(h_star <= at(0.99) * 1.05, "m* {h_star} vs m=0.99 {}", at(0.99));
+    }
+
+    #[test]
+    fn delay_negates_momentum_at_the_classical_optimum() {
+        // Figure 7's T=0 row: with delay, the classical m* is no longer
+        // better than zero momentum.
+        let kappa = 1e3;
+        let m_star = optimal_momentum(kappa); // ≈ 0.939
+        let search = HalflifeSearch::default();
+        let with_delay_mstar = search.min_halflife_fixed_momentum(Method::Gdm, m_star, 5, kappa);
+        let with_delay_m0 = search.min_halflife_fixed_momentum(Method::Gdm, 0.0, 5, kappa);
+        assert!(
+            with_delay_m0 <= with_delay_mstar * 1.2,
+            "under delay m=0 ({with_delay_m0}) should rival m* ({with_delay_mstar})"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # pbp-quadratic
+//!
+//! Convex-quadratic analysis of delayed momentum methods (Section 3.5 and
+//! Appendix D of *"Pipelined Backpropagation at Scale"*, Kosson et al.,
+//! MLSYS 2021), implemented from scratch: complex arithmetic, an
+//! Aberth–Ehrlich polynomial root finder, the characteristic polynomials of
+//! GDM / generalized Spike Compensation / Linear Weight Prediction / their
+//! combination under gradient delay, dominant-root heatmaps (Figure 4) and
+//! the minimum-half-life search over (η, m) used for Figures 5-7 and 12.
+//!
+//! A note on signs: Eq. 28 of the paper writes the GDM gradient term as
+//! `−ηλ`, but substituting the state-transition equation (Eq. 40) — or
+//! setting `a = 1, b = 0` in the GSC polynomial (Eq. 29) — yields `+ηλ`.
+//! This crate uses the signs consistently derived from Eqs. 39-42; the GSC,
+//! LWP and combined polynomials then match Eqs. 29-31 exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use pbp_quadratic::{dominant_root_magnitude, Method};
+//!
+//! // Without delay, heavy-ball momentum converges at these settings:
+//! let stable = dominant_root_magnitude(Method::Gdm, 0.9, 0.1, 0);
+//! assert!(stable < 1.0);
+//! // A delay of 2 destabilizes the same hyperparameters…
+//! let delayed = dominant_root_magnitude(Method::Gdm, 0.9, 0.1, 2);
+//! assert!(delayed > 1.0);
+//! // …and default spike compensation restores stability.
+//! let compensated = dominant_root_magnitude(Method::scd(0.9, 2), 0.9, 0.1, 2);
+//! assert!(compensated < 1.0);
+//! ```
+
+mod charpoly;
+mod complex;
+mod halflife;
+mod poly;
+mod transition;
+
+pub use charpoly::{char_poly, dominant_root_magnitude, Method};
+pub use complex::Complex;
+pub use halflife::{
+    halflife_from_rate, max_stable_rate, min_halflife, optimal_momentum, root_heatmap,
+    HalflifeSearch, Heatmap,
+    MomentumGrid,
+};
+pub use poly::Polynomial;
+pub use transition::{simulate_delayed_quadratic, SimulationResult};

@@ -1,0 +1,226 @@
+//! Real-coefficient polynomials and an Aberth–Ehrlich root finder.
+
+use crate::Complex;
+
+/// A polynomial with real coefficients, stored ascending:
+/// `coeffs[k]` multiplies `z^k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending coefficients, trimming trailing
+    /// (leading-degree) zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all coefficients are zero (the zero polynomial has no
+    /// well-defined roots).
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        assert!(
+            coeffs.iter().any(|&c| c != 0.0),
+            "zero polynomial has no roots"
+        );
+        Polynomial { coeffs }
+    }
+
+    /// Degree of the polynomial.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Ascending coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluates at a complex point (Horner).
+    pub fn eval(&self, z: Complex) -> Complex {
+        let mut acc = Complex::zero();
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * z + Complex::real(c);
+        }
+        acc
+    }
+
+    /// Evaluates the derivative at a complex point.
+    pub fn eval_derivative(&self, z: Complex) -> Complex {
+        let mut acc = Complex::zero();
+        for (k, &c) in self.coeffs.iter().enumerate().skip(1).rev() {
+            acc = acc * z + Complex::real(c * k as f64);
+        }
+        acc
+    }
+
+    /// All complex roots via the Aberth–Ehrlich simultaneous iteration.
+    ///
+    /// Roots of multiplicity > 1 are returned as clusters of nearby
+    /// simple roots (adequate for dominant-magnitude queries). Degree-0
+    /// polynomials return an empty vector.
+    pub fn roots(&self) -> Vec<Complex> {
+        let n = self.degree();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Strip zero roots first (common here: many charpoly coefficients
+        // between the low-order gradient terms and high-order momentum
+        // terms are zero, giving z^k factors).
+        let zero_roots = self.coeffs.iter().take_while(|&&c| c == 0.0).count();
+        if zero_roots > 0 {
+            let reduced = Polynomial::new(self.coeffs[zero_roots..].to_vec());
+            let mut roots = vec![Complex::zero(); zero_roots];
+            roots.extend(reduced.roots());
+            return roots;
+        }
+        // Initial guesses on a circle with radius from the Cauchy bound.
+        let lead = *self.coeffs.last().expect("non-empty");
+        let radius = 1.0
+            + self
+                .coeffs
+                .iter()
+                .take(n)
+                .map(|c| (c / lead).abs())
+                .fold(0.0, f64::max);
+        let mut z: Vec<Complex> = (0..n)
+            .map(|k| {
+                // Slightly irrational angle offset avoids symmetric stalls.
+                Complex::from_polar(
+                    radius * 0.7,
+                    2.0 * std::f64::consts::PI * (k as f64 + 0.354) / n as f64,
+                )
+            })
+            .collect();
+        let max_iter = 200;
+        let tol = 1e-13;
+        for _ in 0..max_iter {
+            let mut moved = 0.0f64;
+            for i in 0..n {
+                let p = self.eval(z[i]);
+                let dp = self.eval_derivative(z[i]);
+                if p.abs() < tol {
+                    continue;
+                }
+                let newton = if dp.abs() > 1e-300 { p / dp } else { Complex::real(1e-6) };
+                let mut sum = Complex::zero();
+                for (j, zj) in z.iter().enumerate() {
+                    if j != i {
+                        let diff = z[i] - *zj;
+                        if diff.abs() > 1e-300 {
+                            sum += Complex::one() / diff;
+                        }
+                    }
+                }
+                let denom = Complex::one() - newton * sum;
+                let step = if denom.abs() > 1e-300 { newton / denom } else { newton };
+                z[i] = z[i] - step;
+                moved = moved.max(step.abs());
+            }
+            if moved < tol {
+                break;
+            }
+        }
+        z
+    }
+
+    /// Magnitude of the root with the largest magnitude.
+    ///
+    /// For the characteristic polynomial of a linear recurrence this is the
+    /// asymptotic per-step error contraction rate `|r_max|` (Eq. 33).
+    pub fn max_root_magnitude(&self) -> f64 {
+        self.roots().iter().map(|r| r.abs()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real_roots(p: &Polynomial) -> Vec<f64> {
+        let mut r: Vec<f64> = p
+            .roots()
+            .into_iter()
+            .filter(|z| z.im.abs() < 1e-7)
+            .map(|z| z.re)
+            .collect();
+        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        r
+    }
+
+    #[test]
+    fn quadratic_roots() {
+        // (z − 2)(z + 3) = z² + z − 6
+        let p = Polynomial::new(vec![-6.0, 1.0, 1.0]);
+        let roots = sorted_real_roots(&p);
+        assert_eq!(roots.len(), 2);
+        assert!((roots[0] + 3.0).abs() < 1e-8);
+        assert!((roots[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn complex_conjugate_pair() {
+        // z² + 1: roots ±i.
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]);
+        let roots = p.roots();
+        assert_eq!(roots.len(), 2);
+        for r in roots {
+            assert!(r.re.abs() < 1e-8);
+            assert!((r.im.abs() - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn high_degree_known_roots() {
+        // (z−1)(z−2)(z−3)(z−4)(z−5) expanded.
+        let p = Polynomial::new(vec![-120.0, 274.0, -225.0, 85.0, -15.0, 1.0]);
+        let roots = sorted_real_roots(&p);
+        for (i, r) in roots.iter().enumerate() {
+            assert!((r - (i + 1) as f64).abs() < 1e-6, "root {i}: {r}");
+        }
+    }
+
+    #[test]
+    fn zero_roots_are_stripped_and_counted() {
+        // z³(z − 1) = z⁴ − z³.
+        let p = Polynomial::new(vec![0.0, 0.0, 0.0, -1.0, 1.0]);
+        let roots = p.roots();
+        assert_eq!(roots.len(), 4);
+        let zeros = roots.iter().filter(|r| r.abs() < 1e-12).count();
+        assert_eq!(zeros, 3);
+        assert!(roots.iter().any(|r| (r.re - 1.0).abs() < 1e-8));
+    }
+
+    #[test]
+    fn residual_at_computed_roots_is_small() {
+        let p = Polynomial::new(vec![0.5, -1.3, 0.0, 2.0, -0.7, 1.0]);
+        for r in p.roots() {
+            assert!(p.eval(r).abs() < 1e-6, "residual {} at {r}", p.eval(r).abs());
+        }
+    }
+
+    #[test]
+    fn max_root_magnitude_of_momentum_polynomial() {
+        // Classical GDM (no delay): z² − (1+m−ηλ)z + m. At the optimum the
+        // roots are complex with |r| = sqrt(m).
+        let (m, etalam) = (0.81, 0.1);
+        let p = Polynomial::new(vec![m, -(1.0 + m - etalam), 1.0]);
+        let discr = (1.0 + m - etalam).powi(2) - 4.0 * m;
+        assert!(discr < 0.0, "expect complex roots in this regime");
+        assert!((p.max_root_magnitude() - m.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn trims_leading_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn rejects_zero_polynomial() {
+        Polynomial::new(vec![0.0, 0.0]);
+    }
+}

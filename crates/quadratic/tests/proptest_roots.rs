@@ -1,0 +1,134 @@
+//! Property-based tests for the polynomial/root machinery and the
+//! characteristic-polynomial identities of Appendix D.
+
+use pbp_quadratic::{char_poly, dominant_root_magnitude, Complex, Method, Polynomial};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn roots_satisfy_the_polynomial(
+        coeffs in proptest::collection::vec(-3.0f64..3.0, 3..8),
+    ) {
+        prop_assume!(coeffs.iter().any(|&c| c.abs() > 0.1));
+        prop_assume!(coeffs.last().map(|c| c.abs() > 0.1) == Some(true));
+        let p = Polynomial::new(coeffs);
+        let scale: f64 = p.coeffs().iter().map(|c| c.abs()).sum();
+        for r in p.roots() {
+            let residual = p.eval(r).abs();
+            prop_assert!(residual < 1e-5 * scale.max(1.0), "residual {residual} at {r}");
+        }
+    }
+
+    #[test]
+    fn root_count_equals_degree(
+        coeffs in proptest::collection::vec(-3.0f64..3.0, 2..9),
+    ) {
+        prop_assume!(coeffs.last().map(|c| c.abs() > 0.1) == Some(true));
+        let p = Polynomial::new(coeffs);
+        prop_assert_eq!(p.roots().len(), p.degree());
+    }
+
+    #[test]
+    fn products_of_monomials_have_the_planted_roots(
+        roots in proptest::collection::vec(-2.0f64..2.0, 2..6),
+    ) {
+        // Expand Π(z − r_i) and verify the solver recovers every r_i.
+        let mut coeffs = vec![1.0f64];
+        for &r in &roots {
+            let mut next = vec![0.0; coeffs.len() + 1];
+            for (i, &c) in coeffs.iter().enumerate() {
+                next[i + 1] += c;
+                next[i] -= c * r;
+            }
+            coeffs = next;
+        }
+        // Avoid pathological near-duplicate clusters.
+        let mut sorted = roots.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assume!(sorted.windows(2).all(|w| (w[1] - w[0]).abs() > 0.05));
+        let p = Polynomial::new(coeffs);
+        let mut found: Vec<f64> = p.roots().iter().map(|z| z.re).collect();
+        found.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (f, r) in found.iter().zip(&sorted) {
+            prop_assert!((f - r).abs() < 1e-4, "{f} vs {r}");
+        }
+    }
+
+    #[test]
+    fn complex_field_axioms(
+        a in -5.0f64..5.0, b in -5.0f64..5.0,
+        c in -5.0f64..5.0, d in -5.0f64..5.0,
+    ) {
+        let x = Complex::new(a, b);
+        let y = Complex::new(c, d);
+        prop_assume!(y.abs() > 1e-3);
+        let z = (x * y) / y;
+        prop_assert!((z.re - x.re).abs() < 1e-8);
+        prop_assert!((z.im - x.im).abs() < 1e-8);
+        prop_assert!(((x * y).abs() - x.abs() * y.abs()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gsc_with_identity_coeffs_matches_gdm(
+        m in 0.0f64..0.99,
+        el in 1e-6f64..0.5,
+        d in 0usize..8,
+    ) {
+        let gdm = dominant_root_magnitude(Method::Gdm, m, el, d);
+        let gsc = dominant_root_magnitude(Method::Gsc { a: 1.0, b: 0.0 }, m, el, d);
+        prop_assert!((gdm - gsc).abs() < 1e-8, "{gdm} vs {gsc}");
+    }
+
+    #[test]
+    fn lwp_zero_horizon_matches_gdm(
+        m in 0.0f64..0.99,
+        el in 1e-6f64..0.5,
+        d in 0usize..8,
+    ) {
+        let gdm = dominant_root_magnitude(Method::Gdm, m, el, d);
+        let lwp = dominant_root_magnitude(Method::Lwp { t: 0.0 }, m, el, d);
+        prop_assert!((gdm - lwp).abs() < 1e-8, "{gdm} vs {lwp}");
+    }
+
+    #[test]
+    fn zero_rate_never_contracts(
+        m in 0.0f64..0.99,
+        d in 0usize..8,
+    ) {
+        // ηλ = 0: no gradient signal, dominant root exactly 1.
+        let r = dominant_root_magnitude(Method::Gdm, m, 0.0, d);
+        prop_assert!((r - 1.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn charpoly_leading_coefficient_is_one(
+        m in 0.0f64..0.99,
+        el in 1e-6f64..1.0,
+        d in 0usize..12,
+    ) {
+        let p = char_poly(Method::lwpd_scd(m, d), m, el, d);
+        prop_assert_eq!(*p.coeffs().last().unwrap(), 1.0);
+        prop_assert_eq!(p.degree(), d + 3);
+    }
+
+    #[test]
+    fn delay_shrinks_the_stable_rate_range(m in 0.0f64..0.95) {
+        // Figure 4's claim, pointwise in momentum: the largest stable
+        // normalized rate under delay never exceeds the no-delay one.
+        // (Note the dominant root itself is NOT pointwise monotone in the
+        // delay — e.g. m = 0, ηλ ≈ 0.065 — only the stability boundary is.)
+        let max_stable = |d: usize| -> f64 {
+            let mut best = 0.0;
+            for i in 0..60 {
+                let el = 1e-4 * 10f64.powf(4.7 * i as f64 / 59.0);
+                if dominant_root_magnitude(Method::Gdm, m, el, d) < 1.0 {
+                    best = el;
+                }
+            }
+            best
+        };
+        let s0 = max_stable(0);
+        let s4 = max_stable(4);
+        prop_assert!(s4 <= s0 * 1.0 + 1e-12, "D=0 {s0} vs D=4 {s4}");
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// Error type for fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length provided.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors participating in an operation have incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A tensor had the wrong rank (number of dimensions) for an operation.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor provided.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An operation parameter was invalid (zero-sized kernel, zero stride, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op} expects rank {expected}, got rank {actual}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

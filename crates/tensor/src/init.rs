@@ -1,0 +1,103 @@
+//! Seeded random initializers.
+//!
+//! All initializers take an explicit RNG so that every experiment in the
+//! reproduction is deterministic given its seed — run-to-run comparisons of
+//! training methods (Table 1, Table 5 of the paper) rely on shared seeds.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Samples a tensor with i.i.d. normal entries `N(mean, std²)`.
+pub fn normal(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    // Box-Muller from two uniforms; avoids depending on rand_distr.
+    let volume: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(volume);
+    while data.len() < volume {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < volume {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(data, shape).expect("volume computed from shape")
+}
+
+/// Samples a tensor with i.i.d. uniform entries in `[low, high)`.
+pub fn uniform(shape: &[usize], low: f32, high: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(shape, |_| rng.gen_range(low..high))
+}
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in)²)`.
+///
+/// This is the initialization used by He et al. (2016a), which the paper's
+/// experiments adopt for both ResNet and VGG training.
+pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+/// Xavier (Glorot) uniform initialization over `[-a, a]` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_roughly_correct_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(&[10_000], 1.0, 2.0, &mut rng);
+        let mean: f32 = t.as_slice().iter().sum::<f32>() / t.len() as f32;
+        let var: f32 =
+            t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = he_normal(&[20_000], 50, &mut rng);
+        let var: f32 = t.as_slice().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        assert!((var - 0.04).abs() < 0.01, "var {var}"); // 2/50 = 0.04
+    }
+
+    #[test]
+    fn initializers_are_deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(
+            normal(&[64], 0.0, 1.0, &mut a).as_slice(),
+            normal(&[64], 0.0, 1.0, &mut b).as_slice()
+        );
+    }
+
+    #[test]
+    fn xavier_bounds_follow_fans() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = xavier_uniform(&[1000], 3, 3, &mut rng);
+        let a = (6.0f32 / 6.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+}

@@ -1,0 +1,374 @@
+//! 2-D convolution via im2col/col2im.
+//!
+//! Layout is NCHW. The forward pass lowers each image to a column matrix and
+//! multiplies by the flattened kernel bank, mirroring how cuDNN implements
+//! the convolutions used in the paper's GProp framework. The backward pass
+//! produces both the input gradient (col2im of `Wᵀ·dY`) and the weight
+//! gradient (`dY·colsᵀ`).
+
+use super::matmul::matmul_into;
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec, validating the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for a zero-sized kernel,
+    /// zero stride or zero channel counts.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
+        if kernel == 0 || stride == 0 || in_channels == 0 || out_channels == 0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "conv2d spec must be positive: in={in_channels} out={out_channels} \
+                 k={kernel} stride={stride}"
+            )));
+        }
+        Ok(Conv2dSpec {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// Output spatial size for an input of side `h`.
+    pub fn out_size(&self, h: usize) -> usize {
+        (h + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1
+    }
+
+    /// Shape of the weight tensor: `[out_channels, in_channels, k, k]`.
+    pub fn weight_shape(&self) -> [usize; 4] {
+        [self.out_channels, self.in_channels, self.kernel, self.kernel]
+    }
+
+    /// Fan-in of the convolution (`in_channels * k * k`), used by He init.
+    pub fn fan_in(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers one image `[C, H, W]` (flat slice) to columns
+/// `[C*k*k, OH*OW]` (flat, row-major), honoring stride and zero padding.
+pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, cols: &mut Vec<f32>) {
+    let k = spec.kernel;
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let rows = c * k * k;
+    cols.clear();
+    cols.resize(rows * oh * ow, 0.0);
+    for ci in 0..c {
+        let chan = &input[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let out_row = &mut cols[row * oh * ow..(row + 1) * oh * ow];
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    let irow = &chan[(ii as usize) * w..(ii as usize + 1) * w];
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        out_row[oi * ow + oj] = irow[jj as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters columns `[C*k*k, OH*OW]` back to an image `[C, H, W]`,
+/// accumulating overlapping contributions (the adjoint of [`im2col`]).
+pub fn col2im(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out: &mut [f32]) {
+    let k = spec.kernel;
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    out.iter_mut().for_each(|x| *x = 0.0);
+    for ci in 0..c {
+        let chan = &mut out[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let col_row = &cols[row * oh * ow..(row + 1) * oh * ow];
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        chan[(ii as usize) * w + jj as usize] += col_row[oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// `input` is `[N, C, H, W]`, `weight` is `[OC, C, k, k]`; the result is
+/// `[N, OC, OH, OW]`. Also returns the per-sample im2col buffers so the
+/// caller can reuse them in [`conv2d_backward`] (C-INTERMEDIATE).
+///
+/// # Errors
+///
+/// Returns a shape error if `input`/`weight` disagree with `spec`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Result<(Tensor, Vec<Vec<f32>>)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+            op: "conv2d",
+        });
+    }
+    let [n, c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+    if c != spec.in_channels || weight.shape() != spec.weight_shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_vec(),
+            rhs: weight.shape().to_vec(),
+            op: "conv2d",
+        });
+    }
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let rows = spec.fan_in();
+    let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+    let mut all_cols = Vec::with_capacity(n);
+    let wslice = weight.as_slice();
+    for ni in 0..n {
+        let img = &input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w];
+        let mut cols = Vec::new();
+        im2col(img, c, h, w, spec, &mut cols);
+        let dst =
+            &mut out.as_mut_slice()[ni * spec.out_channels * oh * ow..(ni + 1) * spec.out_channels * oh * ow];
+        matmul_into(wslice, &cols, dst, spec.out_channels, rows, oh * ow);
+        all_cols.push(cols);
+    }
+    Ok((out, all_cols))
+}
+
+/// Backward 2-D convolution.
+///
+/// Given `grad_out` `[N, OC, OH, OW]`, the forward weights and the im2col
+/// buffers produced by [`conv2d`], returns `(grad_input, grad_weight)`.
+///
+/// # Errors
+///
+/// Returns a shape error if the gradient shape disagrees with `spec`.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    cols: &[Vec<f32>],
+    input_hw: (usize, usize),
+    spec: &Conv2dSpec,
+) -> Result<(Tensor, Tensor)> {
+    if grad_out.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: grad_out.rank(),
+            op: "conv2d_backward",
+        });
+    }
+    let (h, w) = input_hw;
+    let n = grad_out.shape()[0];
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    if grad_out.shape() != [n, spec.out_channels, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![n, spec.out_channels, oh, ow],
+            op: "conv2d_backward",
+        });
+    }
+    let rows = spec.fan_in();
+    let c = spec.in_channels;
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let mut grad_w = Tensor::zeros(&spec.weight_shape());
+    let wslice = weight.as_slice();
+    // Weight viewed as [OC, rows]; transpose once for the input gradient.
+    let mut wt = vec![0.0f32; rows * spec.out_channels];
+    for oc in 0..spec.out_channels {
+        for r in 0..rows {
+            wt[r * spec.out_channels + oc] = wslice[oc * rows + r];
+        }
+    }
+    let mut dcols = vec![0.0f32; rows * oh * ow];
+    for ni in 0..n {
+        let dy =
+            &grad_out.as_slice()[ni * spec.out_channels * oh * ow..(ni + 1) * spec.out_channels * oh * ow];
+        // grad_w += dY · colsᵀ  — accumulate manually since matmul_into overwrites.
+        {
+            let gw = grad_w.as_mut_slice();
+            let colbuf = &cols[ni];
+            for oc in 0..spec.out_channels {
+                let dyrow = &dy[oc * oh * ow..(oc + 1) * oh * ow];
+                let gwrow = &mut gw[oc * rows..(oc + 1) * rows];
+                for r in 0..rows {
+                    let crow = &colbuf[r * oh * ow..(r + 1) * oh * ow];
+                    let mut acc = 0.0f32;
+                    for p in 0..oh * ow {
+                        acc += dyrow[p] * crow[p];
+                    }
+                    gwrow[r] += acc;
+                }
+            }
+        }
+        // dcols = Wᵀ · dY, then col2im.
+        matmul_into(&wt, dy, &mut dcols, rows, spec.out_channels, oh * ow);
+        let gi = &mut grad_in.as_mut_slice()[ni * c * h * w..(ni + 1) * c * h * w];
+        col2im(&dcols, c, h, w, spec, gi);
+    }
+    Ok((grad_in, grad_w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (naive) convolution used as a reference implementation.
+    fn conv2d_direct(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
+        let [n, c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+        let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+        let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+        for ni in 0..n {
+            for oc in 0..spec.out_channels {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ci in 0..c {
+                            for ki in 0..spec.kernel {
+                                for kj in 0..spec.kernel {
+                                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                                    let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                    if ii < 0 || jj < 0 || ii >= h as isize || jj >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[ni, ci, ii as usize, jj as usize])
+                                        * weight.at(&[oc, ci, ki, kj]);
+                                }
+                            }
+                        }
+                        out.set(&[ni, oc, oi, oj], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(shape, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn conv2d_matches_direct_convolution() {
+        for &(c, oc, k, s, p, h) in &[(1, 1, 3, 1, 1, 5), (2, 3, 3, 1, 1, 6), (3, 4, 3, 2, 1, 8), (2, 2, 1, 1, 0, 4)] {
+            let spec = Conv2dSpec::new(c, oc, k, s, p).unwrap();
+            let input = rand_tensor(&[2, c, h, h], 1);
+            let weight = rand_tensor(&spec.weight_shape(), 2);
+            let (got, _) = conv2d(&input, &weight, &spec).unwrap();
+            let expect = conv2d_direct(&input, &weight, &spec);
+            assert_eq!(got.shape(), expect.shape());
+            for (a, b) in got.as_slice().iter().zip(expect.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "spec {spec:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property that makes the backward pass correct.
+        let spec = Conv2dSpec::new(2, 1, 3, 1, 1).unwrap();
+        let (c, h, w) = (2, 5, 5);
+        let x = rand_tensor(&[c, h, w], 3);
+        let mut cols = Vec::new();
+        im2col(x.as_slice(), c, h, w, &spec, &mut cols);
+        let y: Vec<f32> = rand_tensor(&[cols.len()], 4).into_vec();
+        let lhs: f64 = cols.iter().zip(&y).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let mut back = vec![0.0f32; c * h * w];
+        col2im(&y, c, h, w, &spec, &mut back);
+        let rhs: f64 = x.as_slice().iter().zip(&back).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv2d_backward_matches_finite_differences() {
+        let spec = Conv2dSpec::new(2, 2, 3, 1, 1).unwrap();
+        let input = rand_tensor(&[1, 2, 4, 4], 5);
+        let weight = rand_tensor(&spec.weight_shape(), 6);
+        let (out, cols) = conv2d(&input, &weight, &spec).unwrap();
+        // Loss = sum of outputs; dL/dy = 1.
+        let grad_out = Tensor::ones(out.shape());
+        let (gin, gw) = conv2d_backward(&grad_out, &weight, &cols, (4, 4), &spec).unwrap();
+        let eps = 1e-3f32;
+        // Check a few input coordinates.
+        for &idx in &[0usize, 7, 15, 21] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let (op, _) = conv2d(&ip, &weight, &spec).unwrap();
+            let (om, _) = conv2d(&im, &weight, &spec).unwrap();
+            let num =
+                (op.as_slice().iter().sum::<f32>() - om.as_slice().iter().sum::<f32>()) / (2.0 * eps);
+            assert!((num - gin.as_slice()[idx]).abs() < 1e-2, "input grad {idx}");
+        }
+        // Check a few weight coordinates.
+        for &idx in &[0usize, 5, 17, 35] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let (op, _) = conv2d(&input, &wp, &spec).unwrap();
+            let (om, _) = conv2d(&input, &wm, &spec).unwrap();
+            let num =
+                (op.as_slice().iter().sum::<f32>() - om.as_slice().iter().sum::<f32>()) / (2.0 * eps);
+            assert!((num - gw.as_slice()[idx]).abs() < 1e-2, "weight grad {idx}");
+        }
+    }
+
+    #[test]
+    fn spec_out_size_matches_formula() {
+        let spec = Conv2dSpec::new(3, 16, 3, 1, 1).unwrap();
+        assert_eq!(spec.out_size(32), 32);
+        let down = Conv2dSpec::new(16, 32, 3, 2, 1).unwrap();
+        assert_eq!(down.out_size(32), 16);
+    }
+
+    #[test]
+    fn spec_rejects_degenerate_geometry() {
+        assert!(Conv2dSpec::new(0, 1, 3, 1, 1).is_err());
+        assert!(Conv2dSpec::new(1, 1, 0, 1, 1).is_err());
+        assert!(Conv2dSpec::new(1, 1, 3, 0, 1).is_err());
+    }
+}

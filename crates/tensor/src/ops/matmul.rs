@@ -1,0 +1,239 @@
+//! Matrix multiplication.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `(m × k) · (k × n) → (m × n)`.
+    ///
+    /// Uses a cache-friendly i-k-j loop order; adequate for the small
+    /// pipeline-stage matrices this project trains at batch size one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not rank 2,
+    /// or [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matmul",
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: other.rank(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+                op: "matmul",
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k, n);
+        Ok(out)
+    }
+
+    /// `self · otherᵀ` for rank-2 tensors: `(m × k) · (n × k)ᵀ → (m × n)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_transpose_b(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+                op: "matmul_transpose_b",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+                op: "matmul_transpose_b",
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = Tensor::zeros(&[m, n]);
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                let ar = &a[i * k..(i + 1) * k];
+                let br = &b[j * k..(j + 1) * k];
+                for kk in 0..k {
+                    acc += ar[kk] * br[kk];
+                }
+                o[i * n + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ · other` for rank-2 tensors: `(k × m)ᵀ · (k × n) → (m × n)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_transpose_a(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+                op: "matmul_transpose_a",
+            });
+        }
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+                op: "matmul_transpose_a",
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = Tensor::zeros(&[m, n]);
+        let o = out.as_mut_slice();
+        for kk in 0..k {
+            let ar = &a[kk * m..(kk + 1) * m];
+            let br = &b[kk * n..(kk + 1) * n];
+            for i in 0..m {
+                let aik = ar[i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let orow = &mut o[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += aik * br[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose",
+            });
+        }
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let a = self.as_slice();
+        let mut out = Tensor::zeros(&[n, m]);
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            for j in 0..n {
+                o[j * m + i] = a[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Raw `C ← A·B` kernel over flat slices in row-major layout.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if slice lengths disagree with `m`, `k`, `n`.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    c.iter_mut().for_each(|x| *x = 0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let c = a.matmul(&Tensor::eye(3)).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = a.transpose().unwrap().transpose().unwrap();
+        assert_eq!(tt.as_slice(), a.as_slice());
+        assert_eq!(tt.shape(), a.shape());
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 2.0, 1.5, -2.0, 0.0, 1.0], &[4, 3]);
+        let expect = a.matmul(&b.transpose().unwrap()).unwrap();
+        let got = a.matmul_transpose_b(&b).unwrap();
+        assert_eq!(got.shape(), expect.shape());
+        for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_a_matches_explicit() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[0.5, 1.0, -1.0, 2.0, 1.5, 0.0], &[3, 2]);
+        let expect = a.transpose().unwrap().matmul(&b).unwrap();
+        let got = a.matmul_transpose_a(&b).unwrap();
+        assert_eq!(got.shape(), expect.shape());
+        for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Tensor operations, grouped by kind.
+//!
+//! Most operations are exposed as inherent methods on [`crate::Tensor`];
+//! free functions live here when they involve auxiliary buffers (im2col) or
+//! several tensors symmetrically (axpy-style updates used by optimizers).
+
+mod conv;
+mod elementwise;
+mod matmul;
+mod pool;
+mod reduce;
+
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
+pub use elementwise::{axpy, lerp_into, scale_add_into};
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};

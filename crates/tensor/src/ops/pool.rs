@@ -1,0 +1,255 @@
+//! 2-D pooling (max and average) with explicit backward passes.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Square window side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a pool spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for zero kernel or stride.
+    pub fn new(kernel: usize, stride: usize) -> Result<Self> {
+        if kernel == 0 || stride == 0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "pool spec must be positive: k={kernel} stride={stride}"
+            )));
+        }
+        Ok(PoolSpec { kernel, stride })
+    }
+
+    /// Output spatial size for an input of side `h`.
+    pub fn out_size(&self, h: usize) -> usize {
+        if h < self.kernel {
+            0
+        } else {
+            (h - self.kernel) / self.stride + 1
+        }
+    }
+}
+
+fn check_nchw(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    if t.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.rank(),
+            op,
+        });
+    }
+    Ok((t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]))
+}
+
+/// Max pooling over `[N, C, H, W]`; returns the output and the flat argmax
+/// indices used for routing gradients in [`max_pool2d_backward`].
+///
+/// # Errors
+///
+/// Returns a rank error for non-NCHW input.
+pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<(Tensor, Vec<usize>)> {
+    let (n, c, h, w) = check_nchw(input, "max_pool2d")?;
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let x = input.as_slice();
+    let o = out.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ki in 0..spec.kernel {
+                        for kj in 0..spec.kernel {
+                            let ii = oi * spec.stride + ki;
+                            let jj = oj * spec.stride + kj;
+                            let idx = base + ii * w + jj;
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ((ni * c + ci) * oh + oi) * ow + oj;
+                    o[oidx] = best;
+                    argmax[oidx] = best_idx;
+                }
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+/// Backward pass for max pooling; routes each output gradient to the input
+/// position that achieved the maximum.
+///
+/// # Errors
+///
+/// Returns a rank error for non-NCHW gradients.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_shape: &[usize],
+) -> Result<Tensor> {
+    check_nchw(grad_out, "max_pool2d_backward")?;
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.as_mut_slice();
+    for (g, &idx) in grad_out.as_slice().iter().zip(argmax) {
+        gi[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average pooling over `[N, C, H, W]`.
+///
+/// # Errors
+///
+/// Returns a rank error for non-NCHW input.
+pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "avg_pool2d")?;
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let inv = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let x = input.as_slice();
+    let o = out.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ki in 0..spec.kernel {
+                        let ii = oi * spec.stride + ki;
+                        let row = base + ii * w + oj * spec.stride;
+                        for kj in 0..spec.kernel {
+                            acc += x[row + kj];
+                        }
+                    }
+                    o[((ni * c + ci) * oh + oi) * ow + oj] = acc * inv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass for average pooling; spreads each output gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns a rank error for non-NCHW gradients.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    spec: &PoolSpec,
+    input_shape: &[usize],
+) -> Result<Tensor> {
+    let (n, c, oh, ow) = check_nchw(grad_out, "avg_pool2d_backward")?;
+    let (h, w) = (input_shape[2], input_shape[3]);
+    let inv = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let mut grad_in = Tensor::zeros(input_shape);
+    let g = grad_out.as_slice();
+    let gi = grad_in.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let go = g[((ni * c + ci) * oh + oi) * ow + oj] * inv;
+                    for ki in 0..spec.kernel {
+                        let ii = oi * spec.stride + ki;
+                        let row = base + ii * w + oj * spec.stride;
+                        for kj in 0..spec.kernel {
+                            gi[row + kj] += go;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let spec = PoolSpec::new(2, 2).unwrap();
+        let (out, _) = max_pool2d(&input, &spec).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let spec = PoolSpec::new(2, 2).unwrap();
+        let (_, argmax) = max_pool2d(&input, &spec).unwrap();
+        let grad_out = Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]).unwrap();
+        let gin = max_pool2d_backward(&grad_out, &argmax, &[1, 1, 2, 2]).unwrap();
+        assert_eq!(gin.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let spec = PoolSpec::new(2, 2).unwrap();
+        let out = avg_pool2d(&input, &spec).unwrap();
+        assert_eq!(out.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let spec = PoolSpec::new(2, 2).unwrap();
+        let grad_out = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap();
+        let gin = avg_pool2d_backward(&grad_out, &spec, &[1, 1, 2, 2]).unwrap();
+        assert_eq!(gin.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn pool_spec_rejects_zero() {
+        assert!(PoolSpec::new(0, 1).is_err());
+        assert!(PoolSpec::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn avg_pool_adjoint_property() {
+        // <avg_pool(x), y> == <x, avg_pool_backward(y)>
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |_| rng.gen_range(-1.0..1.0));
+        let spec = PoolSpec::new(2, 2).unwrap();
+        let fx = avg_pool2d(&x, &spec).unwrap();
+        let y = Tensor::from_fn(fx.shape(), |_| rng.gen_range(-1.0..1.0));
+        let lhs: f64 = fx
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let by = avg_pool2d_backward(&y, &spec, x.shape()).unwrap();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(by.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+}

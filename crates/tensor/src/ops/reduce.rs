@@ -1,0 +1,95 @@
+//! Reductions and simple statistics.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements (accumulated in f64 for stability).
+    pub fn sum(&self) -> f64 {
+        self.as_slice().iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// Returns 0 for an empty tensor.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f64
+        }
+    }
+
+    /// Population variance of all elements.
+    ///
+    /// Returns 0 for an empty tensor.
+    pub fn variance(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.as_slice()
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.len() as f64
+    }
+
+    /// Maximum element, or `None` for an empty tensor.
+    pub fn max(&self) -> Option<f32> {
+        self.as_slice().iter().copied().reduce(f32::max)
+    }
+
+    /// Minimum element, or `None` for an empty tensor.
+    pub fn min(&self) -> Option<f32> {
+        self.as_slice().iter().copied().reduce(f32::min)
+    }
+
+    /// Index of the maximum element (first occurrence), or `None` if empty.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &x) in self.as_slice().iter().enumerate() {
+            match best {
+                Some((_, b)) if x <= b => {}
+                _ => best = Some((i, x)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let t = Tensor::full(&[10], 3.0);
+        assert!(t.variance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        let t = Tensor::from_slice(&[1.0, 5.0, 5.0, 2.0]);
+        assert_eq!(t.argmax(), Some(1));
+        assert_eq!(t.max(), Some(5.0));
+        assert_eq!(t.min(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_tensor_reductions() {
+        let t = Tensor::from_vec(vec![], &[0]).unwrap();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.argmax(), None);
+        assert_eq!(t.max(), None);
+    }
+}

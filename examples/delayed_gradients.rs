@@ -1,0 +1,69 @@
+//! The Appendix G.2 toolkit: uniform delays, weight inconsistency, random
+//! (ASGD-style) delays, and mitigation — on a small CNN.
+//!
+//! ```sh
+//! cargo run --release --example delayed_gradients
+//! ```
+
+use pipelined_backprop::data::{DatasetSpec, SyntheticImages};
+use pipelined_backprop::nn::models::simple_cnn;
+use pipelined_backprop::optim::{scale_hyperparams, Hyperparams, LrSchedule, Mitigation};
+use pipelined_backprop::pipeline::{
+    evaluate, AsgdTrainer, DelayDistribution, DelayedConfig, DelayedTrainer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = DatasetSpec::cifar_sim(12);
+    let gen = SyntheticImages::new(spec, 3);
+    let train = gen.generate(600, 0);
+    let val = gen.generate(150, 1);
+    let batch = 8usize;
+    let hp = scale_hyperparams(Hyperparams::new(0.1, 0.9), 128, batch);
+    let schedule = LrSchedule::constant(hp);
+    let epochs = 12;
+
+    let fresh = || {
+        let mut rng = StdRng::seed_from_u64(1);
+        simple_cnn(3, 12, 6, spec.num_classes, &mut rng)
+    };
+
+    println!("{:<44} {:>8}", "configuration", "val acc");
+    println!("{}", "-".repeat(54));
+
+    // Constant delays, consistent vs inconsistent weights (Figure 10).
+    for (label, cfg) in [
+        ("no delay", DelayedConfig::consistent(0, batch, schedule.clone())),
+        ("delay 12, consistent weights", DelayedConfig::consistent(12, batch, schedule.clone())),
+        ("delay 12, inconsistent weights", DelayedConfig::inconsistent(12, batch, schedule.clone())),
+        (
+            "delay 12 + LWPvD+SCD mitigation",
+            DelayedConfig::consistent(12, batch, schedule.clone())
+                .with_mitigation(Mitigation::lwpv_scd()),
+        ),
+    ] {
+        let mut trainer = DelayedTrainer::new(fresh(), cfg);
+        for epoch in 0..epochs {
+            trainer.train_epoch(&train, 7, epoch);
+        }
+        let (_, acc) = evaluate(trainer.network_mut(), &val, 16);
+        println!("{label:<44} {:>7.1}%", 100.0 * acc);
+    }
+
+    // Random delays (ASGD simulation, Appendix G.2).
+    for (label, dist) in [
+        ("ASGD: uniform delay 0..=24", DelayDistribution::Uniform { max: 24 }),
+        (
+            "ASGD: straggler tail (mean 12)",
+            DelayDistribution::Geometric { p: 0.926, max: 96 },
+        ),
+    ] {
+        let mut trainer = AsgdTrainer::new(fresh(), dist, batch, schedule.clone(), 5);
+        for epoch in 0..epochs {
+            trainer.train_epoch(&train, 7, epoch);
+        }
+        let (_, acc) = evaluate(trainer.network_mut(), &val, 16);
+        println!("{label:<44} {:>7.1}%", 100.0 * acc);
+    }
+}

@@ -1,0 +1,61 @@
+//! Convex-quadratic analysis walkthrough (Section 3.5 of the paper):
+//! stability regions under delay, half-life vs condition number, and the
+//! effect of the prediction horizon.
+//!
+//! ```sh
+//! cargo run --release --example quadratic_analysis
+//! ```
+
+use pipelined_backprop::quadratic::{
+    dominant_root_magnitude, halflife_from_rate, min_halflife, simulate_delayed_quadratic, Method,
+};
+
+fn main() {
+    let m = 0.9;
+    println!("== Stability under gradient delay (momentum m = {m}) ==");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "rate ηλ", "GDM D=0", "GDM D=4", "SCD D=4", "LWPwD+SCD D=4"
+    );
+    for el in [0.001, 0.01, 0.05, 0.1, 0.3] {
+        let rows = [
+            dominant_root_magnitude(Method::Gdm, m, el, 0),
+            dominant_root_magnitude(Method::Gdm, m, el, 4),
+            dominant_root_magnitude(Method::scd(m, 4), m, el, 4),
+            dominant_root_magnitude(Method::lwpd_scd(m, 4), m, el, 4),
+        ];
+        print!("{el:<10}");
+        for r in rows {
+            let marker = if r < 1.0 { "stable" } else { "DIVERGES" };
+            print!(" {r:>6.4} {marker:<7}");
+        }
+        println!();
+    }
+
+    println!("\n== Minimum half-life vs condition number (delay D = 1, Figure 5) ==");
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "κ", "GDM D=0", "GDM D=1", "SCD", "LWPwD+SCD");
+    for kappa in [1e1, 1e2, 1e3] {
+        let gdm0 = min_halflife(&|_| Method::Gdm, 0, kappa);
+        let gdm = min_halflife(&|_| Method::Gdm, 1, kappa);
+        let scd = min_halflife(&|mm| Method::scd(mm, 1), 1, kappa);
+        let combo = min_halflife(&|mm| Method::lwpd_scd(mm, 1), 1, kappa);
+        println!("{kappa:<10.0} {gdm0:>12.1} {gdm:>12.1} {scd:>12.1} {combo:>12.1}");
+    }
+
+    println!("\n== Characteristic roots vs direct simulation (Appendix D check) ==");
+    for (label, method) in [
+        ("GDM", Method::Gdm),
+        ("SCD", Method::scd(m, 4)),
+        ("LWPD", Method::lwpd(4)),
+        ("LWPwD+SCD", Method::lwpd_scd(m, 4)),
+    ] {
+        let el = 0.02;
+        let theory = dominant_root_magnitude(method, m, el, 4);
+        let sim = simulate_delayed_quadratic(method, m, el, 4, 4000);
+        println!(
+            "{label:<12} theory |r|={theory:.5}  simulated |r|={:.5}  (half-life {:.1} steps)",
+            sim.empirical_rate,
+            halflife_from_rate(theory)
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: the training engines must agree with
+//! each other in the regimes where the paper's math says they coincide.
+
+use pipelined_backprop::data::{blobs, DatasetSpec, SyntheticImages};
+use pipelined_backprop::nn::models::{mlp, resnet_cifar, simple_cnn, ResNetConfig};
+use pipelined_backprop::nn::Network;
+use pipelined_backprop::optim::{scale_hyperparams, Hyperparams, LrSchedule, Mitigation};
+use pipelined_backprop::pipeline::{
+    evaluate, DelayedConfig, DelayedTrainer, FillDrainTrainer, PbConfig, PipelinedTrainer,
+    SgdmTrainer, ThreadedConfig, ThreadedPipeline,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn schedule1() -> LrSchedule {
+    LrSchedule::constant(scale_hyperparams(Hyperparams::new(0.1, 0.9), 32, 1))
+}
+
+fn tiny_images(n: usize) -> pipelined_backprop::data::Dataset {
+    let spec = DatasetSpec {
+        num_classes: 4,
+        channels: 3,
+        size: 8,
+        noise: 0.3,
+        max_shift: 1,
+        contrast_jitter: 0.2,
+    };
+    SyntheticImages::new(spec, 99).generate(n, 0)
+}
+
+fn assert_networks_equal(a: &Network, b: &Network, tol: f32, what: &str) {
+    assert_eq!(a.num_stages(), b.num_stages());
+    for s in 0..a.num_stages() {
+        for (p, q) in a.stage(s).params().iter().zip(b.stage(s).params()) {
+            for (x, y) in p.as_slice().iter().zip(q.as_slice()) {
+                assert!((x - y).abs() <= tol, "{what}: stage {s}: {x} vs {y}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pb_with_zero_delay_matches_sgdm_on_a_conv_net() {
+    // Eq. 4-5 degenerate to plain SGD when all delays are zero; this must
+    // hold through convolutions, group norm and residual lanes.
+    let config = ResNetConfig {
+        depth: 8,
+        base_width: 4,
+        in_channels: 3,
+        num_classes: 4,
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    let net_a = resnet_cifar(config, &mut rng);
+    let mut rng = StdRng::seed_from_u64(0);
+    let net_b = resnet_cifar(config, &mut rng);
+    let data = tiny_images(24);
+    let cfg = PbConfig {
+        delay_override: Some(0),
+        ..PbConfig::plain(schedule1())
+    };
+    let mut pb = PipelinedTrainer::new(net_a, cfg);
+    let mut sgd = SgdmTrainer::new(net_b, schedule1(), 1);
+    for epoch in 0..2 {
+        pb.train_epoch(&data, 5, epoch);
+        sgd.train_epoch(&data, 5, epoch);
+    }
+    assert_networks_equal(&pb.into_network(), &sgd.into_network(), 0.0, "PB(D=0) vs SGDM");
+}
+
+#[test]
+fn fill_drain_matches_batch_sgdm_on_a_conv_net() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net_a = simple_cnn(3, 6, 3, 4, &mut rng);
+    let mut rng = StdRng::seed_from_u64(1);
+    let net_b = simple_cnn(3, 6, 3, 4, &mut rng);
+    let data = tiny_images(32);
+    let hp = LrSchedule::constant(Hyperparams::new(0.05, 0.9));
+    let mut fd = FillDrainTrainer::new(net_a, hp.clone(), 8);
+    let mut sgd = SgdmTrainer::new(net_b, hp, 8);
+    for epoch in 0..2 {
+        fd.train_epoch(&data, 3, epoch);
+        sgd.train_epoch(&data, 3, epoch);
+    }
+    assert_networks_equal(&fd.into_network(), &sgd.into_network(), 5e-4, "fill&drain vs batch");
+}
+
+#[test]
+fn delayed_trainer_with_uniform_delay_matches_pb_emulator_override() {
+    // The App. G.2 simulator at batch 1 with uniform delay D must produce
+    // the same weights as the PB emulator with its delays overridden to D.
+    let mut rng = StdRng::seed_from_u64(2);
+    let net_a = mlp(&[2, 12, 3], &mut rng);
+    let mut rng = StdRng::seed_from_u64(2);
+    let net_b = mlp(&[2, 12, 3], &mut rng);
+    let data = blobs(3, 20, 0.4, 7);
+    let delay = 3usize;
+
+    let cfg = PbConfig {
+        delay_override: Some(delay),
+        ..PbConfig::plain(schedule1())
+    };
+    let mut pb = PipelinedTrainer::new(net_a, cfg);
+    // Consistent=false matches PB's inconsistent-weight semantics.
+    let mut delayed = DelayedTrainer::new(
+        net_b,
+        DelayedConfig::inconsistent(delay, 1, schedule1()),
+    );
+    for epoch in 0..3 {
+        pb.train_epoch(&data, 11, epoch);
+        delayed.train_epoch(&data, 11, epoch);
+    }
+    assert_networks_equal(
+        &pb.into_network(),
+        &delayed.into_network(),
+        1e-6,
+        "PB(override D) vs DelayedTrainer",
+    );
+}
+
+#[test]
+fn threaded_fill_drain_matches_sequential_sgdm_on_a_residual_net() {
+    // The threaded runtime must route multi-lane residual activations and
+    // gradients correctly; in drain mode it is exactly sequential SGDM.
+    let config = ResNetConfig {
+        depth: 8,
+        base_width: 4,
+        in_channels: 3,
+        num_classes: 4,
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let net_a = resnet_cifar(config, &mut rng);
+    let mut rng = StdRng::seed_from_u64(3);
+    let net_b = resnet_cifar(config, &mut rng);
+    let data = tiny_images(16);
+    let samples: Vec<_> = (0..data.len())
+        .map(|i| {
+            let (x, l) = data.sample(i);
+            (x.clone(), l)
+        })
+        .collect();
+    let (na, losses, _) =
+        ThreadedPipeline::train(net_a, &samples, &ThreadedConfig::fill_drain(schedule1()));
+    let mut sgd = SgdmTrainer::new(net_b, schedule1(), 1);
+    let mut ref_losses = Vec::new();
+    for (x, l) in &samples {
+        let mut shape = vec![1usize];
+        shape.extend_from_slice(x.shape());
+        ref_losses.push(sgd.train_batch(&x.reshape(&shape).unwrap(), &[*l]));
+    }
+    for (a, b) in losses.iter().zip(&ref_losses) {
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+    assert_networks_equal(&na, &sgd.into_network(), 1e-4, "threaded drain vs SGDM");
+}
+
+#[test]
+fn threaded_pb_trains_a_residual_net_with_in_flight_overlap() {
+    // True concurrency over Dup/AddLanes lanes: several samples in flight
+    // through a residual topology must still converge.
+    let config = ResNetConfig {
+        depth: 8,
+        base_width: 4,
+        in_channels: 3,
+        num_classes: 4,
+    };
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = resnet_cifar(config, &mut rng);
+    let data = tiny_images(48);
+    let mut samples = Vec::new();
+    for epoch in 0..6 {
+        for &i in &data.epoch_order(13, epoch) {
+            let (x, l) = data.sample(i);
+            samples.push((x.clone(), l));
+        }
+    }
+    let cfg = ThreadedConfig::pb(schedule1()).with_mitigation(Mitigation::lwpv_scd());
+    let (mut net, losses, _) = ThreadedPipeline::train(net, &samples, &cfg);
+    assert!(losses.iter().all(|l| l.is_finite()));
+    let (_, acc) = evaluate(&mut net, &data, 16);
+    assert!(acc > 0.5, "threaded residual PB accuracy {acc}");
+}
+
+#[test]
+fn weight_stashing_equals_plain_pb_when_weights_do_not_change() {
+    // With lr = 0 the weights never move, so stashing is a no-op: both
+    // configurations must produce identical (zero) updates and identical
+    // losses.
+    let mut rng = StdRng::seed_from_u64(5);
+    let net_a = mlp(&[2, 8, 3], &mut rng);
+    let mut rng = StdRng::seed_from_u64(5);
+    let net_b = mlp(&[2, 8, 3], &mut rng);
+    let data = blobs(3, 12, 0.4, 1);
+    let sched = LrSchedule::constant(Hyperparams::new(1e-12, 0.9));
+    let mut a = PipelinedTrainer::new(net_a, PbConfig::plain(sched.clone()));
+    let mut b = PipelinedTrainer::new(net_b, PbConfig::plain(sched).with_weight_stashing());
+    for i in 0..data.len() {
+        let (x, l) = data.sample(i);
+        let la = a.train_sample(&x.clone(), l);
+        let lb = b.train_sample(&x.clone(), l);
+        assert!((la - lb).abs() < 1e-6);
+    }
+}
