@@ -39,5 +39,10 @@ fn bench_heatmap_row(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_root_finding, bench_char_poly, bench_heatmap_row);
+criterion_group!(
+    benches,
+    bench_root_finding,
+    bench_char_poly,
+    bench_heatmap_row
+);
 criterion_main!(benches);

@@ -1,60 +1,126 @@
 //! Ablation (Discussion section): "Optimizers such as ADAM may also
 //! increase delay tolerance." Compares SGDM vs Adam under increasing
 //! uniform, consistent gradient delay.
+//!
+//! The delayed-Adam trainer lives in this binary but implements the
+//! shared [`TrainEngine`] trait, so both methods run through the same
+//! [`run_training`] loop — demonstrating that downstream crates can plug
+//! custom engines into the unified runner.
 
 use pbp_bench::{cifar_data, mean_std, Budget, Table};
+use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::models::simple_cnn;
 use pbp_nn::Network;
 use pbp_optim::{scale_hyperparams, AdamState, Hyperparams, LrSchedule};
-use pbp_pipeline::{evaluate, DelayedConfig, DelayedTrainer};
+use pbp_pipeline::{
+    run_training, DelayedConfig, EngineMetrics, EngineSpec, MetricsRecorder, NoHooks, RunConfig,
+    TrainEngine,
+};
 use pbp_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Delayed-gradient Adam training (consistent weights), mirroring
-/// `DelayedTrainer` with an Adam update rule.
-fn train_delayed_adam(
-    mut net: Network,
-    train: &pbp_data::Dataset,
+/// [`pbp_pipeline::DelayedTrainer`] with an Adam update rule.
+struct DelayedAdam {
+    net: Network,
+    adam: Vec<AdamState>,
+    history: VecDeque<Vec<Vec<Tensor>>>,
     delay: usize,
     batch: usize,
     lr: f32,
-    epochs: usize,
-    seed: u64,
-) -> Network {
-    let mut adam: Vec<AdamState> = (0..net.num_stages())
-        .map(|s| AdamState::new(&net.stage(s).params()))
-        .collect();
-    let mut history: VecDeque<Vec<Vec<Tensor>>> =
-        (0..=delay).map(|_| net.snapshot()).collect();
-    for epoch in 0..epochs {
-        let order = train.epoch_order(seed, epoch);
-        for chunk in order.chunks(batch) {
-            let (x, labels) = train.batch(chunk);
-            let master = net.snapshot();
-            let stale = history.pop_front().expect("pre-filled");
-            net.load(&stale);
-            net.zero_grads();
-            let logits = net.forward(&x);
-            let (_, grad) = softmax_cross_entropy(&logits, &labels);
-            net.backward(&grad);
-            net.load(&master);
-            for s in 0..net.num_stages() {
-                let stage = net.stage_mut(s);
-                let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
-                if grads.is_empty() {
-                    continue;
-                }
-                let grad_refs: Vec<&Tensor> = grads.iter().collect();
-                let mut params = stage.params_mut();
-                adam[s].step(&mut params, &grad_refs, lr);
-            }
-            history.push_back(net.snapshot());
+    samples_seen: usize,
+    metrics: MetricsRecorder,
+}
+
+impl DelayedAdam {
+    fn new(net: Network, delay: usize, batch: usize, lr: f32) -> Self {
+        let adam = (0..net.num_stages())
+            .map(|s| AdamState::new(&net.stage(s).params()))
+            .collect();
+        let history = (0..=delay).map(|_| net.snapshot()).collect();
+        let metrics = MetricsRecorder::new(net.num_stages());
+        DelayedAdam {
+            net,
+            adam,
+            history,
+            delay,
+            batch,
+            lr,
+            samples_seen: 0,
+            metrics,
         }
     }
-    net
+}
+
+impl TrainEngine for DelayedAdam {
+    fn label(&self) -> String {
+        format!("Adam D={}", self.delay)
+    }
+
+    fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let start = Instant::now();
+        let master = self.net.snapshot();
+        let stale = self.history.pop_front().expect("pre-filled");
+        self.net.load(&stale);
+        self.net.zero_grads();
+        let logits = self.net.forward(x);
+        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        self.net.backward(&grad);
+        self.net.load(&master);
+        for s in 0..self.net.num_stages() {
+            let step_start = Instant::now();
+            let stage = self.net.stage_mut(s);
+            let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
+            if grads.is_empty() {
+                continue;
+            }
+            let grad_refs: Vec<&Tensor> = grads.iter().collect();
+            let mut params = stage.params_mut();
+            self.adam[s].step(&mut params, &grad_refs, self.lr);
+            self.metrics
+                .record_update(s, self.delay, step_start.elapsed().as_nanos());
+        }
+        self.history.push_back(self.net.snapshot());
+        self.samples_seen += labels.len();
+        self.metrics.add_train_ns(start.elapsed().as_nanos());
+        loss
+    }
+
+    fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        let order = data.epoch_order(seed, epoch);
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(self.batch) {
+            let (x, labels) = data.batch(chunk);
+            total += self.train_batch(&x, &labels) as f64;
+            batches += 1;
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            total / batches as f64
+        }
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        self.metrics.snapshot(self.label(), self.samples_seen, None)
+    }
+
+    fn into_network(self: Box<Self>) -> Network {
+        self.net
+    }
 }
 
 fn main() {
@@ -72,23 +138,25 @@ fn main() {
     );
     let mut table = Table::new(["delay", "SGDM", "Adam"]);
     for &delay in &delays {
+        let sgdm_spec = EngineSpec::Delayed(DelayedConfig::consistent(
+            delay,
+            batch,
+            LrSchedule::constant(sgdm_hp),
+        ));
         let mut sgdm_accs = Vec::new();
         let mut adam_accs = Vec::new();
         for seed in 0..budget.seeds as u64 {
+            let run_config = RunConfig::new(budget.epochs, seed).eval_last_only();
             let mut rng = StdRng::seed_from_u64(9500 + seed);
-            let net = simple_cnn(3, 12, 6, 10, &mut rng);
-            let cfg = DelayedConfig::consistent(delay, batch, LrSchedule::constant(sgdm_hp));
-            let mut trainer = DelayedTrainer::new(net, cfg);
-            for epoch in 0..budget.epochs {
-                trainer.train_epoch(&train, seed, epoch);
-            }
-            sgdm_accs.push(evaluate(trainer.network_mut(), &val, 16).1);
+            let mut sgdm = sgdm_spec.build(simple_cnn(3, 12, 6, 10, &mut rng));
+            let report = run_training(sgdm.as_mut(), &train, &val, &run_config, &mut NoHooks);
+            sgdm_accs.push(report.final_val_acc());
 
             let mut rng = StdRng::seed_from_u64(9500 + seed);
-            let net = simple_cnn(3, 12, 6, 10, &mut rng);
-            let mut net =
-                train_delayed_adam(net, &train, delay, batch, adam_lr, budget.epochs, seed);
-            adam_accs.push(evaluate(&mut net, &val, 16).1);
+            let mut adam =
+                DelayedAdam::new(simple_cnn(3, 12, 6, 10, &mut rng), delay, batch, adam_lr);
+            let report = run_training(&mut adam, &train, &val, &run_config, &mut NoHooks);
+            adam_accs.push(report.final_val_acc());
             eprint!(".");
         }
         let (ms, ss) = mean_std(&sgdm_accs);

@@ -5,7 +5,7 @@
 use pbp_bench::{cifar_data, mean_std, Budget, Table};
 use pbp_nn::models::simple_cnn;
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule};
-use pbp_pipeline::{evaluate, AsgdTrainer, DelayDistribution};
+use pbp_pipeline::{run_training, DelayDistribution, EngineSpec, NoHooks, RunConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,19 +26,25 @@ fn main() {
         ("no delay", DelayDistribution::Constant(0)),
     ];
 
-    println!("== Ablation: ASGD-style random delays ({} seeds) ==\n", budget.seeds);
+    println!(
+        "== Ablation: ASGD-style random delays ({} seeds) ==\n",
+        budget.seeds
+    );
     let mut table = Table::new(["distribution", "mean delay", "val acc"]);
     for (name, dist) in cases {
         let mut accs = Vec::new();
         for seed in 0..budget.seeds as u64 {
+            let spec = EngineSpec::Asgd {
+                distribution: dist,
+                batch,
+                schedule: LrSchedule::constant(hp),
+                delay_seed: 31 + seed,
+            };
             let mut rng = StdRng::seed_from_u64(9700 + seed);
-            let net = simple_cnn(3, 12, 6, 10, &mut rng);
-            let mut trainer =
-                AsgdTrainer::new(net, dist, batch, LrSchedule::constant(hp), 31 + seed);
-            for epoch in 0..budget.epochs {
-                trainer.train_epoch(&train, seed, epoch);
-            }
-            accs.push(evaluate(trainer.network_mut(), &val, 16).1);
+            let mut engine = spec.build(simple_cnn(3, 12, 6, 10, &mut rng));
+            let run_config = RunConfig::new(budget.epochs, seed).eval_last_only();
+            let report = run_training(engine.as_mut(), &train, &val, &run_config, &mut NoHooks);
+            accs.push(report.final_val_acc());
             eprint!(".");
         }
         let (m, s) = mean_std(&accs);

@@ -11,7 +11,11 @@ use rand::rngs::StdRng;
 fn main() {
     let budget = Budget::new(1500, 300, 6, 2);
     let family = Family::ResNet(32);
-    let (train, val) = cifar_data(family.input_size(), budget.train_samples, budget.val_samples);
+    let (train, val) = cifar_data(
+        family.input_size(),
+        budget.train_samples,
+        budget.val_samples,
+    );
     let reference = Hyperparams::new(0.1, 0.9);
 
     println!(

@@ -6,7 +6,7 @@
 use pbp_bench::{cifar_data, mean_std, Budget, Table};
 use pbp_nn::models::{resnet_cifar, ResNetConfig};
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule, Mitigation};
-use pbp_pipeline::{evaluate, PbConfig, PipelinedTrainer};
+use pbp_pipeline::{run_training, EngineSpec, NoHooks, PbConfig, RunConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,14 +37,12 @@ fn main() {
                 if warmup {
                     schedule = schedule.with_warmup(warmup_samples);
                 }
+                let spec = EngineSpec::Pb(PbConfig::plain(schedule).with_mitigation(mitigation));
                 let mut rng = StdRng::seed_from_u64(8000 + seed);
-                let net = resnet_cifar(config, &mut rng);
-                let cfg = PbConfig::plain(schedule).with_mitigation(mitigation);
-                let mut trainer = PipelinedTrainer::new(net, cfg);
-                for epoch in 0..budget.epochs {
-                    trainer.train_epoch(&train, seed, epoch);
-                }
-                accs.push(evaluate(trainer.network_mut(), &val, 16).1);
+                let mut engine = spec.build(resnet_cifar(config, &mut rng));
+                let run_config = RunConfig::new(budget.epochs, seed).eval_last_only();
+                let report = run_training(engine.as_mut(), &train, &val, &run_config, &mut NoHooks);
+                accs.push(report.final_val_acc());
             }
             let (m, s) = mean_std(&accs);
             row.push(format!("{:.2}±{:.2}", 100.0 * m, 100.0 * s));

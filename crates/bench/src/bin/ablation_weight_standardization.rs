@@ -5,7 +5,7 @@
 use pbp_bench::{cifar_data, mean_std, Budget, Table};
 use pbp_nn::models::{simple_cnn, simple_cnn_ws};
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule};
-use pbp_pipeline::{evaluate, DelayedConfig, DelayedTrainer};
+use pbp_pipeline::{run_training, DelayedConfig, EngineSpec, NoHooks, RunConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,6 +24,11 @@ fn main() {
     for &delay in &delays {
         let mut row = vec![delay.to_string()];
         for ws in [false, true] {
+            let spec = EngineSpec::Delayed(DelayedConfig::consistent(
+                delay,
+                batch,
+                LrSchedule::constant(hp),
+            ));
             let mut accs = Vec::new();
             for seed in 0..budget.seeds as u64 {
                 let mut rng = StdRng::seed_from_u64(9000 + seed);
@@ -32,12 +37,10 @@ fn main() {
                 } else {
                     simple_cnn(3, 12, 6, 10, &mut rng)
                 };
-                let cfg = DelayedConfig::consistent(delay, batch, LrSchedule::constant(hp));
-                let mut trainer = DelayedTrainer::new(net, cfg);
-                for epoch in 0..budget.epochs {
-                    trainer.train_epoch(&train, seed, epoch);
-                }
-                accs.push(evaluate(trainer.network_mut(), &val, 16).1);
+                let mut engine = spec.build(net);
+                let run_config = RunConfig::new(budget.epochs, seed).eval_last_only();
+                let report = run_training(engine.as_mut(), &train, &val, &run_config, &mut NoHooks);
+                accs.push(report.final_val_acc());
             }
             let (m, s) = mean_std(&accs);
             row.push(format!("{:.1}±{:.1}%", 100.0 * m, 100.0 * s));

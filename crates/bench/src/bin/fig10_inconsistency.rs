@@ -7,7 +7,7 @@
 use pbp_bench::{cifar_data, Budget, Table};
 use pbp_nn::models::simple_cnn;
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule};
-use pbp_pipeline::{evaluate, DelayedConfig, DelayedTrainer};
+use pbp_pipeline::{run_training, DelayedConfig, EngineSpec, NoHooks, RunConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,19 +25,18 @@ fn main() {
     for &delay in &delays {
         let mut accs = [Vec::new(), Vec::new()];
         for (mode, consistent) in [(0usize, true), (1, false)] {
+            let cfg = if consistent {
+                DelayedConfig::consistent(delay, batch, LrSchedule::constant(hp))
+            } else {
+                DelayedConfig::inconsistent(delay, batch, LrSchedule::constant(hp))
+            };
+            let spec = EngineSpec::Delayed(cfg);
             for seed in 0..budget.seeds as u64 {
                 let mut rng = StdRng::seed_from_u64(3000 + seed);
-                let net = simple_cnn(3, 12, 6, 10, &mut rng);
-                let cfg = if consistent {
-                    DelayedConfig::consistent(delay, batch, LrSchedule::constant(hp))
-                } else {
-                    DelayedConfig::inconsistent(delay, batch, LrSchedule::constant(hp))
-                };
-                let mut trainer = DelayedTrainer::new(net, cfg);
-                for epoch in 0..budget.epochs {
-                    trainer.train_epoch(&train, seed, epoch);
-                }
-                accs[mode].push(evaluate(trainer.network_mut(), &val, 16).1);
+                let mut engine = spec.build(simple_cnn(3, 12, 6, 10, &mut rng));
+                let run_config = RunConfig::new(budget.epochs, seed).eval_last_only();
+                let report = run_training(engine.as_mut(), &train, &val, &run_config, &mut NoHooks);
+                accs[mode].push(report.final_val_acc());
             }
             eprint!(".");
         }

@@ -5,7 +5,7 @@
 use pbp_bench::{cifar_data, Budget, Table};
 use pbp_nn::models::simple_cnn;
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule, LwpForm, Mitigation};
-use pbp_pipeline::{evaluate, DelayedConfig, DelayedTrainer};
+use pbp_pipeline::{run_training, DelayedConfig, EngineSpec, NoHooks, RunConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,26 +22,26 @@ fn main() {
     for &alpha in &scales {
         let mut losses = Vec::new();
         let mut accs = Vec::new();
+        let mitigation = if alpha == 0.0 {
+            Mitigation::None
+        } else {
+            Mitigation::Lwp {
+                form: LwpForm::Velocity,
+                scale: alpha,
+            }
+        };
+        let spec = EngineSpec::Delayed(
+            DelayedConfig::consistent(delay, batch, LrSchedule::constant(hp))
+                .with_mitigation(mitigation),
+        );
         for seed in 0..budget.seeds as u64 {
             let mut rng = StdRng::seed_from_u64(4000 + seed);
-            let net = simple_cnn(3, 12, 6, 10, &mut rng);
-            let mitigation = if alpha == 0.0 {
-                Mitigation::None
-            } else {
-                Mitigation::Lwp {
-                    form: LwpForm::Velocity,
-                    scale: alpha,
-                }
-            };
-            let cfg = DelayedConfig::consistent(delay, batch, LrSchedule::constant(hp))
-                .with_mitigation(mitigation);
-            let mut trainer = DelayedTrainer::new(net, cfg);
-            let mut last_loss = 0.0;
-            for epoch in 0..budget.epochs {
-                last_loss = trainer.train_epoch(&train, seed, epoch);
-            }
-            losses.push(last_loss);
-            accs.push(evaluate(trainer.network_mut(), &val, 16).1);
+            let mut engine = spec.build(simple_cnn(3, 12, 6, 10, &mut rng));
+            let run_config = RunConfig::new(budget.epochs, seed).eval_last_only();
+            let report = run_training(engine.as_mut(), &train, &val, &run_config, &mut NoHooks);
+            let last = report.records.last().expect("final epoch evaluated");
+            losses.push(last.train_loss);
+            accs.push(last.val_acc);
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         table.row([

@@ -6,7 +6,7 @@
 use pbp_bench::{cifar_data, Budget, Table};
 use pbp_nn::models::simple_cnn;
 use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
-use pbp_pipeline::{evaluate, DelayedConfig, DelayedTrainer};
+use pbp_pipeline::{run_training, DelayedConfig, EngineSpec, NoHooks, RunConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,23 +27,21 @@ fn run(
     train: &pbp_data::Dataset,
     val: &pbp_data::Dataset,
 ) -> f64 {
+    let hp = Hyperparams::new(lr_for(m, batch), m);
+    let spec = EngineSpec::Delayed(DelayedConfig {
+        delay,
+        batch_size: batch,
+        consistent,
+        mitigation,
+        schedule: LrSchedule::constant(hp),
+    });
     let mut accs = Vec::new();
     for seed in 0..budget.seeds as u64 {
         let mut rng = StdRng::seed_from_u64(5000 + seed);
-        let net = simple_cnn(3, 12, 6, 10, &mut rng);
-        let hp = Hyperparams::new(lr_for(m, batch), m);
-        let cfg = DelayedConfig {
-            delay,
-            batch_size: batch,
-            consistent,
-            mitigation,
-            schedule: LrSchedule::constant(hp),
-        };
-        let mut trainer = DelayedTrainer::new(net, cfg);
-        for epoch in 0..budget.epochs {
-            trainer.train_epoch(train, seed, epoch);
-        }
-        accs.push(evaluate(trainer.network_mut(), val, 16).1);
+        let mut engine = spec.build(simple_cnn(3, 12, 6, 10, &mut rng));
+        let run_config = RunConfig::new(budget.epochs, seed).eval_last_only();
+        let report = run_training(engine.as_mut(), train, val, &run_config, &mut NoHooks);
+        accs.push(report.final_val_acc());
     }
     accs.iter().sum::<f64>() / accs.len() as f64
 }
@@ -77,9 +75,36 @@ fn main() {
                 format!("{:.0}", -(1.0 - m).log10())
             };
             let baseline = run(Mitigation::None, 0, true, m, batch, budget, &train, &val);
-            let plain = run(Mitigation::None, delay, consistent, m, batch, budget, &train, &val);
-            let scd = run(Mitigation::scd(), delay, consistent, m, batch, budget, &train, &val);
-            let lwp = run(Mitigation::lwpd(), delay, consistent, m, batch, budget, &train, &val);
+            let plain = run(
+                Mitigation::None,
+                delay,
+                consistent,
+                m,
+                batch,
+                budget,
+                &train,
+                &val,
+            );
+            let scd = run(
+                Mitigation::scd(),
+                delay,
+                consistent,
+                m,
+                batch,
+                budget,
+                &train,
+                &val,
+            );
+            let lwp = run(
+                Mitigation::lwpd(),
+                delay,
+                consistent,
+                m,
+                batch,
+                budget,
+                &train,
+                &val,
+            );
             let combo = run(
                 Mitigation::lwpv_scd(),
                 delay,

@@ -7,7 +7,7 @@
 use pbp_bench::{cifar_data, mean_std, Budget, Table};
 use pbp_nn::models::{vgg, VggVariant};
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule};
-use pbp_pipeline::{evaluate, FillDrainTrainer, SgdmTrainer};
+use pbp_pipeline::{run_training, EngineSpec, NoHooks, RunConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -17,26 +17,37 @@ fn main() {
     let batch = 32usize;
     let hp = scale_hyperparams(Hyperparams::new(0.1, 0.9), 128, batch);
 
-    println!("== Figure 16: batch-parallel SGD vs fill&drain SGD (VGG11, {} seeds) ==\n", budget.seeds);
+    println!(
+        "== Figure 16: batch-parallel SGD vs fill&drain SGD (VGG11, {} seeds) ==\n",
+        budget.seeds
+    );
     let mut table = Table::new(["epoch", "batch SGD val acc", "fill&drain val acc", "|Δ|"]);
-    let mut per_epoch: Vec<(Vec<f64>, Vec<f64>)> =
-        (0..budget.epochs).map(|_| (Vec::new(), Vec::new())).collect();
+    let mut per_epoch: Vec<(Vec<f64>, Vec<f64>)> = (0..budget.epochs)
+        .map(|_| (Vec::new(), Vec::new()))
+        .collect();
     let mut util = 0.0;
 
+    let sgd_spec = EngineSpec::Sgdm {
+        schedule: LrSchedule::constant(hp),
+        batch,
+    };
+    let fd_spec = EngineSpec::FillDrain {
+        schedule: LrSchedule::constant(hp),
+        update_size: batch,
+    };
     for seed in 0..budget.seeds as u64 {
+        let run_config = RunConfig::new(budget.epochs, seed);
         let mut rng = StdRng::seed_from_u64(6000 + seed);
-        let net_a = vgg(VggVariant::Vgg11, 16, 3, 10, 0.2, &mut rng);
+        let mut sgd = sgd_spec.build(vgg(VggVariant::Vgg11, 16, 3, 10, 0.2, &mut rng));
         let mut rng = StdRng::seed_from_u64(6000 + seed);
-        let net_b = vgg(VggVariant::Vgg11, 16, 3, 10, 0.2, &mut rng);
-        let mut sgd = SgdmTrainer::new(net_a, LrSchedule::constant(hp), batch);
-        let mut fd = FillDrainTrainer::new(net_b, LrSchedule::constant(hp), batch);
-        for epoch in 0..budget.epochs {
-            sgd.train_epoch(&train, seed, epoch);
-            fd.train_epoch(&train, seed, epoch);
-            per_epoch[epoch].0.push(evaluate(sgd.network_mut(), &val, 16).1);
-            per_epoch[epoch].1.push(evaluate(fd.network_mut(), &val, 16).1);
+        let mut fd = fd_spec.build(vgg(VggVariant::Vgg11, 16, 3, 10, 0.2, &mut rng));
+        let sgd_report = run_training(sgd.as_mut(), &train, &val, &run_config, &mut NoHooks);
+        let fd_report = run_training(fd.as_mut(), &train, &val, &run_config, &mut NoHooks);
+        for (epoch, slot) in per_epoch.iter_mut().enumerate() {
+            slot.0.push(sgd_report.records[epoch].val_acc);
+            slot.1.push(fd_report.records[epoch].val_acc);
         }
-        util = fd.utilization();
+        util = fd.metrics().occupancy.unwrap_or(0.0);
         eprint!(".");
     }
     eprintln!();

@@ -5,7 +5,7 @@
 use pbp_bench::{cifar_data, mean_std, Budget, Table};
 use pbp_nn::models::simple_cnn;
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule};
-use pbp_pipeline::{evaluate, SgdmTrainer};
+use pbp_pipeline::{run_training, EngineSpec, NoHooks, RunConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,20 +22,28 @@ fn main() {
         reference.lr, reference.momentum, scaled.lr, scaled.momentum
     );
 
-    let mut per_epoch: Vec<(Vec<f64>, Vec<f64>)> =
-        (0..budget.epochs).map(|_| (Vec::new(), Vec::new())).collect();
+    let mut per_epoch: Vec<(Vec<f64>, Vec<f64>)> = (0..budget.epochs)
+        .map(|_| (Vec::new(), Vec::new()))
+        .collect();
+    let big_spec = EngineSpec::Sgdm {
+        schedule: LrSchedule::constant(reference),
+        batch: reference_batch,
+    };
+    let one_spec = EngineSpec::Sgdm {
+        schedule: LrSchedule::constant(scaled),
+        batch: 1,
+    };
     for seed in 0..budget.seeds as u64 {
+        let run_config = RunConfig::new(budget.epochs, seed);
         let mut rng = StdRng::seed_from_u64(7000 + seed);
-        let net_a = simple_cnn(3, 12, 6, 10, &mut rng);
+        let mut big = big_spec.build(simple_cnn(3, 12, 6, 10, &mut rng));
         let mut rng = StdRng::seed_from_u64(7000 + seed);
-        let net_b = simple_cnn(3, 12, 6, 10, &mut rng);
-        let mut big = SgdmTrainer::new(net_a, LrSchedule::constant(reference), reference_batch);
-        let mut one = SgdmTrainer::new(net_b, LrSchedule::constant(scaled), 1);
-        for epoch in 0..budget.epochs {
-            big.train_epoch(&train, seed, epoch);
-            one.train_epoch(&train, seed, epoch);
-            per_epoch[epoch].0.push(evaluate(big.network_mut(), &val, 16).1);
-            per_epoch[epoch].1.push(evaluate(one.network_mut(), &val, 16).1);
+        let mut one = one_spec.build(simple_cnn(3, 12, 6, 10, &mut rng));
+        let big_report = run_training(big.as_mut(), &train, &val, &run_config, &mut NoHooks);
+        let one_report = run_training(one.as_mut(), &train, &val, &run_config, &mut NoHooks);
+        for (epoch, slot) in per_epoch.iter_mut().enumerate() {
+            slot.0.push(big_report.records[epoch].val_acc);
+            slot.1.push(one_report.records[epoch].val_acc);
         }
         eprint!(".");
     }

@@ -22,7 +22,11 @@ fn main() {
         ("SCD for D=1", d, Box::new(move |m| Method::scd(m, d))),
         ("Nesterov for D=0", 0, Box::new(|_| Method::Nesterov)),
         ("LWPD for D=1", d, Box::new(move |_| Method::lwpd(d))),
-        ("LWPwD+SCD for D=1", d, Box::new(move |m| Method::lwpd_scd(m, d))),
+        (
+            "LWPwD+SCD for D=1",
+            d,
+            Box::new(move |m| Method::lwpd_scd(m, d)),
+        ),
     ];
 
     let mut summary = Table::new(["panel", "stable cell fraction", "max stable ηλ at m=1−1e-3"]);

@@ -10,12 +10,11 @@ fn main() {
     let search = HalflifeSearch::default();
     // Momentum axis: −log10(1−m) from 0 (m=0? use m=0 explicitly) to 5.
     let momenta: Vec<f64> = vec![
-        0.0,
-        0.9,       // 1e-1
-        0.99,      // 1e-2
-        0.999,     // 1e-3
-        0.9999,    // 1e-4
-        0.99999,   // 1e-5
+        0.0, 0.9,     // 1e-1
+        0.99,    // 1e-2
+        0.999,   // 1e-3
+        0.9999,  // 1e-4
+        0.99999, // 1e-5
     ];
     let horizons = [0.0f64, 3.0, 5.0, 10.0, 20.0];
 

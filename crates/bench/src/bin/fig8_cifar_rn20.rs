@@ -10,7 +10,7 @@
 use pbp_bench::{cifar_data, Budget, Table};
 use pbp_nn::models::{resnet_cifar, ResNetConfig};
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule, Mitigation};
-use pbp_pipeline::{evaluate, EpochRecord, PbConfig, PipelinedTrainer, SgdmTrainer, TrainReport};
+use pbp_pipeline::{run_training, EngineSpec, NoHooks, PbConfig, RunConfig, TrainReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,40 +30,39 @@ fn main() {
         "== Figure 8: ResNet20 ({} stages) on CIFAR-sim ==\n",
         config.expected_stage_count()
     );
-    let mut reports: Vec<TrainReport> = Vec::new();
 
     // SGDM baseline (batch 32, hyperparameters scaled from the 128
-    // reference so the per-sample contribution matches PB's).
-    {
-        let hp = scale_hyperparams(reference, 128, 32);
-        let mut rng = StdRng::seed_from_u64(1000);
-        let mut trainer = SgdmTrainer::new(resnet_cifar(config, &mut rng), LrSchedule::constant(hp), 32);
-        let mut report = TrainReport::new("SGDM");
-        for epoch in 0..budget.epochs {
-            let train_loss = trainer.train_epoch(&train, seed, epoch);
-            let (val_loss, val_acc) = evaluate(trainer.network_mut(), &val, 16);
-            report.records.push(EpochRecord {
-                epoch,
-                train_loss,
-                val_loss,
-                val_acc,
-            });
-        }
-        reports.push(report);
-    }
-
-    // PB variants at update size one.
+    // reference so the per-sample contribution matches PB's), then the PB
+    // variants at update size one.
+    let hp32 = scale_hyperparams(reference, 128, 32);
     let hp1 = scale_hyperparams(reference, 128, 1);
+    let mut specs = vec![EngineSpec::Sgdm {
+        schedule: LrSchedule::constant(hp32),
+        batch: 32,
+    }];
     for mitigation in [
         Mitigation::None,
         Mitigation::lwpd(),
         Mitigation::scd(),
         Mitigation::lwpv_scd(),
     ] {
+        specs.push(EngineSpec::Pb(
+            PbConfig::plain(LrSchedule::constant(hp1)).with_mitigation(mitigation),
+        ));
+    }
+
+    let run_config = RunConfig::new(budget.epochs, seed);
+    let mut reports: Vec<TrainReport> = Vec::new();
+    for spec in &specs {
         let mut rng = StdRng::seed_from_u64(1000);
-        let cfg = PbConfig::plain(LrSchedule::constant(hp1)).with_mitigation(mitigation);
-        let mut trainer = PipelinedTrainer::new(resnet_cifar(config, &mut rng), cfg);
-        reports.push(trainer.run(&train, &val, budget.epochs, seed));
+        let mut engine = spec.build(resnet_cifar(config, &mut rng));
+        reports.push(run_training(
+            engine.as_mut(),
+            &train,
+            &val,
+            &run_config,
+            &mut NoHooks,
+        ));
         eprint!(".");
     }
     eprintln!();

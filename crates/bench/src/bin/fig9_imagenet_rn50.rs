@@ -8,7 +8,7 @@
 use pbp_bench::{imagenet_data, Budget, Table};
 use pbp_nn::models::resnet50_like;
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule, Mitigation};
-use pbp_pipeline::{evaluate, EpochRecord, PbConfig, PipelinedTrainer, SgdmTrainer, TrainReport};
+use pbp_pipeline::{run_training, EngineSpec, NoHooks, PbConfig, RunConfig, TrainReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -18,39 +18,42 @@ fn main() {
     let reference = Hyperparams::new(0.1, 0.9); // He et al. @ N=256 for ImageNet; we use 128
     let seed = 9u64;
 
-    let mut reports: Vec<TrainReport> = Vec::new();
-    {
-        let hp = scale_hyperparams(reference, 128, 32);
-        let mut rng = StdRng::seed_from_u64(2000);
-        let net = resnet50_like(4, 3, 20, &mut rng);
-        println!("== Figure 9: ResNet50-like ({} stages) on ImageNet-sim ==\n", net.pipeline_stage_count());
-        let mut trainer = SgdmTrainer::new(net, LrSchedule::constant(hp), 32);
-        let mut report = TrainReport::new("SGDM");
-        for epoch in 0..budget.epochs {
-            let train_loss = trainer.train_epoch(&train, seed, epoch);
-            let (val_loss, val_acc) = evaluate(trainer.network_mut(), &val, 16);
-            report.records.push(EpochRecord {
-                epoch,
-                train_loss,
-                val_loss,
-                val_acc,
-            });
-        }
-        reports.push(report);
-    }
-
+    let hp32 = scale_hyperparams(reference, 128, 32);
     let hp1 = scale_hyperparams(reference, 128, 1);
+    let mut specs = vec![EngineSpec::Sgdm {
+        schedule: LrSchedule::constant(hp32),
+        batch: 32,
+    }];
     for mitigation in [
         Mitigation::None,
         Mitigation::lwpd(),
         Mitigation::scd(),
         Mitigation::lwpv_scd(),
     ] {
+        specs.push(EngineSpec::Pb(
+            PbConfig::plain(LrSchedule::constant(hp1)).with_mitigation(mitigation),
+        ));
+    }
+
+    let run_config = RunConfig::new(budget.epochs, seed);
+    let mut reports: Vec<TrainReport> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(2000);
         let net = resnet50_like(4, 3, 20, &mut rng);
-        let cfg = PbConfig::plain(LrSchedule::constant(hp1)).with_mitigation(mitigation);
-        let mut trainer = PipelinedTrainer::new(net, cfg);
-        reports.push(trainer.run(&train, &val, budget.epochs, seed));
+        if i == 0 {
+            println!(
+                "== Figure 9: ResNet50-like ({} stages) on ImageNet-sim ==\n",
+                net.pipeline_stage_count()
+            );
+        }
+        let mut engine = spec.build(net);
+        reports.push(run_training(
+            engine.as_mut(),
+            &train,
+            &val,
+            &run_config,
+            &mut NoHooks,
+        ));
         eprint!(".");
     }
     eprintln!();

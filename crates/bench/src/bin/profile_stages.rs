@@ -27,10 +27,10 @@ fn main() {
     let mut bwd_times = vec![0.0f64; num];
     for _ in 0..reps {
         let mut stack = vec![x.clone()];
-        for s in 0..num {
+        for (s, fwd_time) in fwd_times.iter_mut().enumerate() {
             let t0 = Instant::now();
             net.stage_mut(s).forward(&mut stack);
-            fwd_times[s] += t0.elapsed().as_secs_f64();
+            *fwd_time += t0.elapsed().as_secs_f64();
         }
         let logits = stack.pop().expect("single lane");
         let (_, grad) = pbp_nn::loss::softmax_cross_entropy(&logits, &[0]);

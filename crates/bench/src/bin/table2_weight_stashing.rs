@@ -9,7 +9,10 @@ use pbp_optim::{Hyperparams, Mitigation};
 
 fn main() {
     let budget = Budget::new(1500, 300, 6, 3);
-    println!("== Table 2: weight stashing ablation ({} seeds) ==\n", budget.seeds);
+    println!(
+        "== Table 2: weight stashing ablation ({} seeds) ==\n",
+        budget.seeds
+    );
     run_family_table(
         &[
             Family::Vgg(VggVariant::Vgg11),

@@ -8,7 +8,10 @@ use pbp_optim::{Hyperparams, Mitigation};
 
 fn main() {
     let budget = Budget::new(1500, 300, 6, 2);
-    println!("== Table 3: SpecTrain comparison ({} seeds) ==\n", budget.seeds);
+    println!(
+        "== Table 3: SpecTrain comparison ({} seeds) ==\n",
+        budget.seeds
+    );
     run_family_table(
         &[
             Family::Vgg(VggVariant::Vgg13),

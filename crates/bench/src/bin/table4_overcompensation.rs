@@ -8,7 +8,10 @@ use pbp_optim::{Hyperparams, LwpForm, Mitigation};
 
 fn main() {
     let budget = Budget::new(1500, 300, 6, 2);
-    println!("== Table 4: overcompensation ablation ({} seeds) ==\n", budget.seeds);
+    println!(
+        "== Table 4: overcompensation ablation ({} seeds) ==\n",
+        budget.seeds
+    );
     run_family_table(
         &[
             Family::Vgg(VggVariant::Vgg11),

@@ -4,7 +4,7 @@
 use pbp_data::Dataset;
 use pbp_nn::Network;
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule, Mitigation};
-use pbp_pipeline::{evaluate, PbConfig, PipelinedTrainer, SgdmTrainer};
+use pbp_pipeline::{run_training, EngineSpec, NoHooks, PbConfig, RunConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -81,6 +81,35 @@ impl MethodSpec {
             }
         }
     }
+
+    /// Lowers this method to an [`EngineSpec`], scaling the reference
+    /// hyperparameters per Eq. 9 for the method's effective batch size.
+    pub fn engine_spec(&self, reference: Hyperparams, reference_batch: usize) -> EngineSpec {
+        match *self {
+            MethodSpec::Sgdm { batch } => {
+                let hp = if batch == reference_batch {
+                    reference
+                } else {
+                    scale_hyperparams(reference, reference_batch, batch)
+                };
+                EngineSpec::Sgdm {
+                    schedule: LrSchedule::constant(hp),
+                    batch,
+                }
+            }
+            MethodSpec::Pb {
+                mitigation,
+                stashing,
+            } => {
+                let hp = scale_hyperparams(reference, reference_batch, 1);
+                let mut cfg = PbConfig::plain(LrSchedule::constant(hp)).with_mitigation(mitigation);
+                if stashing {
+                    cfg = cfg.with_weight_stashing();
+                }
+                EngineSpec::Pb(cfg)
+            }
+        }
+    }
 }
 
 /// Result of one method over several seeds.
@@ -139,41 +168,14 @@ pub fn run_method(
     reference_batch: usize,
     budget: Budget,
 ) -> RunOutcome {
+    let spec = method.engine_spec(reference, reference_batch);
     let mut accuracies = Vec::with_capacity(budget.seeds);
     for seed in 0..budget.seeds as u64 {
         let mut rng = StdRng::seed_from_u64(1000 + seed);
-        let net = build(&mut rng);
-        let acc = match method {
-            MethodSpec::Sgdm { batch } => {
-                let hp = if batch == reference_batch {
-                    reference
-                } else {
-                    scale_hyperparams(reference, reference_batch, batch)
-                };
-                let mut trainer = SgdmTrainer::new(net, LrSchedule::constant(hp), batch);
-                for epoch in 0..budget.epochs {
-                    trainer.train_epoch(train, seed, epoch);
-                }
-                evaluate(trainer.network_mut(), val, 16).1
-            }
-            MethodSpec::Pb {
-                mitigation,
-                stashing,
-            } => {
-                let hp = scale_hyperparams(reference, reference_batch, 1);
-                let mut cfg =
-                    PbConfig::plain(LrSchedule::constant(hp)).with_mitigation(mitigation);
-                if stashing {
-                    cfg = cfg.with_weight_stashing();
-                }
-                let mut trainer = PipelinedTrainer::new(net, cfg);
-                for epoch in 0..budget.epochs {
-                    trainer.train_epoch(train, seed, epoch);
-                }
-                evaluate(trainer.network_mut(), val, 16).1
-            }
-        };
-        accuracies.push(acc);
+        let mut engine = spec.build(build(&mut rng));
+        let config = RunConfig::new(budget.epochs, seed).eval_last_only();
+        let report = run_training(engine.as_mut(), train, val, &config, &mut NoHooks);
+        accuracies.push(report.final_val_acc());
     }
     RunOutcome {
         label: method.label(),
@@ -199,7 +201,15 @@ pub fn run_family_table(
         let build = |rng: &mut StdRng| family.build(train.num_classes(), rng);
         let mut row = vec![family.name(), family.stage_count().to_string()];
         for &method in methods {
-            let out = run_method(&build, &train, &val, method, reference, reference_batch, budget);
+            let out = run_method(
+                &build,
+                &train,
+                &val,
+                method,
+                reference,
+                reference_batch,
+                budget,
+            );
             row.push(out.formatted());
             eprint!(".");
         }
@@ -256,4 +266,3 @@ mod tests {
         assert!(out.mean() > 0.6, "accuracy {}", out.mean());
     }
 }
-

@@ -34,7 +34,10 @@ pub fn pad(x: &Tensor, padding: usize) -> Tensor {
 pub fn crop(x: &Tensor, top: usize, left: usize, size: usize) -> Tensor {
     assert_eq!(x.rank(), 3, "crop expects [C, H, W]");
     let [c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2]];
-    assert!(top + size <= h && left + size <= w, "crop window out of bounds");
+    assert!(
+        top + size <= h && left + size <= w,
+        "crop window out of bounds"
+    );
     let mut out = Tensor::zeros(&[c, size, size]);
     let xs = x.as_slice();
     let os = out.as_mut_slice();

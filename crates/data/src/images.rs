@@ -154,7 +154,9 @@ fn smooth_field(channels: usize, size: usize, rng: &mut StdRng) -> Tensor {
     {
         let os = out.as_mut_slice();
         for c in 0..channels {
-            let grid: Vec<f32> = (0..coarse * coarse).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let grid: Vec<f32> = (0..coarse * coarse)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
             for i in 0..size {
                 let fy = i as f32 / size as f32 * (coarse - 1) as f32;
                 let (y0, ty) = (fy as usize, fy.fract());

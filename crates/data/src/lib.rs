@@ -49,7 +49,11 @@ impl Dataset {
     ///
     /// Panics if the vectors differ in length or a label is out of range.
     pub fn new(samples: Vec<Tensor>, labels: Vec<usize>, num_classes: usize) -> Self {
-        assert_eq!(samples.len(), labels.len(), "samples/labels length mismatch");
+        assert_eq!(
+            samples.len(),
+            labels.len(),
+            "samples/labels length mismatch"
+        );
         assert!(
             labels.iter().all(|&l| l < num_classes),
             "label out of range"

@@ -75,7 +75,10 @@ mod tests {
 ///
 /// Panics if `k == 0` or `n == 0`.
 pub fn blobs(k: usize, n: usize, noise: f32, seed: u64) -> Dataset {
-    assert!(k > 0 && n > 0, "blobs needs k > 0 clusters and n > 0 points");
+    assert!(
+        k > 0 && n > 0,
+        "blobs needs k > 0 clusters and n > 0 points"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut samples = Vec::with_capacity(k * n);
     let mut labels = Vec::with_capacity(k * n);

@@ -158,7 +158,10 @@ pub fn load(net: &mut Network, r: &mut impl Read) -> Result<(), CheckpointError>
 /// # Errors
 ///
 /// See [`save`].
-pub fn save_to_path(net: &Network, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
+pub fn save_to_path(
+    net: &Network,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), CheckpointError> {
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
     save(net, &mut file)
 }

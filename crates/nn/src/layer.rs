@@ -54,6 +54,23 @@ pub trait Layer: Send {
         Vec::new()
     }
 
+    /// Simultaneously borrows every parameter mutably together with its
+    /// accumulated gradient, in [`Layer::params`] order.
+    ///
+    /// This is the optimizer-facing access path: it lets an engine step the
+    /// weights of a stage directly against the freshly accumulated gradients
+    /// without cloning them first. The split borrow across a layer's
+    /// parameter and gradient fields is only expressible inside the layer,
+    /// so every layer with parameters must override this.
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        assert!(
+            self.params().is_empty(),
+            "layer {} has parameters but does not override params_and_grads",
+            self.name()
+        );
+        Vec::new()
+    }
+
     /// Resets the accumulated parameter gradients to zero.
     fn zero_grads(&mut self) {}
 
@@ -109,7 +126,7 @@ mod tests {
         let mut layer = Linear::new(3, 2, true, &mut rng);
         let snap = snapshot_params(&layer);
         assert_eq!(snap.len(), 2); // weight + bias
-        // Perturb, then restore.
+                                   // Perturb, then restore.
         for p in layer.params_mut() {
             p.map_in_place(|x| x + 1.0);
         }

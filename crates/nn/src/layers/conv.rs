@@ -132,6 +132,13 @@ impl Layer for Conv2d {
         }
     }
 
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        match (&mut self.bias, &self.grad_bias) {
+            (Some(b), Some(gb)) => vec![(&mut self.weight, &self.grad_weight), (b, gb)],
+            _ => vec![(&mut self.weight, &self.grad_weight)],
+        }
+    }
+
     fn zero_grads(&mut self) {
         self.grad_weight.fill(0.0);
         if let Some(gb) = &mut self.grad_bias {

@@ -110,10 +110,9 @@ impl Layer for FilterResponseNorm {
                     let mean_g_xhat = sum_g_xhat / hw as f64;
                     for p in 0..hw {
                         let xhat = xs[base + p] as f64 * inv;
-                        gxs[base + p] = (gam[ch] as f64
-                            * inv
-                            * (gs[base + p] as f64 - xhat * mean_g_xhat))
-                            as f32;
+                        gxs[base + p] =
+                            (gam[ch] as f64 * inv * (gs[base + p] as f64 - xhat * mean_g_xhat))
+                                as f32;
                     }
                 }
             }
@@ -131,6 +130,13 @@ impl Layer for FilterResponseNorm {
 
     fn grads(&self) -> Vec<&Tensor> {
         vec![&self.grad_gamma, &self.grad_beta]
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![
+            (&mut self.gamma, &self.grad_gamma),
+            (&mut self.beta, &self.grad_beta),
+        ]
     }
 
     fn zero_grads(&mut self) {
@@ -241,6 +247,10 @@ impl Layer for Tlu {
         vec![&self.grad_tau]
     }
 
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![(&mut self.tau, &self.grad_tau)]
+    }
+
     fn zero_grads(&mut self) {
         self.grad_tau.fill(0.0);
     }
@@ -289,7 +299,11 @@ mod tests {
             frn.forward(&mut s);
             let y = s.pop().unwrap();
             frn.clear_stash();
-            y.as_slice().iter().zip(k.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(k.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let mut s = vec![x.clone()];
         frn.forward(&mut s);

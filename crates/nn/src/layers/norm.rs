@@ -192,6 +192,13 @@ impl Layer for GroupNorm {
         vec![&self.grad_gamma, &self.grad_beta]
     }
 
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![
+            (&mut self.gamma, &self.grad_gamma),
+            (&mut self.beta, &self.grad_beta),
+        ]
+    }
+
     fn zero_grads(&mut self) {
         self.grad_gamma.fill(0.0);
         self.grad_beta.fill(0.0);
@@ -353,6 +360,13 @@ impl Layer for BatchNorm2d {
         vec![&self.grad_gamma, &self.grad_beta]
     }
 
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![
+            (&mut self.gamma, &self.grad_gamma),
+            (&mut self.beta, &self.grad_beta),
+        ]
+    }
+
     fn zero_grads(&mut self) {
         self.grad_gamma.fill(0.0);
         self.grad_beta.fill(0.0);
@@ -408,7 +422,11 @@ mod tests {
             gn.forward(&mut s);
             let y = s.pop().unwrap();
             gn.clear_stash();
-            y.as_slice().iter().zip(k.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(k.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let mut s = vec![x.clone()];
         gn.forward(&mut s);

@@ -194,8 +194,7 @@ impl Layer for OnlineNorm {
                     let base = (ni * c + ch) * hw;
                     for p in 0..hw {
                         let gp = gs[base + p] * gam[ch];
-                        let controlled =
-                            gp - proj_y * gam[ch] * yh[base + p] - proj_1 * gam[ch];
+                        let controlled = gp - proj_y * gam[ch] * yh[base + p] - proj_1 * gam[ch];
                         gxs[base + p] = controlled * inv;
                     }
                 }
@@ -214,6 +213,13 @@ impl Layer for OnlineNorm {
 
     fn grads(&self) -> Vec<&Tensor> {
         vec![&self.grad_gamma, &self.grad_beta]
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![
+            (&mut self.gamma, &self.grad_gamma),
+            (&mut self.beta, &self.grad_beta),
+        ]
     }
 
     fn zero_grads(&mut self) {

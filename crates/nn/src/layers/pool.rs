@@ -1,9 +1,7 @@
 //! Pooling layers.
 
 use crate::layer::{LaneStack, Layer};
-use pbp_tensor::ops::{
-    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec,
-};
+use pbp_tensor::ops::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
 use pbp_tensor::Tensor;
 use std::collections::VecDeque;
 
@@ -174,8 +172,11 @@ mod tests {
     #[test]
     fn global_avgpool_reduces_spatial_dims() {
         let mut p = GlobalAvgPool2d::new();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let mut s = vec![x];
         p.forward(&mut s);
         assert_eq!(s[0].shape(), &[1, 2]);

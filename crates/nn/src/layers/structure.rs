@@ -34,7 +34,9 @@ impl Layer for Dup {
     fn backward(&mut self, grad_stack: &mut LaneStack) {
         let g_top = grad_stack.pop().expect("dup: empty grad stack");
         let g_below = grad_stack.last_mut().expect("dup: grad stack underflow");
-        g_below.add_assign(&g_top).expect("dup grads must be same shape");
+        g_below
+            .add_assign(&g_top)
+            .expect("dup grads must be same shape");
     }
 }
 
@@ -89,7 +91,12 @@ impl MapLane {
 
 impl std::fmt::Debug for MapLane {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MapLane(depth={}, inner={})", self.depth, self.inner.name())
+        write!(
+            f,
+            "MapLane(depth={}, inner={})",
+            self.depth,
+            self.inner.name()
+        )
     }
 }
 
@@ -99,7 +106,10 @@ impl Layer for MapLane {
     }
 
     fn forward(&mut self, stack: &mut LaneStack) {
-        let idx = stack.len().checked_sub(1 + self.depth).expect("maplane: underflow");
+        let idx = stack
+            .len()
+            .checked_sub(1 + self.depth)
+            .expect("maplane: underflow");
         let x = stack.remove(idx);
         let mut sub = vec![x];
         self.inner.forward(&mut sub);
@@ -107,7 +117,10 @@ impl Layer for MapLane {
     }
 
     fn backward(&mut self, grad_stack: &mut LaneStack) {
-        let idx = grad_stack.len().checked_sub(1 + self.depth).expect("maplane: underflow");
+        let idx = grad_stack
+            .len()
+            .checked_sub(1 + self.depth)
+            .expect("maplane: underflow");
         let g = grad_stack.remove(idx);
         let mut sub = vec![g];
         self.inner.backward(&mut sub);
@@ -124,6 +137,10 @@ impl Layer for MapLane {
 
     fn grads(&self) -> Vec<&Tensor> {
         self.inner.grads()
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        self.inner.params_and_grads()
     }
 
     fn zero_grads(&mut self) {
@@ -188,7 +205,10 @@ mod tests {
         dup.forward(&mut s);
         assert_eq!(s.len(), 2);
         assert_eq!(s[0].as_slice(), s[1].as_slice());
-        let mut g = vec![Tensor::from_slice(&[1.0, 1.0]), Tensor::from_slice(&[2.0, 3.0])];
+        let mut g = vec![
+            Tensor::from_slice(&[1.0, 1.0]),
+            Tensor::from_slice(&[2.0, 3.0]),
+        ];
         dup.backward(&mut g);
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].as_slice(), &[3.0, 4.0]);
@@ -226,12 +246,18 @@ mod tests {
     #[test]
     fn maplane_transforms_lower_lane() {
         let mut map = MapLane::new(1, Box::new(Relu::new()));
-        let mut s = vec![Tensor::from_slice(&[-1.0, 1.0]), Tensor::from_slice(&[9.0, 9.0])];
+        let mut s = vec![
+            Tensor::from_slice(&[-1.0, 1.0]),
+            Tensor::from_slice(&[9.0, 9.0]),
+        ];
         map.forward(&mut s);
         // Lane below top got ReLU'd; top untouched.
         assert_eq!(s[0].as_slice(), &[0.0, 1.0]);
         assert_eq!(s[1].as_slice(), &[9.0, 9.0]);
-        let mut g = vec![Tensor::from_slice(&[1.0, 1.0]), Tensor::from_slice(&[1.0, 1.0])];
+        let mut g = vec![
+            Tensor::from_slice(&[1.0, 1.0]),
+            Tensor::from_slice(&[1.0, 1.0]),
+        ];
         map.backward(&mut g);
         assert_eq!(g[0].as_slice(), &[0.0, 1.0]);
         assert_eq!(g[1].as_slice(), &[1.0, 1.0]);

@@ -52,7 +52,7 @@ impl WsConv2d {
             grad_weight: Tensor::zeros(&spec.weight_shape()),
             eps: 1e-5,
             spec,
-        stash: VecDeque::new(),
+            stash: VecDeque::new(),
         }
     }
 
@@ -157,6 +157,10 @@ impl Layer for WsConv2d {
         vec![&self.grad_weight]
     }
 
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![(&mut self.weight, &self.grad_weight)]
+    }
+
     fn zero_grads(&mut self) {
         self.grad_weight.fill(0.0);
     }
@@ -199,7 +203,11 @@ mod tests {
             layer.forward(&mut s);
             let y = s.pop().unwrap();
             layer.clear_stash();
-            y.as_slice().iter().zip(k.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(k.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
 
         let mut s = vec![x.clone()];

@@ -14,7 +14,10 @@ use rand::Rng;
 ///
 /// Panics if fewer than two sizes are given.
 pub fn mlp(sizes: &[usize], rng: &mut impl Rng) -> Network {
-    assert!(sizes.len() >= 2, "mlp needs at least input and output sizes");
+    assert!(
+        sizes.len() >= 2,
+        "mlp needs at least input and output sizes"
+    );
     let mut stages = Vec::new();
     for (i, pair) in sizes.windows(2).enumerate() {
         let last = i + 2 == sizes.len();
@@ -70,7 +73,6 @@ pub fn simple_cnn(
     ));
     Network::new(stages)
 }
-
 
 /// [`simple_cnn`] with weight-standardized convolutions (Qiao et al.,
 /// 2019) — the Discussion-section variant expected to tolerate gradient
@@ -158,6 +160,10 @@ mod tests {
             }
             losses.push(loss);
         }
-        assert!(losses.last().unwrap() < &0.1, "final loss {:?}", losses.last());
+        assert!(
+            losses.last().unwrap() < &0.1,
+            "final loss {:?}",
+            losses.last()
+        );
     }
 }

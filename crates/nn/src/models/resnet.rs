@@ -93,7 +93,10 @@ fn residual_block(
             )) as Box<dyn Layer>],
         ));
     }
-    stages.push(Stage::new(format!("{name}.sum"), vec![Box::new(AddLanes::new()) as Box<dyn Layer>]));
+    stages.push(Stage::new(
+        format!("{name}.sum"),
+        vec![Box::new(AddLanes::new()) as Box<dyn Layer>],
+    ));
 }
 
 /// Builds a CIFAR-style pre-activation ResNet (RN20/32/44/56/110).
@@ -251,7 +254,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         for (depth, expected) in [(20, 34), (32, 52), (44, 70), (56, 88), (110, 169)] {
             let config = cfg(depth);
-            assert_eq!(config.expected_stage_count(), expected, "formula for RN{depth}");
+            assert_eq!(
+                config.expected_stage_count(),
+                expected,
+                "formula for RN{depth}"
+            );
             if depth <= 44 {
                 let net = resnet_cifar(config, &mut rng);
                 assert_eq!(net.pipeline_stage_count(), expected, "built RN{depth}");

@@ -32,7 +32,9 @@ impl VggVariant {
         use VggVariant::*;
         let spec: &[isize] = match self {
             Vgg11 => &[64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1],
-            Vgg13 => &[64, 64, -1, 128, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1],
+            Vgg13 => &[
+                64, 64, -1, 128, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1,
+            ],
             Vgg16 => &[
                 64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512, 512, 512, -1,
             ],
@@ -87,7 +89,15 @@ pub fn vgg(
     dropout_p: f32,
     rng: &mut impl Rng,
 ) -> Network {
-    vgg_impl(variant, width_divisor, in_channels, num_classes, dropout_p, false, rng)
+    vgg_impl(
+        variant,
+        width_divisor,
+        in_channels,
+        num_classes,
+        dropout_p,
+        false,
+        rng,
+    )
 }
 
 /// [`vgg`] with a group normalization fused into each post-conv stage —
@@ -104,7 +114,15 @@ pub fn vgg_gn(
     dropout_p: f32,
     rng: &mut impl Rng,
 ) -> Network {
-    vgg_impl(variant, width_divisor, in_channels, num_classes, dropout_p, true, rng)
+    vgg_impl(
+        variant,
+        width_divisor,
+        in_channels,
+        num_classes,
+        dropout_p,
+        true,
+        rng,
+    )
 }
 
 fn vgg_impl(
@@ -170,7 +188,10 @@ fn vgg_impl(
         "cls.fc0",
         vec![Box::new(Linear::new(feat, hidden, true, rng)) as Box<dyn Layer>],
     ));
-    stages.push(Stage::new("cls.relu0", vec![Box::new(Relu::new()) as Box<dyn Layer>]));
+    stages.push(Stage::new(
+        "cls.relu0",
+        vec![Box::new(Relu::new()) as Box<dyn Layer>],
+    ));
     stages.push(Stage::new(
         "cls.drop1",
         vec![Box::new(Dropout::new(dropout_p, seed.wrapping_add(1))) as Box<dyn Layer>],
@@ -179,7 +200,10 @@ fn vgg_impl(
         "cls.fc1",
         vec![Box::new(Linear::new(hidden, hidden, true, rng)) as Box<dyn Layer>],
     ));
-    stages.push(Stage::new("cls.relu1", vec![Box::new(Relu::new()) as Box<dyn Layer>]));
+    stages.push(Stage::new(
+        "cls.relu1",
+        vec![Box::new(Relu::new()) as Box<dyn Layer>],
+    ));
     stages.push(Stage::new(
         "cls.fc2",
         vec![Box::new(Linear::new(hidden, num_classes, true, rng)) as Box<dyn Layer>],
@@ -202,7 +226,12 @@ mod tests {
             (VggVariant::Vgg13, 33),
             (VggVariant::Vgg16, 39),
         ] {
-            assert_eq!(variant.expected_stage_count(), expected, "{}", variant.name());
+            assert_eq!(
+                variant.expected_stage_count(),
+                expected,
+                "{}",
+                variant.name()
+            );
             let net = vgg(variant, 16, 3, 10, 0.3, &mut rng);
             assert_eq!(net.pipeline_stage_count(), expected, "{}", variant.name());
         }

@@ -65,12 +65,25 @@ impl Stage {
 
     /// Mutably borrows all trainable parameters of the stage.
     pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Borrows the accumulated gradients, aligned with [`Stage::params`].
     pub fn grads(&self) -> Vec<&Tensor> {
         self.layers.iter().flat_map(|l| l.grads()).collect()
+    }
+
+    /// Simultaneously borrows the parameters mutably and their gradients,
+    /// both in [`Stage::params`] order. This is what optimizers consume:
+    /// it allows stepping a stage in place without cloning the gradients.
+    pub fn params_and_grads(&mut self) -> (Vec<&mut Tensor>, Vec<&Tensor>) {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_and_grads())
+            .unzip()
     }
 
     /// Zeroes the accumulated gradients of every layer in the stage.
@@ -281,7 +294,10 @@ mod tests {
         Network::new(vec![
             Stage::new(
                 "fc1",
-                vec![Box::new(Linear::new(4, 8, true, &mut rng)), Box::new(Relu::new())],
+                vec![
+                    Box::new(Linear::new(4, 8, true, &mut rng)),
+                    Box::new(Relu::new()),
+                ],
             ),
             Stage::single(Box::new(Linear::new(8, 3, true, &mut rng))),
         ])

@@ -19,7 +19,9 @@ use rand::SeedableRng;
 
 fn inputs(k: usize, shape: &[usize], seed: u64) -> Vec<Tensor> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..k).map(|_| pbp_tensor::normal(shape, 0.0, 1.0, &mut rng)).collect()
+    (0..k)
+        .map(|_| pbp_tensor::normal(shape, 0.0, 1.0, &mut rng))
+        .collect()
 }
 
 /// Runs the invariant check for one layer builder.
@@ -62,7 +64,11 @@ fn check_fifo(name: &str, mut make: impl FnMut() -> Box<dyn Layer>, in_shape: &[
         );
     }
     for (pa, pb) in layer_a.grads().iter().zip(layer_b.grads()) {
-        assert_eq!(pa.as_slice(), pb.as_slice(), "{name}: parameter gradients differ");
+        assert_eq!(
+            pa.as_slice(),
+            pb.as_slice(),
+            "{name}: parameter gradients differ"
+        );
     }
 }
 
@@ -109,12 +115,20 @@ fn relu_supports_in_flight_samples() {
 
 #[test]
 fn groupnorm_supports_in_flight_samples() {
-    check_fifo("groupnorm", || Box::new(GroupNorm::new(2, 4)), &[1, 4, 3, 3]);
+    check_fifo(
+        "groupnorm",
+        || Box::new(GroupNorm::new(2, 4)),
+        &[1, 4, 3, 3],
+    );
 }
 
 #[test]
 fn frn_and_tlu_support_in_flight_samples() {
-    check_fifo("frn", || Box::new(FilterResponseNorm::new(3)), &[1, 3, 4, 4]);
+    check_fifo(
+        "frn",
+        || Box::new(FilterResponseNorm::new(3)),
+        &[1, 3, 4, 4],
+    );
     check_fifo("tlu", || Box::new(Tlu::new(3)), &[1, 3, 4, 4]);
 }
 
@@ -136,5 +150,9 @@ fn dropout_supports_in_flight_samples() {
 #[test]
 fn stateful_norms_support_in_flight_samples() {
     check_fifo("batchnorm", || Box::new(BatchNorm2d::new(2)), &[2, 2, 3, 3]);
-    check_fifo("online_norm", || Box::new(OnlineNorm::new(2)), &[1, 2, 4, 4]);
+    check_fifo(
+        "online_norm",
+        || Box::new(OnlineNorm::new(2)),
+        &[1, 2, 4, 4],
+    );
 }

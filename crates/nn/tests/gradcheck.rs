@@ -65,12 +65,11 @@ fn gradcheck(layer: &mut dyn Layer, x: &Tensor, seed: u64, tol: f64) -> Result<(
         }
     }
     // Parameter coordinates.
-    let n_params = param_grads.len();
-    for p_i in 0..n_params {
-        if param_grads[p_i].is_empty() {
+    for (p_i, param_grad) in param_grads.iter().enumerate() {
+        if param_grad.is_empty() {
             continue;
         }
-        let idx = (rng.next_u64() as usize) % param_grads[p_i].len();
+        let idx = (rng.next_u64() as usize) % param_grad.len();
         let orig = layer.params()[p_i].as_slice()[idx];
         layer.params_mut()[p_i].as_mut_slice()[idx] = orig + eps;
         let lp = loss_of(layer, x, &probe);
@@ -78,7 +77,7 @@ fn gradcheck(layer: &mut dyn Layer, x: &Tensor, seed: u64, tol: f64) -> Result<(
         let lm = loss_of(layer, x, &probe);
         layer.params_mut()[p_i].as_mut_slice()[idx] = orig;
         let num = (lp - lm) / (2.0 * eps as f64);
-        let ana = param_grads[p_i].as_slice()[idx] as f64;
+        let ana = param_grad.as_slice()[idx] as f64;
         if (num - ana).abs() > tol * (1.0 + ana.abs()) {
             return Err(format!(
                 "{}: param {p_i} grad at {idx}: fd {num} vs analytic {ana}",

@@ -55,8 +55,15 @@ impl Hyperparams {
 ///
 /// Panics if batch sizes are zero or the reference hyperparameters are out
 /// of range.
-pub fn scale_hyperparams(reference: Hyperparams, ref_batch: usize, new_batch: usize) -> Hyperparams {
-    assert!(ref_batch > 0 && new_batch > 0, "batch sizes must be positive");
+pub fn scale_hyperparams(
+    reference: Hyperparams,
+    ref_batch: usize,
+    new_batch: usize,
+) -> Hyperparams {
+    assert!(
+        ref_batch > 0 && new_batch > 0,
+        "batch sizes must be positive"
+    );
     let ratio = new_batch as f64 / ref_batch as f64;
     let m_r = reference.momentum as f64;
     let m = m_r.powf(ratio);

@@ -45,7 +45,12 @@ impl SgdmState {
     /// # Panics
     ///
     /// Panics if the tensor lists disagree with the state layout.
-    pub fn step_nesterov(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor], hp: Hyperparams) {
+    pub fn step_nesterov(
+        &mut self,
+        params: &mut [&mut Tensor],
+        grads: &[&Tensor],
+        hp: Hyperparams,
+    ) {
         self.step_with_spike(params, grads, hp, hp.momentum, 1.0);
     }
 
@@ -69,8 +74,16 @@ impl SgdmState {
         a: f32,
         b: f32,
     ) {
-        assert_eq!(params.len(), self.velocity.len(), "param/velocity layout mismatch");
-        assert_eq!(grads.len(), self.velocity.len(), "grad/velocity layout mismatch");
+        assert_eq!(
+            params.len(),
+            self.velocity.len(),
+            "param/velocity layout mismatch"
+        );
+        assert_eq!(
+            grads.len(),
+            self.velocity.len(),
+            "grad/velocity layout mismatch"
+        );
         for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             debug_assert_eq!(p.shape(), v.shape());
             debug_assert_eq!(g.shape(), v.shape());
@@ -97,7 +110,10 @@ mod tests {
     use super::*;
 
     fn setup() -> (Tensor, Tensor) {
-        (Tensor::from_slice(&[1.0, 2.0]), Tensor::from_slice(&[0.5, -0.5]))
+        (
+            Tensor::from_slice(&[1.0, 2.0]),
+            Tensor::from_slice(&[0.5, -0.5]),
+        )
     }
 
     #[test]
@@ -140,7 +156,9 @@ mod tests {
         s1.step(&mut [&mut w1], &[&g], hp);
         s2.step_nesterov(&mut [&mut w2], &[&g], hp);
         // First step: heavy-ball moves by ηg, Nesterov by η(1+m)g.
-        assert!((w0.as_slice()[0] - w2.as_slice()[0]) / (w0.as_slice()[0] - w1.as_slice()[0]) > 1.5);
+        assert!(
+            (w0.as_slice()[0] - w2.as_slice()[0]) / (w0.as_slice()[0] - w1.as_slice()[0]) > 1.5
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ impl StageOptimizer {
             SpikeCoeffs::identity()
         };
         if self.config.grad_scale != 1.0 {
-            let scaled: Vec<Tensor> = grads.iter().map(|g| g.scale(self.config.grad_scale)).collect();
+            let scaled: Vec<Tensor> = grads
+                .iter()
+                .map(|g| g.scale(self.config.grad_scale))
+                .collect();
             let refs: Vec<&Tensor> = scaled.iter().collect();
             self.state
                 .step_with_spike(params, &refs, self.hp, coeffs.a, coeffs.b);
@@ -197,8 +200,7 @@ mod tests {
     fn spectrain_predicts_both_directions() {
         let mut w = Tensor::from_slice(&[1.0]);
         let g = Tensor::from_slice(&[1.0]);
-        let mut opt =
-            StageOptimizer::new(&[&w], Mitigation::SpecTrain.stage_config(4, 2), hp());
+        let mut opt = StageOptimizer::new(&[&w], Mitigation::SpecTrain.stage_config(4, 2), hp());
         opt.step(&mut [&mut w], &[&g]);
         let fw = opt.forward_weights(&[&w]).unwrap();
         let bw = opt.backward_weights(&[&w]).unwrap();

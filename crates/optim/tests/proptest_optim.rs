@@ -1,11 +1,11 @@
 //! Property-based tests for the optimizer and mitigation invariants the
 //! paper's analysis relies on.
 
-use pbp_tensor::Tensor;
 use pbp_optim::{
     predict_velocity_form, predict_weight_form, scale_hyperparams, Hyperparams, Mitigation,
     SgdmState, SpikeCoeffs, StageOptimizer,
 };
+use pbp_tensor::Tensor;
 use proptest::prelude::*;
 
 fn grads_strategy(steps: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {

@@ -8,7 +8,9 @@
 //! master weights (consistent weights — the whole forward/backward runs on
 //! the stale worker copy, as in parameter-server ASGD).
 
-use crate::trainer::{evaluate, EpochRecord, TrainReport};
+use crate::engine::{run_training, RunConfig, TrainEngine};
+use crate::metrics::{EngineMetrics, MetricsRecorder, NoHooks};
+use crate::trainer::TrainReport;
 use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::Network;
@@ -17,6 +19,7 @@ use pbp_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Distribution of the per-update gradient delay.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,6 +99,7 @@ pub struct AsgdTrainer {
     batch_size: usize,
     delay_rng: StdRng,
     samples_seen: usize,
+    metrics: MetricsRecorder,
 }
 
 impl std::fmt::Debug for AsgdTrainer {
@@ -129,6 +133,7 @@ impl AsgdTrainer {
         let history: VecDeque<Vec<Vec<Tensor>>> = (0..=distribution.max_delay())
             .map(|_| snapshot.clone())
             .collect();
+        let metrics = MetricsRecorder::new(net.num_stages());
         AsgdTrainer {
             net,
             state,
@@ -138,6 +143,7 @@ impl AsgdTrainer {
             batch_size,
             delay_rng: StdRng::seed_from_u64(delay_seed),
             samples_seen: 0,
+            metrics,
         }
     }
 
@@ -153,6 +159,7 @@ impl AsgdTrainer {
 
     /// Trains on one batch with a freshly sampled delay; returns the loss.
     pub fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let start = Instant::now();
         let hp = self.schedule.at(self.samples_seen);
         let delay = self.distribution.sample(&mut self.delay_rng);
         let master = self.net.snapshot();
@@ -166,18 +173,20 @@ impl AsgdTrainer {
         // Master applies the (stale) gradient.
         self.net.load(&master);
         for s in 0..self.net.num_stages() {
+            let step_start = Instant::now();
             let stage = self.net.stage_mut(s);
-            let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
+            let (mut params, grads) = stage.params_and_grads();
             if grads.is_empty() {
                 continue;
             }
-            let grad_refs: Vec<&Tensor> = grads.iter().collect();
-            let mut params = stage.params_mut();
-            self.state[s].step(&mut params, &grad_refs, hp);
+            self.state[s].step(&mut params, &grads, hp);
+            self.metrics
+                .record_update(s, delay, step_start.elapsed().as_nanos());
         }
         self.history.push_front(self.net.snapshot());
         self.history.pop_back();
         self.samples_seen += labels.len();
+        self.metrics.add_train_ns(start.elapsed().as_nanos());
         loss
     }
 
@@ -200,18 +209,44 @@ impl AsgdTrainer {
 
     /// Full run with validation after each epoch.
     pub fn run(&mut self, train: &Dataset, val: &Dataset, epochs: usize, seed: u64) -> TrainReport {
-        let mut report = TrainReport::new(format!("ASGD {:?}", self.distribution));
-        for epoch in 0..epochs {
-            let train_loss = self.train_epoch(train, seed, epoch);
-            let (val_loss, val_acc) = evaluate(&mut self.net, val, 16);
-            report.records.push(EpochRecord {
-                epoch,
-                train_loss,
-                val_loss,
-                val_acc,
-            });
-        }
-        report
+        run_training(
+            self,
+            train,
+            val,
+            &RunConfig::new(epochs, seed),
+            &mut NoHooks,
+        )
+    }
+}
+
+impl TrainEngine for AsgdTrainer {
+    fn label(&self) -> String {
+        format!("ASGD {:?}", self.distribution)
+    }
+
+    fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        AsgdTrainer::train_batch(self, x, labels)
+    }
+
+    fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        AsgdTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        AsgdTrainer::network_mut(self)
+    }
+
+    fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        self.metrics
+            .snapshot(TrainEngine::label(self), self.samples_seen, None)
+    }
+
+    fn into_network(self: Box<Self>) -> Network {
+        AsgdTrainer::into_network(*self)
     }
 }
 

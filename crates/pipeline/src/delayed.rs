@@ -12,13 +12,16 @@
 //! forward pass then loading the model with the master weights before doing
 //! the backwards pass."
 
-use crate::trainer::{evaluate, EpochRecord, TrainReport};
+use crate::engine::{run_training, RunConfig, TrainEngine};
+use crate::metrics::{EngineMetrics, MetricsRecorder, NoHooks};
+use crate::trainer::TrainReport;
 use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::Network;
 use pbp_optim::{LrSchedule, Mitigation, StageOptimizer};
 use pbp_tensor::Tensor;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Configuration for delayed-gradient training.
 #[derive(Debug, Clone)]
@@ -74,6 +77,7 @@ pub struct DelayedTrainer {
     history: VecDeque<Vec<Vec<Tensor>>>,
     config: DelayedConfig,
     samples_seen: usize,
+    metrics: MetricsRecorder,
 }
 
 impl std::fmt::Debug for DelayedTrainer {
@@ -109,12 +113,14 @@ impl DelayedTrainer {
         let snapshot = net.snapshot();
         let history: VecDeque<Vec<Vec<Tensor>>> =
             (0..=config.delay).map(|_| snapshot.clone()).collect();
+        let metrics = MetricsRecorder::new(net.num_stages());
         DelayedTrainer {
             net,
             opts,
             history,
             config,
             samples_seen: 0,
+            metrics,
         }
     }
 
@@ -130,6 +136,7 @@ impl DelayedTrainer {
 
     /// Trains on one batch; returns the loss.
     pub fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let start = Instant::now();
         let hp = self.config.schedule.at(self.samples_seen);
         for opt in &mut self.opts {
             opt.set_hyperparams(hp);
@@ -149,14 +156,15 @@ impl DelayedTrainer {
         // Update the master copy.
         self.net.load(&master);
         for s in 0..self.net.num_stages() {
+            let step_start = Instant::now();
             let stage = self.net.stage_mut(s);
-            let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
+            let (mut params, grads) = stage.params_and_grads();
             if grads.is_empty() {
                 continue;
             }
-            let grad_refs: Vec<&Tensor> = grads.iter().collect();
-            let mut params = stage.params_mut();
-            self.opts[s].step(&mut params, &grad_refs);
+            self.opts[s].step(&mut params, &grads);
+            self.metrics
+                .record_update(s, self.config.delay, step_start.elapsed().as_nanos());
         }
         // Enqueue the next forward version (with prediction if configured).
         let mut next = Vec::with_capacity(self.net.num_stages());
@@ -169,6 +177,7 @@ impl DelayedTrainer {
         }
         self.history.push_back(next);
         self.samples_seen += labels.len();
+        self.metrics.add_train_ns(start.elapsed().as_nanos());
         loss
     }
 
@@ -190,14 +199,20 @@ impl DelayedTrainer {
     }
 
     /// Full run with validation after each epoch.
-    pub fn run(
-        &mut self,
-        train: &Dataset,
-        val: &Dataset,
-        epochs: usize,
-        seed: u64,
-    ) -> TrainReport {
-        let label = format!(
+    pub fn run(&mut self, train: &Dataset, val: &Dataset, epochs: usize, seed: u64) -> TrainReport {
+        run_training(
+            self,
+            train,
+            val,
+            &RunConfig::new(epochs, seed),
+            &mut NoHooks,
+        )
+    }
+}
+
+impl TrainEngine for DelayedTrainer {
+    fn label(&self) -> String {
+        format!(
             "{} D={} ({})",
             self.config.mitigation.label(),
             self.config.delay,
@@ -206,19 +221,32 @@ impl DelayedTrainer {
             } else {
                 "inconsistent"
             }
-        );
-        let mut report = TrainReport::new(label);
-        for epoch in 0..epochs {
-            let train_loss = self.train_epoch(train, seed, epoch);
-            let (val_loss, val_acc) = evaluate(&mut self.net, val, 16);
-            report.records.push(EpochRecord {
-                epoch,
-                train_loss,
-                val_loss,
-                val_acc,
-            });
-        }
-        report
+        )
+    }
+
+    fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        DelayedTrainer::train_batch(self, x, labels)
+    }
+
+    fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        DelayedTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        DelayedTrainer::network_mut(self)
+    }
+
+    fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        self.metrics
+            .snapshot(TrainEngine::label(self), self.samples_seen, None)
+    }
+
+    fn into_network(self: Box<Self>) -> Network {
+        DelayedTrainer::into_network(*self)
     }
 }
 
@@ -243,8 +271,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let net_b = mlp(&[2, 12, 3], &mut rng);
         let data = spirals(3, 24, 0.05, 1);
-        let mut delayed =
-            DelayedTrainer::new(net_a, DelayedConfig::consistent(0, 4, schedule()));
+        let mut delayed = DelayedTrainer::new(net_a, DelayedConfig::consistent(0, 4, schedule()));
         let mut sgd = SgdmTrainer::new(net_b, schedule(), 4);
         for epoch in 0..3 {
             delayed.train_epoch(&data, 2, epoch);
@@ -285,8 +312,7 @@ mod tests {
         let net = mlp(&[2, 16, 3], &mut rng);
         let data = pbp_data::blobs(3, 40, 0.4, 5);
         let (train, val) = data.split(0.2);
-        let mut trainer =
-            DelayedTrainer::new(net, DelayedConfig::consistent(4, 4, schedule()));
+        let mut trainer = DelayedTrainer::new(net, DelayedConfig::consistent(4, 4, schedule()));
         let report = trainer.run(&train, &val, 15, 6);
         assert!(report.final_val_acc() > 0.8, "{}", report.final_val_acc());
     }
@@ -301,7 +327,11 @@ mod tests {
             let data = spirals(3, 90, 0.05, 8);
             let mut t = DelayedTrainer::new(
                 net,
-                DelayedConfig::consistent(delay, 4, LrSchedule::constant(Hyperparams::new(0.1, 0.9))),
+                DelayedConfig::consistent(
+                    delay,
+                    4,
+                    LrSchedule::constant(Hyperparams::new(0.1, 0.9)),
+                ),
             );
             let mut loss = 0.0;
             for epoch in 0..10 {

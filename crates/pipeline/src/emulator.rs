@@ -22,14 +22,17 @@
 //! `ŵ` (Eqs. 18-19) computed from the state at push time — exactly what a
 //! real pipelined implementation would compute locally at forward time.
 
-use crate::schedule::stage_delay;
-use crate::trainer::{evaluate, EpochRecord, TrainReport};
+use crate::engine::{batch_rows, run_training, RunConfig, TrainEngine};
+use crate::metrics::{EngineMetrics, MetricsRecorder, NoHooks};
+use crate::schedule::{pb_utilization, stage_delay};
+use crate::trainer::TrainReport;
 use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::Network;
 use pbp_optim::{LrSchedule, Mitigation, StageOptimizer};
 use pbp_tensor::Tensor;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Configuration of a pipelined-backpropagation run.
 #[derive(Debug, Clone)]
@@ -84,6 +87,7 @@ pub struct PipelinedTrainer {
     stashes: Vec<VecDeque<Vec<Tensor>>>,
     config: PbConfig,
     samples_seen: usize,
+    metrics: MetricsRecorder,
 }
 
 impl std::fmt::Debug for PipelinedTrainer {
@@ -116,11 +120,11 @@ impl PipelinedTrainer {
             let params = net.stage(s).params();
             opts.push(StageOptimizer::new(&params, stage_cfg, hp));
             let snapshot = net.stage(s).snapshot();
-            let queue: VecDeque<Vec<Tensor>> =
-                (0..=delay).map(|_| snapshot.clone()).collect();
+            let queue: VecDeque<Vec<Tensor>> = (0..=delay).map(|_| snapshot.clone()).collect();
             fwd_queues.push(queue);
         }
         let stashes = (0..layer_stages).map(|_| VecDeque::new()).collect();
+        let metrics = MetricsRecorder::new(layer_stages);
         PipelinedTrainer {
             net,
             opts,
@@ -128,6 +132,7 @@ impl PipelinedTrainer {
             stashes,
             config,
             samples_seen: 0,
+            metrics,
         }
     }
 
@@ -155,6 +160,7 @@ impl PipelinedTrainer {
     /// Trains on one sample (`x` without batch dimension); returns the
     /// loss computed in the pipeline's loss stage.
     pub fn train_sample(&mut self, x: &Tensor, label: usize) -> f32 {
+        let start = Instant::now();
         let hp = self.config.schedule.at(self.samples_seen);
         for opt in &mut self.opts {
             opt.set_hyperparams(hp);
@@ -167,6 +173,7 @@ impl PipelinedTrainer {
         // ---- Forward sweep: each stage under its delayed weight version.
         let mut stack = vec![batched];
         for s in 0..self.net.num_stages() {
+            let stage_start = Instant::now();
             let fwd_w = self.fwd_queues[s]
                 .pop_front()
                 .expect("queue maintains delay+1 entries");
@@ -182,6 +189,8 @@ impl PipelinedTrainer {
             if self.config.weight_stashing {
                 self.stashes[s].push_back(fwd_w);
             }
+            self.metrics
+                .add_busy_ns(s, stage_start.elapsed().as_nanos());
         }
         assert_eq!(stack.len(), 1, "network must reduce to a single lane");
         let logits = stack.pop().expect("non-empty");
@@ -193,6 +202,7 @@ impl PipelinedTrainer {
         // immediately on receiving it (PB's defining property).
         let mut gstack = vec![grad];
         for s in (0..self.net.num_stages()).rev() {
+            let stage_start = Instant::now();
             let bwd_override: Option<Vec<Tensor>> = if self.config.weight_stashing {
                 let stashed = self.stashes[s].pop_front().expect("stash in sync");
                 (!stashed.is_empty()).then_some(stashed)
@@ -219,11 +229,10 @@ impl PipelinedTrainer {
                 None => stage.backward(&mut gstack),
             }
             // Apply the update with the just-arrived gradient.
-            let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
-            if !grads.is_empty() {
-                let grad_refs: Vec<&Tensor> = grads.iter().collect();
-                let mut params = stage.params_mut();
-                self.opts[s].step(&mut params, &grad_refs);
+            let (mut params, grads) = stage.params_and_grads();
+            let has_params = !grads.is_empty();
+            if has_params {
+                self.opts[s].step(&mut params, &grads);
             }
             // Enqueue the forward weight version a future sample will see.
             let stage = self.net.stage(s);
@@ -232,8 +241,19 @@ impl PipelinedTrainer {
                 .forward_weights(&params)
                 .unwrap_or_else(|| params.into_iter().cloned().collect());
             self.fwd_queues[s].push_back(next_fwd);
+            if has_params {
+                self.metrics.record_update(
+                    s,
+                    self.opts[s].config().delay,
+                    stage_start.elapsed().as_nanos(),
+                );
+            } else {
+                self.metrics
+                    .add_busy_ns(s, stage_start.elapsed().as_nanos());
+            }
         }
         self.samples_seen += 1;
+        self.metrics.add_train_ns(start.elapsed().as_nanos());
         loss
     }
 
@@ -256,29 +276,63 @@ impl PipelinedTrainer {
 
     /// Full training run: `epochs` epochs with validation after each,
     /// returning the labelled curve.
-    pub fn run(
-        &mut self,
-        train: &Dataset,
-        val: &Dataset,
-        epochs: usize,
-        seed: u64,
-    ) -> TrainReport {
+    pub fn run(&mut self, train: &Dataset, val: &Dataset, epochs: usize, seed: u64) -> TrainReport {
+        run_training(
+            self,
+            train,
+            val,
+            &RunConfig::new(epochs, seed),
+            &mut NoHooks,
+        )
+    }
+}
+
+impl TrainEngine for PipelinedTrainer {
+    fn label(&self) -> String {
         let mut label = self.config.mitigation.label();
         if self.config.weight_stashing {
             label.push_str("+WS");
         }
-        let mut report = TrainReport::new(label);
-        for epoch in 0..epochs {
-            let train_loss = self.train_epoch(train, seed, epoch);
-            let (val_loss, val_acc) = evaluate(&mut self.net, val, 16);
-            report.records.push(EpochRecord {
-                epoch,
-                train_loss,
-                val_loss,
-                val_acc,
+        label
+    }
+
+    fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let rows = batch_rows(x, labels.len());
+        let total: f32 = rows
+            .iter()
+            .zip(labels)
+            .map(|(row, &label)| self.train_sample(row, label))
+            .sum();
+        total / labels.len() as f32
+    }
+
+    fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        PipelinedTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        PipelinedTrainer::network_mut(self)
+    }
+
+    fn samples_seen(&self) -> usize {
+        PipelinedTrainer::samples_seen(self)
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        // PB keeps every stage busy after the fill; the occupancy is the
+        // Figure 2 schedule model's (only meaningful for the paper's
+        // pipeline delays, not for overridden ones).
+        let occupancy =
+            (self.samples_seen > 0 && self.config.delay_override.is_none()).then(|| {
+                let s = self.net.pipeline_stage_count();
+                pb_utilization(self.samples_seen + 2 * s - 2, s)
             });
-        }
-        report
+        self.metrics
+            .snapshot(TrainEngine::label(self), self.samples_seen, occupancy)
+    }
+
+    fn into_network(self: Box<Self>) -> Network {
+        PipelinedTrainer::into_network(*self)
     }
 }
 

@@ -1,0 +1,380 @@
+//! The unified training-engine interface.
+//!
+//! Every engine in this crate — [`SgdmTrainer`], [`FillDrainTrainer`],
+//! [`PipelinedTrainer`], [`DelayedTrainer`], [`AsgdTrainer`] and
+//! [`ThreadedPipeline`] — implements [`TrainEngine`], and the single
+//! shared [`run_training`] loop owns epoch ordering, evaluation cadence
+//! and record collection for all of them. Observers plug in through
+//! [`TrainHooks`](crate::metrics::TrainHooks); engine construction from a
+//! declarative description goes through [`EngineSpec`].
+//!
+//! The runner reproduces the engines' historical `run()` behaviour
+//! exactly (per-epoch `train_epoch` followed by `evaluate` at batch 16),
+//! so weight trajectories and reports are unchanged by the refactor.
+
+use crate::asgd::{AsgdTrainer, DelayDistribution};
+use crate::delayed::{DelayedConfig, DelayedTrainer};
+use crate::emulator::{PbConfig, PipelinedTrainer};
+use crate::filldrain::FillDrainTrainer;
+use crate::metrics::{EngineMetrics, TrainHooks};
+use crate::threaded::{ThreadedConfig, ThreadedPipeline};
+use crate::trainer::{evaluate, EpochRecord, SgdmTrainer, TrainReport};
+use pbp_data::Dataset;
+use pbp_nn::Network;
+use pbp_optim::LrSchedule;
+use pbp_tensor::Tensor;
+
+/// A training engine the shared [`run_training`] loop can drive.
+///
+/// Engines train destructively on an owned [`Network`]; `network_mut`
+/// exposes it for evaluation and `into_network` recovers it when the
+/// engine is done.
+pub trait TrainEngine {
+    /// Display label for reports (matches the paper's table rows).
+    fn label(&self) -> String;
+
+    /// Trains on one explicit batch (`x` has a leading batch dimension);
+    /// returns the mean loss. Per-sample engines process the batch one
+    /// sample at a time under their own update semantics.
+    fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32;
+
+    /// Trains one epoch over `data` in the deterministic order derived
+    /// from `(seed, epoch)`; returns the mean training loss.
+    fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64;
+
+    /// Borrows the network (e.g. for evaluation).
+    fn network_mut(&mut self) -> &mut Network;
+
+    /// Training samples consumed so far.
+    fn samples_seen(&self) -> usize;
+
+    /// Snapshot of the engine's observability counters.
+    fn metrics(&self) -> EngineMetrics;
+
+    /// Consumes the engine, returning the trained network.
+    fn into_network(self: Box<Self>) -> Network;
+}
+
+/// Configuration of a [`run_training`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Seed for the per-epoch data order.
+    pub seed: u64,
+    /// Evaluation batch size (the historical engines all used 16).
+    pub eval_batch: usize,
+    /// Evaluate every `eval_every` epochs (the final epoch is always
+    /// evaluated). 1 = every epoch, matching the engines' old `run()`.
+    pub eval_every: usize,
+}
+
+impl RunConfig {
+    /// Per-epoch evaluation at batch 16 — the engines' historical
+    /// behaviour.
+    pub fn new(epochs: usize, seed: u64) -> Self {
+        RunConfig {
+            epochs,
+            seed,
+            eval_batch: 16,
+            eval_every: 1,
+        }
+    }
+
+    /// Only evaluate after the final epoch (cheap sweeps).
+    pub fn eval_last_only(mut self) -> Self {
+        self.eval_every = self.epochs.max(1);
+        self
+    }
+}
+
+/// The shared training loop: trains `engine` for `config.epochs` epochs,
+/// evaluating on `val` at the configured cadence, invoking `hooks` at
+/// epoch and run boundaries, and returning the labelled curve.
+///
+/// # Panics
+///
+/// Panics if `config.eval_batch == 0` or `config.eval_every == 0`.
+pub fn run_training(
+    engine: &mut dyn TrainEngine,
+    train: &Dataset,
+    val: &Dataset,
+    config: &RunConfig,
+    hooks: &mut dyn TrainHooks,
+) -> TrainReport {
+    assert!(config.eval_batch > 0, "eval batch must be positive");
+    assert!(config.eval_every > 0, "eval cadence must be positive");
+    let mut report = TrainReport::new(engine.label());
+    for epoch in 0..config.epochs {
+        hooks.on_epoch_start(epoch);
+        let train_loss = engine.train_epoch(train, config.seed, epoch);
+        let is_last = epoch + 1 == config.epochs;
+        if (epoch + 1) % config.eval_every == 0 || is_last {
+            let (val_loss, val_acc) = evaluate(engine.network_mut(), val, config.eval_batch);
+            let record = EpochRecord {
+                epoch,
+                train_loss,
+                val_loss,
+                val_acc,
+            };
+            hooks.on_epoch_end(&record);
+            report.records.push(record);
+        }
+    }
+    let metrics = engine.metrics();
+    hooks.on_run_end(&report, &metrics);
+    report
+}
+
+/// Declarative engine description: which engine to run and how, minus the
+/// network. `build` instantiates the engine for a freshly initialized
+/// network, so sweeps can construct identical engines across seeds.
+#[derive(Debug, Clone)]
+pub enum EngineSpec {
+    /// Mini-batch SGDM ([`SgdmTrainer`]).
+    Sgdm {
+        /// Learning-rate schedule (already scaled for this batch size).
+        schedule: LrSchedule,
+        /// Batch size.
+        batch: usize,
+    },
+    /// Fill-and-drain pipeline SGDM ([`FillDrainTrainer`]).
+    FillDrain {
+        /// Learning-rate schedule (already scaled for update size one).
+        schedule: LrSchedule,
+        /// Update size `N`.
+        update_size: usize,
+    },
+    /// The cycle-accurate PB emulator ([`PipelinedTrainer`]).
+    Pb(PbConfig),
+    /// The uniform delayed-gradient simulator ([`DelayedTrainer`]).
+    Delayed(DelayedConfig),
+    /// Random-delay ASGD simulation ([`AsgdTrainer`]).
+    Asgd {
+        /// Delay distribution.
+        distribution: DelayDistribution,
+        /// Batch size per update.
+        batch: usize,
+        /// Learning-rate schedule.
+        schedule: LrSchedule,
+        /// Seed of the delay-sampling RNG.
+        delay_seed: u64,
+    },
+    /// The thread-per-stage runtime ([`ThreadedPipeline`]).
+    Threaded(ThreadedConfig),
+}
+
+impl EngineSpec {
+    /// Instantiates the engine for `net`.
+    pub fn build(&self, net: Network) -> Box<dyn TrainEngine> {
+        match self {
+            EngineSpec::Sgdm { schedule, batch } => {
+                Box::new(SgdmTrainer::new(net, schedule.clone(), *batch))
+            }
+            EngineSpec::FillDrain {
+                schedule,
+                update_size,
+            } => Box::new(FillDrainTrainer::new(net, schedule.clone(), *update_size)),
+            EngineSpec::Pb(config) => Box::new(PipelinedTrainer::new(net, config.clone())),
+            EngineSpec::Delayed(config) => Box::new(DelayedTrainer::new(net, config.clone())),
+            EngineSpec::Asgd {
+                distribution,
+                batch,
+                schedule,
+                delay_seed,
+            } => Box::new(AsgdTrainer::new(
+                net,
+                *distribution,
+                *batch,
+                schedule.clone(),
+                *delay_seed,
+            )),
+            EngineSpec::Threaded(config) => Box::new(ThreadedPipeline::new(net, config.clone())),
+        }
+    }
+
+    /// The label the built engine will report (without building it).
+    pub fn label(&self) -> String {
+        match self {
+            EngineSpec::Sgdm { .. } => "SGDM".to_string(),
+            EngineSpec::FillDrain { update_size, .. } => {
+                format!("Fill&Drain SGDM (N={update_size})")
+            }
+            EngineSpec::Pb(config) => {
+                let mut label = config.mitigation.label();
+                if config.weight_stashing {
+                    label.push_str("+WS");
+                }
+                label
+            }
+            EngineSpec::Delayed(config) => format!(
+                "{} D={} ({})",
+                config.mitigation.label(),
+                config.delay,
+                if config.consistent {
+                    "consistent"
+                } else {
+                    "inconsistent"
+                }
+            ),
+            EngineSpec::Asgd { distribution, .. } => format!("ASGD {distribution:?}"),
+            EngineSpec::Threaded(config) => {
+                if config.fill_drain {
+                    "Threaded Fill&Drain".to_string()
+                } else {
+                    let mut label = format!("Threaded {}", config.mitigation.label());
+                    if config.weight_stashing {
+                        label.push_str("+WS");
+                    }
+                    label
+                }
+            }
+        }
+    }
+}
+
+/// Splits a batched tensor (leading dimension `n`) into its `n` rows
+/// without the batch dimension — used by the per-sample engines to
+/// satisfy [`TrainEngine::train_batch`].
+pub(crate) fn batch_rows(x: &Tensor, n: usize) -> Vec<Tensor> {
+    assert!(n > 0, "batch must be non-empty");
+    assert_eq!(
+        x.shape().first().copied(),
+        Some(n),
+        "leading dimension must match label count"
+    );
+    let volume = x.len() / n;
+    let row_shape: Vec<usize> = x.shape()[1..].to_vec();
+    (0..n)
+        .map(|i| {
+            Tensor::from_vec(
+                x.as_slice()[i * volume..(i + 1) * volume].to_vec(),
+                &row_shape,
+            )
+            .expect("row volume matches shape")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::NoHooks;
+    use pbp_nn::models::mlp;
+    use pbp_optim::{Hyperparams, Mitigation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schedule() -> LrSchedule {
+        LrSchedule::constant(Hyperparams::new(0.05, 0.9))
+    }
+
+    #[test]
+    fn spec_labels_match_engine_labels() {
+        let specs = [
+            EngineSpec::Sgdm {
+                schedule: schedule(),
+                batch: 4,
+            },
+            EngineSpec::FillDrain {
+                schedule: schedule(),
+                update_size: 8,
+            },
+            EngineSpec::Pb(PbConfig::plain(schedule()).with_mitigation(Mitigation::scd())),
+            EngineSpec::Delayed(DelayedConfig::inconsistent(3, 4, schedule())),
+            EngineSpec::Asgd {
+                distribution: DelayDistribution::Constant(2),
+                batch: 4,
+                schedule: schedule(),
+                delay_seed: 0,
+            },
+            EngineSpec::Threaded(ThreadedConfig::fill_drain(schedule())),
+        ];
+        for spec in specs {
+            let mut rng = StdRng::seed_from_u64(0);
+            let engine = spec.build(mlp(&[2, 6, 3], &mut rng));
+            assert_eq!(engine.label(), spec.label(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn run_training_matches_historical_run_loop() {
+        let data = pbp_data::blobs(3, 24, 0.4, 1);
+        let (train, val) = data.split(0.25);
+        let mut rng = StdRng::seed_from_u64(3);
+        let net_a = mlp(&[2, 8, 3], &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let net_b = mlp(&[2, 8, 3], &mut rng);
+
+        let mut via_runner = PipelinedTrainer::new(net_a, PbConfig::plain(schedule()));
+        let report_a = run_training(
+            &mut via_runner,
+            &train,
+            &val,
+            &RunConfig::new(3, 5),
+            &mut NoHooks,
+        );
+        let mut via_run = PipelinedTrainer::new(net_b, PbConfig::plain(schedule()));
+        let report_b = via_run.run(&train, &val, 3, 5);
+        assert_eq!(report_a.label, report_b.label);
+        assert_eq!(report_a.records.len(), report_b.records.len());
+        for (a, b) in report_a.records.iter().zip(&report_b.records) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn eval_cadence_always_includes_final_epoch() {
+        let data = pbp_data::blobs(3, 18, 0.4, 2);
+        let (train, val) = data.split(0.34);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut engine = SgdmTrainer::new(mlp(&[2, 6, 3], &mut rng), schedule(), 4);
+        let config = RunConfig::new(5, 1).eval_last_only();
+        let report = run_training(&mut engine, &train, &val, &config, &mut NoHooks);
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.records[0].epoch, 4);
+        assert_eq!(engine.samples_seen(), 5 * train.len());
+    }
+
+    #[test]
+    fn hooks_see_every_epoch() {
+        #[derive(Default)]
+        struct Counting {
+            starts: usize,
+            ends: usize,
+            runs: usize,
+            final_updates: u64,
+        }
+        impl TrainHooks for Counting {
+            fn on_epoch_start(&mut self, _epoch: usize) {
+                self.starts += 1;
+            }
+            fn on_epoch_end(&mut self, _record: &EpochRecord) {
+                self.ends += 1;
+            }
+            fn on_run_end(&mut self, _report: &TrainReport, metrics: &EngineMetrics) {
+                self.runs += 1;
+                self.final_updates = metrics.total_updates();
+            }
+        }
+        let data = pbp_data::blobs(3, 18, 0.4, 4);
+        let (train, val) = data.split(0.34);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut engine = SgdmTrainer::new(mlp(&[2, 6, 3], &mut rng), schedule(), 4);
+        let mut hooks = Counting::default();
+        run_training(&mut engine, &train, &val, &RunConfig::new(4, 2), &mut hooks);
+        assert_eq!(hooks.starts, 4);
+        assert_eq!(hooks.ends, 4);
+        assert_eq!(hooks.runs, 1);
+        assert!(hooks.final_updates > 0);
+    }
+
+    #[test]
+    fn batch_rows_roundtrips() {
+        let x = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 2, 2]).unwrap();
+        let rows = batch_rows(&x, 3);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].shape(), &[2, 2]);
+        assert_eq!(rows[1].as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+}

@@ -8,12 +8,15 @@
 //! paper's GProp validation, Figure 16) and tracks the pipeline-step
 //! accounting so experiments can report utilization alongside accuracy.
 
-use crate::trainer::{evaluate, EpochRecord, TrainReport};
+use crate::engine::{batch_rows, run_training, RunConfig, TrainEngine};
+use crate::metrics::{EngineMetrics, MetricsRecorder, NoHooks};
+use crate::trainer::TrainReport;
 use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::Network;
 use pbp_optim::{LrSchedule, SgdmState};
 use pbp_tensor::Tensor;
+use std::time::Instant;
 
 /// Fill-and-drain pipeline SGD trainer with update size `n`.
 pub struct FillDrainTrainer {
@@ -25,6 +28,7 @@ pub struct FillDrainTrainer {
     pipeline_steps: usize,
     /// Accumulated (mean-scaled) gradients for the in-flight update.
     pending: usize,
+    metrics: MetricsRecorder,
 }
 
 impl std::fmt::Debug for FillDrainTrainer {
@@ -48,6 +52,7 @@ impl FillDrainTrainer {
         let state = (0..net.num_stages())
             .map(|s| SgdmState::new(&net.stage(s).params()))
             .collect();
+        let metrics = MetricsRecorder::new(net.num_stages());
         FillDrainTrainer {
             net,
             state,
@@ -56,6 +61,7 @@ impl FillDrainTrainer {
             samples_seen: 0,
             pipeline_steps: 0,
             pending: 0,
+            metrics,
         }
     }
 
@@ -88,6 +94,7 @@ impl FillDrainTrainer {
     /// `update_size` samples, after draining the pipeline. Returns the
     /// sample loss.
     pub fn train_sample(&mut self, x: &Tensor, label: usize) -> f32 {
+        let start = Instant::now();
         let mut shape = vec![1usize];
         shape.extend_from_slice(x.shape());
         let batched = x.reshape(&shape).expect("same volume");
@@ -102,15 +109,19 @@ impl FillDrainTrainer {
         self.pending += 1;
         self.samples_seen += 1;
         if self.pending == self.update_size {
-            let hp = self
-                .schedule
-                .at(self.samples_seen - self.update_size);
+            let hp = self.schedule.at(self.samples_seen - self.update_size);
             for s in 0..self.net.num_stages() {
+                let step_start = Instant::now();
                 let stage = self.net.stage_mut(s);
-                let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
-                let grad_refs: Vec<&Tensor> = grads.iter().collect();
-                let mut params = stage.params_mut();
-                self.state[s].step(&mut params, &grad_refs, hp);
+                let (mut params, grads) = stage.params_and_grads();
+                let has_params = !grads.is_empty();
+                self.state[s].step(&mut params, &grads, hp);
+                if has_params {
+                    // Draining before every update keeps forward and
+                    // backward weights identical: effective delay 0.
+                    self.metrics
+                        .record_update(s, 0, step_start.elapsed().as_nanos());
+                }
             }
             // Step accounting: one fill-and-drain cycle (Eq. 1's exact
             // denominator).
@@ -118,6 +129,7 @@ impl FillDrainTrainer {
             self.pipeline_steps += self.update_size + 2 * s - 2;
             self.pending = 0;
         }
+        self.metrics.add_train_ns(start.elapsed().as_nanos());
         loss
     }
 
@@ -138,25 +150,52 @@ impl FillDrainTrainer {
     }
 
     /// Full run with validation after each epoch.
-    pub fn run(
-        &mut self,
-        train: &Dataset,
-        val: &Dataset,
-        epochs: usize,
-        seed: u64,
-    ) -> TrainReport {
-        let mut report = TrainReport::new(format!("Fill&Drain SGDM (N={})", self.update_size));
-        for epoch in 0..epochs {
-            let train_loss = self.train_epoch(train, seed, epoch);
-            let (val_loss, val_acc) = evaluate(&mut self.net, val, 16);
-            report.records.push(EpochRecord {
-                epoch,
-                train_loss,
-                val_loss,
-                val_acc,
-            });
-        }
-        report
+    pub fn run(&mut self, train: &Dataset, val: &Dataset, epochs: usize, seed: u64) -> TrainReport {
+        run_training(
+            self,
+            train,
+            val,
+            &RunConfig::new(epochs, seed),
+            &mut NoHooks,
+        )
+    }
+}
+
+impl TrainEngine for FillDrainTrainer {
+    fn label(&self) -> String {
+        format!("Fill&Drain SGDM (N={})", self.update_size)
+    }
+
+    fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let rows = batch_rows(x, labels.len());
+        let total: f32 = rows
+            .iter()
+            .zip(labels)
+            .map(|(row, &label)| self.train_sample(row, label))
+            .sum();
+        total / labels.len() as f32
+    }
+
+    fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        FillDrainTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        FillDrainTrainer::network_mut(self)
+    }
+
+    fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        let occupancy = (self.pipeline_steps > 0).then(|| self.utilization());
+        self.metrics
+            .snapshot(TrainEngine::label(self), self.samples_seen, occupancy)
+    }
+
+    fn into_network(self: Box<Self>) -> Network {
+        FillDrainTrainer::into_network(*self)
     }
 }
 

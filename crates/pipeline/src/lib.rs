@@ -24,12 +24,23 @@
 //!   thread per stage, crossbeam channels) demonstrating that PB keeps all
 //!   workers busy while fill-and-drain idles them.
 //! * [`schedule`] — the analytic utilization model behind Figure 2.
+//!
+//! All six engines implement the [`TrainEngine`] trait and share one
+//! observable training loop, [`run_training`], which owns epoch ordering,
+//! evaluation cadence and record collection. Engines report per-stage
+//! [`EngineMetrics`] (updates applied, busy time, effective-delay
+//! histograms, pipeline occupancy); [`TrainHooks`] observe runs and
+//! [`JsonSink`] persists their metrics as JSON. [`EngineSpec`] is a
+//! declarative builder used by the benchmark suite to construct engines
+//! uniformly.
 
 pub mod asgd;
 pub mod delayed;
 pub mod emulator;
+pub mod engine;
 pub mod filldrain;
 pub mod memory;
+pub mod metrics;
 pub mod schedule;
 pub mod threaded;
 pub mod trainer;
@@ -37,8 +48,14 @@ pub mod trainer;
 pub use asgd::{AsgdTrainer, DelayDistribution};
 pub use delayed::{DelayedConfig, DelayedTrainer};
 pub use emulator::{PbConfig, PipelinedTrainer};
+pub use engine::{run_training, EngineSpec, RunConfig, TrainEngine};
 pub use filldrain::FillDrainTrainer;
 pub use memory::MemoryModel;
-pub use schedule::{fill_drain_utilization, stage_delay, ScheduleModel, StageActivity};
+pub use metrics::{
+    EngineMetrics, JsonSink, MetricsRecorder, MetricsSink, NoHooks, StageCounters, TrainHooks,
+};
+pub use schedule::{
+    fill_drain_utilization, pb_utilization, stage_delay, ScheduleModel, StageActivity,
+};
 pub use threaded::{ThreadedConfig, ThreadedPipeline, ThroughputReport};
 pub use trainer::{evaluate, EpochRecord, SgdmTrainer, TrainReport};

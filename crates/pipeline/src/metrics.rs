@@ -1,0 +1,459 @@
+//! Observability layer shared by every training engine.
+//!
+//! All engines record the same per-stage counters while they train —
+//! updates applied, wall-clock time attributed to the stage, and the
+//! *effective* gradient delay of every update — plus run-level totals
+//! (samples, training time, analytic pipeline occupancy where one exists).
+//! [`run_training`](crate::engine::run_training) snapshots them into an
+//! [`EngineMetrics`] at the end of a run and hands them to the
+//! [`TrainHooks`] observer, so a single [`JsonSink`] can serialize any
+//! engine's run into the same machine-readable schema.
+
+use crate::trainer::{EpochRecord, TrainReport};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Counters for one pipeline stage of one engine run.
+///
+/// The delay histogram maps *effective gradient delay* (updates applied at
+/// this stage between a sample's forward pass and the application of its
+/// gradient) to the number of updates that experienced it. For the
+/// deterministic engines this is the configured delay; for
+/// [`crate::AsgdTrainer`] it is the sampled delay; for the threaded runtime
+/// it is measured from the actual interleaving.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Optimizer updates applied at this stage.
+    pub updates: u64,
+    /// Wall-clock nanoseconds attributed to this stage's work. Always
+    /// includes optimizer updates; engines that process stages one at a
+    /// time (the PB emulator, the threaded runtime) also attribute their
+    /// per-stage forward/backward compute here.
+    pub busy_ns: u128,
+    /// Effective gradient delay → number of updates observing it.
+    pub delay_hist: BTreeMap<usize, u64>,
+}
+
+impl StageCounters {
+    /// Records one optimizer update with its effective delay and the time
+    /// it took.
+    pub fn record_update(&mut self, delay: usize, busy_ns: u128) {
+        self.updates += 1;
+        self.busy_ns += busy_ns;
+        *self.delay_hist.entry(delay).or_insert(0) += 1;
+    }
+
+    /// Adds stage-attributed wall time without counting an update.
+    pub fn add_busy_ns(&mut self, ns: u128) {
+        self.busy_ns += ns;
+    }
+
+    /// Folds another stage's counters into this one.
+    pub fn merge(&mut self, other: &StageCounters) {
+        self.updates += other.updates;
+        self.busy_ns += other.busy_ns;
+        for (&delay, &count) in &other.delay_hist {
+            *self.delay_hist.entry(delay).or_insert(0) += count;
+        }
+    }
+
+    /// Mean effective delay over all recorded updates (0 if none).
+    pub fn mean_delay(&self) -> f64 {
+        if self.updates == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .delay_hist
+            .iter()
+            .map(|(&d, &n)| d as f64 * n as f64)
+            .sum();
+        weighted / self.updates as f64
+    }
+}
+
+/// Snapshot of an engine's counters, as returned by
+/// [`TrainEngine::metrics`](crate::engine::TrainEngine::metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMetrics {
+    /// Engine label (same string as the engine's `TrainReport`s).
+    pub engine: String,
+    /// Training samples consumed.
+    pub samples: usize,
+    /// Wall-clock nanoseconds spent inside training calls.
+    pub train_ns: u128,
+    /// Analytic pipeline occupancy in `[0, 1]`, where the engine models a
+    /// pipeline (fill&drain: Eq. 1; PB: the Figure 2 schedule model).
+    /// `None` for engines with no pipeline interpretation.
+    pub occupancy: Option<f64>,
+    /// Per-stage counters, indexed by layer-stage number.
+    pub stages: Vec<StageCounters>,
+}
+
+impl EngineMetrics {
+    /// Training throughput in samples per wall-clock second.
+    pub fn samples_per_sec(&self) -> f64 {
+        if self.train_ns == 0 {
+            return 0.0;
+        }
+        self.samples as f64 / (self.train_ns as f64 * 1e-9)
+    }
+
+    /// Total optimizer updates across all stages.
+    pub fn total_updates(&self) -> u64 {
+        self.stages.iter().map(|s| s.updates).sum()
+    }
+
+    /// Serializes the metrics as a JSON object (the `metrics` field of the
+    /// sink schema documented on [`JsonSink`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"engine\":{},", json_string(&self.engine)));
+        out.push_str(&format!("\"samples\":{},", self.samples));
+        out.push_str(&format!(
+            "\"train_seconds\":{},",
+            json_f64(self.train_ns as f64 * 1e-9)
+        ));
+        out.push_str(&format!(
+            "\"samples_per_sec\":{},",
+            json_f64(self.samples_per_sec())
+        ));
+        match self.occupancy {
+            Some(o) => out.push_str(&format!("\"occupancy\":{},", json_f64(o))),
+            None => out.push_str("\"occupancy\":null,"),
+        }
+        out.push_str("\"stages\":[");
+        for (s, stage) in self.stages.iter().enumerate() {
+            if s > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":{},\"updates\":{},\"busy_seconds\":{},\"mean_delay\":{},\"delay_hist\":{{",
+                s,
+                stage.updates,
+                json_f64(stage.busy_ns as f64 * 1e-9),
+                json_f64(stage.mean_delay()),
+            ));
+            for (i, (delay, count)) in stage.delay_hist.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{delay}\":{count}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The mutable recorder engines carry while training; snapshot with
+/// [`MetricsRecorder::snapshot`] to produce an [`EngineMetrics`].
+#[derive(Debug, Clone)]
+pub struct MetricsRecorder {
+    stages: Vec<StageCounters>,
+    train_ns: u128,
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder for `num_stages` layer stages.
+    pub fn new(num_stages: usize) -> Self {
+        MetricsRecorder {
+            stages: vec![StageCounters::default(); num_stages],
+            train_ns: 0,
+        }
+    }
+
+    /// Records one optimizer update at `stage`.
+    pub fn record_update(&mut self, stage: usize, delay: usize, busy_ns: u128) {
+        self.stages[stage].record_update(delay, busy_ns);
+    }
+
+    /// Attributes wall time to `stage` without counting an update.
+    pub fn add_busy_ns(&mut self, stage: usize, ns: u128) {
+        self.stages[stage].add_busy_ns(ns);
+    }
+
+    /// Adds wall time spent training (across all stages).
+    pub fn add_train_ns(&mut self, ns: u128) {
+        self.train_ns += ns;
+    }
+
+    /// Folds externally collected per-stage counters in (used by the
+    /// threaded runtime, whose counters are produced by worker threads).
+    pub fn merge_stage(&mut self, stage: usize, counters: &StageCounters) {
+        self.stages[stage].merge(counters);
+    }
+
+    /// Snapshots the counters into an [`EngineMetrics`].
+    pub fn snapshot(
+        &self,
+        engine: impl Into<String>,
+        samples: usize,
+        occupancy: Option<f64>,
+    ) -> EngineMetrics {
+        EngineMetrics {
+            engine: engine.into(),
+            samples,
+            train_ns: self.train_ns,
+            occupancy,
+            stages: self.stages.clone(),
+        }
+    }
+}
+
+/// Observer interface for [`run_training`](crate::engine::run_training).
+/// All methods default to no-ops; implement the ones you need.
+pub trait TrainHooks {
+    /// Called before each epoch's training pass.
+    fn on_epoch_start(&mut self, epoch: usize) {
+        let _ = epoch;
+    }
+
+    /// Called after each evaluated epoch with its record.
+    fn on_epoch_end(&mut self, record: &EpochRecord) {
+        let _ = record;
+    }
+
+    /// Called once at the end of the run with the full report and the
+    /// engine's metrics snapshot.
+    fn on_run_end(&mut self, report: &TrainReport, metrics: &EngineMetrics) {
+        let _ = (report, metrics);
+    }
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl TrainHooks for NoHooks {}
+
+/// A sink that renders runs into machine-readable JSON.
+pub trait MetricsSink {
+    /// Records one finished run.
+    fn record(&mut self, report: &TrainReport, metrics: &EngineMetrics);
+    /// Flushes everything recorded so far to durable storage.
+    fn write(&self) -> std::io::Result<()>;
+}
+
+/// [`MetricsSink`] writing a JSON document of all recorded runs.
+///
+/// Schema:
+///
+/// ```json
+/// {"runs": [
+///   {"label": "PB+SCD",
+///    "final_val_acc": 0.93,
+///    "records": [{"epoch": 0, "train_loss": 1.0,
+///                 "val_loss": 0.9, "val_acc": 0.5}, ...],
+///    "metrics": {"engine": "PB+SCD", "samples": 1200,
+///                "train_seconds": 1.5, "samples_per_sec": 800.0,
+///                "occupancy": 0.98,
+///                "stages": [{"stage": 0, "updates": 1200,
+///                            "busy_seconds": 0.2, "mean_delay": 6.0,
+///                            "delay_hist": {"6": 1200}}, ...]}},
+///   ...]}
+/// ```
+///
+/// `JsonSink` also implements [`TrainHooks`], recording on `on_run_end`,
+/// so it can be passed straight to
+/// [`run_training`](crate::engine::run_training); call [`JsonSink::write`]
+/// once all runs are in.
+#[derive(Debug, Clone)]
+pub struct JsonSink {
+    path: PathBuf,
+    runs: Vec<String>,
+}
+
+impl JsonSink {
+    /// Creates a sink that will write to `path` (parent directories are
+    /// created on [`JsonSink::write`]).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JsonSink {
+            path: path.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of runs recorded so far.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no runs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Renders the accumulated runs as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"runs\":[");
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(run);
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+impl MetricsSink for JsonSink {
+    fn record(&mut self, report: &TrainReport, metrics: &EngineMetrics) {
+        let mut run = String::from("{");
+        run.push_str(&format!("\"label\":{},", json_string(&report.label)));
+        run.push_str(&format!(
+            "\"final_val_acc\":{},",
+            json_f64(report.final_val_acc())
+        ));
+        run.push_str("\"records\":[");
+        for (i, r) in report.records.iter().enumerate() {
+            if i > 0 {
+                run.push(',');
+            }
+            run.push_str(&format!(
+                "{{\"epoch\":{},\"train_loss\":{},\"val_loss\":{},\"val_acc\":{}}}",
+                r.epoch,
+                json_f64(r.train_loss),
+                json_f64(r.val_loss),
+                json_f64(r.val_acc)
+            ));
+        }
+        run.push_str("],");
+        run.push_str(&format!("\"metrics\":{}", metrics.to_json()));
+        run.push('}');
+        self.runs.push(run);
+    }
+
+    fn write(&self) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&self.path, self.to_json())
+    }
+}
+
+impl TrainHooks for JsonSink {
+    fn on_run_end(&mut self, report: &TrainReport, metrics: &EngineMetrics) {
+        self.record(report, metrics);
+    }
+}
+
+/// JSON number: finite floats print as-is, non-finite become `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_average() {
+        let mut c = StageCounters::default();
+        c.record_update(4, 100);
+        c.record_update(4, 50);
+        c.record_update(0, 10);
+        assert_eq!(c.updates, 3);
+        assert_eq!(c.busy_ns, 160);
+        assert_eq!(c.delay_hist[&4], 2);
+        assert!((c.mean_delay() - 8.0 / 3.0).abs() < 1e-12);
+        let mut d = StageCounters::default();
+        d.record_update(4, 1);
+        d.merge(&c);
+        assert_eq!(d.updates, 4);
+        assert_eq!(d.delay_hist[&4], 3);
+    }
+
+    #[test]
+    fn recorder_snapshot_reports_throughput() {
+        let mut rec = MetricsRecorder::new(2);
+        rec.record_update(0, 2, 500);
+        rec.record_update(1, 0, 500);
+        rec.add_train_ns(2_000_000_000); // 2 s
+        let m = rec.snapshot("test", 100, Some(0.5));
+        assert_eq!(m.total_updates(), 2);
+        assert!((m.samples_per_sec() - 50.0).abs() < 1e-9);
+        assert_eq!(m.occupancy, Some(0.5));
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut rec = MetricsRecorder::new(1);
+        rec.record_update(0, 3, 10);
+        rec.add_train_ns(1_000);
+        let metrics = rec.snapshot("Fill&Drain SGDM (N=8)", 8, None);
+        let json = metrics.to_json();
+        assert!(json.contains("\"occupancy\":null"));
+        assert!(json.contains("\"delay_hist\":{\"3\":1}"));
+
+        let mut sink = JsonSink::new("unused.json");
+        let mut report = TrainReport::new("Fill&Drain SGDM (N=8)");
+        report.records.push(EpochRecord {
+            epoch: 0,
+            train_loss: 1.25,
+            val_loss: 1.5,
+            val_acc: 0.5,
+        });
+        sink.record(&report, &metrics);
+        let doc = sink.to_json();
+        assert!(doc.starts_with("{\"runs\":[{"));
+        assert!(doc.contains("\"label\":\"Fill&Drain SGDM (N=8)\""));
+        assert!(doc.contains("\"val_acc\":0.5"));
+        // Balanced braces/brackets — cheap well-formedness check without a
+        // JSON parser dependency.
+        let opens = doc.matches('{').count() + doc.matches('[').count();
+        let closes = doc.matches('}').count() + doc.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_sink_writes_to_disk() {
+        let path =
+            std::env::temp_dir().join(format!("pbp_metrics_test_{}.json", std::process::id()));
+        let mut sink = JsonSink::new(&path);
+        let rec = MetricsRecorder::new(0);
+        sink.record(&TrainReport::new("SGDM"), &rec.snapshot("SGDM", 0, None));
+        sink.write().expect("write json");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("\"engine\":\"SGDM\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

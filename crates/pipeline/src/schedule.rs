@@ -10,7 +10,10 @@
 ///
 /// Panics if `s >= num_stages`.
 pub fn stage_delay(s: usize, num_stages: usize) -> usize {
-    assert!(s < num_stages, "stage {s} out of range for {num_stages} stages");
+    assert!(
+        s < num_stages,
+        "stage {s} out of range for {num_stages} stages"
+    );
     2 * (num_stages - 1 - s)
 }
 
@@ -36,6 +39,35 @@ pub fn stage_delay(s: usize, num_stages: usize) -> usize {
 pub fn fill_drain_utilization(n: usize, s: usize) -> f64 {
     assert!(n > 0 && s > 0, "batch and stage counts must be positive");
     n as f64 / (n + 2 * s - 2) as f64
+}
+
+/// Closed-form utilization of the pipelined-backpropagation schedule over
+/// `total_steps` steps (identical to
+/// `ScheduleModel::utilization(&model.pb_schedule(total_steps))` without
+/// materializing the grid): stage `s` runs forwards from step `s` on and
+/// backwards from step `2S−2−s` on, each counting half a slot.
+///
+/// Streaming `n` samples through an `S`-stage pipeline takes
+/// `n + 2S − 2` steps, so engines report `pb_utilization(n + 2S - 2, S)`
+/// as their occupancy.
+///
+/// # Panics
+///
+/// Panics if `num_stages == 0`.
+pub fn pb_utilization(total_steps: usize, num_stages: usize) -> f64 {
+    assert!(num_stages > 0, "pipeline needs at least one stage");
+    if total_steps == 0 {
+        return 0.0;
+    }
+    let s = num_stages;
+    let t = total_steps;
+    let mut busy = 0.0f64;
+    for stage in 0..s {
+        let fwd_steps = t.saturating_sub(stage);
+        let bwd_steps = t.saturating_sub(2 * s - 2 - stage);
+        busy += 0.5 * (fwd_steps + bwd_steps) as f64;
+    }
+    busy / (t * s) as f64
 }
 
 /// What a stage is doing at one pipeline step.
@@ -201,5 +233,21 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn stage_delay_bounds_checked() {
         stage_delay(4, 4);
+    }
+
+    #[test]
+    fn pb_utilization_closed_form_matches_grid() {
+        for s in [1usize, 3, 8] {
+            let model = ScheduleModel::new(s);
+            for t in [1usize, 2, 2 * s, 5 * s + 7] {
+                let grid = ScheduleModel::utilization(&model.pb_schedule(t));
+                let closed = pb_utilization(t, s);
+                assert!(
+                    (grid - closed).abs() < 1e-12,
+                    "S={s} T={t}: grid {grid} vs closed {closed}"
+                );
+            }
+        }
+        assert_eq!(pb_utilization(0, 4), 0.0);
     }
 }

@@ -20,8 +20,11 @@
 //! * each worker drains pending gradients before accepting new forward
 //!   work, which keeps updates flowing and bounds activation stashes.
 
-use crate::schedule::stage_delay;
+use crate::engine::{batch_rows, TrainEngine};
+use crate::metrics::{EngineMetrics, MetricsRecorder, StageCounters};
+use crate::schedule::{fill_drain_utilization, pb_utilization, stage_delay};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::{Network, Stage};
 use pbp_optim::{LrSchedule, Mitigation, StageOptimizer};
@@ -102,10 +105,84 @@ struct BwdMsg {
 }
 
 /// The threaded pipeline runtime (see module docs).
-#[derive(Debug)]
-pub struct ThreadedPipeline;
+///
+/// Use the static [`ThreadedPipeline::train`] to stream one batch of
+/// samples through a network, or construct a stateful engine with
+/// [`ThreadedPipeline::new`] to drive it through the shared
+/// [`run_training`](crate::engine::run_training) loop. The stateful form
+/// spawns a fresh set of stage workers per training call, so per-stage
+/// optimizer state (velocity, schedule position) restarts with each epoch
+/// — acceptable for throughput comparisons, which is what this engine is
+/// for; use [`crate::PipelinedTrainer`] when exact cross-epoch optimizer
+/// dynamics matter.
+pub struct ThreadedPipeline {
+    net: Option<Network>,
+    config: ThreadedConfig,
+    metrics: MetricsRecorder,
+    samples_seen: usize,
+    pipeline_stage_count: usize,
+    last_throughput: Option<ThroughputReport>,
+}
+
+impl std::fmt::Debug for ThreadedPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ThreadedPipeline({} stages, fill_drain={}, samples_seen={})",
+            self.pipeline_stage_count, self.config.fill_drain, self.samples_seen
+        )
+    }
+}
 
 impl ThreadedPipeline {
+    /// Creates a stateful engine that streams each training call through
+    /// the threaded runtime.
+    pub fn new(net: Network, config: ThreadedConfig) -> Self {
+        let layer_stages = net.num_stages();
+        let pipeline_stage_count = net.pipeline_stage_count();
+        ThreadedPipeline {
+            net: Some(net),
+            config,
+            metrics: MetricsRecorder::new(layer_stages),
+            samples_seen: 0,
+            pipeline_stage_count,
+            last_throughput: None,
+        }
+    }
+
+    /// Borrows the network.
+    pub fn network_mut(&mut self) -> &mut Network {
+        self.net.as_mut().expect("network present")
+    }
+
+    /// Consumes the engine, returning the network.
+    pub fn into_network(self) -> Network {
+        self.net.expect("network present")
+    }
+
+    /// Throughput of the most recent training call, if any.
+    pub fn last_throughput(&self) -> Option<ThroughputReport> {
+        self.last_throughput
+    }
+
+    /// Streams `samples` through the pipeline, accumulating metrics;
+    /// returns per-sample losses in input order.
+    pub fn stream(&mut self, samples: &[(Tensor, usize)]) -> Vec<f32> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let net = self.net.take().expect("network present");
+        let (net, losses, report, counters) = Self::train_instrumented(net, samples, &self.config);
+        self.net = Some(net);
+        for (s, c) in counters.iter().enumerate() {
+            self.metrics.merge_stage(s, c);
+        }
+        self.metrics.add_train_ns(report.elapsed.as_nanos());
+        self.samples_seen += samples.len();
+        self.last_throughput = Some(report);
+        losses
+    }
+
     /// Streams `samples` through the pipeline once, training as it goes.
     /// Returns the trained network, per-sample losses (in input order) and
     /// the throughput report.
@@ -118,6 +195,17 @@ impl ThreadedPipeline {
         samples: &[(Tensor, usize)],
         config: &ThreadedConfig,
     ) -> (Network, Vec<f32>, ThroughputReport) {
+        let (net, losses, report, _) = Self::train_instrumented(net, samples, config);
+        (net, losses, report)
+    }
+
+    /// [`ThreadedPipeline::train`], additionally returning the per-stage
+    /// counters measured by the workers (effective delays included).
+    pub fn train_instrumented(
+        net: Network,
+        samples: &[(Tensor, usize)],
+        config: &ThreadedConfig,
+    ) -> (Network, Vec<f32>, ThroughputReport, Vec<StageCounters>) {
         assert!(!samples.is_empty(), "need at least one sample");
         let stages = net.into_stages();
         let num_layer_stages = stages.len();
@@ -132,6 +220,8 @@ impl ThreadedPipeline {
 
         let start = Instant::now();
         let mut stage_slots: Vec<Option<Stage>> = (0..num_layer_stages).map(|_| None).collect();
+        let mut counter_slots: Vec<StageCounters> =
+            vec![StageCounters::default(); num_layer_stages];
         let mut loss_pairs: Vec<(usize, f32)> = Vec::new();
 
         std::thread::scope(|scope| {
@@ -145,7 +235,17 @@ impl ThreadedPipeline {
                 let done = (s == 0 && config.fill_drain).then(|| done_tx.clone());
                 let cfg = config.clone();
                 handles.push(scope.spawn(move || {
-                    run_stage(s, pipeline_stages, stage, fwd_in, fwd_out, bwd_in, bwd_out, done, &cfg)
+                    run_stage(
+                        s,
+                        pipeline_stages,
+                        stage,
+                        fwd_in,
+                        fwd_out,
+                        bwd_in,
+                        bwd_out,
+                        done,
+                        &cfg,
+                    )
                 }));
             }
             // Loss worker: consumes the last forward channel, produces the
@@ -188,8 +288,9 @@ impl ThreadedPipeline {
 
             loss_pairs = loss_handle.join().expect("loss worker panicked");
             for handle in handles {
-                let (s, stage) = handle.join().expect("stage worker panicked");
+                let (s, stage, counters) = handle.join().expect("stage worker panicked");
                 stage_slots[s] = Some(stage);
+                counter_slots[s] = counters;
             }
         });
 
@@ -207,7 +308,72 @@ impl ThreadedPipeline {
             elapsed,
             samples_per_sec: samples.len() as f64 / elapsed.as_secs_f64().max(1e-12),
         };
-        (net, losses, report)
+        (net, losses, report, counter_slots)
+    }
+}
+
+impl TrainEngine for ThreadedPipeline {
+    fn label(&self) -> String {
+        if self.config.fill_drain {
+            "Threaded Fill&Drain".to_string()
+        } else {
+            let mut label = format!("Threaded {}", self.config.mitigation.label());
+            if self.config.weight_stashing {
+                label.push_str("+WS");
+            }
+            label
+        }
+    }
+
+    fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let samples: Vec<(Tensor, usize)> = batch_rows(x, labels.len())
+            .into_iter()
+            .zip(labels.iter().copied())
+            .collect();
+        let losses = self.stream(&samples);
+        losses.iter().sum::<f32>() / labels.len() as f32
+    }
+
+    fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        let order = data.epoch_order(seed, epoch);
+        let samples: Vec<(Tensor, usize)> = order
+            .iter()
+            .map(|&i| {
+                let (x, label) = data.sample(i);
+                (x.clone(), label)
+            })
+            .collect();
+        let losses = self.stream(&samples);
+        if losses.is_empty() {
+            0.0
+        } else {
+            losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64
+        }
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        ThreadedPipeline::network_mut(self)
+    }
+
+    fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        let s = self.pipeline_stage_count;
+        let occupancy = if self.config.fill_drain {
+            Some(fill_drain_utilization(1, s))
+        } else if self.samples_seen > 0 {
+            Some(pb_utilization(self.samples_seen + 2 * s - 2, s))
+        } else {
+            None
+        };
+        self.metrics
+            .snapshot(TrainEngine::label(self), self.samples_seen, occupancy)
+    }
+
+    fn into_network(self: Box<Self>) -> Network {
+        ThreadedPipeline::into_network(*self)
     }
 }
 
@@ -225,7 +391,7 @@ fn run_stage(
     bwd_out: Option<Sender<BwdMsg>>,
     done: Option<Sender<()>>,
     config: &ThreadedConfig,
-) -> (usize, Stage) {
+) -> (usize, Stage, StageCounters) {
     let delay = if config.fill_drain {
         0
     } else {
@@ -237,6 +403,8 @@ fn run_stage(
         stage: &mut stage,
         opt,
         stash: VecDeque::new(),
+        fwd_marks: VecDeque::new(),
+        counters: StageCounters::default(),
         updates: 0,
         fwd_out,
         bwd_out,
@@ -289,14 +457,20 @@ fn run_stage(
             }
         }
     }
+    let counters = std::mem::take(&mut worker.counters);
     drop(worker);
-    (s, stage)
+    (s, stage, counters)
 }
 
 struct StageWorker<'a> {
     stage: &'a mut Stage,
     opt: StageOptimizer,
     stash: VecDeque<Vec<Tensor>>,
+    /// Update count at the time of each in-flight forward pass; the
+    /// difference at backward time is the stage's *realized* gradient
+    /// delay (emergent from thread interleaving, not imposed).
+    fwd_marks: VecDeque<usize>,
+    counters: StageCounters,
     updates: usize,
     fwd_out: Sender<FwdMsg>,
     bwd_out: Option<Sender<BwdMsg>>,
@@ -306,6 +480,8 @@ struct StageWorker<'a> {
 
 impl StageWorker<'_> {
     fn handle_fwd(&mut self, mut msg: FwdMsg) {
+        let start = Instant::now();
+        self.fwd_marks.push_back(self.updates);
         let params = self.stage.params();
         let predicted = if params.is_empty() {
             None
@@ -325,11 +501,16 @@ impl StageWorker<'_> {
             self.stash
                 .push_back(predicted.unwrap_or_else(|| self.stage.snapshot()));
         }
+        self.counters.add_busy_ns(start.elapsed().as_nanos());
         let _ = self.fwd_out.send(msg);
     }
 
     fn handle_bwd(&mut self, mut msg: BwdMsg) {
-        self.opt.set_hyperparams(self.config.schedule.at(self.updates));
+        let start = Instant::now();
+        let mark = self.fwd_marks.pop_front().expect("gradients in fifo order");
+        let delay = self.updates - mark;
+        self.opt
+            .set_hyperparams(self.config.schedule.at(self.updates));
         self.stage.zero_grads();
         if self.config.weight_stashing {
             let stashed = self.stash.pop_front().expect("stash in backward order");
@@ -344,13 +525,18 @@ impl StageWorker<'_> {
         } else {
             self.stage.backward(&mut msg.stack);
         }
-        let grads: Vec<Tensor> = self.stage.grads().into_iter().cloned().collect();
-        if !grads.is_empty() {
-            let grad_refs: Vec<&Tensor> = grads.iter().collect();
-            let mut params = self.stage.params_mut();
-            self.opt.step(&mut params, &grad_refs);
+        let (mut params, grads) = self.stage.params_and_grads();
+        let has_params = !grads.is_empty();
+        if has_params {
+            self.opt.step(&mut params, &grads);
         }
         self.updates += 1;
+        if has_params {
+            self.counters
+                .record_update(delay, start.elapsed().as_nanos());
+        } else {
+            self.counters.add_busy_ns(start.elapsed().as_nanos());
+        }
         match &self.bwd_out {
             Some(tx) => {
                 let _ = tx.send(msg);

@@ -1,11 +1,14 @@
 //! Shared training-loop utilities and the mini-batch SGDM reference
 //! trainer.
 
+use crate::engine::TrainEngine;
+use crate::metrics::{EngineMetrics, MetricsRecorder};
 use pbp_data::Dataset;
 use pbp_nn::loss::{accuracy, softmax_cross_entropy};
 use pbp_nn::Network;
 use pbp_optim::{Hyperparams, LrSchedule, SgdmState};
 use pbp_tensor::Tensor;
+use std::time::Instant;
 
 /// Evaluates classification loss and accuracy over a dataset, in eval mode
 /// (dropout off, batch-norm running statistics).
@@ -90,6 +93,7 @@ pub struct SgdmTrainer {
     schedule: LrSchedule,
     batch_size: usize,
     samples_seen: usize,
+    metrics: MetricsRecorder,
 }
 
 impl std::fmt::Debug for SgdmTrainer {
@@ -115,12 +119,14 @@ impl SgdmTrainer {
         let state = (0..net.num_stages())
             .map(|s| SgdmState::new(&net.stage(s).params()))
             .collect();
+        let metrics = MetricsRecorder::new(net.num_stages());
         SgdmTrainer {
             net,
             state,
             schedule,
             batch_size,
             samples_seen: 0,
+            metrics,
         }
     }
 
@@ -164,20 +170,57 @@ impl SgdmTrainer {
 
     /// Trains on one explicit batch; returns the loss.
     pub fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let start = Instant::now();
         let hp: Hyperparams = self.schedule.at(self.samples_seen);
         self.net.zero_grads();
         let logits = self.net.forward(x);
         let (loss, grad) = softmax_cross_entropy(&logits, labels);
         self.net.backward(&grad);
         for s in 0..self.net.num_stages() {
+            let step_start = Instant::now();
             let stage = self.net.stage_mut(s);
-            let grads: Vec<Tensor> = stage.grads().into_iter().cloned().collect();
-            let grad_refs: Vec<&Tensor> = grads.iter().collect();
-            let mut params = stage.params_mut();
-            self.state[s].step(&mut params, &grad_refs, hp);
+            let (mut params, grads) = stage.params_and_grads();
+            let has_params = !grads.is_empty();
+            self.state[s].step(&mut params, &grads, hp);
+            if has_params {
+                self.metrics
+                    .record_update(s, 0, step_start.elapsed().as_nanos());
+            }
         }
         self.samples_seen += labels.len();
+        self.metrics.add_train_ns(start.elapsed().as_nanos());
         loss
+    }
+}
+
+impl TrainEngine for SgdmTrainer {
+    fn label(&self) -> String {
+        "SGDM".to_string()
+    }
+
+    fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        SgdmTrainer::train_batch(self, x, labels)
+    }
+
+    fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
+        SgdmTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        SgdmTrainer::network_mut(self)
+    }
+
+    fn samples_seen(&self) -> usize {
+        SgdmTrainer::samples_seen(self)
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        self.metrics
+            .snapshot(TrainEngine::label(self), self.samples_seen, None)
+    }
+
+    fn into_network(self: Box<Self>) -> Network {
+        SgdmTrainer::into_network(*self)
     }
 }
 

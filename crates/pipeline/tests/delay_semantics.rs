@@ -62,6 +62,10 @@ impl Layer for ProbeLayer {
         vec![&self.grad]
     }
 
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![(&mut self.weight, &self.grad)]
+    }
+
     fn zero_grads(&mut self) {
         self.grad.fill(0.0);
     }
@@ -140,8 +144,7 @@ fn weight_stashing_reuses_the_forward_version_on_backward() {
     ];
     let net = Network::new(stages);
     let schedule = LrSchedule::constant(Hyperparams::new(1.0, 0.0));
-    let mut trainer =
-        PipelinedTrainer::new(net, PbConfig::plain(schedule).with_weight_stashing());
+    let mut trainer = PipelinedTrainer::new(net, PbConfig::plain(schedule).with_weight_stashing());
     let x = Tensor::zeros(&[1]);
     for _ in 0..10 {
         trainer.train_sample(&x, 0);

@@ -1,0 +1,257 @@
+//! Drives every engine through the shared [`run_training`] loop and checks
+//! the DESIGN.md §5 equivalences still hold under the unified interface:
+//!
+//! * fill-and-drain at N = 1 is bit-identical to sequential SGDM;
+//! * the PB emulator with all delays forced to 0 is bit-identical to SGDM;
+//! * the threaded fill-and-drain runtime matches sequential SGDM;
+//! * the PB emulator's measured delay histogram is exactly Eq. 5.
+
+use pbp_data::blobs;
+use pbp_nn::models::mlp;
+use pbp_nn::Network;
+use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
+use pbp_pipeline::{
+    run_training, stage_delay, DelayDistribution, DelayedConfig, EngineSpec, JsonSink, MetricsSink,
+    NoHooks, PbConfig, RunConfig, ThreadedConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn schedule() -> LrSchedule {
+    LrSchedule::constant(Hyperparams::new(0.05, 0.9))
+}
+
+fn fresh_net(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    mlp(&[2, 10, 3], &mut rng)
+}
+
+fn assert_networks_equal(a: &Network, b: &Network, context: &str) {
+    for s in 0..a.num_stages() {
+        for (p, q) in a.stage(s).params().iter().zip(b.stage(s).params()) {
+            assert_eq!(p.as_slice(), q.as_slice(), "{context}: stage {s}");
+        }
+    }
+}
+
+fn assert_networks_close(a: &Network, b: &Network, tol: f32, context: &str) {
+    for s in 0..a.num_stages() {
+        for (p, q) in a.stage(s).params().iter().zip(b.stage(s).params()) {
+            for (x, y) in p.as_slice().iter().zip(q.as_slice()) {
+                assert!((x - y).abs() < tol, "{context}: stage {s}: {x} vs {y}");
+            }
+        }
+    }
+}
+
+/// Every engine spec, as the bench suite would construct them.
+fn all_specs() -> Vec<EngineSpec> {
+    vec![
+        EngineSpec::Sgdm {
+            schedule: schedule(),
+            batch: 4,
+        },
+        EngineSpec::FillDrain {
+            schedule: schedule(),
+            update_size: 4,
+        },
+        EngineSpec::Pb(PbConfig::plain(schedule()).with_mitigation(Mitigation::lwpv_scd())),
+        EngineSpec::Delayed(DelayedConfig::consistent(2, 4, schedule())),
+        EngineSpec::Asgd {
+            distribution: DelayDistribution::Uniform { max: 3 },
+            batch: 4,
+            schedule: schedule(),
+            delay_seed: 7,
+        },
+        EngineSpec::Threaded(ThreadedConfig::pb(schedule())),
+    ]
+}
+
+#[test]
+fn every_engine_runs_through_the_shared_loop() {
+    let data = blobs(3, 24, 0.4, 0);
+    let (train, val) = data.split(0.25);
+    let epochs = 2;
+    for spec in all_specs() {
+        let mut engine = spec.build(fresh_net(11));
+        let config = RunConfig::new(epochs, 3);
+        let report = run_training(engine.as_mut(), &train, &val, &config, &mut NoHooks);
+        assert_eq!(report.label, spec.label());
+        assert_eq!(report.records.len(), epochs, "{}", spec.label());
+        for r in &report.records {
+            assert!(r.train_loss.is_finite(), "{}", spec.label());
+            assert!((0.0..=1.0).contains(&r.val_acc), "{}", spec.label());
+        }
+        assert_eq!(
+            engine.samples_seen(),
+            epochs * train.len(),
+            "{}",
+            spec.label()
+        );
+        let metrics = engine.metrics();
+        assert_eq!(metrics.engine, spec.label());
+        assert_eq!(metrics.samples, epochs * train.len(), "{}", spec.label());
+        assert!(metrics.total_updates() > 0, "{}", spec.label());
+        assert!(metrics.train_ns > 0, "{}", spec.label());
+    }
+}
+
+#[test]
+fn fill_drain_n1_is_bit_identical_to_sgdm_batch_1() {
+    let data = blobs(3, 24, 0.4, 1);
+    let (train, val) = data.split(0.25);
+    let config = RunConfig::new(3, 5);
+
+    let sgdm_spec = EngineSpec::Sgdm {
+        schedule: schedule(),
+        batch: 1,
+    };
+    let fd_spec = EngineSpec::FillDrain {
+        schedule: schedule(),
+        update_size: 1,
+    };
+    let mut sgdm = sgdm_spec.build(fresh_net(21));
+    let mut fd = fd_spec.build(fresh_net(21));
+    let report_a = run_training(sgdm.as_mut(), &train, &val, &config, &mut NoHooks);
+    let report_b = run_training(fd.as_mut(), &train, &val, &config, &mut NoHooks);
+    for (a, b) in report_a.records.iter().zip(&report_b.records) {
+        assert_eq!(a.val_acc, b.val_acc);
+        assert_eq!(a.val_loss, b.val_loss);
+    }
+    assert_networks_equal(
+        &sgdm.into_network(),
+        &fd.into_network(),
+        "fill&drain N=1 vs SGDM batch 1",
+    );
+}
+
+#[test]
+fn pb_with_zero_delay_is_bit_identical_to_sgdm_batch_1() {
+    let data = blobs(3, 24, 0.4, 2);
+    let (train, val) = data.split(0.25);
+    let config = RunConfig::new(3, 6);
+
+    let mut pb_cfg = PbConfig::plain(schedule());
+    pb_cfg.delay_override = Some(0);
+    let mut pb = EngineSpec::Pb(pb_cfg).build(fresh_net(22));
+    let mut sgdm = EngineSpec::Sgdm {
+        schedule: schedule(),
+        batch: 1,
+    }
+    .build(fresh_net(22));
+    run_training(pb.as_mut(), &train, &val, &config, &mut NoHooks);
+    run_training(sgdm.as_mut(), &train, &val, &config, &mut NoHooks);
+
+    // All effective delays must have been recorded as zero.
+    let metrics = pb.metrics();
+    for (s, stage) in metrics.stages.iter().enumerate() {
+        if stage.updates > 0 {
+            assert_eq!(stage.delay_hist.len(), 1, "stage {s}");
+            assert_eq!(stage.delay_hist[&0], stage.updates, "stage {s}");
+        }
+    }
+    assert_networks_equal(
+        &pb.into_network(),
+        &sgdm.into_network(),
+        "PB delay_override=0 vs SGDM batch 1",
+    );
+}
+
+#[test]
+fn threaded_fill_drain_matches_sgdm_batch_1() {
+    let data = blobs(3, 30, 0.4, 3);
+    let (train, val) = data.split(0.2);
+    // One epoch: the threaded engine re-creates its per-stage optimizers on
+    // every training call, so cross-epoch momentum does not carry over.
+    let config = RunConfig::new(1, 8);
+
+    let mut threaded =
+        EngineSpec::Threaded(ThreadedConfig::fill_drain(schedule())).build(fresh_net(23));
+    let mut sgdm = EngineSpec::Sgdm {
+        schedule: schedule(),
+        batch: 1,
+    }
+    .build(fresh_net(23));
+    run_training(threaded.as_mut(), &train, &val, &config, &mut NoHooks);
+    run_training(sgdm.as_mut(), &train, &val, &config, &mut NoHooks);
+
+    // Draining after every sample forces effective delay 0 at every stage.
+    let metrics = threaded.metrics();
+    assert!(metrics.total_updates() > 0);
+    for (s, stage) in metrics.stages.iter().enumerate() {
+        for &delay in stage.delay_hist.keys() {
+            assert_eq!(delay, 0, "stage {s}");
+        }
+    }
+    assert_networks_close(
+        &threaded.into_network(),
+        &sgdm.into_network(),
+        1e-5,
+        "threaded fill&drain vs SGDM batch 1",
+    );
+}
+
+#[test]
+fn pb_emulator_delay_histogram_matches_eq5() {
+    let data = blobs(3, 24, 0.4, 4);
+    let (train, val) = data.split(0.25);
+    let mut pb = EngineSpec::Pb(PbConfig::plain(schedule())).build(fresh_net(24));
+    let pipeline_stages = pb.network_mut().pipeline_stage_count();
+    run_training(
+        pb.as_mut(),
+        &train,
+        &val,
+        &RunConfig::new(2, 9),
+        &mut NoHooks,
+    );
+    let metrics = pb.metrics();
+    assert_eq!(metrics.occupancy.map(|o| o > 0.0 && o <= 1.0), Some(true));
+    for (s, stage) in metrics.stages.iter().enumerate() {
+        if stage.updates == 0 {
+            continue;
+        }
+        let expected = stage_delay(s, pipeline_stages);
+        assert_eq!(
+            stage.delay_hist.keys().copied().collect::<Vec<_>>(),
+            vec![expected],
+            "stage {s}: D_s = 2(S-1-s)"
+        );
+        assert!((stage.mean_delay() - expected as f64).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn json_sink_captures_every_engine() {
+    let data = blobs(3, 18, 0.4, 5);
+    let (train, val) = data.split(0.34);
+    let path = std::env::temp_dir().join(format!(
+        "pbp_engine_equivalence_{}.json",
+        std::process::id()
+    ));
+    let mut sink = JsonSink::new(&path);
+    let specs = all_specs();
+    for spec in &specs {
+        let mut engine = spec.build(fresh_net(31));
+        run_training(
+            engine.as_mut(),
+            &train,
+            &val,
+            &RunConfig::new(1, 2),
+            &mut sink,
+        );
+    }
+    assert_eq!(sink.len(), specs.len());
+    sink.write().expect("write metrics json");
+    let body = std::fs::read_to_string(&path).expect("read back");
+    for spec in &specs {
+        assert!(
+            body.contains(&format!("\"engine\":\"{}\"", spec.label())),
+            "missing {}",
+            spec.label()
+        );
+    }
+    let opens = body.matches('{').count() + body.matches('[').count();
+    let closes = body.matches('}').count() + body.matches(']').count();
+    assert_eq!(opens, closes);
+    let _ = std::fs::remove_file(&path);
+}

@@ -208,7 +208,7 @@ mod tests {
     }
 
     #[test]
-    fn gsc_equivalent_lwp_choice_matches_on_linear_gradient(){
+    fn gsc_equivalent_lwp_choice_matches_on_linear_gradient() {
         // Appendix D: GSC with a = 1 − (1−m)T/m, b = T/m equals LWP with
         // horizon T for a linear gradient.
         let (m, el, d, t) = (0.9, 0.03, 3usize, 2.0);

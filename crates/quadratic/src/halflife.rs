@@ -184,13 +184,7 @@ impl HalflifeSearch {
     /// # Panics
     ///
     /// Panics if `kappa < 1` or `m ∉ [0, 1)`.
-    pub fn min_halflife_fixed_momentum(
-        &self,
-        method: Method,
-        m: f64,
-        d: usize,
-        kappa: f64,
-    ) -> f64 {
+    pub fn min_halflife_fixed_momentum(&self, method: Method, m: f64, d: usize, kappa: f64) -> f64 {
         assert!(kappa >= 1.0, "condition number must be ≥ 1");
         assert!((0.0..1.0).contains(&m), "momentum must be in [0, 1)");
         halflife_from_rate(self.best_rate_fixed_momentum(method, m, d, kappa))
@@ -417,7 +411,11 @@ mod momentum_tests {
         let at = |m: f64| search.min_halflife_fixed_momentum(Method::Gdm, m, 0, kappa);
         let h_star = at(m_star);
         assert!(h_star <= at(0.0) * 1.05, "m* {h_star} vs m=0 {}", at(0.0));
-        assert!(h_star <= at(0.99) * 1.05, "m* {h_star} vs m=0.99 {}", at(0.99));
+        assert!(
+            h_star <= at(0.99) * 1.05,
+            "m* {h_star} vs m=0.99 {}",
+            at(0.99)
+        );
     }
 
     #[test]

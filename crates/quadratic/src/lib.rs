@@ -40,8 +40,7 @@ pub use charpoly::{char_poly, dominant_root_magnitude, Method};
 pub use complex::Complex;
 pub use halflife::{
     halflife_from_rate, max_stable_rate, min_halflife, optimal_momentum, root_heatmap,
-    HalflifeSearch, Heatmap,
-    MomentumGrid,
+    HalflifeSearch, Heatmap, MomentumGrid,
 };
 pub use poly::Polynomial;
 pub use transition::{simulate_delayed_quadratic, SimulationResult};

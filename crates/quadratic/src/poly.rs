@@ -104,7 +104,11 @@ impl Polynomial {
                 if p.abs() < tol {
                     continue;
                 }
-                let newton = if dp.abs() > 1e-300 { p / dp } else { Complex::real(1e-6) };
+                let newton = if dp.abs() > 1e-300 {
+                    p / dp
+                } else {
+                    Complex::real(1e-6)
+                };
                 let mut sum = Complex::zero();
                 for (j, zj) in z.iter().enumerate() {
                     if j != i {
@@ -115,7 +119,11 @@ impl Polynomial {
                     }
                 }
                 let denom = Complex::one() - newton * sum;
-                let step = if denom.abs() > 1e-300 { newton / denom } else { newton };
+                let step = if denom.abs() > 1e-300 {
+                    newton / denom
+                } else {
+                    newton
+                };
                 z[i] = z[i] - step;
                 moved = moved.max(step.abs());
             }
@@ -197,7 +205,11 @@ mod tests {
     fn residual_at_computed_roots_is_small() {
         let p = Polynomial::new(vec![0.5, -1.3, 0.0, 2.0, -0.7, 1.0]);
         for r in p.roots() {
-            assert!(p.eval(r).abs() < 1e-6, "residual {} at {r}", p.eval(r).abs());
+            assert!(
+                p.eval(r).abs() < 1e-6,
+                "residual {} at {r}",
+                p.eval(r).abs()
+            );
         }
     }
 

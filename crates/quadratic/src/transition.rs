@@ -76,7 +76,8 @@ pub fn simulate_delayed_quadratic(
             break;
         }
     }
-    let stable = trajectory.iter().all(|x| x.is_finite()) && trajectory.last().is_some_and(|&x| x < 1e20);
+    let stable =
+        trajectory.iter().all(|x| x.is_finite()) && trajectory.last().is_some_and(|&x| x < 1e20);
     let empirical_rate = estimate_rate(&trajectory);
     SimulationResult {
         trajectory,
@@ -172,6 +173,10 @@ mod tests {
         let sim = simulate_delayed_quadratic(Method::Gdm, 0.81, 0.1, 0, 2000);
         assert!(sim.stable);
         // |r| = √m in the complex regime.
-        assert!((sim.empirical_rate - 0.9).abs() < 0.02, "{}", sim.empirical_rate);
+        assert!(
+            (sim.empirical_rate - 0.9).abs() < 0.02,
+            "{}",
+            sim.empirical_rate
+        );
     }
 }

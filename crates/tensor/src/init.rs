@@ -62,8 +62,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = normal(&[10_000], 1.0, 2.0, &mut rng);
         let mean: f32 = t.as_slice().iter().sum::<f32>() / t.len() as f32;
-        let var: f32 =
-            t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

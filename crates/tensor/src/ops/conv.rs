@@ -60,7 +60,12 @@ impl Conv2dSpec {
 
     /// Shape of the weight tensor: `[out_channels, in_channels, k, k]`.
     pub fn weight_shape(&self) -> [usize; 4] {
-        [self.out_channels, self.in_channels, self.kernel, self.kernel]
+        [
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+        ]
     }
 
     /// Fan-in of the convolution (`in_channels * k * k`), used by He init.
@@ -141,7 +146,11 @@ pub fn col2im(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out
 /// # Errors
 ///
 /// Returns a shape error if `input`/`weight` disagree with `spec`.
-pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Result<(Tensor, Vec<Vec<f32>>)> {
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<(Tensor, Vec<Vec<f32>>)> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -149,7 +158,12 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Result<(Ten
             op: "conv2d",
         });
     }
-    let [n, c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+    let [n, c, h, w] = [
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    ];
     if c != spec.in_channels || weight.shape() != spec.weight_shape() {
         return Err(TensorError::ShapeMismatch {
             lhs: input.shape().to_vec(),
@@ -166,8 +180,8 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Result<(Ten
         let img = &input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w];
         let mut cols = Vec::new();
         im2col(img, c, h, w, spec, &mut cols);
-        let dst =
-            &mut out.as_mut_slice()[ni * spec.out_channels * oh * ow..(ni + 1) * spec.out_channels * oh * ow];
+        let dst = &mut out.as_mut_slice()
+            [ni * spec.out_channels * oh * ow..(ni + 1) * spec.out_channels * oh * ow];
         matmul_into(wslice, &cols, dst, spec.out_channels, rows, oh * ow);
         all_cols.push(cols);
     }
@@ -220,8 +234,8 @@ pub fn conv2d_backward(
     }
     let mut dcols = vec![0.0f32; rows * oh * ow];
     for ni in 0..n {
-        let dy =
-            &grad_out.as_slice()[ni * spec.out_channels * oh * ow..(ni + 1) * spec.out_channels * oh * ow];
+        let dy = &grad_out.as_slice()
+            [ni * spec.out_channels * oh * ow..(ni + 1) * spec.out_channels * oh * ow];
         // grad_w += dY · colsᵀ  — accumulate manually since matmul_into overwrites.
         {
             let gw = grad_w.as_mut_slice();
@@ -253,7 +267,12 @@ mod tests {
 
     /// Direct (naive) convolution used as a reference implementation.
     fn conv2d_direct(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
-        let [n, c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
         let (oh, ow) = (spec.out_size(h), spec.out_size(w));
         let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
         for ni in 0..n {
@@ -264,8 +283,10 @@ mod tests {
                         for ci in 0..c {
                             for ki in 0..spec.kernel {
                                 for kj in 0..spec.kernel {
-                                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
-                                    let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                    let ii =
+                                        (oi * spec.stride + ki) as isize - spec.padding as isize;
+                                    let jj =
+                                        (oj * spec.stride + kj) as isize - spec.padding as isize;
                                     if ii < 0 || jj < 0 || ii >= h as isize || jj >= w as isize {
                                         continue;
                                     }
@@ -291,7 +312,12 @@ mod tests {
 
     #[test]
     fn conv2d_matches_direct_convolution() {
-        for &(c, oc, k, s, p, h) in &[(1, 1, 3, 1, 1, 5), (2, 3, 3, 1, 1, 6), (3, 4, 3, 2, 1, 8), (2, 2, 1, 1, 0, 4)] {
+        for &(c, oc, k, s, p, h) in &[
+            (1, 1, 3, 1, 1, 5),
+            (2, 3, 3, 1, 1, 6),
+            (3, 4, 3, 2, 1, 8),
+            (2, 2, 1, 1, 0, 4),
+        ] {
             let spec = Conv2dSpec::new(c, oc, k, s, p).unwrap();
             let input = rand_tensor(&[2, c, h, h], 1);
             let weight = rand_tensor(&spec.weight_shape(), 2);
@@ -314,10 +340,19 @@ mod tests {
         let mut cols = Vec::new();
         im2col(x.as_slice(), c, h, w, &spec, &mut cols);
         let y: Vec<f32> = rand_tensor(&[cols.len()], 4).into_vec();
-        let lhs: f64 = cols.iter().zip(&y).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let lhs: f64 = cols
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         let mut back = vec![0.0f32; c * h * w];
         col2im(&y, c, h, w, &spec, &mut back);
-        let rhs: f64 = x.as_slice().iter().zip(&back).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 
@@ -339,8 +374,8 @@ mod tests {
             im.as_mut_slice()[idx] -= eps;
             let (op, _) = conv2d(&ip, &weight, &spec).unwrap();
             let (om, _) = conv2d(&im, &weight, &spec).unwrap();
-            let num =
-                (op.as_slice().iter().sum::<f32>() - om.as_slice().iter().sum::<f32>()) / (2.0 * eps);
+            let num = (op.as_slice().iter().sum::<f32>() - om.as_slice().iter().sum::<f32>())
+                / (2.0 * eps);
             assert!((num - gin.as_slice()[idx]).abs() < 1e-2, "input grad {idx}");
         }
         // Check a few weight coordinates.
@@ -351,8 +386,8 @@ mod tests {
             wm.as_mut_slice()[idx] -= eps;
             let (op, _) = conv2d(&input, &wp, &spec).unwrap();
             let (om, _) = conv2d(&input, &wm, &spec).unwrap();
-            let num =
-                (op.as_slice().iter().sum::<f32>() - om.as_slice().iter().sum::<f32>()) / (2.0 * eps);
+            let num = (op.as_slice().iter().sum::<f32>() - om.as_slice().iter().sum::<f32>())
+                / (2.0 * eps);
             assert!((num - gw.as_slice()[idx]).abs() < 1e-2, "weight grad {idx}");
         }
     }

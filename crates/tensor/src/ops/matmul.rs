@@ -37,7 +37,14 @@ impl Tensor {
             });
         }
         let mut out = Tensor::zeros(&[m, n]);
-        matmul_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k, n);
+        matmul_into(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
         Ok(out)
     }
 
@@ -50,7 +57,11 @@ impl Tensor {
         if self.rank() != 2 || other.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
-                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
                 op: "matmul_transpose_b",
             });
         }
@@ -90,7 +101,11 @@ impl Tensor {
         if self.rank() != 2 || other.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
-                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
                 op: "matmul_transpose_a",
             });
         }
@@ -216,7 +231,10 @@ mod tests {
     #[test]
     fn matmul_transpose_b_matches_explicit() {
         let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
-        let b = t(&[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 2.0, 1.5, -2.0, 0.0, 1.0], &[4, 3]);
+        let b = t(
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 2.0, 1.5, -2.0, 0.0, 1.0],
+            &[4, 3],
+        );
         let expect = a.matmul(&b.transpose().unwrap()).unwrap();
         let got = a.matmul_transpose_b(&b).unwrap();
         assert_eq!(got.shape(), expect.shape());

@@ -31,8 +31,14 @@ fn main() {
     let epochs = 4;
     let seed = 7;
 
-    println!("ResNet20 (width/4), {} pipeline stages", config.expected_stage_count());
-    println!("update-size-1 hyperparameters (Eq. 9): lr={:.5} m={:.5}\n", hp1.lr, hp1.momentum);
+    println!(
+        "ResNet20 (width/4), {} pipeline stages",
+        config.expected_stage_count()
+    );
+    println!(
+        "update-size-1 hyperparameters (Eq. 9): lr={:.5} m={:.5}\n",
+        hp1.lr, hp1.momentum
+    );
 
     // SGDM baseline at batch 32.
     let mut rng = StdRng::seed_from_u64(1);
@@ -43,7 +49,10 @@ fn main() {
         let loss = sgdm.train_epoch(&train, seed, epoch);
         let (_, acc) = pipelined_backprop::pipeline::evaluate(sgdm.network_mut(), &val, 16);
         sgdm_acc = acc;
-        println!("SGDM          epoch {epoch}: loss {loss:.3} val acc {:.1}%", 100.0 * acc);
+        println!(
+            "SGDM          epoch {epoch}: loss {loss:.3} val acc {:.1}%",
+            100.0 * acc
+        );
     }
     println!();
 

@@ -34,9 +34,18 @@ fn main() {
 
     // Constant delays, consistent vs inconsistent weights (Figure 10).
     for (label, cfg) in [
-        ("no delay", DelayedConfig::consistent(0, batch, schedule.clone())),
-        ("delay 12, consistent weights", DelayedConfig::consistent(12, batch, schedule.clone())),
-        ("delay 12, inconsistent weights", DelayedConfig::inconsistent(12, batch, schedule.clone())),
+        (
+            "no delay",
+            DelayedConfig::consistent(0, batch, schedule.clone()),
+        ),
+        (
+            "delay 12, consistent weights",
+            DelayedConfig::consistent(12, batch, schedule.clone()),
+        ),
+        (
+            "delay 12, inconsistent weights",
+            DelayedConfig::inconsistent(12, batch, schedule.clone()),
+        ),
         (
             "delay 12 + LWPvD+SCD mitigation",
             DelayedConfig::consistent(12, batch, schedule.clone())
@@ -53,7 +62,10 @@ fn main() {
 
     // Random delays (ASGD simulation, Appendix G.2).
     for (label, dist) in [
-        ("ASGD: uniform delay 0..=24", DelayDistribution::Uniform { max: 24 }),
+        (
+            "ASGD: uniform delay 0..=24",
+            DelayDistribution::Uniform { max: 24 },
+        ),
         (
             "ASGD: straggler tail (mean 12)",
             DelayDistribution::Geometric { p: 0.926, max: 96 },

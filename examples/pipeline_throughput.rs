@@ -9,9 +9,7 @@
 use pipelined_backprop::data::spirals;
 use pipelined_backprop::nn::models::mlp;
 use pipelined_backprop::optim::{scale_hyperparams, Hyperparams, LrSchedule, Mitigation};
-use pipelined_backprop::pipeline::{
-    fill_drain_utilization, ThreadedConfig, ThreadedPipeline,
-};
+use pipelined_backprop::pipeline::{fill_drain_utilization, ThreadedConfig, ThreadedPipeline};
 use pipelined_backprop::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,7 +38,8 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(3);
     let net = mlp(&widths, &mut rng);
-    let (_, _, fd) = ThreadedPipeline::train(net, &samples, &ThreadedConfig::fill_drain(schedule.clone()));
+    let (_, _, fd) =
+        ThreadedPipeline::train(net, &samples, &ThreadedConfig::fill_drain(schedule.clone()));
 
     let mut rng = StdRng::seed_from_u64(3);
     let net = mlp(&widths, &mut rng);

@@ -33,7 +33,10 @@ fn main() {
     }
 
     println!("\n== Minimum half-life vs condition number (delay D = 1, Figure 5) ==");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "κ", "GDM D=0", "GDM D=1", "SCD", "LWPwD+SCD");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "κ", "GDM D=0", "GDM D=1", "SCD", "LWPwD+SCD"
+    );
     for kappa in [1e1, 1e2, 1e3] {
         let gdm0 = min_halflife(&|_| Method::Gdm, 0, kappa);
         let gdm = min_halflife(&|_| Method::Gdm, 1, kappa);

@@ -31,7 +31,10 @@ fn main() {
     // scaled to update size one with Eq. 9 — no tuning for PB.
     let reference = Hyperparams::new(0.1, 0.9);
     let hp1 = scale_hyperparams(reference, 32, 1);
-    println!("scaled hyperparameters for update size 1: lr={:.5} m={:.5}\n", hp1.lr, hp1.momentum);
+    println!(
+        "scaled hyperparameters for update size 1: lr={:.5} m={:.5}\n",
+        hp1.lr, hp1.momentum
+    );
 
     let epochs = 6;
     let seed = 42;
@@ -47,12 +50,14 @@ fn main() {
             let train_loss = sgdm.train_epoch(&train, seed, epoch);
             let (val_loss, val_acc) =
                 pipelined_backprop::pipeline::evaluate(sgdm.network_mut(), &val, 16);
-            report.records.push(pipelined_backprop::pipeline::EpochRecord {
-                epoch,
-                train_loss,
-                val_loss,
-                val_acc,
-            });
+            report
+                .records
+                .push(pipelined_backprop::pipeline::EpochRecord {
+                    epoch,
+                    train_loss,
+                    val_loss,
+                    val_acc,
+                });
         }
         reports.push(report);
     }

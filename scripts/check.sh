@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, lints, release build, full test suite.
+# Run from anywhere; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== release build =="
+cargo build --release
+
+echo "== tier-1 tests (root package) =="
+cargo test -q
+
+echo "== full workspace tests =="
+cargo test --workspace -q
+
+echo "All checks passed."

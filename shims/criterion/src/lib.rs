@@ -1,0 +1,224 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no network access, so external crates cannot be
+//! fetched. This shim keeps the workspace's bench targets compiling and
+//! runnable behind the criterion 0.5 API subset they use: `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! There is no statistical engine: each benchmark runs a short warmup plus a
+//! few timed iterations and prints the mean wall time. Because bench targets
+//! build with `harness = false`, `cargo test` executes them as plain
+//! binaries, so iteration counts are deliberately small.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Timed iterations per benchmark (after one warmup iteration).
+const TIMED_ITERS: u32 = 3;
+
+/// Identifies one benchmark within a group, e.g. `forward/4c16px`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. samples) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closure; handed to benchmark functions.
+pub struct Bencher {
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warmup call, then [`TIMED_ITERS`] timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.mean = start.elapsed() / TIMED_ITERS;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, mean: Duration, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:.1} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:.1} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("bench {full:<50} {:>12.3?}{rate}", mean);
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim always runs a fixed,
+    /// small number of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, b.mean, self.throughput);
+    }
+
+    /// Benchmarks `f`, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.to_string(), b.mean, self.throughput);
+    }
+
+    /// Ends the group (reporting happens eagerly; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(None, &name.to_string(), b.mean, None);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (bench targets use
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(10)).sample_size(50);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &(), |b, _| {
+            b.iter(|| ran += 1);
+        });
+        group.finish();
+        assert_eq!(ran, 1 + TIMED_ITERS, "warmup + timed iterations");
+
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("fwd", "4c16px").id, "fwd/4c16px");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+
+    criterion_group!(demo_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn group_macro_produces_runner() {
+        demo_group();
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so external crates cannot be
+//! fetched. This shim covers the proptest 1.x API subset the workspace uses:
+//! the `proptest!` test macro (with `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and
+//! `collection::vec` strategies, and `TestCaseError`.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds: inputs are drawn from a deterministic RNG seeded from the test
+//! name, so every run exercises the same cases and failures reproduce
+//! exactly.
+
+#[doc(hidden)]
+pub use ::rand as __rand;
+
+/// Strategy trait and the primitive strategy implementations.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T: Copy> Strategy for Range<T>
+    where
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: Copy> Strategy for RangeInclusive<T>
+    where
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Permitted lengths for a generated collection (half-open).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration and failure types.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Subset of proptest's run configuration: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single test case did not succeed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// A `prop_assert*!` failed (or `TestCaseError::fail` was returned).
+        Fail(String),
+        /// A `prop_assume!` filtered the inputs out; the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Marks the case as failed with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Marks the inputs as rejected (not a failure).
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+
+        /// True for `prop_assume!` rejections.
+        pub fn is_rejection(&self) -> bool {
+            matches!(self, TestCaseError::Reject(_))
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    /// Deterministic per-test RNG seed derived from the test path (FNV-1a).
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs one generated case (exists so the `proptest!` expansion avoids
+    /// an immediately-invoked closure, which clippy rejects).
+    pub fn run_case<F>(case: F) -> Result<(), TestCaseError>
+    where
+        F: FnOnce() -> Result<(), TestCaseError>,
+    {
+        case()
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Each function body runs `config.cases` times
+/// with fresh inputs drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one `#[test]` wrapper per property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut successes = 0u32;
+            let mut attempts = 0u32;
+            let max_attempts = config.cases.saturating_mul(20).max(20);
+            while successes < config.cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    panic!(
+                        "proptest '{}': too many prop_assume! rejections \
+                         ({successes}/{} cases after {max_attempts} attempts)",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+                $(let $arg = ($strat).sample(&mut rng);)*
+                let inputs: String =
+                    [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),*].join(", ");
+                let outcome = $crate::test_runner::run_case(|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+                match outcome {
+                    ::std::result::Result::Ok(()) => successes += 1,
+                    ::std::result::Result::Err(e) if e.is_rejection() => {}
+                    ::std::result::Result::Err(e) => panic!(
+                        "proptest '{}' failed: {e}\n  inputs: {inputs}",
+                        stringify!($name),
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current inputs (the case is redrawn, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_retries_without_failing(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn moves_of_inputs_are_allowed(v in crate::collection::vec(0u32..9, 1..4)) {
+            let owned: Vec<u32> = v; // body may consume the sampled input
+            prop_assert!(!owned.is_empty());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn failures_surface_as_panics() {
+        let result = std::panic::catch_unwind(|| {
+            // No #[test] on the inner fn: it is invoked directly below.
+            proptest! {
+                fn always_fails(n in 0usize..4) {
+                    prop_assert!(n > 100, "n was {n}");
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err(), "failing property must panic");
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        use crate::test_runner::seed_for;
+        assert_ne!(seed_for("a::b"), seed_for("a::c"));
+        assert_eq!(seed_for("a::b"), seed_for("a::b"));
+    }
+}

@@ -60,11 +60,7 @@ fn checkpoints_transfer_between_engines() {
     let (train, val) = data.split(0.25);
     let mut rng = StdRng::seed_from_u64(1);
     let net = mlp(&[2, 16, 3], &mut rng);
-    let mut sgdm = SgdmTrainer::new(
-        net,
-        LrSchedule::constant(Hyperparams::new(0.1, 0.9)),
-        8,
-    );
+    let mut sgdm = SgdmTrainer::new(net, LrSchedule::constant(Hyperparams::new(0.1, 0.9)), 8);
     for epoch in 0..10 {
         sgdm.train_epoch(&train, 5, epoch);
     }

@@ -64,7 +64,12 @@ fn pb_with_zero_delay_matches_sgdm_on_a_conv_net() {
         pb.train_epoch(&data, 5, epoch);
         sgd.train_epoch(&data, 5, epoch);
     }
-    assert_networks_equal(&pb.into_network(), &sgd.into_network(), 0.0, "PB(D=0) vs SGDM");
+    assert_networks_equal(
+        &pb.into_network(),
+        &sgd.into_network(),
+        0.0,
+        "PB(D=0) vs SGDM",
+    );
 }
 
 #[test]
@@ -81,7 +86,12 @@ fn fill_drain_matches_batch_sgdm_on_a_conv_net() {
         fd.train_epoch(&data, 3, epoch);
         sgd.train_epoch(&data, 3, epoch);
     }
-    assert_networks_equal(&fd.into_network(), &sgd.into_network(), 5e-4, "fill&drain vs batch");
+    assert_networks_equal(
+        &fd.into_network(),
+        &sgd.into_network(),
+        5e-4,
+        "fill&drain vs batch",
+    );
 }
 
 #[test]
@@ -101,10 +111,8 @@ fn delayed_trainer_with_uniform_delay_matches_pb_emulator_override() {
     };
     let mut pb = PipelinedTrainer::new(net_a, cfg);
     // Consistent=false matches PB's inconsistent-weight semantics.
-    let mut delayed = DelayedTrainer::new(
-        net_b,
-        DelayedConfig::inconsistent(delay, 1, schedule1()),
-    );
+    let mut delayed =
+        DelayedTrainer::new(net_b, DelayedConfig::inconsistent(delay, 1, schedule1()));
     for epoch in 0..3 {
         pb.train_epoch(&data, 11, epoch);
         delayed.train_epoch(&data, 11, epoch);
