@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pbp_nn::Layer;
-use pbp_tensor::ops::{conv2d, conv2d_backward, Conv2dSpec};
-use pbp_tensor::Tensor;
+use pbp_tensor::ops::{conv2d, conv2d_backward, gemm_nn, reference, Conv2dSpec};
+use pbp_tensor::{pool, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -50,6 +50,90 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Naive reference vs tiled (single-thread) vs pool-parallel GEMM at the
+/// sizes `bench_kernels` reports on — the criterion view of the same
+/// comparison that lands in `results/BENCH_kernels.json`.
+fn bench_gemm_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_paths");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = pbp_tensor::normal(&[n, n], 0.0, 1.0, &mut rng);
+        let b_ = pbp_tensor::normal(&[n, n], 0.0, 1.0, &mut rng);
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("naive", n), &(), |bch, _| {
+            bch.iter(|| {
+                reference::matmul_ref(
+                    black_box(a.as_slice()),
+                    black_box(b_.as_slice()),
+                    &mut out,
+                    n,
+                    n,
+                    n,
+                );
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", n), &(), |bch, _| {
+            pool::set_max_threads(1);
+            bch.iter(|| {
+                gemm_nn(
+                    black_box(a.as_slice()),
+                    black_box(b_.as_slice()),
+                    &mut out,
+                    n,
+                    n,
+                    n,
+                    false,
+                );
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &(), |bch, _| {
+            pool::set_max_threads(8);
+            bch.iter(|| {
+                gemm_nn(
+                    black_box(a.as_slice()),
+                    black_box(b_.as_slice()),
+                    &mut out,
+                    n,
+                    n,
+                    n,
+                    false,
+                );
+            });
+            pool::set_max_threads(1);
+        });
+    }
+    group.finish();
+}
+
+/// The same three paths through a whole conv forward + backward, at the
+/// feature-map sizes the pipeline stages actually run.
+fn bench_conv_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_paths");
+    for &(ch, size) in &[(16usize, 16usize), (32, 12)] {
+        let spec = Conv2dSpec::new(ch, ch, 3, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = pbp_tensor::normal(&[1, ch, size, size], 0.0, 1.0, &mut rng);
+        let weight = pbp_tensor::normal(&spec.weight_shape(), 0.0, 0.1, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("naive_fwd", format!("{ch}c{size}px")),
+            &(),
+            |b, _| b.iter(|| reference::conv2d_ref(black_box(&input), black_box(&weight), &spec)),
+        );
+        for (label, threads) in [("gemm_fwd", 1usize), ("gemm_fwd_par", 8)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{ch}c{size}px")),
+                &(),
+                |b, _| {
+                    pool::set_max_threads(threads);
+                    b.iter(|| conv2d(black_box(&input), black_box(&weight), &spec).unwrap());
+                    pool::set_max_threads(1);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_groupnorm(c: &mut Criterion) {
     let mut group = c.benchmark_group("groupnorm");
     for &(ch, size) in &[(16usize, 16usize), (64, 8)] {
@@ -72,5 +156,12 @@ fn bench_groupnorm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_conv2d, bench_matmul, bench_groupnorm);
+criterion_group!(
+    benches,
+    bench_conv2d,
+    bench_matmul,
+    bench_gemm_paths,
+    bench_conv_paths,
+    bench_groupnorm
+);
 criterion_main!(benches);

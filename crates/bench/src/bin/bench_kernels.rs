@@ -1,0 +1,259 @@
+//! Kernel benchmark: naive reference vs tiled vs pool-parallel GEMM and
+//! conv paths, with bit-identity verification on every timed configuration.
+//!
+//! Prints comparison tables and writes `results/BENCH_kernels.json` with
+//! per-size timings, GFLOP/s, and speedups over the naive reference. The
+//! acceptance bar for the kernels layer is the `gemm` entry at 256: the
+//! tiled-parallel path must beat the naive reference by ≥ 5×.
+
+use pbp_bench::Table;
+use pbp_tensor::ops::{conv2d, conv2d_backward, gemm_nn, reference, Conv2dSpec};
+use pbp_tensor::{pool, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median-of-runs wall time for `f`, in seconds, after a warmup call.
+fn time_it(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples = Vec::new();
+    let budget_start = Instant::now();
+    while samples.len() < 5 || (budget_start.elapsed().as_secs_f64() < 0.25 && samples.len() < 50) {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], context: &str) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{context}: element {i} differs: {g} vs {w}"
+        );
+    }
+}
+
+struct GemmRow {
+    n: usize,
+    naive_s: f64,
+    tiled_s: f64,
+    parallel_s: f64,
+}
+
+struct ConvRow {
+    label: String,
+    naive_fwd_s: f64,
+    gemm_fwd_s: f64,
+    gemm_fwd_par_s: f64,
+    naive_bwd_s: f64,
+    gemm_bwd_s: f64,
+}
+
+fn bench_gemm(n: usize) -> GemmRow {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let a = pbp_tensor::normal(&[n, n], 0.0, 1.0, &mut rng);
+    let b = pbp_tensor::normal(&[n, n], 0.0, 1.0, &mut rng);
+    let (asl, bsl) = (a.as_slice(), b.as_slice());
+    let mut want = vec![0.0f32; n * n];
+    reference::matmul_ref(asl, bsl, &mut want, n, n, n);
+    let mut out = vec![0.0f32; n * n];
+
+    let naive_s = time_it(|| {
+        reference::matmul_ref(black_box(asl), black_box(bsl), &mut out, n, n, n);
+    });
+    assert_bits_eq(&out, &want, "naive");
+
+    pool::set_max_threads(1);
+    let tiled_s = time_it(|| {
+        gemm_nn(black_box(asl), black_box(bsl), &mut out, n, n, n, false);
+    });
+    assert_bits_eq(&out, &want, "tiled");
+
+    pool::set_max_threads(8);
+    let parallel_s = time_it(|| {
+        gemm_nn(black_box(asl), black_box(bsl), &mut out, n, n, n, false);
+    });
+    assert_bits_eq(&out, &want, "parallel");
+    pool::set_max_threads(1);
+
+    GemmRow {
+        n,
+        naive_s,
+        tiled_s,
+        parallel_s,
+    }
+}
+
+fn bench_conv(ch: usize, size: usize) -> ConvRow {
+    let spec = Conv2dSpec::new(ch, ch, 3, 1, 1).unwrap();
+    let mut rng = StdRng::seed_from_u64((ch * size) as u64);
+    let input = pbp_tensor::normal(&[1, ch, size, size], 0.0, 1.0, &mut rng);
+    let weight = pbp_tensor::normal(&spec.weight_shape(), 0.0, 0.1, &mut rng);
+
+    let want = reference::conv2d_ref(&input, &weight, &spec);
+    let naive_fwd_s = time_it(|| {
+        black_box(reference::conv2d_ref(
+            black_box(&input),
+            black_box(&weight),
+            &spec,
+        ));
+    });
+
+    pool::set_max_threads(1);
+    let (got, cols) = conv2d(&input, &weight, &spec).unwrap();
+    assert_bits_eq(got.as_slice(), want.as_slice(), "conv gemm fwd");
+    let gemm_fwd_s = time_it(|| {
+        black_box(conv2d(black_box(&input), black_box(&weight), &spec).unwrap());
+    });
+    pool::set_max_threads(8);
+    let gemm_fwd_par_s = time_it(|| {
+        black_box(conv2d(black_box(&input), black_box(&weight), &spec).unwrap());
+    });
+    pool::set_max_threads(1);
+
+    let grad = Tensor::ones(want.shape());
+    let (want_gx, want_gw) = reference::conv2d_backward_ref(&grad, &input, &weight, &spec);
+    let naive_bwd_s = time_it(|| {
+        black_box(reference::conv2d_backward_ref(
+            black_box(&grad),
+            &input,
+            &weight,
+            &spec,
+        ));
+    });
+    let (gx, gw) = conv2d_backward(&grad, &weight, &cols, (size, size), &spec).unwrap();
+    assert_bits_eq(gx.as_slice(), want_gx.as_slice(), "conv gemm bwd gx");
+    assert_bits_eq(gw.as_slice(), want_gw.as_slice(), "conv gemm bwd gw");
+    let gemm_bwd_s = time_it(|| {
+        black_box(conv2d_backward(black_box(&grad), &weight, &cols, (size, size), &spec).unwrap());
+    });
+
+    ConvRow {
+        label: format!("{ch}c{size}px"),
+        naive_fwd_s,
+        gemm_fwd_s,
+        gemm_fwd_par_s,
+        naive_bwd_s,
+        gemm_bwd_s,
+    }
+}
+
+fn gflops(n: usize, secs: f64) -> f64 {
+    2.0 * (n as f64).powi(3) / secs / 1e9
+}
+
+fn main() {
+    // `PBP_BENCH_SMOKE=1` is the scripts/check.sh gate: a quick pass over the
+    // smaller shapes that still runs every bit-identity assertion, but leaves
+    // the committed results/BENCH_kernels.json untouched.
+    let smoke = std::env::var_os("PBP_BENCH_SMOKE").is_some();
+    println!("== Kernel benchmark: naive vs tiled vs pool-parallel ==");
+    println!("(every timed path verified bit-identical to the reference)\n");
+
+    let gemm_sizes: &[usize] = if smoke { &[64, 128] } else { &[64, 128, 256] };
+    let gemm_rows: Vec<GemmRow> = gemm_sizes.iter().map(|&n| bench_gemm(n)).collect();
+    let mut table = Table::new([
+        "gemm n",
+        "naive ms",
+        "tiled ms",
+        "par ms",
+        "tiled gflop/s",
+        "tiled x",
+        "par x",
+    ]);
+    for r in &gemm_rows {
+        table.row([
+            format!("{0}x{0}x{0}", r.n),
+            format!("{:.3}", r.naive_s * 1e3),
+            format!("{:.3}", r.tiled_s * 1e3),
+            format!("{:.3}", r.parallel_s * 1e3),
+            format!("{:.2}", gflops(r.n, r.tiled_s)),
+            format!("{:.1}", r.naive_s / r.tiled_s),
+            format!("{:.1}", r.naive_s / r.parallel_s),
+        ]);
+    }
+    table.print();
+
+    let conv_configs: &[(usize, usize)] = if smoke {
+        &[(16, 16)]
+    } else {
+        &[(16, 16), (32, 12)]
+    };
+    let conv_rows: Vec<ConvRow> = conv_configs
+        .iter()
+        .map(|&(c, s)| bench_conv(c, s))
+        .collect();
+    let mut table = Table::new([
+        "conv3x3",
+        "naive fwd ms",
+        "gemm fwd ms",
+        "par fwd ms",
+        "naive bwd ms",
+        "gemm bwd ms",
+        "fwd x",
+        "bwd x",
+    ]);
+    for r in &conv_rows {
+        table.row([
+            r.label.clone(),
+            format!("{:.3}", r.naive_fwd_s * 1e3),
+            format!("{:.3}", r.gemm_fwd_s * 1e3),
+            format!("{:.3}", r.gemm_fwd_par_s * 1e3),
+            format!("{:.3}", r.naive_bwd_s * 1e3),
+            format!("{:.3}", r.gemm_bwd_s * 1e3),
+            format!("{:.1}", r.naive_fwd_s / r.gemm_fwd_s),
+            format!("{:.1}", r.naive_bwd_s / r.gemm_bwd_s),
+        ]);
+    }
+    table.print();
+
+    if smoke {
+        println!("\nsmoke mode: results/BENCH_kernels.json left untouched");
+        return;
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"kernels\",\n  \"gemm\": [\n");
+    for (i, r) in gemm_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"naive_ms\": {:.4}, \"tiled_ms\": {:.4}, \"parallel_ms\": {:.4}, \
+             \"tiled_gflops\": {:.3}, \"tiled_speedup\": {:.2}, \"parallel_speedup\": {:.2}, \
+             \"bit_identical\": true}}{}",
+            r.n,
+            r.naive_s * 1e3,
+            r.tiled_s * 1e3,
+            r.parallel_s * 1e3,
+            gflops(r.n, r.tiled_s),
+            r.naive_s / r.tiled_s,
+            r.naive_s / r.parallel_s,
+            if i + 1 < gemm_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"conv\": [\n");
+    for (i, r) in conv_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{}\", \"naive_fwd_ms\": {:.4}, \"gemm_fwd_ms\": {:.4}, \
+             \"parallel_fwd_ms\": {:.4}, \"naive_bwd_ms\": {:.4}, \"gemm_bwd_ms\": {:.4}, \
+             \"fwd_speedup\": {:.2}, \"bwd_speedup\": {:.2}, \"bit_identical\": true}}{}",
+            r.label,
+            r.naive_fwd_s * 1e3,
+            r.gemm_fwd_s * 1e3,
+            r.gemm_fwd_par_s * 1e3,
+            r.naive_bwd_s * 1e3,
+            r.gemm_bwd_s * 1e3,
+            r.naive_fwd_s / r.gemm_fwd_s,
+            r.naive_bwd_s / r.gemm_bwd_s,
+            if i + 1 < conv_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote results/BENCH_kernels.json");
+}

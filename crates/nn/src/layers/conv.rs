@@ -1,7 +1,7 @@
 //! Convolutional layer.
 
 use crate::layer::{LaneStack, Layer};
-use pbp_tensor::ops::{conv2d, conv2d_backward, Conv2dSpec};
+use pbp_tensor::ops::{conv2d_backward, conv2d_reusing, Conv2dSpec};
 use pbp_tensor::{he_normal, Tensor};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -19,6 +19,8 @@ pub struct Conv2d {
     grad_bias: Option<Tensor>,
     /// Per-in-flight-sample stash: im2col buffers + input spatial size.
     stash: VecDeque<ConvStash>,
+    /// Retired im2col buffers recycled by later forwards.
+    spare: Vec<Vec<f32>>,
 }
 
 impl Conv2d {
@@ -44,6 +46,7 @@ impl Conv2d {
             grad_weight: Tensor::zeros(&spec.weight_shape()),
             grad_bias: bias.then(|| Tensor::zeros(&[out_channels])),
             stash: VecDeque::new(),
+            spare: Vec::new(),
             spec,
         }
     }
@@ -69,7 +72,8 @@ impl Layer for Conv2d {
     fn forward(&mut self, stack: &mut LaneStack) {
         let x = stack.pop().expect("conv2d: empty stack");
         let (h, w) = (x.shape()[2], x.shape()[3]);
-        let (mut y, cols) = conv2d(&x, &self.weight, &self.spec).expect("conv2d shapes");
+        let (mut y, cols) =
+            conv2d_reusing(&x, &self.weight, &self.spec, &mut self.spare).expect("conv2d shapes");
         if let Some(b) = &self.bias {
             let [n, oc, oh, ow] = [y.shape()[0], y.shape()[1], y.shape()[2], y.shape()[3]];
             let ys = y.as_mut_slice();
@@ -92,6 +96,7 @@ impl Layer for Conv2d {
         let (cols, hw) = self.stash.pop_front().expect("conv2d: no stashed input");
         let (gx, gw) =
             conv2d_backward(&g, &self.weight, &cols, hw, &self.spec).expect("conv2d grad shapes");
+        self.spare.extend(cols);
         pbp_tensor::ops::axpy(1.0, &gw, &mut self.grad_weight);
         if let Some(gb) = &mut self.grad_bias {
             let [n, oc, oh, ow] = [g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]];

@@ -77,9 +77,9 @@ impl Layer for Linear {
     fn backward(&mut self, grad_stack: &mut LaneStack) {
         let g = grad_stack.pop().expect("linear: empty grad stack");
         let x = self.stash.pop_front().expect("linear: no stashed input");
-        // grad_weight += gᵀ · x  ([out,N]ᵀ·[N,in] → [out,in])
-        let gw = g.matmul_transpose_a(&x).expect("linear grad shapes");
-        pbp_tensor::ops::axpy(1.0, &gw, &mut self.grad_weight);
+        // grad_weight += gᵀ · x  ([out,N]ᵀ·[N,in] → [out,in]), accumulated
+        // in place by the tiled transpose-A GEMM — no temporary.
+        pbp_tensor::ops::matmul_tn_acc(&g, &x, &mut self.grad_weight).expect("linear grad shapes");
         if let Some(gb) = &mut self.grad_bias {
             let (n, o) = (g.shape()[0], self.out_features);
             let gs = g.as_slice();

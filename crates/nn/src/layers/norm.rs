@@ -84,6 +84,7 @@ impl Layer for GroupNorm {
         assert_eq!(c, self.channels, "groupnorm channel mismatch");
         let cg = c / self.groups;
         let group_len = cg * h * w;
+        let hw = h * w;
         let xs = x.as_slice();
         let mut xhat = Tensor::zeros(x.shape());
         let mut y = Tensor::zeros(x.shape());
@@ -95,24 +96,30 @@ impl Layer for GroupNorm {
             let bs = self.beta.as_slice();
             for ni in 0..n {
                 for g in 0..self.groups {
-                    let start = ni * c * h * w + g * group_len;
+                    let start = ni * c * hw + g * group_len;
                     let seg = &xs[start..start + group_len];
                     let mean = seg.iter().map(|&v| v as f64).sum::<f64>() / group_len as f64;
-                    let var = seg
+                    let var = (seg
                         .iter()
                         .map(|&v| {
                             let d = v as f64 - mean;
                             d * d
                         })
                         .sum::<f64>()
-                        / group_len as f64;
+                        / group_len as f64)
+                        .max(0.0);
                     let inv_std = 1.0 / (var + self.eps as f64).sqrt();
                     inv_stds.push(inv_std as f32);
-                    for (j, &v) in seg.iter().enumerate() {
-                        let xn = ((v as f64 - mean) * inv_std) as f32;
-                        let ch = g * cg + j / (h * w);
-                        xh[start + j] = xn;
-                        ys[start + j] = gs[ch] * xn + bs[ch];
+                    let (mean, inv_std) = (mean as f32, inv_std as f32);
+                    for ci in 0..cg {
+                        let ch = g * cg + ci;
+                        let (gam, bet) = (gs[ch], bs[ch]);
+                        let cbase = start + ci * hw;
+                        for p in 0..hw {
+                            let xn = (xs[cbase + p] - mean) * inv_std;
+                            xh[cbase + p] = xn;
+                            ys[cbase + p] = gam * xn + bet;
+                        }
                     }
                 }
             }
@@ -127,52 +134,51 @@ impl Layer for GroupNorm {
         let [n, c, h, w] = [g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]];
         let cg = c / self.groups;
         let group_len = cg * h * w;
+        let hw = h * w;
         let gs = g.as_slice();
         let xh = xhat.as_slice();
         let gam = self.gamma.as_slice();
-        // Parameter gradients.
-        {
-            let gg = self.grad_gamma.as_mut_slice();
-            let gb = self.grad_beta.as_mut_slice();
-            for ni in 0..n {
-                for ch in 0..c {
-                    let base = (ni * c + ch) * h * w;
-                    let mut sg = 0.0f32;
-                    let mut sb = 0.0f32;
-                    for p in 0..h * w {
-                        sg += gs[base + p] * xh[base + p];
-                        sb += gs[base + p];
-                    }
-                    gg[ch] += sg;
-                    gb[ch] += sb;
-                }
-            }
-        }
         // Input gradient per group:
         // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat ⊙ xhat))
+        // The per-channel sums Σg and Σg·xhat serve double duty: they are the
+        // parameter gradients, and weighted by gamma they give the two group
+        // means above — so one pass over the data replaces three.
         let mut gx = Tensor::zeros(g.shape());
         {
             let gxs = gx.as_mut_slice();
+            let gg = self.grad_gamma.as_mut_slice();
+            let gb = self.grad_beta.as_mut_slice();
             for ni in 0..n {
                 for grp in 0..self.groups {
-                    let start = ni * c * h * w + grp * group_len;
+                    let start = ni * c * hw + grp * group_len;
                     let inv_std = inv_stds[ni * self.groups + grp];
-                    let mut mean_dxhat = 0.0f64;
-                    let mut mean_dxhat_xhat = 0.0f64;
-                    for j in 0..group_len {
-                        let ch = grp * cg + j / (h * w);
-                        let dxhat = (gs[start + j] * gam[ch]) as f64;
-                        mean_dxhat += dxhat;
-                        mean_dxhat_xhat += dxhat * xh[start + j] as f64;
+                    let mut sum_dxhat = 0.0f64;
+                    let mut sum_dxhat_xhat = 0.0f64;
+                    for ci in 0..cg {
+                        let ch = grp * cg + ci;
+                        let cbase = start + ci * hw;
+                        let mut sg = 0.0f32;
+                        let mut sb = 0.0f32;
+                        for p in 0..hw {
+                            sg += gs[cbase + p] * xh[cbase + p];
+                            sb += gs[cbase + p];
+                        }
+                        gg[ch] += sg;
+                        gb[ch] += sb;
+                        sum_dxhat += (gam[ch] * sb) as f64;
+                        sum_dxhat_xhat += (gam[ch] * sg) as f64;
                     }
-                    mean_dxhat /= group_len as f64;
-                    mean_dxhat_xhat /= group_len as f64;
-                    for j in 0..group_len {
-                        let ch = grp * cg + j / (h * w);
-                        let dxhat = (gs[start + j] * gam[ch]) as f64;
-                        gxs[start + j] = (inv_std as f64
-                            * (dxhat - mean_dxhat - xh[start + j] as f64 * mean_dxhat_xhat))
-                            as f32;
+                    let mean_dxhat = (sum_dxhat / group_len as f64) as f32;
+                    let mean_dxhat_xhat = (sum_dxhat_xhat / group_len as f64) as f32;
+                    for ci in 0..cg {
+                        let ch = grp * cg + ci;
+                        let scale = inv_std * gam[ch];
+                        let shift = inv_std * mean_dxhat;
+                        let coeff = inv_std * mean_dxhat_xhat;
+                        let cbase = start + ci * hw;
+                        for p in 0..hw {
+                            gxs[cbase + p] = scale * gs[cbase + p] - shift - coeff * xh[cbase + p];
+                        }
                     }
                 }
             }

@@ -8,7 +8,7 @@
 //! one.
 
 use crate::layer::{LaneStack, Layer};
-use pbp_tensor::ops::{conv2d, conv2d_backward, Conv2dSpec};
+use pbp_tensor::ops::{conv2d_backward, conv2d_reusing, Conv2dSpec};
 use pbp_tensor::{he_normal, Tensor};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -27,6 +27,8 @@ pub struct WsConv2d {
     grad_weight: Tensor,
     eps: f32,
     stash: VecDeque<WsStash>,
+    /// Retired im2col buffers recycled by later forwards.
+    spare: Vec<Vec<f32>>,
 }
 
 impl WsConv2d {
@@ -53,6 +55,7 @@ impl WsConv2d {
             eps: 1e-5,
             spec,
             stash: VecDeque::new(),
+            spare: Vec::new(),
         }
     }
 
@@ -104,7 +107,8 @@ impl Layer for WsConv2d {
         let x = stack.pop().expect("ws_conv: empty stack");
         let (h, w) = (x.shape()[2], x.shape()[3]);
         let (what, _) = self.standardized();
-        let (y, cols) = conv2d(&x, &what, &self.spec).expect("ws_conv shapes");
+        let (y, cols) =
+            conv2d_reusing(&x, &what, &self.spec, &mut self.spare).expect("ws_conv shapes");
         self.stash.push_back((cols, (h, w), what));
         stack.push(y);
     }
@@ -114,6 +118,7 @@ impl Layer for WsConv2d {
         let (cols, hw, what) = self.stash.pop_front().expect("ws_conv: no stash");
         let (gx, g_what) =
             conv2d_backward(&g, &what, &cols, hw, &self.spec).expect("ws_conv grad shapes");
+        self.spare.extend(cols);
         // Back-propagate through ŵ = (w − μ)/(σ + ε), per output channel:
         // dw = inv·(dŵ − mean(dŵ) − ŵ·mean(dŵ ⊙ ŵ)·σ/(σ+ε)). For ε ≪ σ we
         // use the standard normalization backward (σ/(σ+ε) ≈ 1).

@@ -109,6 +109,26 @@ proptest! {
         gradcheck(&mut layer, &x, seed ^ 2, 0.05).map_err(TestCaseError::fail)?;
     }
 
+    /// Conv gradients across the full geometry grid the GEMM-lowered
+    /// backward supports: kernels 1–4, strides up to 3, paddings up to 2
+    /// (including padding > kernel/2, where whole taps fall outside), and
+    /// non-square inputs.
+    #[test]
+    fn conv2d_strided_padded_gradcheck(
+        kernel in 1usize..5,
+        stride in 1usize..4,
+        padding in 0usize..3,
+        extra_h in 0usize..4,
+        extra_w in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let (h, w) = (kernel + extra_h, kernel + extra_w);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Conv2d::new(2, 3, kernel, stride, padding, true, &mut rng);
+        let x = rand_input(&[1, 2, h, w], seed ^ 1);
+        gradcheck(&mut layer, &x, seed ^ 2, 0.06).map_err(TestCaseError::fail)?;
+    }
+
     #[test]
     fn ws_conv2d_gradcheck(
         in_c in 2usize..4,
@@ -118,6 +138,21 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layer = WsConv2d::new(in_c, out_c, 3, 1, 1, &mut rng);
         let x = rand_input(&[1, in_c, 5, 5], seed ^ 1);
+        gradcheck(&mut layer, &x, seed ^ 2, 0.08).map_err(TestCaseError::fail)?;
+    }
+
+    /// Weight-standardized conv under stride and padding variation: the
+    /// standardization backward must compose with the GEMM-lowered conv
+    /// backward at every geometry.
+    #[test]
+    fn ws_conv2d_strided_padded_gradcheck(
+        stride in 1usize..3,
+        padding in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = WsConv2d::new(2, 3, 3, stride, padding, &mut rng);
+        let x = rand_input(&[1, 2, 6, 5], seed ^ 1);
         gradcheck(&mut layer, &x, seed ^ 2, 0.08).map_err(TestCaseError::fail)?;
     }
 

@@ -16,7 +16,8 @@
 //! * forward channels are **bounded** (back-pressure limits in-flight
 //!   samples to roughly one per stage, the paper's steady state);
 //! * backward channels are **unbounded**, so the forward-blocking chain
-//!   always terminates at the loss thread and the pipeline cannot deadlock;
+//!   always terminates at the last stage — which computes the loss inline
+//!   and turns straight around into backward — and cannot deadlock;
 //! * each worker drains pending gradients before accepting new forward
 //!   work, which keeps updates flowing and bounds activation stashes.
 
@@ -226,6 +227,10 @@ impl ThreadedPipeline {
 
         std::thread::scope(|scope| {
             let (feed_tx, mut next_fwd_rx) = bounded::<FwdMsg>(cap);
+            // Loss results flow out-of-band on an unbounded channel the main
+            // thread drains after the workers join, so reporting a loss never
+            // blocks (or wakes) anyone.
+            let (loss_tx, loss_rx) = unbounded::<(usize, f32)>();
             let mut handles = Vec::with_capacity(num_layer_stages);
             for (s, stage) in stages.into_iter().enumerate() {
                 let (fwd_out, fwd_rx) = bounded::<FwdMsg>(cap);
@@ -233,6 +238,11 @@ impl ThreadedPipeline {
                 let bwd_in = bwd_channels[s].1.clone();
                 let bwd_out = (s > 0).then(|| bwd_channels[s - 1].0.clone());
                 let done = (s == 0 && config.fill_drain).then(|| done_tx.clone());
+                // The last layer stage computes the loss inline instead of
+                // forwarding logits: two channel hops per sample disappear,
+                // and with them two context switches on small cores.
+                let loss = (s + 1 == num_layer_stages).then(|| loss_tx.clone());
+                let fwd_out = (s + 1 != num_layer_stages).then_some(fwd_out);
                 let cfg = config.clone();
                 handles.push(scope.spawn(move || {
                     run_stage(
@@ -244,29 +254,17 @@ impl ThreadedPipeline {
                         bwd_in,
                         bwd_out,
                         done,
+                        loss,
                         &cfg,
                     )
                 }));
             }
-            // Loss worker: consumes the last forward channel, produces the
-            // gradient for the last layer stage.
-            let loss_fwd_in = next_fwd_rx;
-            let last_bwd_tx = bwd_channels[num_layer_stages - 1].0.clone();
-            let loss_handle = scope.spawn(move || {
-                let mut out = Vec::new();
-                while let Ok(msg) = loss_fwd_in.recv() {
-                    assert_eq!(msg.stack.len(), 1, "loss stage expects a single lane");
-                    let logits = &msg.stack[0];
-                    let (loss, grad) = softmax_cross_entropy(logits, &[msg.label]);
-                    out.push((msg.id, loss));
-                    let _ = last_bwd_tx.send(BwdMsg { stack: vec![grad] });
-                }
-                out
-            });
             // Drop the original channel endpoints held by this thread so
             // disconnects propagate once workers finish.
+            drop(next_fwd_rx);
             drop(bwd_channels);
             drop(done_tx);
+            drop(loss_tx);
 
             // ---- Feeder (this thread).
             for (id, (x, label)) in samples.iter().enumerate() {
@@ -286,11 +284,13 @@ impl ThreadedPipeline {
             }
             drop(feed_tx);
 
-            loss_pairs = loss_handle.join().expect("loss worker panicked");
             for handle in handles {
                 let (s, stage, counters) = handle.join().expect("stage worker panicked");
                 stage_slots[s] = Some(stage);
                 counter_slots[s] = counters;
+            }
+            while let Ok(pair) = loss_rx.try_recv() {
+                loss_pairs.push(pair);
             }
         });
 
@@ -386,10 +386,11 @@ fn run_stage(
     pipeline_stages: usize,
     mut stage: Stage,
     fwd_in: Receiver<FwdMsg>,
-    fwd_out: Sender<FwdMsg>,
+    fwd_out: Option<Sender<FwdMsg>>,
     bwd_in: Receiver<BwdMsg>,
     bwd_out: Option<Sender<BwdMsg>>,
     done: Option<Sender<()>>,
+    loss_out: Option<Sender<(usize, f32)>>,
     config: &ThreadedConfig,
 ) -> (usize, Stage, StageCounters) {
     let delay = if config.fill_drain {
@@ -409,6 +410,7 @@ fn run_stage(
         fwd_out,
         bwd_out,
         done,
+        loss_out,
         config,
     };
 
@@ -433,8 +435,11 @@ fn run_stage(
                 }
                 recv(fwd_in) -> msg => match msg {
                     Ok(msg) => {
-                        worker.handle_fwd(msg);
-                        in_flight += 1;
+                        if let Some(grad) = worker.handle_fwd(msg) {
+                            worker.handle_bwd(grad);
+                        } else {
+                            in_flight += 1;
+                        }
                     }
                     Err(_) => fwd_open = false,
                 },
@@ -450,8 +455,11 @@ fn run_stage(
         } else {
             match fwd_in.recv() {
                 Ok(msg) => {
-                    worker.handle_fwd(msg);
-                    in_flight += 1;
+                    if let Some(grad) = worker.handle_fwd(msg) {
+                        worker.handle_bwd(grad);
+                    } else {
+                        in_flight += 1;
+                    }
                 }
                 Err(_) => fwd_open = false,
             }
@@ -472,14 +480,23 @@ struct StageWorker<'a> {
     fwd_marks: VecDeque<usize>,
     counters: StageCounters,
     updates: usize,
-    fwd_out: Sender<FwdMsg>,
+    /// Downstream activation channel; `None` on the last layer stage, which
+    /// terminates the forward pass at the inline loss instead.
+    fwd_out: Option<Sender<FwdMsg>>,
     bwd_out: Option<Sender<BwdMsg>>,
     done: Option<Sender<()>>,
+    /// Per-sample `(id, loss)` reporting channel; `Some` only on the last
+    /// layer stage.
+    loss_out: Option<Sender<(usize, f32)>>,
     config: &'a ThreadedConfig,
 }
 
 impl StageWorker<'_> {
-    fn handle_fwd(&mut self, mut msg: FwdMsg) {
+    /// Runs the forward pass and either forwards the activations downstream
+    /// (returning `None`) or — on the last layer stage — computes the loss
+    /// inline and returns the gradient message for an immediate
+    /// [`Self::handle_bwd`] by the caller.
+    fn handle_fwd(&mut self, mut msg: FwdMsg) -> Option<BwdMsg> {
         let start = Instant::now();
         self.fwd_marks.push_back(self.updates);
         let params = self.stage.params();
@@ -501,8 +518,20 @@ impl StageWorker<'_> {
             self.stash
                 .push_back(predicted.unwrap_or_else(|| self.stage.snapshot()));
         }
+        if let Some(loss_tx) = &self.loss_out {
+            assert_eq!(msg.stack.len(), 1, "loss stage expects a single lane");
+            let (loss, grad) = softmax_cross_entropy(&msg.stack[0], &[msg.label]);
+            let _ = loss_tx.send((msg.id, loss));
+            self.counters.add_busy_ns(start.elapsed().as_nanos());
+            return Some(BwdMsg { stack: vec![grad] });
+        }
         self.counters.add_busy_ns(start.elapsed().as_nanos());
-        let _ = self.fwd_out.send(msg);
+        let _ = self
+            .fwd_out
+            .as_ref()
+            .expect("non-terminal stages have a forward channel")
+            .send(msg);
+        None
     }
 
     fn handle_bwd(&mut self, mut msg: BwdMsg) {

@@ -6,8 +6,8 @@
 //! * the threaded fill-and-drain runtime matches sequential SGDM;
 //! * the PB emulator's measured delay histogram is exactly Eq. 5.
 
-use pbp_data::blobs;
-use pbp_nn::models::mlp;
+use pbp_data::{blobs, DatasetSpec, SyntheticImages};
+use pbp_nn::models::{mlp, simple_cnn};
 use pbp_nn::Network;
 use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
 use pbp_pipeline::{
@@ -188,6 +188,47 @@ fn threaded_fill_drain_matches_sgdm_batch_1() {
         &sgdm.into_network(),
         1e-5,
         "threaded fill&drain vs SGDM batch 1",
+    );
+}
+
+/// The kernel worker pool must never change training results: a threaded
+/// pipeline run with the pool disabled (`max_threads = 1`, every GEMM
+/// serial) and one with it enabled (8 threads) must land on bit-identical
+/// final weights from the same seed.
+///
+/// Fill-and-drain mode pins the sample/update schedule (the free-running PB
+/// schedule depends on real thread timing), so the kernel pool is the only
+/// variable. The network is sized so its inner conv GEMMs (16 channels on
+/// 12×12 feature maps → m·k·n ≈ 330k elements) cross the parallel-dispatch
+/// threshold — with `max_threads = 8` those products really do fan out
+/// across pool workers *from inside the engine's stage threads*.
+#[test]
+fn threaded_engine_is_bit_identical_with_kernel_pool_on_and_off() {
+    let gen = SyntheticImages::new(DatasetSpec::cifar_sim(12), 0xD15C);
+    let train = gen.generate(12, 0);
+    let val = gen.generate(6, 1);
+    let config = RunConfig::new(1, 13);
+
+    let run = |threads: usize| {
+        pbp_tensor::pool::set_max_threads(threads);
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = simple_cnn(3, 16, 2, train.num_classes(), &mut rng);
+        let mut engine = EngineSpec::Threaded(ThreadedConfig::fill_drain(schedule())).build(net);
+        let report = run_training(engine.as_mut(), &train, &val, &config, &mut NoHooks);
+        pbp_tensor::pool::set_max_threads(1);
+        (engine.into_network(), report)
+    };
+
+    let (net_serial, report_serial) = run(1);
+    let (net_pooled, report_pooled) = run(8);
+    for (a, b) in report_serial.records.iter().zip(&report_pooled.records) {
+        assert_eq!(a.train_loss, b.train_loss, "per-epoch loss must match");
+        assert_eq!(a.val_acc, b.val_acc, "per-epoch accuracy must match");
+    }
+    assert_networks_equal(
+        &net_serial,
+        &net_pooled,
+        "threaded engine, kernel pool off vs on",
     );
 }
 

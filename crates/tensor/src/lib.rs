@@ -35,6 +35,7 @@ mod init;
 mod tensor;
 
 pub mod ops;
+pub mod pool;
 
 pub use error::TensorError;
 pub use init::{he_normal, normal, uniform, xavier_uniform};

@@ -6,8 +6,16 @@
 //! produces both the input gradient (col2im of `Wᵀ·dY`) and the weight
 //! gradient (`dY·colsᵀ`).
 
-use super::matmul::matmul_into;
+use super::gemm::{gemm_nn, gemm_nt, gemm_tn};
 use crate::{Result, Tensor, TensorError};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread scratch for the `Wᵀ·dY` column gradient in
+    /// [`conv2d_backward`] — overwritten by the GEMM each call, so reuse
+    /// across calls (and across pipeline stages on the same thread) is free.
+    static DCOLS_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,10 +82,32 @@ impl Conv2dSpec {
     }
 }
 
+/// The output indices `o` with `0 <= o·stride + kofs − padding < limit`,
+/// as a half-open range clamped to `0..out_extent`. Hoisting this out of the
+/// per-pixel loops lets [`im2col`]/[`col2im`] run bounds-check-free inner
+/// loops (contiguous `copy_from_slice`/add runs when `stride == 1`).
+fn valid_out_range(
+    limit: usize,
+    kofs: usize,
+    stride: usize,
+    padding: usize,
+    out_extent: usize,
+) -> (usize, usize) {
+    let lo = padding.saturating_sub(kofs).div_ceil(stride);
+    let hi = if limit + padding > kofs {
+        out_extent.min((limit + padding - kofs - 1) / stride + 1)
+    } else {
+        0
+    };
+    (lo.min(hi), hi)
+}
+
 /// Lowers one image `[C, H, W]` (flat slice) to columns
 /// `[C*k*k, OH*OW]` (flat, row-major), honoring stride and zero padding.
 pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, cols: &mut Vec<f32>) {
     let k = spec.kernel;
+    let s = spec.stride;
+    let p = spec.padding;
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
     let rows = c * k * k;
     cols.clear();
@@ -85,21 +115,22 @@ pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, co
     for ci in 0..c {
         let chan = &input[ci * h * w..(ci + 1) * h * w];
         for ki in 0..k {
+            let (oi_lo, oi_hi) = valid_out_range(h, ki, s, p, oh);
             for kj in 0..k {
+                let (oj_lo, oj_hi) = valid_out_range(w, kj, s, p, ow);
                 let row = (ci * k + ki) * k + kj;
                 let out_row = &mut cols[row * oh * ow..(row + 1) * oh * ow];
-                for oi in 0..oh {
-                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
-                    if ii < 0 || ii >= h as isize {
-                        continue;
-                    }
-                    let irow = &chan[(ii as usize) * w..(ii as usize + 1) * w];
-                    for oj in 0..ow {
-                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
-                        if jj < 0 || jj >= w as isize {
-                            continue;
+                for oi in oi_lo..oi_hi {
+                    let ii = oi * s + ki - p;
+                    let irow = &chan[ii * w..(ii + 1) * w];
+                    let dst = &mut out_row[oi * ow..][..ow];
+                    if s == 1 {
+                        let j0 = oj_lo + kj - p;
+                        dst[oj_lo..oj_hi].copy_from_slice(&irow[j0..j0 + (oj_hi - oj_lo)]);
+                    } else {
+                        for oj in oj_lo..oj_hi {
+                            dst[oj] = irow[oj * s + kj - p];
                         }
-                        out_row[oi * ow + oj] = irow[jj as usize];
                     }
                 }
             }
@@ -109,27 +140,39 @@ pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, co
 
 /// Scatters columns `[C*k*k, OH*OW]` back to an image `[C, H, W]`,
 /// accumulating overlapping contributions (the adjoint of [`im2col`]).
+///
+/// Accumulation order is `(ci, ki, kj, oi, oj)` lexicographic — part of the
+/// bit-exactness contract with `reference::conv2d_backward_ref`.
 pub fn col2im(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out: &mut [f32]) {
     let k = spec.kernel;
+    let s = spec.stride;
+    let p = spec.padding;
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
     out.iter_mut().for_each(|x| *x = 0.0);
     for ci in 0..c {
         let chan = &mut out[ci * h * w..(ci + 1) * h * w];
         for ki in 0..k {
+            let (oi_lo, oi_hi) = valid_out_range(h, ki, s, p, oh);
             for kj in 0..k {
+                let (oj_lo, oj_hi) = valid_out_range(w, kj, s, p, ow);
                 let row = (ci * k + ki) * k + kj;
                 let col_row = &cols[row * oh * ow..(row + 1) * oh * ow];
-                for oi in 0..oh {
-                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
-                    if ii < 0 || ii >= h as isize {
-                        continue;
-                    }
-                    for oj in 0..ow {
-                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
-                        if jj < 0 || jj >= w as isize {
-                            continue;
+                for oi in oi_lo..oi_hi {
+                    let ii = oi * s + ki - p;
+                    let dst = &mut chan[ii * w..(ii + 1) * w];
+                    let src = &col_row[oi * ow..][..ow];
+                    if s == 1 {
+                        let j0 = oj_lo + kj - p;
+                        for (d, v) in dst[j0..j0 + (oj_hi - oj_lo)]
+                            .iter_mut()
+                            .zip(&src[oj_lo..oj_hi])
+                        {
+                            *d += v;
                         }
-                        chan[(ii as usize) * w + jj as usize] += col_row[oi * ow + oj];
+                    } else {
+                        for oj in oj_lo..oj_hi {
+                            dst[oj * s + kj - p] += src[oj];
+                        }
                     }
                 }
             }
@@ -150,6 +193,25 @@ pub fn conv2d(
     input: &Tensor,
     weight: &Tensor,
     spec: &Conv2dSpec,
+) -> Result<(Tensor, Vec<Vec<f32>>)> {
+    conv2d_reusing(input, weight, spec, &mut Vec::new())
+}
+
+/// [`conv2d`] that recycles im2col buffers.
+///
+/// Buffers are popped from `spare` (resized as needed) instead of freshly
+/// allocated, and layers return them to their spare list once
+/// [`conv2d_backward`] has consumed the stash — so a steady-state pipeline
+/// does no per-sample column allocations.
+///
+/// # Errors
+///
+/// Returns a shape error if `input`/`weight` disagree with `spec`.
+pub fn conv2d_reusing(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+    spare: &mut Vec<Vec<f32>>,
 ) -> Result<(Tensor, Vec<Vec<f32>>)> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
@@ -178,11 +240,11 @@ pub fn conv2d(
     let wslice = weight.as_slice();
     for ni in 0..n {
         let img = &input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w];
-        let mut cols = Vec::new();
+        let mut cols = spare.pop().unwrap_or_default();
         im2col(img, c, h, w, spec, &mut cols);
         let dst = &mut out.as_mut_slice()
             [ni * spec.out_channels * oh * ow..(ni + 1) * spec.out_channels * oh * ow];
-        matmul_into(wslice, &cols, dst, spec.out_channels, rows, oh * ow);
+        gemm_nn(wslice, &cols, dst, spec.out_channels, rows, oh * ow, false);
         all_cols.push(cols);
     }
     Ok((out, all_cols))
@@ -222,42 +284,63 @@ pub fn conv2d_backward(
     }
     let rows = spec.fan_in();
     let c = spec.in_channels;
+    let p = oh * ow;
     let mut grad_in = Tensor::zeros(&[n, c, h, w]);
     let mut grad_w = Tensor::zeros(&spec.weight_shape());
     let wslice = weight.as_slice();
-    // Weight viewed as [OC, rows]; transpose once for the input gradient.
-    let mut wt = vec![0.0f32; rows * spec.out_channels];
-    for oc in 0..spec.out_channels {
-        for r in 0..rows {
-            wt[r * spec.out_channels + oc] = wslice[oc * rows + r];
-        }
-    }
-    let mut dcols = vec![0.0f32; rows * oh * ow];
-    for ni in 0..n {
-        let dy = &grad_out.as_slice()
-            [ni * spec.out_channels * oh * ow..(ni + 1) * spec.out_channels * oh * ow];
-        // grad_w += dY · colsᵀ  — accumulate manually since matmul_into overwrites.
-        {
-            let gw = grad_w.as_mut_slice();
-            let colbuf = &cols[ni];
-            for oc in 0..spec.out_channels {
-                let dyrow = &dy[oc * oh * ow..(oc + 1) * oh * ow];
-                let gwrow = &mut gw[oc * rows..(oc + 1) * rows];
-                for r in 0..rows {
-                    let crow = &colbuf[r * oh * ow..(r + 1) * oh * ow];
-                    let mut acc = 0.0f32;
-                    for p in 0..oh * ow {
-                        acc += dyrow[p] * crow[p];
-                    }
-                    gwrow[r] += acc;
+    // Weight gradients accumulate across the batch as completed per-sample
+    // subtotals (`grad_w += dYᵢ · colsᵢᵀ` with each product summed on its
+    // own), never as one flat chain over all samples. Callers that feed
+    // samples one at a time (fill&drain, pipelined backprop) accumulate the
+    // per-call results the same way, so batched and sample-at-a-time
+    // training stay bit-equivalent.
+    let mut gw_tmp: Vec<f32> = Vec::new();
+    DCOLS_BUF.with(|buf| {
+        let dcols = &mut *buf.borrow_mut();
+        dcols.resize(rows * p, 0.0);
+        for ni in 0..n {
+            let dy =
+                &grad_out.as_slice()[ni * spec.out_channels * p..(ni + 1) * spec.out_channels * p];
+            if ni == 0 {
+                // First sample's chains start from the zeroed grad_w.
+                gemm_nt(
+                    dy,
+                    &cols[ni],
+                    grad_w.as_mut_slice(),
+                    spec.out_channels,
+                    p,
+                    rows,
+                    true,
+                );
+            } else {
+                gw_tmp.resize(spec.out_channels * rows, 0.0);
+                gemm_nt(
+                    dy,
+                    &cols[ni],
+                    &mut gw_tmp,
+                    spec.out_channels,
+                    p,
+                    rows,
+                    false,
+                );
+                for (g, t) in grad_w.as_mut_slice().iter_mut().zip(&gw_tmp) {
+                    *g += *t;
                 }
             }
+            // dcols = Wᵀ · dY (transpose-A GEMM, no explicit Wᵀ), then col2im.
+            gemm_tn(
+                wslice,
+                dy,
+                &mut dcols[..rows * p],
+                rows,
+                spec.out_channels,
+                p,
+                false,
+            );
+            let gi = &mut grad_in.as_mut_slice()[ni * c * h * w..(ni + 1) * c * h * w];
+            col2im(&dcols[..rows * p], c, h, w, spec, gi);
         }
-        // dcols = Wᵀ · dY, then col2im.
-        matmul_into(&wt, dy, &mut dcols, rows, spec.out_channels, oh * ow);
-        let gi = &mut grad_in.as_mut_slice()[ni * c * h * w..(ni + 1) * c * h * w];
-        col2im(&dcols, c, h, w, spec, gi);
-    }
+    });
     Ok((grad_in, grad_w))
 }
 

@@ -1,0 +1,563 @@
+//! Cache-blocked, register-tiled GEMM kernels with deterministic
+//! parallelism.
+//!
+//! Three layouts cover every product the layers need, all over flat
+//! row-major slices:
+//!
+//! * [`gemm_nn`] — `C (+)= A·B`   with `A: m×k`, `B: k×n`;
+//! * [`gemm_nt`] — `C (+)= A·Bᵀ`  with `A: m×k`, `B: n×k`;
+//! * [`gemm_tn`] — `C (+)= Aᵀ·B`  with `A: k×m`, `B: k×n`.
+//!
+//! Each dispatches by problem size: small products use simple loops tuned
+//! for the tiny per-stage matrices the pipeline trains at batch size one;
+//! larger ones take a packed, blocked path (`KC`-blocked panels of `B`
+//! packed into an L1-resident tile, `MR`×`NR` register accumulators); the
+//! largest are additionally partitioned across the [`crate::pool`] worker
+//! pool along whichever output dimension is longer.
+//!
+//! # Bit-exact accumulation contract
+//!
+//! Every path — naive reference, simple, tiled, parallel at any thread
+//! count — computes each output element as a single left-to-right chain of
+//! `f32` multiply-adds in increasing `k` order, starting from the existing
+//! value of `C` (accumulate mode) or from `0.0` (overwrite mode). Blocking
+//! and packing only reorder *memory traffic*, never the per-element
+//! floating-point association, and partitions split the *output* (never the
+//! `k` reduction), so results are bit-identical across every dispatch path
+//! and thread count. `tests/proptest_kernels.rs` enforces this against the
+//! retained naive reference in [`super::reference`].
+
+use crate::pool;
+use std::cell::RefCell;
+
+/// Rows of `C` computed per register tile. With 256-bit lanes, 4 rows ×
+/// `NR` = 8 vector accumulators — enough independent FMA chains to cover
+/// FMA latency without spilling the register file (8 rows spill).
+const MR: usize = 4;
+/// Columns of `C` computed per register tile (one AVX-512 lane set; two
+/// AVX2 lanes — written so LLVM autovectorizes the `j` loop).
+const NR: usize = 16;
+/// `k`-panel depth: a packed `KC × NR` tile of `B` stays L1-resident.
+const KC: usize = 256;
+/// Below this many output-times-reduction elements (`m·k·n`) the simple
+/// loops win (no packing overhead).
+const TILED_MIN_ELEMS: usize = 16 * 1024;
+/// Below this, parallel dispatch is never worth the synchronization.
+const PAR_MIN_ELEMS: usize = 128 * 1024;
+/// Rows (or columns) of `C` per parallel chunk. Shape-derived only, so the
+/// partition — and therefore the result — is independent of thread count.
+const PAR_CHUNK: usize = 32;
+/// `Aᵀ·B` products with a reduction this short (conv input gradients have
+/// `k = out_channels`) skip the register-tiling machinery: a row-wise axpy
+/// keeps the whole working set L1-resident and avoids hundreds of
+/// short-panel micro-kernel invocations.
+const TN_AXPY_MAX_K: usize = 24;
+
+thread_local! {
+    /// Per-thread reusable packing buffer (`KC × NR` floats when full).
+    static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `C (+)= A·B` for row-major `A: m×k`, `B: k×n`, `C: m×n`.
+///
+/// With `acc == false` the destination is overwritten; with `acc == true`
+/// products accumulate onto the existing values (chain-extending, see the
+/// module docs for the exact association).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if slice lengths disagree with `m`, `k`, `n`.
+pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_dispatch::<false, false>(a, b, c, m, k, n, acc);
+}
+
+/// `C (+)= A·Bᵀ` for row-major `A: m×k`, `B: n×k`, `C: m×n`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if slice lengths disagree with `m`, `k`, `n`.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_dispatch::<false, true>(a, b, c, m, k, n, acc);
+}
+
+/// `C (+)= Aᵀ·B` for row-major `A: k×m`, `B: k×n`, `C: m×n`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if slice lengths disagree with `m`, `k`, `n`.
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_dispatch::<true, false>(a, b, c, m, k, n, acc);
+}
+
+/// Raw pointer to `C` that may cross into pool workers. Chunks write
+/// disjoint regions, so sharing the base pointer is sound.
+#[derive(Clone, Copy)]
+struct CPtr(*mut f32);
+// SAFETY: see `CPtr` — each chunk dereferences only its own disjoint region
+// of the output, and `parallel_for` joins all chunks before the borrow ends.
+unsafe impl Send for CPtr {}
+unsafe impl Sync for CPtr {}
+
+fn gemm_dispatch<const AT: bool, const BT: bool>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    acc: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !acc {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let elems = m * k * n;
+    if elems < TILED_MIN_ELEMS || n < NR / 2 || m < 2 {
+        if !acc {
+            c.fill(0.0);
+        }
+        simple::<AT, BT>(a, b, c, m, k, n);
+        return;
+    }
+    // Partition the longer output dimension into fixed-size chunks. The
+    // chunk grid depends only on (m, n) — never on the thread count — so
+    // parallel and serial execution produce identical bytes.
+    let by_rows = m >= n;
+    let extent = if by_rows { m } else { n };
+    let chunks = extent.div_ceil(PAR_CHUNK);
+    let cp = CPtr(c.as_mut_ptr());
+    let run_chunk = |ci: usize| {
+        let lo = ci * PAR_CHUNK;
+        let hi = extent.min(lo + PAR_CHUNK);
+        let (rows, cols) = if by_rows {
+            ((lo, hi), (0, n))
+        } else {
+            ((0, m), (lo, hi))
+        };
+        if AT && !BT && k <= TN_AXPY_MAX_K {
+            tn_axpy_region(a, b, cp, m, k, n, rows, cols, acc);
+        } else {
+            tiled_region::<AT, BT>(a, b, cp, m, k, n, rows, cols, acc);
+        }
+    };
+    if elems >= PAR_MIN_ELEMS && chunks > 1 && pool::max_threads() > 1 {
+        pool::parallel_for(chunks, &run_chunk);
+    } else {
+        for ci in 0..chunks {
+            run_chunk(ci);
+        }
+    }
+}
+
+/// Short-reduction `Aᵀ·B` kernel over the output region `rows × cols`:
+/// each `C` row is swept `k` times by vectorized axpys while it (and all
+/// `k` rows of `B`) stay L1-resident. Per element the multiply-add chain
+/// still runs in increasing `k` order from `+0.0` (overwrite) or the
+/// existing value (accumulate), so results match the tiled path bit for
+/// bit.
+#[allow(clippy::too_many_arguments)]
+fn tn_axpy_region(
+    a: &[f32],
+    b: &[f32],
+    c: CPtr,
+    m: usize,
+    k: usize,
+    n: usize,
+    rows: (usize, usize),
+    cols: (usize, usize),
+    acc: bool,
+) {
+    let (row0, row1) = rows;
+    let (col0, col1) = cols;
+    let width = col1 - col0;
+    for i in row0..row1 {
+        // SAFETY: rows/cols lie inside this chunk's output region; regions
+        // are disjoint across pool chunks and joined before the borrow ends.
+        let crow = unsafe { std::slice::from_raw_parts_mut(c.0.add(i * n + col0), width) };
+        let mut kk = 0;
+        if !acc {
+            // The `kk == 0` sweep starts every chain at literal `+0.0`,
+            // replacing a separate zero-fill pass over `C`.
+            let av = a[i];
+            for (cj, &bv) in crow.iter_mut().zip(&b[col0..col0 + width]) {
+                *cj = 0.0 + av * bv;
+            }
+            kk = 1;
+        }
+        while kk < k {
+            let av = a[kk * m + i];
+            let brow = &b[kk * n + col0..][..width];
+            for (cj, &bv) in crow.iter_mut().zip(brow) {
+                *cj += av * bv;
+            }
+            kk += 1;
+        }
+    }
+}
+
+/// Blocked kernel over the output region `rows × cols` of `C`.
+///
+/// `B` panels are packed per (`j`-tile, `k`-panel) into an L1-resident
+/// `kc × NR` buffer; `A` is read in place (its accesses are contiguous in
+/// the non-transposed case and 4-wide contiguous in the transposed case).
+///
+/// In overwrite mode (`acc == false`) the first `k`-panel starts its
+/// register tile from literal zeros instead of reading freshly-zeroed `C`
+/// memory — same bits (the chain starts at `+0.0` either way), but the
+/// pre-fill and one full read of `C` disappear.
+#[allow(clippy::too_many_arguments)]
+fn tiled_region<const AT: bool, const BT: bool>(
+    a: &[f32],
+    b: &[f32],
+    c: CPtr,
+    m: usize,
+    k: usize,
+    n: usize,
+    rows: (usize, usize),
+    cols: (usize, usize),
+    acc: bool,
+) {
+    let lda = if AT { m } else { k };
+    let ldb = if BT { k } else { n };
+    let (row0, row1) = rows;
+    let (col0, col1) = cols;
+    PACK_BUF.with(|buf| {
+        let bp = &mut *buf.borrow_mut();
+        let mut j0 = col0;
+        while j0 < col1 {
+            let nr = NR.min(col1 - j0);
+            let mut p0 = 0;
+            while p0 < k {
+                let kc = KC.min(k - p0);
+                let load_c = acc || p0 > 0;
+                // Full-width tiles of a non-transposed `B` read their panel
+                // rows in place (they are already contiguous `NR`-slices at
+                // stride `ldb`); packing is pure overhead there. Transposed
+                // `B` and ragged right-edge tiles still pack.
+                let (panel, bstride): (&[f32], usize) = if !BT && nr == NR {
+                    (&b[p0 * ldb + j0..], ldb)
+                } else {
+                    pack_b::<BT>(b, ldb, p0, kc, j0, nr, bp);
+                    (&bp[..], NR)
+                };
+                let mut i0 = row0;
+                while i0 < row1 {
+                    let mr = MR.min(row1 - i0);
+                    match mr {
+                        4 => {
+                            micro::<AT, 4>(a, lda, i0, p0, kc, panel, bstride, c, n, j0, nr, load_c)
+                        }
+                        3 => {
+                            micro::<AT, 3>(a, lda, i0, p0, kc, panel, bstride, c, n, j0, nr, load_c)
+                        }
+                        2 => {
+                            micro::<AT, 2>(a, lda, i0, p0, kc, panel, bstride, c, n, j0, nr, load_c)
+                        }
+                        _ => {
+                            micro::<AT, 1>(a, lda, i0, p0, kc, panel, bstride, c, n, j0, nr, load_c)
+                        }
+                    }
+                    i0 += mr;
+                }
+                p0 += kc;
+            }
+            j0 += nr;
+        }
+    });
+}
+
+/// Packs the `kc × nr` panel of `B` starting at (`p0`, `j0`) into `bp` as a
+/// dense `kc × NR` tile, zero-padding columns past `nr`. Pure data movement:
+/// values are copied bit-exactly.
+fn pack_b<const BT: bool>(
+    b: &[f32],
+    ldb: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nr: usize,
+    bp: &mut Vec<f32>,
+) {
+    bp.clear();
+    bp.resize(kc * NR, 0.0);
+    if BT {
+        // `B` is n×k; column `j` of the logical Bᵀ is row `j0 + j` of `B`.
+        // Iterating packed rows with `chunks_exact_mut` keeps the strided
+        // writes bounds-check-free.
+        for j in 0..nr {
+            let col = &b[(j0 + j) * ldb + p0..][..kc];
+            for (dst, &v) in bp.chunks_exact_mut(NR).zip(col) {
+                dst[j] = v;
+            }
+        }
+    } else {
+        for (dst, src) in bp.chunks_exact_mut(NR).zip(b[p0 * ldb..].chunks_exact(ldb)) {
+            dst[..nr].copy_from_slice(&src[j0..j0 + nr]);
+        }
+    }
+}
+
+/// `MRL × NR` register tile: loads the current `C` values (or starts from
+/// zeros when `load_c` is false — the first panel in overwrite mode),
+/// extends each element's multiply-add chain across the `kc` panel in
+/// increasing `k` order, and stores the tile back. Loading-then-storing
+/// (rather than keeping per-panel partial sums) is what preserves the
+/// bit-exact association across `KC` blocking.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro<const AT: bool, const MRL: usize>(
+    a: &[f32],
+    lda: usize,
+    i0: usize,
+    p0: usize,
+    kc: usize,
+    bp: &[f32],
+    bstride: usize,
+    c: CPtr,
+    ldc: usize,
+    j0: usize,
+    nr: usize,
+    load_c: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MRL];
+    if load_c {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            // SAFETY: rows `i0..i0 + MRL` and columns `j0..j0 + nr` lie
+            // inside this call's output region; regions are disjoint across
+            // pool chunks.
+            let crow = unsafe {
+                std::slice::from_raw_parts((c.0 as *const f32).add((i0 + r) * ldc + j0), nr)
+            };
+            acc_row[..nr].copy_from_slice(crow);
+        }
+    }
+    if AT {
+        // `A` is k×m: one contiguous `MRL`-wide slice of row `p0 + kk`
+        // feeds all accumulator rows.
+        let mut boff = 0;
+        for kk in 0..kc {
+            let brow = &bp[boff..][..NR];
+            let arow = &a[(p0 + kk) * lda + i0..][..MRL];
+            for (acc_row, &av) in acc.iter_mut().zip(arow) {
+                for j in 0..NR {
+                    acc_row[j] += av * brow[j];
+                }
+            }
+            boff += bstride;
+        }
+    } else {
+        // Hoist each row's contiguous `kc` slice of `A` out of the k loop
+        // so the inner loads are bounds-check-free.
+        let arows: [&[f32]; MRL] = std::array::from_fn(|r| &a[(i0 + r) * lda + p0..][..kc]);
+        let mut boff = 0;
+        for kk in 0..kc {
+            let brow = &bp[boff..][..NR];
+            for (acc_row, arow) in acc.iter_mut().zip(&arows) {
+                let av = arow[kk];
+                for j in 0..NR {
+                    acc_row[j] += av * brow[j];
+                }
+            }
+            boff += bstride;
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        // SAFETY: same region as the load above.
+        let crow = unsafe { std::slice::from_raw_parts_mut(c.0.add((i0 + r) * ldc + j0), nr) };
+        crow.copy_from_slice(&acc_row[..nr]);
+    }
+}
+
+/// Simple accumulating kernels for small products. Loop orders are chosen
+/// per layout so the innermost loop either vectorizes across `j` or runs
+/// several independent `k` chains, while each element still accumulates in
+/// increasing `k` order.
+fn simple<const AT: bool, const BT: bool>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if BT {
+        // A·Bᵀ: per output element a dot of two contiguous rows; four
+        // independent chains at a time for instruction-level parallelism.
+        for i in 0..m {
+            let arow = &a[i * k..][..k];
+            let crow = &mut c[i * n..][..n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &b[j * k..][..k];
+                let b1 = &b[(j + 1) * k..][..k];
+                let b2 = &b[(j + 2) * k..][..k];
+                let b3 = &b[(j + 3) * k..][..k];
+                let (mut s0, mut s1, mut s2, mut s3) =
+                    (crow[j], crow[j + 1], crow[j + 2], crow[j + 3]);
+                for (kk, &av) in arow.iter().enumerate() {
+                    s0 += av * b0[kk];
+                    s1 += av * b1[kk];
+                    s2 += av * b2[kk];
+                    s3 += av * b3[kk];
+                }
+                crow[j] = s0;
+                crow[j + 1] = s1;
+                crow[j + 2] = s2;
+                crow[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                let brow = &b[j * k..][..k];
+                let mut s = crow[j];
+                for (kk, &av) in arow.iter().enumerate() {
+                    s += av * brow[kk];
+                }
+                crow[j] = s;
+                j += 1;
+            }
+        }
+    } else if AT {
+        // Aᵀ·B: axpy with `k` outermost, so each element's chain still runs
+        // in increasing `k`; the inner `j` loop vectorizes.
+        for kk in 0..k {
+            let arow = &a[kk * m..][..m];
+            let brow = &b[kk * n..][..n];
+            for i in 0..m {
+                let av = arow[i];
+                let crow = &mut c[i * n..][..n];
+                for j in 0..n {
+                    crow[j] += av * brow[j];
+                }
+            }
+        }
+    } else {
+        // A·B: the classic i-k-j axpy order; vectorizes across `j`.
+        for i in 0..m {
+            let arow = &a[i * k..][..k];
+            let crow = &mut c[i * n..][..n];
+            for (kk, &av) in arow.iter().enumerate() {
+                let brow = &b[kk * n..][..n];
+                for j in 0..n {
+                    crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::reference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn assert_bits_eq(got: &[f32], want: &[f32], context: &str) {
+        assert_eq!(got.len(), want.len(), "{context}: length");
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{context}: element {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn nn_matches_reference_across_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 9, 33),
+            (40, 64, 48),
+            (64, 64, 64),
+        ] {
+            let a = rand_vec(m * k, 1);
+            let b = rand_vec(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            let mut want = vec![0.0; m * n];
+            gemm_nn(&a, &b, &mut c, m, k, n, false);
+            reference::matmul_ref(&a, &b, &mut want, m, k, n);
+            assert_bits_eq(&c, &want, &format!("nn {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_match_reference() {
+        let (m, k, n) = (21, 33, 29);
+        let a = rand_vec(m * k, 3);
+        let bt = rand_vec(n * k, 4);
+        let mut c = vec![0.0; m * n];
+        let mut want = vec![0.0; m * n];
+        gemm_nt(&a, &bt, &mut c, m, k, n, false);
+        reference::matmul_nt_ref(&a, &bt, &mut want, m, k, n);
+        assert_bits_eq(&c, &want, "nt");
+
+        let at = rand_vec(k * m, 5);
+        let b = rand_vec(k * n, 6);
+        gemm_tn(&at, &b, &mut c, m, k, n, false);
+        reference::matmul_tn_ref(&at, &b, &mut want, m, k, n);
+        assert_bits_eq(&c, &want, "tn");
+    }
+
+    #[test]
+    fn accumulate_extends_the_chain() {
+        let (m, k, n) = (6, 11, 10);
+        let a = rand_vec(m * k, 7);
+        let b = rand_vec(k * n, 8);
+        let init = rand_vec(m * n, 9);
+        let mut c = init.clone();
+        gemm_nn(&a, &b, &mut c, m, k, n, true);
+        let mut want = init;
+        reference::matmul_acc_ref(&a, &b, &mut want, m, k, n);
+        assert_bits_eq(&c, &want, "nn acc");
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let (m, k, n) = (130, 70, 90);
+        let a = rand_vec(m * k, 10);
+        let b = rand_vec(k * n, 11);
+        let mut serial = vec![0.0; m * n];
+        pool::set_max_threads(1);
+        gemm_nn(&a, &b, &mut serial, m, k, n, false);
+        for threads in [2, 4, 8] {
+            pool::set_max_threads(threads);
+            let mut par = vec![0.0; m * n];
+            gemm_nn(&a, &b, &mut par, m, k, n, false);
+            assert_bits_eq(&par, &serial, &format!("threads={threads}"));
+        }
+        pool::set_max_threads(1);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c = vec![7.0f32; 0];
+        gemm_nn(&[], &[], &mut c, 0, 3, 0, false);
+        let mut c = vec![5.0f32; 6];
+        gemm_nn(&[], &[], &mut c, 2, 0, 3, false);
+        assert!(c.iter().all(|&x| x == 0.0), "k=0 overwrite zeroes C");
+        let mut c = vec![5.0f32; 6];
+        gemm_nn(&[], &[], &mut c, 2, 0, 3, true);
+        assert!(c.iter().all(|&x| x == 5.0), "k=0 accumulate keeps C");
+    }
+}

@@ -1,12 +1,17 @@
-//! Matrix multiplication.
+//! Matrix multiplication: rank-2 `Tensor` wrappers over the tiled GEMM
+//! kernels in [`super::gemm`].
 
+use super::gemm::{gemm_nn, gemm_nt, gemm_tn};
 use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `(m × k) · (k × n) → (m × n)`.
     ///
-    /// Uses a cache-friendly i-k-j loop order; adequate for the small
-    /// pipeline-stage matrices this project trains at batch size one.
+    /// Dispatches to the cache-blocked, register-tiled GEMM in
+    /// [`crate::ops::gemm_nn`]; products above a size threshold are
+    /// row/column-partitioned across the [`crate::pool`] worker pool
+    /// (`PBP_THREADS`). Results are bit-identical at every thread count —
+    /// see the accumulation contract in [`crate::ops::gemm_nn`].
     ///
     /// # Errors
     ///
@@ -37,18 +42,20 @@ impl Tensor {
             });
         }
         let mut out = Tensor::zeros(&[m, n]);
-        matmul_into(
+        gemm_nn(
             self.as_slice(),
             other.as_slice(),
             out.as_mut_slice(),
             m,
             k,
             n,
+            false,
         );
         Ok(out)
     }
 
-    /// `self · otherᵀ` for rank-2 tensors: `(m × k) · (n × k)ᵀ → (m × n)`.
+    /// `self · otherᵀ` for rank-2 tensors: `(m × k) · (n × k)ᵀ → (m × n)`,
+    /// via the tiled [`crate::ops::gemm_nt`] kernel (no explicit transpose).
     ///
     /// # Errors
     ///
@@ -74,25 +81,21 @@ impl Tensor {
                 op: "matmul_transpose_b",
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = Tensor::zeros(&[m, n]);
-        let o = out.as_mut_slice();
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0f32;
-                let ar = &a[i * k..(i + 1) * k];
-                let br = &b[j * k..(j + 1) * k];
-                for kk in 0..k {
-                    acc += ar[kk] * br[kk];
-                }
-                o[i * n + j] = acc;
-            }
-        }
+        gemm_nt(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+            false,
+        );
         Ok(out)
     }
 
-    /// `selfᵀ · other` for rank-2 tensors: `(k × m)ᵀ · (k × n) → (m × n)`.
+    /// `selfᵀ · other` for rank-2 tensors: `(k × m)ᵀ · (k × n) → (m × n)`,
+    /// via the tiled [`crate::ops::gemm_tn`] kernel (no explicit transpose).
     ///
     /// # Errors
     ///
@@ -118,24 +121,16 @@ impl Tensor {
                 op: "matmul_transpose_a",
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = Tensor::zeros(&[m, n]);
-        let o = out.as_mut_slice();
-        for kk in 0..k {
-            let ar = &a[kk * m..(kk + 1) * m];
-            let br = &b[kk * n..(kk + 1) * n];
-            for i in 0..m {
-                let aik = ar[i];
-                if aik == 0.0 {
-                    continue;
-                }
-                let orow = &mut o[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += aik * br[j];
-                }
-            }
-        }
+        gemm_tn(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+            false,
+        );
         Ok(out)
     }
 
@@ -165,29 +160,32 @@ impl Tensor {
     }
 }
 
-/// Raw `C ← A·B` kernel over flat slices in row-major layout.
+/// `c += aᵀ · b` for rank-2 tensors: `(k × m)ᵀ · (k × n) + (m × n)`,
+/// accumulating in place via [`crate::ops::gemm_tn`]. Used by layers that
+/// sum per-sample parameter gradients without a temporary.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics (in debug builds) if slice lengths disagree with `m`, `k`, `n`.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    c.iter_mut().for_each(|x| *x = 0.0);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for j in 0..n {
-                crow[j] += aik * brow[j];
-            }
-        }
+/// Returns a rank or shape error if the operands are not conformant.
+pub fn matmul_tn_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<()> {
+    if a.rank() != 2 || b.rank() != 2 || c.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank().max(b.rank()).max(c.rank()),
+            op: "matmul_tn_acc",
+        });
     }
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 || c.shape() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+            op: "matmul_tn_acc",
+        });
+    }
+    gemm_tn(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n, true);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -253,5 +251,28 @@ mod tests {
         for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn matmul_tn_acc_accumulates_in_place() {
+        let g = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let x = t(&[0.5, 1.0, -1.0, 2.0, 1.5, 0.0], &[3, 2]);
+        let mut acc = Tensor::ones(&[2, 2]);
+        matmul_tn_acc(&g, &x, &mut acc).unwrap();
+        let expect = g.transpose().unwrap().matmul(&x).unwrap();
+        for (got, want) in acc.as_slice().iter().zip(expect.as_slice()) {
+            assert!((got - (want + 1.0)).abs() < 1e-5, "{got} vs {want}+1");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_acc_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[3, 2]);
+        let b = Tensor::zeros(&[4, 2]);
+        let mut c = Tensor::zeros(&[2, 2]);
+        assert!(matmul_tn_acc(&a, &b, &mut c).is_err());
+        let b = Tensor::zeros(&[3, 2]);
+        let mut c = Tensor::zeros(&[3, 3]);
+        assert!(matmul_tn_acc(&a, &b, &mut c).is_err());
     }
 }

@@ -6,10 +6,14 @@
 
 mod conv;
 mod elementwise;
+mod gemm;
 mod matmul;
 mod pool;
 mod reduce;
+pub mod reference;
 
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
+pub use conv::{col2im, conv2d, conv2d_backward, conv2d_reusing, im2col, Conv2dSpec};
 pub use elementwise::{axpy, lerp_into, scale_add_into};
+pub use gemm::{gemm_nn, gemm_nt, gemm_tn};
+pub use matmul::matmul_tn_acc;
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};

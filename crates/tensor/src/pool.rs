@@ -1,0 +1,219 @@
+//! Persistent worker pool for data-parallel kernels.
+//!
+//! Large GEMMs are partitioned into independent chunks (disjoint regions of
+//! the output matrix) and executed on a process-wide pool of worker threads.
+//! The pool size comes from the `PBP_THREADS` environment variable, falling
+//! back to the machine's available parallelism; [`set_max_threads`] overrides
+//! it at runtime (used by benchmarks and the kernel-equivalence tests to
+//! sweep thread counts inside one process).
+//!
+//! # Determinism
+//!
+//! Partitioning is *deterministic*: chunk boundaries depend only on the
+//! problem shape, never on the worker count, and every chunk runs exactly the
+//! same serial code whether it executes inline (one thread) or on a worker.
+//! Because chunks write disjoint outputs and floating-point accumulation
+//! order inside a chunk is fixed, kernel results are bit-identical at any
+//! thread count — `PBP_THREADS=1` and `PBP_THREADS=64` produce the same
+//! bytes. `tests/proptest_kernels.rs` enforces this property.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A unit of work shipped to a worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Effective thread cap. Zero means "not yet resolved"; the first call to
+/// [`max_threads`] resolves it from `PBP_THREADS` / available parallelism.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+struct PoolState {
+    /// Shared MPMC job queue; every worker holds a clone of the receiver.
+    tx: Sender<Job>,
+    /// Template receiver cloned when new workers are spawned.
+    rx: Receiver<Job>,
+    /// Number of workers spawned so far (workers are added lazily and never
+    /// exit — the pool is persistent for the process lifetime).
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<PoolState> = OnceLock::new();
+
+fn env_threads() -> usize {
+    std::env::var("PBP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The number of threads kernels may use (including the calling thread's
+/// share of the work). Resolved once from `PBP_THREADS` or the machine's
+/// available parallelism; override with [`set_max_threads`].
+pub fn max_threads() -> usize {
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = env_threads();
+            // A racing first call resolves to the same value; last store wins
+            // harmlessly.
+            MAX_THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the kernel thread cap for the whole process (clamped to ≥ 1).
+///
+/// `1` disables the pool: every kernel runs serially on the calling thread.
+/// Values above the spawned worker count grow the pool on the next parallel
+/// dispatch. Because kernel results are bit-identical at any thread count,
+/// flipping this at runtime only changes performance, never results.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+fn pool() -> &'static PoolState {
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded();
+        PoolState {
+            tx,
+            rx,
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+/// Spawns workers until at least `n` exist.
+fn ensure_workers(n: usize) {
+    let p = pool();
+    let mut spawned = p.spawned.lock().expect("kernel pool lock");
+    while *spawned < n {
+        let rx = p.rx.clone();
+        std::thread::Builder::new()
+            .name(format!("pbp-kernel-{}", *spawned))
+            .spawn(move || {
+                // Jobs are panic-wrapped by `parallel_for`, so a worker only
+                // exits when the process does (the queue never disconnects:
+                // the sender lives in a static).
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .expect("spawn kernel pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Runs `body(0)`, `body(1)`, …, `body(chunks - 1)`, using the worker pool
+/// when more than one thread is configured and inline on the calling thread
+/// otherwise. Blocks until every chunk has completed.
+///
+/// Chunks must write disjoint data; the caller is responsible for the
+/// partitioning. The chunk *order of execution* is unspecified, so bodies
+/// must not depend on each other.
+///
+/// # Panics
+///
+/// If any chunk panics, the panic is captured on the worker, all remaining
+/// chunks are still drained (so no borrow outlives this call), and the
+/// payload is re-raised on the calling thread.
+pub fn parallel_for(chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+    let threads = max_threads();
+    if chunks <= 1 || threads <= 1 {
+        for i in 0..chunks {
+            body(i);
+        }
+        return;
+    }
+    ensure_workers(threads.min(chunks));
+    // SAFETY: the closure reference is only shared with pool workers through
+    // jobs whose completion messages are all drained below before this
+    // function returns (including the panic path), so the 'static lifetime
+    // never outlives the actual borrow.
+    let body_static: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
+    let (done_tx, done_rx) = unbounded::<std::thread::Result<()>>();
+    let p = pool();
+    for i in 0..chunks {
+        let done = done_tx.clone();
+        p.tx.send(Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| body_static(i)));
+            // Receiver outlives the loop below; a send can only fail if the
+            // caller already panicked, in which case dropping is fine.
+            let _ = done.send(result);
+        }))
+        .expect("kernel pool queue");
+    }
+    drop(done_tx);
+    let mut panic_payload = None;
+    for _ in 0..chunks {
+        match done_rx.recv().expect("kernel pool completion") {
+            Ok(()) => {}
+            Err(payload) => panic_payload = Some(payload),
+        }
+    }
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn serial_when_single_threaded() {
+        set_max_threads(1);
+        let hits = AtomicU32::new(0);
+        parallel_for(5, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn runs_every_chunk_exactly_once_on_workers() {
+        set_max_threads(4);
+        let flags: Vec<AtomicU32> = (0..37).map(|_| AtomicU32::new(0)).collect();
+        parallel_for(flags.len(), &|i| {
+            flags[i].fetch_add(1, Ordering::SeqCst);
+        });
+        set_max_threads(1);
+        for (i, f) in flags.iter().enumerate() {
+            assert_eq!(f.load(Ordering::SeqCst), 1, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn chunk_panic_propagates_to_caller() {
+        set_max_threads(2);
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        set_max_threads(1);
+        assert!(result.is_err(), "panic must surface on the caller");
+    }
+
+    #[test]
+    fn threads_env_override_wins() {
+        // Can't portably mutate the environment mid-process for OnceLock-free
+        // statics, but the setter must round-trip and clamp.
+        set_max_threads(0);
+        assert_eq!(max_threads(), 1);
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(1);
+    }
+}

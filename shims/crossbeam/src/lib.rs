@@ -276,11 +276,19 @@ pub mod channel {
         Second(Result<B, RecvError>),
     }
 
+    thread_local! {
+        /// Reusable per-thread wakeup latch for [`select2`]. A stale
+        /// registration from an earlier call can only cause a spurious
+        /// notify, which the re-polling loop absorbs — so reuse is safe and
+        /// keeps the fast path (message already queued) allocation-free.
+        static SELECT_SIGNAL: Arc<SelectSignal> = Arc::new(SelectSignal::new());
+    }
+
     /// Blocks until either channel has a message or is disconnected, then
     /// receives from it. The first channel is polled first, matching the
     /// priority the pipeline wants (gradients before activations).
     pub fn select2<A, B>(a: &Receiver<A>, b: &Receiver<B>) -> Select2<A, B> {
-        let signal = Arc::new(SelectSignal::new());
+        let mut signal = None;
         loop {
             match a.try_recv() {
                 Ok(v) => return Select2::First(Ok(v)),
@@ -292,9 +300,10 @@ pub mod channel {
                 Err(TryRecvError::Disconnected) => return Select2::Second(Err(RecvError)),
                 Err(TryRecvError::Empty) => {}
             }
+            let signal = signal.get_or_insert_with(|| SELECT_SIGNAL.with(Arc::clone));
             signal.reset();
-            a.register_waiter(&signal);
-            b.register_waiter(&signal);
+            a.register_waiter(signal);
+            b.register_waiter(signal);
             // Re-check after registering so a send that raced ahead of the
             // registration cannot leave us sleeping on a ready channel.
             if a.is_ready() || b.is_ready() {

@@ -1,0 +1,214 @@
+//! Differential kernel-equivalence suite.
+//!
+//! The optimized kernels (tiled/parallel GEMM in `pbp_tensor::ops::gemm`,
+//! GEMM-lowered im2col convolution in `pbp_tensor::ops::conv`) must be
+//! **bit-identical** to the retained naive references in
+//! `pbp_tensor::ops::reference` — not merely close. The kernels uphold a
+//! single-chain-per-element accumulation contract (see the `gemm` module
+//! docs), which makes exact `to_bits` comparison a meaningful property over
+//! random shapes, strides, paddings, and thread counts.
+//!
+//! Every comparison here is against the scalar reference, so concurrent
+//! tests flipping the global thread cap cannot invalidate a baseline: the
+//! contract says the optimized result is the same bytes at *any* cap.
+
+use pipelined_backprop::tensor::ops::{
+    conv2d, conv2d_backward, gemm_nn, gemm_nt, gemm_tn, reference, Conv2dSpec,
+};
+use pipelined_backprop::tensor::{pool, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Thread counts every kernel is swept over (1 = forced serial, 2 and 8
+/// exercise the worker pool with fewer and more workers than chunks).
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{context}: element {i} differs: {g:?} ({:#010x}) vs {w:?} ({:#010x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+proptest! {
+    // Each case checks three layouts × two accumulate modes × three thread
+    // counts; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All three GEMM layouts, both accumulate modes, every thread count:
+    /// bit-identical to the naive reference. Shape ranges straddle the
+    /// simple/tiled dispatch threshold (m·k·n from ~1 to ~200k elements).
+    #[test]
+    fn gemm_matches_reference_bitwise(
+        m in 1usize..96,
+        k in 1usize..64,
+        n in 1usize..96,
+        seed in 0u64..10_000,
+    ) {
+        let a_nn = rand_vec(m * k, seed);
+        let b_nn = rand_vec(k * n, seed ^ 1);
+        let b_nt = rand_vec(n * k, seed ^ 2);
+        let a_tn = rand_vec(k * m, seed ^ 3);
+        let init = rand_vec(m * n, seed ^ 4);
+        for &threads in &THREAD_SWEEP {
+            pool::set_max_threads(threads);
+            for acc in [false, true] {
+                let mut want = if acc { init.clone() } else { vec![0.0; m * n] };
+                let mut got = want.clone();
+
+                gemm_nn(&a_nn, &b_nn, &mut got, m, k, n, acc);
+                reference::matmul_acc_ref(&a_nn, &b_nn, &mut want, m, k, n);
+                assert_bits_eq(&got, &want, &format!("nn {m}x{k}x{n} acc={acc} t={threads}"));
+
+                let mut want = if acc { init.clone() } else { vec![0.0; m * n] };
+                let mut got = want.clone();
+                gemm_nt(&a_nn, &b_nt, &mut got, m, k, n, acc);
+                reference::matmul_nt_acc_ref(&a_nn, &b_nt, &mut want, m, k, n);
+                assert_bits_eq(&got, &want, &format!("nt {m}x{k}x{n} acc={acc} t={threads}"));
+
+                let mut want = if acc { init.clone() } else { vec![0.0; m * n] };
+                let mut got = want.clone();
+                gemm_tn(&a_tn, &b_nn, &mut got, m, k, n, acc);
+                reference::matmul_tn_acc_ref(&a_tn, &b_nn, &mut want, m, k, n);
+                assert_bits_eq(&got, &want, &format!("tn {m}x{k}x{n} acc={acc} t={threads}"));
+            }
+        }
+        pool::set_max_threads(1);
+    }
+
+    /// Conv forward over random geometry (kernel, stride, padding, spatial
+    /// size, channels): GEMM-lowered im2col path vs the six-loop direct
+    /// reference, at every thread count.
+    #[test]
+    fn conv2d_forward_matches_reference_bitwise(
+        cin in 1usize..4,
+        cout in 1usize..5,
+        kernel in 1usize..5,
+        stride in 1usize..4,
+        padding in 0usize..3,
+        extra_h in 0usize..6,
+        extra_w in 0usize..6,
+        batch in 1usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let (h, w) = (kernel + extra_h, kernel + extra_w);
+        let spec = Conv2dSpec::new(cin, cout, kernel, stride, padding).unwrap();
+        let x = Tensor::from_vec(rand_vec(batch * cin * h * w, seed), &[batch, cin, h, w]).unwrap();
+        let wt = Tensor::from_vec(rand_vec(cout * spec.fan_in(), seed ^ 1), &spec.weight_shape())
+            .unwrap();
+        let want = reference::conv2d_ref(&x, &wt, &spec);
+        for &threads in &THREAD_SWEEP {
+            pool::set_max_threads(threads);
+            let (got, _) = conv2d(&x, &wt, &spec).unwrap();
+            prop_assert_eq!(got.shape(), want.shape());
+            assert_bits_eq(
+                got.as_slice(),
+                want.as_slice(),
+                &format!("conv fwd k={kernel} s={stride} p={padding} {h}x{w} t={threads}"),
+            );
+        }
+        pool::set_max_threads(1);
+    }
+
+    /// Conv backward (input gradient AND weight gradient) over random
+    /// geometry: GEMM-lowered path vs the direct reference, bitwise, at
+    /// every thread count.
+    #[test]
+    fn conv2d_backward_matches_reference_bitwise(
+        cin in 1usize..4,
+        cout in 1usize..5,
+        kernel in 1usize..4,
+        stride in 1usize..4,
+        padding in 0usize..3,
+        extra_h in 0usize..5,
+        extra_w in 0usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let (h, w) = (kernel + extra_h, kernel + extra_w);
+        let spec = Conv2dSpec::new(cin, cout, kernel, stride, padding).unwrap();
+        let x = Tensor::from_vec(rand_vec(cin * h * w, seed), &[1, cin, h, w]).unwrap();
+        let wt = Tensor::from_vec(rand_vec(cout * spec.fan_in(), seed ^ 1), &spec.weight_shape())
+            .unwrap();
+        let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+        let g = Tensor::from_vec(rand_vec(cout * oh * ow, seed ^ 2), &[1, cout, oh, ow]).unwrap();
+        let (want_gx, want_gw) = reference::conv2d_backward_ref(&g, &x, &wt, &spec);
+        for &threads in &THREAD_SWEEP {
+            pool::set_max_threads(threads);
+            let (_, cols) = conv2d(&x, &wt, &spec).unwrap();
+            let (gx, gw) = conv2d_backward(&g, &wt, &cols, (h, w), &spec).unwrap();
+            let ctx = format!("conv bwd k={kernel} s={stride} p={padding} {h}x{w} t={threads}");
+            assert_bits_eq(gx.as_slice(), want_gx.as_slice(), &format!("{ctx}: grad_in"));
+            assert_bits_eq(gw.as_slice(), want_gw.as_slice(), &format!("{ctx}: grad_w"));
+        }
+        pool::set_max_threads(1);
+    }
+}
+
+/// A product big enough (256·128·256 = 8.4M elems) to always take the
+/// parallel tiled path when threads > 1, with a ragged variant that leaves
+/// remainder row/column tiles. Checked bitwise against the scalar reference
+/// at every thread count.
+#[test]
+fn large_gemm_takes_parallel_path_and_stays_bitwise_exact() {
+    for &(m, k, n) in &[(256usize, 128usize, 256usize), (251, 67, 233)] {
+        let a = rand_vec(m * k, 77);
+        let b = rand_vec(k * n, 78);
+        let mut want = vec![0.0; m * n];
+        reference::matmul_ref(&a, &b, &mut want, m, k, n);
+        for &threads in &THREAD_SWEEP {
+            pool::set_max_threads(threads);
+            let mut got = vec![0.0; m * n];
+            gemm_nn(&a, &b, &mut got, m, k, n, false);
+            assert_bits_eq(&got, &want, &format!("large nn {m}x{k}x{n} t={threads}"));
+        }
+    }
+    pool::set_max_threads(1);
+}
+
+/// Tensor-level matmul methods agree bitwise with explicit transposition,
+/// which pins the wrapper plumbing (shape checks, operand order) on top of
+/// the raw kernels.
+#[test]
+fn tensor_matmul_variants_agree_with_explicit_transposes() {
+    let a = Tensor::from_vec(rand_vec(12 * 20, 5), &[12, 20]).unwrap();
+    let b = Tensor::from_vec(rand_vec(20 * 9, 6), &[20, 9]).unwrap();
+    let want = a.matmul(&b).unwrap();
+
+    let bt = b.transpose().unwrap();
+    let got_nt = a.matmul_transpose_b(&bt).unwrap();
+    assert_bits_eq(got_nt.as_slice(), want.as_slice(), "matmul_transpose_b");
+
+    let at = a.transpose().unwrap();
+    let got_tn = at.matmul_transpose_a(&b).unwrap();
+    assert_bits_eq(got_tn.as_slice(), want.as_slice(), "matmul_transpose_a");
+}
+
+/// im2col's zero padding injects exact `0.0` products; the direct reference
+/// skips out-of-bounds taps entirely. These must still agree bitwise
+/// (adding `±0.0` to a chain whose accumulator starts at `+0.0` never
+/// changes the bits), including on an all-negative input that would expose
+/// a `-0.0` discrepancy if one existed.
+#[test]
+fn padded_conv_zero_products_do_not_perturb_bits() {
+    let spec = Conv2dSpec::new(2, 3, 3, 1, 2).unwrap();
+    let x = Tensor::from_vec(
+        rand_vec(2 * 4 * 4, 21).iter().map(|v| -v.abs()).collect(),
+        &[1, 2, 4, 4],
+    )
+    .unwrap();
+    let wt = Tensor::from_vec(rand_vec(3 * spec.fan_in(), 22), &spec.weight_shape()).unwrap();
+    let want = reference::conv2d_ref(&x, &wt, &spec);
+    let (got, _) = conv2d(&x, &wt, &spec).unwrap();
+    assert_bits_eq(got.as_slice(), want.as_slice(), "padded all-negative conv");
+}
