@@ -15,7 +15,10 @@ use pbp_nn::Network;
 use pbp_optim::{scale_hyperparams, AdamState, Hyperparams, LrSchedule};
 use pbp_pipeline::{
     run_training, DelayedConfig, EngineMetrics, EngineSpec, MetricsRecorder, NoHooks, RunConfig,
-    TrainEngine,
+    TrainEngine, SECTION_ENGINE,
+};
+use pbp_snapshot::{
+    SnapshotArchive, SnapshotBuilder, SnapshotError, Snapshottable, StateReader, StateWriter,
 };
 use pbp_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -92,18 +95,94 @@ impl TrainEngine for DelayedAdam {
 
     fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         let order = data.epoch_order(seed, epoch);
-        let mut total = 0.0f64;
-        let mut batches = 0usize;
-        for chunk in order.chunks(self.batch) {
-            let (x, labels) = data.batch(chunk);
-            total += self.train_batch(&x, &labels) as f64;
-            batches += 1;
-        }
+        let (total, batches) = TrainEngine::train_range(self, data, &order);
         if batches == 0 {
             0.0
         } else {
             total / batches as f64
         }
+    }
+
+    fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(self.batch) {
+            let (x, labels) = data.batch(chunk);
+            total += self.train_batch(&x, &labels) as f64;
+            batches += 1;
+        }
+        (total, batches)
+    }
+
+    fn samples_per_update(&self) -> usize {
+        self.batch
+    }
+
+    fn align_stop(&self, _pos: usize, proposed: usize, epoch_len: usize) -> usize {
+        (proposed.div_ceil(self.batch) * self.batch).min(epoch_len)
+    }
+
+    // Custom downstream engines participate in fault-tolerant snapshots
+    // through the same public API the in-tree engines use.
+    fn write_state(&self, snap: &mut SnapshotBuilder) {
+        pbp_nn::snapshot::write_network(&self.net, snap);
+        let mut w = StateWriter::new();
+        w.put_str("adam-ablation");
+        w.put_usize(self.samples_seen);
+        w.put_u32(self.adam.len() as u32);
+        for adam in &self.adam {
+            adam.write_state(&mut w);
+        }
+        w.put_u32(self.history.len() as u32);
+        for version in &self.history {
+            w.put_u32(version.len() as u32);
+            for stage in version {
+                w.put_tensor_list(stage);
+            }
+        }
+        self.metrics.write_state(&mut w);
+        snap.add_section(SECTION_ENGINE, w.into_bytes());
+    }
+
+    fn read_state(&mut self, archive: &SnapshotArchive) -> Result<(), SnapshotError> {
+        pbp_nn::snapshot::read_network(&mut self.net, archive)?;
+        let mut r = StateReader::new(archive.section(SECTION_ENGINE)?);
+        let tag = r.take_str()?;
+        if tag != "adam-ablation" {
+            return Err(SnapshotError::Mismatch(format!(
+                "engine state tagged {tag:?}, engine expects \"adam-ablation\""
+            )));
+        }
+        self.samples_seen = r.take_usize()?;
+        let n = r.take_u32()? as usize;
+        if n != self.adam.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "adam state for {n} stages, engine has {}",
+                self.adam.len()
+            )));
+        }
+        for adam in &mut self.adam {
+            adam.read_state(&mut r)?;
+        }
+        let versions = r.take_u32()? as usize;
+        if versions != self.delay + 1 {
+            return Err(SnapshotError::Mismatch(format!(
+                "history holds {versions} versions, delay requires {}",
+                self.delay + 1
+            )));
+        }
+        let mut history = VecDeque::with_capacity(versions);
+        for _ in 0..versions {
+            let stages = r.take_u32()? as usize;
+            let mut version = Vec::with_capacity(stages.min(1 << 16));
+            for _ in 0..stages {
+                version.push(r.take_tensor_list()?);
+            }
+            history.push_back(version);
+        }
+        self.history = history;
+        self.metrics.read_state(&mut r)?;
+        r.finish()
     }
 
     fn network_mut(&mut self) -> &mut Network {

@@ -149,6 +149,58 @@ impl Dataset {
     }
 }
 
+/// Position of a deterministic training stream.
+///
+/// [`Dataset::epoch_order`] is a pure function of `(seed, epoch)`, so the
+/// entire data-stream RNG state reduces to this cursor: the seed, the
+/// epoch, and how many samples of the epoch's order have been consumed.
+/// Snapshots store the cursor; resuming recomputes the order and skips
+/// `pos` samples, landing on the exact next sample the interrupted run
+/// would have drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCursor {
+    /// Run-level shuffle seed.
+    pub seed: u64,
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Samples of this epoch already consumed.
+    pub pos: usize,
+}
+
+impl StreamCursor {
+    /// Cursor at the start of training.
+    pub fn start(seed: u64) -> Self {
+        StreamCursor {
+            seed,
+            epoch: 0,
+            pos: 0,
+        }
+    }
+
+    /// The shuffled index order for the cursor's epoch.
+    pub fn order(&self, data: &Dataset) -> Vec<usize> {
+        data.epoch_order(self.seed, self.epoch)
+    }
+}
+
+impl pbp_snapshot::Snapshottable for StreamCursor {
+    fn write_state(&self, w: &mut pbp_snapshot::StateWriter) {
+        w.put_u64(self.seed);
+        w.put_usize(self.epoch);
+        w.put_usize(self.pos);
+    }
+
+    fn read_state(
+        &mut self,
+        r: &mut pbp_snapshot::StateReader<'_>,
+    ) -> Result<(), pbp_snapshot::SnapshotError> {
+        self.seed = r.take_u64()?;
+        self.epoch = r.take_usize()?;
+        self.pos = r.take_usize()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +246,27 @@ mod tests {
     #[should_panic(expected = "label out of range")]
     fn rejects_out_of_range_labels() {
         Dataset::new(vec![Tensor::zeros(&[1])], vec![5], 2);
+    }
+
+    #[test]
+    fn stream_cursor_round_trips_and_resumes_the_order() {
+        use pbp_snapshot::Snapshottable;
+        let d = tiny();
+        let cursor = StreamCursor {
+            seed: 42,
+            epoch: 3,
+            pos: 6,
+        };
+        let mut w = pbp_snapshot::StateWriter::new();
+        cursor.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = StreamCursor::start(0);
+        let mut r = pbp_snapshot::StateReader::new(&bytes);
+        restored.read_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, cursor);
+        // The remaining stream is exactly the uninterrupted order's tail.
+        let full = d.epoch_order(42, 3);
+        assert_eq!(restored.order(&d)[restored.pos..], full[6..]);
     }
 }

@@ -17,6 +17,16 @@
 //! Only parameters are stored; optimizer state (velocities, weight-version
 //! queues) is reconstructed by the training engines. Loading validates the
 //! full layout against the target network.
+//!
+//! **Deprecation note:** for fault-tolerant runs this params-only format
+//! is not enough — mid-training state (per-stage velocities, weight-stash
+//! queues, delayed gradients in flight, RNG cursors) cannot be
+//! reconstructed and resuming from a bare `PBPCKPT1` file is *not*
+//! bit-identical. New code should capture full training state with
+//! `pbp-snapshot` (see [`crate::snapshot`]), whose container embeds this
+//! exact byte stream as its `"net"` section, so existing `PBPCKPT1` files
+//! remain loadable and a snapshot's parameter section can always be read
+//! by this module.
 
 use crate::Network;
 use pbp_tensor::Tensor;

@@ -85,6 +85,26 @@ pub trait Layer: Send {
     fn param_count(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
     }
+
+    /// Serialized non-parameter state: running statistics, streaming
+    /// normalizer control variables, RNG positions — anything besides the
+    /// parameters that influences future computation. `None` (the
+    /// default) marks the layer stateless; activation stashes are *not*
+    /// state, because snapshots are only taken with empty pipelines.
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state produced by [`Layer::state_bytes`].
+    ///
+    /// Stateless layers (the default) accept only an absent buffer; the
+    /// caller passes each stored buffer to the layer at the same position.
+    fn load_state_bytes(&mut self, _bytes: &[u8]) -> Result<(), pbp_snapshot::SnapshotError> {
+        Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+            "layer {} is stateless but a state buffer was stored for it",
+            self.name()
+        )))
+    }
 }
 
 /// Copies the parameter tensors of a layer into owned snapshots.

@@ -117,6 +117,32 @@ impl Layer for Dropout {
     fn clear_stash(&mut self) {
         self.stash.clear();
     }
+
+    // Mask state is per-sample and lives in the stash (empty at snapshot
+    // points); the mask *generator* position is the durable state.
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        let mut w = pbp_snapshot::StateWriter::new();
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn load_state_bytes(&mut self, bytes: &[u8]) -> Result<(), pbp_snapshot::SnapshotError> {
+        let mut r = pbp_snapshot::StateReader::new(bytes);
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.take_u64()?;
+        }
+        r.finish()?;
+        if state.iter().all(|&word| word == 0) {
+            return Err(pbp_snapshot::SnapshotError::Corrupt(
+                "all-zero dropout rng state".into(),
+            ));
+        }
+        self.rng = SmallRng::from_state(state);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

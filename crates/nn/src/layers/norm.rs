@@ -385,6 +385,30 @@ impl Layer for BatchNorm2d {
     fn clear_stash(&mut self) {
         self.stash.clear();
     }
+
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        let mut w = pbp_snapshot::StateWriter::new();
+        w.put_f32_slice(&self.running_mean);
+        w.put_f32_slice(&self.running_var);
+        Some(w.into_bytes())
+    }
+
+    fn load_state_bytes(&mut self, bytes: &[u8]) -> Result<(), pbp_snapshot::SnapshotError> {
+        let mut r = pbp_snapshot::StateReader::new(bytes);
+        let mean = r.take_f32_vec()?;
+        let var = r.take_f32_vec()?;
+        r.finish()?;
+        if mean.len() != self.channels || var.len() != self.channels {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "batchnorm state for {} channels, layer has {}",
+                mean.len(),
+                self.channels
+            )));
+        }
+        self.running_mean = mean;
+        self.running_var = var;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

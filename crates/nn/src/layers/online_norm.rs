@@ -234,6 +234,46 @@ impl Layer for OnlineNorm {
     fn clear_stash(&mut self) {
         self.stash.clear();
     }
+
+    // Online normalization is stateful *across samples* (that is its
+    // point — Section 4 of the paper pairs it with batch-size-1 PB), so
+    // every streaming statistic and control variable must travel.
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        let mut w = pbp_snapshot::StateWriter::new();
+        w.put_f32_slice(&self.mu);
+        w.put_f32_slice(&self.var);
+        w.put_f32_slice(&self.ctrl_gy);
+        w.put_f32_slice(&self.ctrl_g);
+        Some(w.into_bytes())
+    }
+
+    fn load_state_bytes(&mut self, bytes: &[u8]) -> Result<(), pbp_snapshot::SnapshotError> {
+        let mut r = pbp_snapshot::StateReader::new(bytes);
+        let mu = r.take_f32_vec()?;
+        let var = r.take_f32_vec()?;
+        let ctrl_gy = r.take_f32_vec()?;
+        let ctrl_g = r.take_f32_vec()?;
+        r.finish()?;
+        for (name, v) in [
+            ("mu", &mu),
+            ("var", &var),
+            ("ctrl_gy", &ctrl_gy),
+            ("ctrl_g", &ctrl_g),
+        ] {
+            if v.len() != self.channels {
+                return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                    "online-norm {name} state for {} channels, layer has {}",
+                    v.len(),
+                    self.channels
+                )));
+            }
+        }
+        self.mu = mu;
+        self.var = var;
+        self.ctrl_gy = ctrl_gy;
+        self.ctrl_g = ctrl_g;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

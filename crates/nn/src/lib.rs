@@ -54,6 +54,7 @@ pub mod layers;
 pub mod loss;
 pub mod models;
 pub mod network;
+pub mod snapshot;
 
 pub use layer::Layer;
 pub use network::{Network, Stage};

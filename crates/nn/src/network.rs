@@ -112,6 +112,16 @@ impl Stage {
         self.layers.iter().map(|l| l.param_count()).sum()
     }
 
+    /// Borrows the stage's layers in order (for per-layer state capture).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutably borrows the stage's layers in order.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
     /// Copies the stage's parameters into owned snapshots.
     pub fn snapshot(&self) -> Vec<Tensor> {
         self.params().into_iter().cloned().collect()

@@ -1,0 +1,225 @@
+//! Network ⇄ snapshot-container bridging.
+//!
+//! Two sections describe a network completely:
+//!
+//! * `"net"` — the parameters, stored as the legacy `PBPCKPT1` byte
+//!   stream verbatim. Old checkpoints stay loadable and the embedded
+//!   section can be extracted and read by [`crate::checkpoint::load`]
+//!   directly.
+//! * `"net.state"` — per-layer non-parameter state (batch-norm running
+//!   statistics, online-norm streaming control variables, dropout RNG
+//!   position), keyed positionally: stage count, then per stage the
+//!   layer count and one optional byte buffer per layer.
+//!
+//! Activation stashes are deliberately absent: snapshots are only taken
+//! with an empty pipeline (nothing in flight), which every engine
+//! guarantees between training calls.
+
+use crate::checkpoint;
+use crate::network::Network;
+use pbp_snapshot::{SnapshotArchive, SnapshotBuilder, SnapshotError, StateReader, StateWriter};
+
+/// Section holding the legacy `PBPCKPT1` parameter checkpoint.
+pub const SECTION_NET: &str = "net";
+
+/// Section holding per-layer non-parameter state.
+pub const SECTION_NET_STATE: &str = "net.state";
+
+/// Adds the `"net"` and `"net.state"` sections for `net` to a builder.
+pub fn write_network(net: &Network, snap: &mut SnapshotBuilder) {
+    let mut params = Vec::new();
+    checkpoint::save(net, &mut params).expect("in-memory checkpoint write cannot fail");
+    snap.add_section(SECTION_NET, params);
+
+    let mut w = StateWriter::new();
+    w.put_u32(net.num_stages() as u32);
+    for stage in net.stages() {
+        w.put_u32(stage.layers().len() as u32);
+        for layer in stage.layers() {
+            match layer.state_bytes() {
+                Some(bytes) => {
+                    w.put_bool(true);
+                    w.put_bytes(&bytes);
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+    snap.add_section(SECTION_NET_STATE, w.into_bytes());
+}
+
+/// Restores parameters and per-layer state for `net` from an archive.
+///
+/// The network must have the same architecture the snapshot was taken
+/// from; layout disagreements are reported as typed errors.
+pub fn read_network(net: &mut Network, archive: &SnapshotArchive) -> Result<(), SnapshotError> {
+    let mut params = archive.section(SECTION_NET)?;
+    checkpoint::load(net, &mut params).map_err(|e| match e {
+        checkpoint::CheckpointError::Io(io) => SnapshotError::from(io),
+        checkpoint::CheckpointError::BadMagic => {
+            SnapshotError::Corrupt("net section is not a PBPCKPT1 checkpoint".into())
+        }
+        checkpoint::CheckpointError::LayoutMismatch(what) => SnapshotError::Mismatch(what),
+    })?;
+
+    let mut r = StateReader::new(archive.section(SECTION_NET_STATE)?);
+    let stages = r.take_u32()? as usize;
+    if stages != net.num_stages() {
+        return Err(SnapshotError::Mismatch(format!(
+            "net state has {stages} stages, network has {}",
+            net.num_stages()
+        )));
+    }
+    for s in 0..stages {
+        let stage = net.stage_mut(s);
+        let layers = r.take_u32()? as usize;
+        if layers != stage.layers().len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "stage {s}: state has {layers} layers, stage has {}",
+                stage.layers().len()
+            )));
+        }
+        for (l, layer) in stage.layers_mut().iter_mut().enumerate() {
+            let has_state = r.take_bool()?;
+            let stored = has_state.then(|| r.take_bytes()).transpose()?;
+            match (stored, layer.state_bytes().is_some()) {
+                (Some(bytes), true) => layer.load_state_bytes(bytes)?,
+                (None, false) => {}
+                (stored, expects) => {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "stage {s} layer {l} ({}): stored state {}, layer expects {}",
+                        layer.name(),
+                        if stored.is_some() {
+                            "present"
+                        } else {
+                            "absent"
+                        },
+                        if expects { "present" } else { "absent" },
+                    )))
+                }
+            }
+        }
+    }
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Dropout, Linear, OnlineNorm, Relu};
+    use crate::network::Stage;
+    use pbp_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stateful_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(vec![
+            Stage::new(
+                "conv-ish",
+                vec![
+                    Box::new(Linear::new(8, 8, true, &mut rng)),
+                    Box::new(Dropout::new(0.3, 99)),
+                ],
+            ),
+            Stage::new(
+                "norms",
+                vec![
+                    Box::new(BatchNorm2d::new(2)),
+                    Box::new(OnlineNorm::new(2)),
+                    Box::new(Relu::new()),
+                ],
+            ),
+        ])
+    }
+
+    fn drive_stateful_layers(net: &mut Network) {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            // Stage 0 path: vector through linear + dropout.
+            let mut stack = vec![pbp_tensor::normal(&[1, 8], 0.0, 1.0, &mut rng)];
+            net.stage_mut(0).forward(&mut stack);
+            net.stage_mut(0).clear_stash();
+            // Stage 1 path: NCHW image through the norm layers.
+            let mut stack = vec![pbp_tensor::normal(&[1, 2, 3, 3], 1.0, 2.0, &mut rng)];
+            net.stage_mut(1).forward(&mut stack);
+            net.stage_mut(1).clear_stash();
+        }
+    }
+
+    #[test]
+    fn layer_state_round_trips_through_the_container() {
+        let mut net = stateful_net(1);
+        drive_stateful_layers(&mut net);
+
+        let mut builder = SnapshotBuilder::new();
+        write_network(&net, &mut builder);
+        let archive = SnapshotArchive::from_bytes(&builder.to_bytes()).unwrap();
+
+        let mut restored = stateful_net(1);
+        read_network(&mut restored, &archive).unwrap();
+
+        // Every stateful layer must report byte-identical state, and the
+        // restored dropout RNG must continue the original's sequence.
+        for s in 0..net.num_stages() {
+            for (a, b) in net.stage(s).layers().iter().zip(restored.stage(s).layers()) {
+                assert_eq!(a.state_bytes(), b.state_bytes(), "stage {s}");
+            }
+        }
+        drive_stateful_layers(&mut net);
+        drive_stateful_layers(&mut restored);
+        for s in 0..net.num_stages() {
+            for (a, b) in net.stage(s).layers().iter().zip(restored.stage(s).layers()) {
+                assert_eq!(a.state_bytes(), b.state_bytes(), "post-drive stage {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_net_section_is_a_loadable_legacy_checkpoint() {
+        let mut net = stateful_net(2);
+        drive_stateful_layers(&mut net);
+        let mut builder = SnapshotBuilder::new();
+        write_network(&net, &mut builder);
+        let archive = SnapshotArchive::from_bytes(&builder.to_bytes()).unwrap();
+
+        // The "net" section bytes ARE a PBPCKPT1 checkpoint.
+        let mut legacy = stateful_net(3);
+        let mut bytes = archive.section(SECTION_NET).unwrap();
+        checkpoint::load(&mut legacy, &mut bytes).unwrap();
+        for s in 0..net.num_stages() {
+            for (p, q) in net.stage(s).params().iter().zip(legacy.stage(s).params()) {
+                assert_eq!(p.as_slice(), q.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn architecture_mismatch_is_typed_error() {
+        let net = stateful_net(4);
+        let mut builder = SnapshotBuilder::new();
+        write_network(&net, &mut builder);
+        let archive = SnapshotArchive::from_bytes(&builder.to_bytes()).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut other = crate::models::mlp(&[4, 6, 2], &mut rng);
+        let err = read_network(&mut other, &archive).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_sections_are_typed_errors() {
+        let archive = SnapshotArchive::from_bytes(&SnapshotBuilder::new().to_bytes()).unwrap();
+        let mut net = stateful_net(6);
+        let err = read_network(&mut net, &archive).unwrap_err();
+        assert!(matches!(err, SnapshotError::MissingSection(_)), "{err}");
+    }
+
+    #[test]
+    fn stateless_layer_rejects_unexpected_state_buffer() {
+        let mut relu = Relu::new();
+        let err = crate::Layer::load_state_bytes(&mut relu, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
+        let _ = Tensor::zeros(&[1]);
+    }
+}

@@ -6,6 +6,7 @@
 //! formulated for SGDM and are not applied here — Adam is a *baseline*
 //! under delay, not a mitigation target.
 
+use pbp_snapshot::{SnapshotError, Snapshottable, StateReader, StateWriter};
 use pbp_tensor::Tensor;
 
 /// Adam state (first/second moment estimates with bias correction).
@@ -77,6 +78,25 @@ impl AdamState {
                 ps[i] -= lr * mhat / (vhat.sqrt() + self.eps);
             }
         }
+    }
+}
+
+impl Snapshottable for AdamState {
+    // β₁/β₂/ε are construction-time configuration; only the moment
+    // estimates and the step counter evolve, so only they travel.
+    fn write_state(&self, w: &mut StateWriter) {
+        w.put_tensor_list(&self.m);
+        w.put_tensor_list(&self.v);
+        w.put_u64(self.t);
+    }
+
+    fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let mut m: Vec<&mut Tensor> = self.m.iter_mut().collect();
+        r.take_tensors_into(&mut m, "adam first moment")?;
+        let mut v: Vec<&mut Tensor> = self.v.iter_mut().collect();
+        r.take_tensors_into(&mut v, "adam second moment")?;
+        self.t = r.take_u64()?;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! SGD with (heavy-ball or Nesterov) momentum.
 
 use crate::Hyperparams;
+use pbp_snapshot::{SnapshotError, Snapshottable, StateReader, StateWriter};
 use pbp_tensor::Tensor;
 
 /// Velocity state for SGD with momentum over a list of parameter tensors
@@ -102,6 +103,17 @@ impl SgdmState {
         for v in &mut self.velocity {
             v.fill(0.0);
         }
+    }
+}
+
+impl Snapshottable for SgdmState {
+    fn write_state(&self, w: &mut StateWriter) {
+        w.put_tensor_list(&self.velocity);
+    }
+
+    fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let mut dst: Vec<&mut Tensor> = self.velocity.iter_mut().collect();
+        r.take_tensors_into(&mut dst, "sgdm velocity")
     }
 }
 

@@ -5,6 +5,7 @@ use crate::{
     predict_velocity_form, predict_weight_form, Hyperparams, LwpForm, SgdmState, SpikeCoeffs,
     StageConfig,
 };
+use pbp_snapshot::{SnapshotError, Snapshottable, StateReader, StateWriter};
 use pbp_tensor::Tensor;
 
 /// Optimizer state for one pipeline stage.
@@ -126,6 +127,52 @@ impl StageOptimizer {
     }
 }
 
+impl Snapshottable for StageOptimizer {
+    // The stage config is *not* serialized: a restored optimizer is
+    // rebuilt from the same engine spec, so the config is re-derived and
+    // only the evolving state (velocity, prev-weight snapshot, current
+    // schedule point) travels in the snapshot.
+    fn write_state(&self, w: &mut StateWriter) {
+        self.state.write_state(w);
+        match &self.prev_weights {
+            Some(prev) => {
+                w.put_bool(true);
+                w.put_tensor_list(prev);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_f32(self.hp.lr);
+        w.put_f32(self.hp.momentum);
+    }
+
+    fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.state.read_state(r)?;
+        let has_prev = r.take_bool()?;
+        match (&mut self.prev_weights, has_prev) {
+            (Some(prev), true) => {
+                let mut dst: Vec<&mut Tensor> = prev.iter_mut().collect();
+                r.take_tensors_into(&mut dst, "lwp prev weights")?;
+            }
+            (None, false) => {}
+            (slot, stored) => {
+                return Err(SnapshotError::Mismatch(format!(
+                    "prev-weights presence: stored {stored}, config expects {}",
+                    slot.is_some()
+                )))
+            }
+        }
+        let lr = r.take_f32()?;
+        let momentum = r.take_f32()?;
+        if lr <= 0.0 || !(0.0..1.0).contains(&momentum) {
+            return Err(SnapshotError::Corrupt(format!(
+                "invalid stored hyperparams: lr={lr}, momentum={momentum}"
+            )));
+        }
+        self.hp = Hyperparams { lr, momentum };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +269,62 @@ mod tests {
         let g_scaled = Tensor::from_slice(&[0.25]);
         plain.step(&mut [&mut w2], &[&g_scaled]);
         assert_eq!(w1.as_slice(), w2.as_slice());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        // Both LWP forms: velocity (no prev buffer) and weight-difference
+        // (prev buffer must round-trip too).
+        for mit in [Mitigation::lwpv_scd(), Mitigation::lwpw_scd()] {
+            let mut w = Tensor::from_slice(&[1.0, -2.0, 0.5]);
+            let g = Tensor::from_slice(&[0.3, -0.1, 0.7]);
+            let mut opt = StageOptimizer::new(&[&w], mit.stage_config(3, 0), hp());
+            for _ in 0..4 {
+                opt.step(&mut [&mut w], &[&g]);
+            }
+
+            let mut writer = pbp_snapshot::StateWriter::new();
+            opt.write_state(&mut writer);
+            let bytes = writer.into_bytes();
+
+            let mut w2 = w.clone();
+            let mut restored = StageOptimizer::new(&[&w2], mit.stage_config(3, 0), hp());
+            let mut reader = pbp_snapshot::StateReader::new(&bytes);
+            restored.read_state(&mut reader).unwrap();
+            reader.finish().unwrap();
+
+            // Same state, same inputs → bit-identical trajectories,
+            // including the predicted forward weights.
+            for _ in 0..3 {
+                let fw_a = opt.forward_weights(&[&w]);
+                let fw_b = restored.forward_weights(&[&w2]);
+                match (&fw_a, &fw_b) {
+                    (Some(a), Some(b)) => assert_eq!(a[0].as_slice(), b[0].as_slice()),
+                    (None, None) => {}
+                    _ => panic!("prediction presence diverged"),
+                }
+                opt.step(&mut [&mut w], &[&g]);
+                restored.step(&mut [&mut w2], &[&g]);
+                assert_eq!(w.as_slice(), w2.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_layout_mismatch() {
+        let w = Tensor::from_slice(&[1.0, 2.0]);
+        let opt = StageOptimizer::new(&[&w], Mitigation::None.stage_config(1, 0), hp());
+        let mut writer = pbp_snapshot::StateWriter::new();
+        opt.write_state(&mut writer);
+        let bytes = writer.into_bytes();
+
+        let other = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let mut wrong = StageOptimizer::new(&[&other], Mitigation::None.stage_config(1, 0), hp());
+        let mut reader = pbp_snapshot::StateReader::new(&bytes);
+        let err = wrong.read_state(&mut reader).unwrap_err();
+        assert!(
+            matches!(err, pbp_snapshot::SnapshotError::Mismatch(_)),
+            "{err}"
+        );
     }
 }

@@ -193,18 +193,27 @@ impl AsgdTrainer {
     /// Trains one epoch; returns the mean batch loss.
     pub fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         let order = data.epoch_order(seed, epoch);
-        let mut total = 0.0f64;
-        let mut batches = 0usize;
-        for chunk in order.chunks(self.batch_size) {
-            let (x, labels) = data.batch(chunk);
-            total += self.train_batch(&x, &labels) as f64;
-            batches += 1;
-        }
+        let (total, batches) = self.train_range(data, &order);
         if batches == 0 {
             0.0
         } else {
             total / batches as f64
         }
+    }
+
+    /// Trains a contiguous slice of an epoch order; returns the loss sum
+    /// and the number of batches covered. The delay RNG advances exactly
+    /// one draw per batch, so resuming from a snapshot continues the same
+    /// delay sequence.
+    pub fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(self.batch_size) {
+            let (x, labels) = data.batch(chunk);
+            total += self.train_batch(&x, &labels) as f64;
+            batches += 1;
+        }
+        (total, batches)
     }
 
     /// Full run with validation after each epoch.
@@ -230,6 +239,76 @@ impl TrainEngine for AsgdTrainer {
 
     fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         AsgdTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        AsgdTrainer::train_range(self, data, indices)
+    }
+
+    fn samples_per_update(&self) -> usize {
+        self.batch_size
+    }
+
+    fn align_stop(&self, _pos: usize, proposed: usize, epoch_len: usize) -> usize {
+        let b = self.batch_size;
+        (proposed.div_ceil(b) * b).min(epoch_len)
+    }
+
+    fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::write_network(&self.net, snap);
+        crate::state::write_engine_section(snap, "asgd", |w| {
+            w.put_usize(self.samples_seen);
+            w.put_u32(self.state.len() as u32);
+            for s in &self.state {
+                s.write_state(w);
+            }
+            crate::state::write_network_history(w, &self.history);
+            for word in self.delay_rng.state() {
+                w.put_u64(word);
+            }
+            self.metrics.write_state(w);
+        });
+    }
+
+    fn read_state(
+        &mut self,
+        archive: &pbp_snapshot::SnapshotArchive,
+    ) -> Result<(), pbp_snapshot::SnapshotError> {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::read_network(&mut self.net, archive)?;
+        let mut r = crate::state::engine_reader(archive, "asgd")?;
+        self.samples_seen = r.take_usize()?;
+        let n = r.take_u32()? as usize;
+        if n != self.state.len() {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "asgd state for {n} stages, engine has {}",
+                self.state.len()
+            )));
+        }
+        for s in &mut self.state {
+            s.read_state(&mut r)?;
+        }
+        self.history = crate::state::read_network_history(&mut r)?;
+        if self.history.len() != self.distribution.max_delay() + 1 {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "asgd history holds {} versions, distribution requires {}",
+                self.history.len(),
+                self.distribution.max_delay() + 1
+            )));
+        }
+        let mut words = [0u64; 4];
+        for word in &mut words {
+            *word = r.take_u64()?;
+        }
+        if words == [0; 4] {
+            return Err(pbp_snapshot::SnapshotError::Corrupt(
+                "all-zero delay RNG state".into(),
+            ));
+        }
+        self.delay_rng = StdRng::from_state(words);
+        self.metrics.read_state(&mut r)?;
+        r.finish()
     }
 
     fn network_mut(&mut self) -> &mut Network {

@@ -184,18 +184,26 @@ impl DelayedTrainer {
     /// Trains one epoch; returns the mean batch loss.
     pub fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         let order = data.epoch_order(seed, epoch);
-        let mut total = 0.0f64;
-        let mut batches = 0usize;
-        for chunk in order.chunks(self.config.batch_size) {
-            let (x, labels) = data.batch(chunk);
-            total += self.train_batch(&x, &labels) as f64;
-            batches += 1;
-        }
+        let (total, batches) = self.train_range(data, &order);
         if batches == 0 {
             0.0
         } else {
             total / batches as f64
         }
+    }
+
+    /// Trains a contiguous slice of an epoch order; returns the loss sum
+    /// and the number of batches covered. Slice boundaries must land on
+    /// batch multiples (see `align_stop`) to match an unsliced epoch.
+    pub fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(self.config.batch_size) {
+            let (x, labels) = data.batch(chunk);
+            total += self.train_batch(&x, &labels) as f64;
+            batches += 1;
+        }
+        (total, batches)
     }
 
     /// Full run with validation after each epoch.
@@ -230,6 +238,63 @@ impl TrainEngine for DelayedTrainer {
 
     fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         DelayedTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        DelayedTrainer::train_range(self, data, indices)
+    }
+
+    fn samples_per_update(&self) -> usize {
+        self.config.batch_size
+    }
+
+    fn align_stop(&self, _pos: usize, proposed: usize, epoch_len: usize) -> usize {
+        let b = self.config.batch_size;
+        (proposed.div_ceil(b) * b).min(epoch_len)
+    }
+
+    fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::write_network(&self.net, snap);
+        crate::state::write_engine_section(snap, "delayed", |w| {
+            w.put_usize(self.samples_seen);
+            w.put_u32(self.opts.len() as u32);
+            for opt in &self.opts {
+                opt.write_state(w);
+            }
+            crate::state::write_network_history(w, &self.history);
+            self.metrics.write_state(w);
+        });
+    }
+
+    fn read_state(
+        &mut self,
+        archive: &pbp_snapshot::SnapshotArchive,
+    ) -> Result<(), pbp_snapshot::SnapshotError> {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::read_network(&mut self.net, archive)?;
+        let mut r = crate::state::engine_reader(archive, "delayed")?;
+        self.samples_seen = r.take_usize()?;
+        let n = r.take_u32()? as usize;
+        if n != self.opts.len() {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "delayed state for {n} stages, engine has {}",
+                self.opts.len()
+            )));
+        }
+        for opt in &mut self.opts {
+            opt.read_state(&mut r)?;
+        }
+        self.history = crate::state::read_network_history(&mut r)?;
+        if self.history.len() != self.config.delay + 1 {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "delayed history holds {} versions, delay requires {}",
+                self.history.len(),
+                self.config.delay + 1
+            )));
+        }
+        self.metrics.read_state(&mut r)?;
+        r.finish()
     }
 
     fn network_mut(&mut self) -> &mut Network {

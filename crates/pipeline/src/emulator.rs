@@ -261,17 +261,25 @@ impl PipelinedTrainer {
     /// `(seed, epoch)`; returns the mean loss.
     pub fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         let order = data.epoch_order(seed, epoch);
+        let (total, samples) = self.train_range(data, &order);
+        if samples == 0 {
+            0.0
+        } else {
+            total / samples as f64
+        }
+    }
+
+    /// Trains a contiguous slice of an epoch order; returns the loss sum
+    /// and the number of samples covered. All pipeline state (weight
+    /// version queues, stashes) carries across slices.
+    pub fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
         let mut total = 0.0f64;
-        for &i in &order {
+        for &i in indices {
             let (x, label) = data.sample(i);
             let x = x.clone();
             total += self.train_sample(&x, label) as f64;
         }
-        if order.is_empty() {
-            0.0
-        } else {
-            total / order.len() as f64
-        }
+        (total, indices.len())
     }
 
     /// Full training run: `epochs` epochs with validation after each,
@@ -308,6 +316,66 @@ impl TrainEngine for PipelinedTrainer {
 
     fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         PipelinedTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        PipelinedTrainer::train_range(self, data, indices)
+    }
+
+    fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::write_network(&self.net, snap);
+        crate::state::write_engine_section(snap, "pb", |w| {
+            w.put_usize(self.samples_seen);
+            w.put_u32(self.opts.len() as u32);
+            for opt in &self.opts {
+                opt.write_state(w);
+            }
+            for queue in &self.fwd_queues {
+                crate::state::write_version_queue(w, queue);
+            }
+            for stash in &self.stashes {
+                crate::state::write_version_queue(w, stash);
+            }
+            self.metrics.write_state(w);
+        });
+    }
+
+    fn read_state(
+        &mut self,
+        archive: &pbp_snapshot::SnapshotArchive,
+    ) -> Result<(), pbp_snapshot::SnapshotError> {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::read_network(&mut self.net, archive)?;
+        let mut r = crate::state::engine_reader(archive, "pb")?;
+        self.samples_seen = r.take_usize()?;
+        let n = r.take_u32()? as usize;
+        if n != self.opts.len() {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "pb state for {n} stages, engine has {}",
+                self.opts.len()
+            )));
+        }
+        for opt in &mut self.opts {
+            opt.read_state(&mut r)?;
+        }
+        for (s, queue) in self.fwd_queues.iter_mut().enumerate() {
+            *queue = crate::state::read_version_queue(&mut r)?;
+            // Invariant of the emulation: one forward version per possible
+            // in-flight sample, `delay + 1` entries.
+            let want = self.opts[s].config().delay + 1;
+            if queue.len() != want {
+                return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                    "pb stage {s} forward queue holds {} versions, delay requires {want}",
+                    queue.len()
+                )));
+            }
+        }
+        for stash in self.stashes.iter_mut() {
+            *stash = crate::state::read_version_queue(&mut r)?;
+        }
+        self.metrics.read_state(&mut r)?;
+        r.finish()
     }
 
     fn network_mut(&mut self) -> &mut Network {

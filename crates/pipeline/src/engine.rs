@@ -42,6 +42,49 @@ pub trait TrainEngine {
     /// from `(seed, epoch)`; returns the mean training loss.
     fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64;
 
+    /// Trains on a contiguous slice of an epoch's sample order; returns
+    /// the accumulated loss sum and the number of loss units it covers
+    /// (samples or batches, whichever the engine's `train_epoch` averages
+    /// over). Covering one epoch order with consecutive aligned slices
+    /// leaves the weight trajectory bit-identical to `train_epoch`; only
+    /// the reported loss mean can differ in its last bits, because the
+    /// partial sums associate differently. This is the sub-epoch
+    /// primitive the snapshot runner slices training with.
+    fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize);
+
+    /// Samples consumed per optimizer update, for converting an
+    /// every-N-updates snapshot cadence into a sample count.
+    fn samples_per_update(&self) -> usize {
+        1
+    }
+
+    /// Rounds a proposed slice stop (an in-epoch sample offset, with
+    /// `pos` the current offset) up to the engine's next state-equivalent
+    /// boundary, capped at `epoch_len`. The default accepts any offset.
+    fn align_stop(&self, pos: usize, proposed: usize, epoch_len: usize) -> usize {
+        let _ = pos;
+        proposed.min(epoch_len)
+    }
+
+    /// True when the engine is at a snapshot-safe point (no partially
+    /// accumulated update in flight). The runner skips snapshot points
+    /// where this is false.
+    fn snapshot_ready(&self) -> bool {
+        true
+    }
+
+    /// Serializes the engine's complete training state — network
+    /// parameters and layer state, per-stage optimizer state, in-flight
+    /// pipeline buffers, counters, metrics — into snapshot sections.
+    fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder);
+
+    /// Restores the state written by [`TrainEngine::write_state`] into a
+    /// freshly-built engine of the same spec.
+    fn read_state(
+        &mut self,
+        archive: &pbp_snapshot::SnapshotArchive,
+    ) -> Result<(), pbp_snapshot::SnapshotError>;
+
     /// Borrows the network (e.g. for evaluation).
     fn network_mut(&mut self) -> &mut Network;
 

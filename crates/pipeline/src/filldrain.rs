@@ -136,17 +136,26 @@ impl FillDrainTrainer {
     /// Trains one epoch; returns the mean loss.
     pub fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         let order = data.epoch_order(seed, epoch);
+        let (total, samples) = self.train_range(data, &order);
+        if samples == 0 {
+            0.0
+        } else {
+            total / samples as f64
+        }
+    }
+
+    /// Trains a contiguous slice of an epoch order; returns the loss sum
+    /// and the number of samples covered. The partially-accumulated
+    /// update (`pending`) carries across slices exactly as it does across
+    /// epochs.
+    pub fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
         let mut total = 0.0f64;
-        for &i in &order {
+        for &i in indices {
             let (x, label) = data.sample(i);
             let x = x.clone();
             total += self.train_sample(&x, label) as f64;
         }
-        if order.is_empty() {
-            0.0
-        } else {
-            total / order.len() as f64
-        }
+        (total, indices.len())
     }
 
     /// Full run with validation after each epoch.
@@ -178,6 +187,81 @@ impl TrainEngine for FillDrainTrainer {
 
     fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         FillDrainTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        FillDrainTrainer::train_range(self, data, indices)
+    }
+
+    fn samples_per_update(&self) -> usize {
+        self.update_size
+    }
+
+    fn align_stop(&self, pos: usize, proposed: usize, epoch_len: usize) -> usize {
+        // Stop only where the in-flight update completes: `pending`
+        // samples are already accumulated, so the slice must add a
+        // multiple-of-N complement. The epoch end is always allowed (the
+        // update then stays pending, and `snapshot_ready` gates there).
+        let n = self.update_size;
+        let rem = (self.pending + (proposed - pos)) % n;
+        let aligned = if rem == 0 {
+            proposed
+        } else {
+            proposed + n - rem
+        };
+        aligned.min(epoch_len)
+    }
+
+    fn snapshot_ready(&self) -> bool {
+        self.pending == 0
+    }
+
+    fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::write_network(&self.net, snap);
+        crate::state::write_engine_section(snap, "filldrain", |w| {
+            w.put_usize(self.samples_seen);
+            w.put_usize(self.pipeline_steps);
+            w.put_usize(self.pending);
+            w.put_u32(self.state.len() as u32);
+            for s in &self.state {
+                s.write_state(w);
+            }
+            self.metrics.write_state(w);
+        });
+    }
+
+    fn read_state(
+        &mut self,
+        archive: &pbp_snapshot::SnapshotArchive,
+    ) -> Result<(), pbp_snapshot::SnapshotError> {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::read_network(&mut self.net, archive)?;
+        let mut r = crate::state::engine_reader(archive, "filldrain")?;
+        self.samples_seen = r.take_usize()?;
+        self.pipeline_steps = r.take_usize()?;
+        self.pending = r.take_usize()?;
+        if self.pending != 0 {
+            // Snapshots are only written at update boundaries: a nonzero
+            // pending count would also require the accumulated layer
+            // gradients, which are deliberately not serialized.
+            return Err(pbp_snapshot::SnapshotError::Corrupt(format!(
+                "fill&drain snapshot taken mid-update (pending={})",
+                self.pending
+            )));
+        }
+        let n = r.take_u32()? as usize;
+        if n != self.state.len() {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "fill&drain state for {n} stages, engine has {}",
+                self.state.len()
+            )));
+        }
+        for s in &mut self.state {
+            s.read_state(&mut r)?;
+        }
+        self.metrics.read_state(&mut r)?;
+        r.finish()
     }
 
     fn network_mut(&mut self) -> &mut Network {

@@ -41,7 +41,9 @@ pub mod engine;
 pub mod filldrain;
 pub mod memory;
 pub mod metrics;
+pub mod resume;
 pub mod schedule;
+pub mod state;
 pub mod threaded;
 pub mod trainer;
 
@@ -54,8 +56,13 @@ pub use memory::MemoryModel;
 pub use metrics::{
     EngineMetrics, JsonSink, MetricsRecorder, MetricsSink, NoHooks, StageCounters, TrainHooks,
 };
+pub use resume::{
+    latest_snapshot, resume_training, run_to_crash, run_training_with_snapshots, SnapshotPolicy,
+    SECTION_RUN,
+};
 pub use schedule::{
     fill_drain_utilization, pb_utilization, stage_delay, ScheduleModel, StageActivity,
 };
+pub use state::SECTION_ENGINE;
 pub use threaded::{ThreadedConfig, ThreadedPipeline, ThroughputReport};
 pub use trainer::{evaluate, EpochRecord, SgdmTrainer, TrainReport};

@@ -201,6 +201,52 @@ impl MetricsRecorder {
     }
 }
 
+impl pbp_snapshot::Snapshottable for MetricsRecorder {
+    // Counters resume monotonically across a restore; the wall-clock
+    // nanosecond totals obviously differ between an interrupted and an
+    // uninterrupted run, but the update counts and delay histograms —
+    // the deterministic part — restore exactly.
+    fn write_state(&self, w: &mut pbp_snapshot::StateWriter) {
+        w.put_u128(self.train_ns);
+        w.put_u32(self.stages.len() as u32);
+        for stage in &self.stages {
+            w.put_u64(stage.updates);
+            w.put_u128(stage.busy_ns);
+            w.put_u32(stage.delay_hist.len() as u32);
+            for (&delay, &count) in &stage.delay_hist {
+                w.put_usize(delay);
+                w.put_u64(count);
+            }
+        }
+    }
+
+    fn read_state(
+        &mut self,
+        r: &mut pbp_snapshot::StateReader<'_>,
+    ) -> Result<(), pbp_snapshot::SnapshotError> {
+        self.train_ns = r.take_u128()?;
+        let n = r.take_u32()? as usize;
+        if n != self.stages.len() {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "metrics for {n} stages, recorder has {}",
+                self.stages.len()
+            )));
+        }
+        for stage in &mut self.stages {
+            stage.updates = r.take_u64()?;
+            stage.busy_ns = r.take_u128()?;
+            let buckets = r.take_u32()? as usize;
+            stage.delay_hist.clear();
+            for _ in 0..buckets {
+                let delay = r.take_usize()?;
+                let count = r.take_u64()?;
+                stage.delay_hist.insert(delay, count);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Observer interface for [`run_training`](crate::engine::run_training).
 /// All methods default to no-ops; implement the ones you need.
 pub trait TrainHooks {

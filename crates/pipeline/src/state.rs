@@ -1,0 +1,89 @@
+//! Shared helpers for engine-state sections of a training snapshot.
+//!
+//! Every engine stores its full in-flight state in one `"engine"`
+//! section whose payload starts with a short tag naming the engine kind;
+//! restoring into an engine of a different kind is a typed mismatch, not
+//! silent corruption.
+
+use pbp_snapshot::{SnapshotArchive, SnapshotBuilder, SnapshotError, StateReader, StateWriter};
+use pbp_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// Section holding the engine's optimizer/pipeline/counter state.
+pub const SECTION_ENGINE: &str = "engine";
+
+/// Builds the `"engine"` section: tag, then `fill`'s payload.
+pub(crate) fn write_engine_section(
+    snap: &mut SnapshotBuilder,
+    tag: &str,
+    fill: impl FnOnce(&mut StateWriter),
+) {
+    let mut w = StateWriter::new();
+    w.put_str(tag);
+    fill(&mut w);
+    snap.add_section(SECTION_ENGINE, w.into_bytes());
+}
+
+/// Opens the `"engine"` section and verifies its tag.
+pub(crate) fn engine_reader<'a>(
+    archive: &'a SnapshotArchive,
+    tag: &str,
+) -> Result<StateReader<'a>, SnapshotError> {
+    let mut r = StateReader::new(archive.section(SECTION_ENGINE)?);
+    let stored = r.take_str()?;
+    if stored != tag {
+        return Err(SnapshotError::Mismatch(format!(
+            "engine state tagged {stored:?}, engine expects {tag:?}"
+        )));
+    }
+    Ok(r)
+}
+
+/// Writes a queue of weight/gradient versions (each a tensor list).
+pub(crate) fn write_version_queue(w: &mut StateWriter, queue: &VecDeque<Vec<Tensor>>) {
+    w.put_u32(queue.len() as u32);
+    for version in queue {
+        w.put_tensor_list(version);
+    }
+}
+
+/// Reads a queue written by [`write_version_queue`].
+pub(crate) fn read_version_queue(
+    r: &mut StateReader<'_>,
+) -> Result<VecDeque<Vec<Tensor>>, SnapshotError> {
+    let len = r.take_u32()? as usize;
+    let mut queue = VecDeque::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        queue.push_back(r.take_tensor_list()?);
+    }
+    Ok(queue)
+}
+
+/// Writes a history of whole-network weight versions
+/// (versions × stages × tensors).
+pub(crate) fn write_network_history(w: &mut StateWriter, history: &VecDeque<Vec<Vec<Tensor>>>) {
+    w.put_u32(history.len() as u32);
+    for version in history {
+        w.put_u32(version.len() as u32);
+        for stage in version {
+            w.put_tensor_list(stage);
+        }
+    }
+}
+
+/// Reads a history written by [`write_network_history`].
+pub(crate) fn read_network_history(
+    r: &mut StateReader<'_>,
+) -> Result<VecDeque<Vec<Vec<Tensor>>>, SnapshotError> {
+    let versions = r.take_u32()? as usize;
+    let mut history = VecDeque::with_capacity(versions.min(1 << 16));
+    for _ in 0..versions {
+        let stages = r.take_u32()? as usize;
+        let mut version = Vec::with_capacity(stages.min(1 << 16));
+        for _ in 0..stages {
+            version.push(r.take_tensor_list()?);
+        }
+        history.push_back(version);
+    }
+    Ok(history)
+}

@@ -105,20 +105,29 @@ struct BwdMsg {
     stack: Vec<Tensor>,
 }
 
+/// Per-stage state that outlives a single streaming call: the stage's
+/// optimizer (velocity, SC/LWP buffers) and its update counter, which
+/// doubles as the stage's schedule position.
+struct StageSlot {
+    opt: StageOptimizer,
+    updates: usize,
+}
+
 /// The threaded pipeline runtime (see module docs).
 ///
 /// Use the static [`ThreadedPipeline::train`] to stream one batch of
 /// samples through a network, or construct a stateful engine with
 /// [`ThreadedPipeline::new`] to drive it through the shared
 /// [`run_training`](crate::engine::run_training) loop. The stateful form
-/// spawns a fresh set of stage workers per training call, so per-stage
-/// optimizer state (velocity, schedule position) restarts with each epoch
-/// — acceptable for throughput comparisons, which is what this engine is
-/// for; use [`crate::PipelinedTrainer`] when exact cross-epoch optimizer
-/// dynamics matter.
+/// keeps per-stage optimizer state (velocity, SC/LWP buffers, schedule
+/// position) in the engine and lends it to each call's worker threads, so
+/// momentum and the learning-rate schedule carry across epochs exactly as
+/// in the other engines; the static form starts from fresh optimizer
+/// state each call.
 pub struct ThreadedPipeline {
     net: Option<Network>,
     config: ThreadedConfig,
+    slots: Vec<StageSlot>,
     metrics: MetricsRecorder,
     samples_seen: usize,
     pipeline_stage_count: usize,
@@ -141,14 +150,36 @@ impl ThreadedPipeline {
     pub fn new(net: Network, config: ThreadedConfig) -> Self {
         let layer_stages = net.num_stages();
         let pipeline_stage_count = net.pipeline_stage_count();
+        let slots = Self::fresh_slots(&net, &config);
         ThreadedPipeline {
             net: Some(net),
             config,
+            slots,
             metrics: MetricsRecorder::new(layer_stages),
             samples_seen: 0,
             pipeline_stage_count,
             last_throughput: None,
         }
+    }
+
+    /// Builds untouched per-stage optimizer slots for `net` under `config`.
+    fn fresh_slots(net: &Network, config: &ThreadedConfig) -> Vec<StageSlot> {
+        let pipeline_stages = net.pipeline_stage_count();
+        let hp = config.schedule.at(0);
+        (0..net.num_stages())
+            .map(|s| {
+                let delay = if config.fill_drain {
+                    0
+                } else {
+                    stage_delay(s, pipeline_stages)
+                };
+                let stage_cfg = config.mitigation.stage_config(delay, s);
+                StageSlot {
+                    opt: StageOptimizer::new(&net.stage(s).params(), stage_cfg, hp),
+                    updates: 0,
+                }
+            })
+            .collect()
     }
 
     /// Borrows the network.
@@ -167,13 +198,15 @@ impl ThreadedPipeline {
     }
 
     /// Streams `samples` through the pipeline, accumulating metrics;
-    /// returns per-sample losses in input order.
+    /// returns per-sample losses in input order. Per-stage optimizer
+    /// state persists across calls (see the type docs).
     pub fn stream(&mut self, samples: &[(Tensor, usize)]) -> Vec<f32> {
         if samples.is_empty() {
             return Vec::new();
         }
         let net = self.net.take().expect("network present");
-        let (net, losses, report, counters) = Self::train_instrumented(net, samples, &self.config);
+        let (net, losses, report, counters) =
+            Self::train_with_slots(net, samples, &self.config, &mut self.slots);
         self.net = Some(net);
         for (s, c) in counters.iter().enumerate() {
             self.metrics.merge_stage(s, c);
@@ -202,15 +235,30 @@ impl ThreadedPipeline {
 
     /// [`ThreadedPipeline::train`], additionally returning the per-stage
     /// counters measured by the workers (effective delays included).
+    /// Starts from fresh optimizer state; the stateful engine goes through
+    /// [`ThreadedPipeline::stream`] instead, which persists it.
     pub fn train_instrumented(
         net: Network,
         samples: &[(Tensor, usize)],
         config: &ThreadedConfig,
     ) -> (Network, Vec<f32>, ThroughputReport, Vec<StageCounters>) {
+        let mut slots = Self::fresh_slots(&net, config);
+        Self::train_with_slots(net, samples, config, &mut slots)
+    }
+
+    /// Core runtime: streams `samples` through scoped worker threads, each
+    /// borrowing its stage's [`StageSlot`] so optimizer state survives the
+    /// call.
+    fn train_with_slots(
+        net: Network,
+        samples: &[(Tensor, usize)],
+        config: &ThreadedConfig,
+        slots: &mut [StageSlot],
+    ) -> (Network, Vec<f32>, ThroughputReport, Vec<StageCounters>) {
         assert!(!samples.is_empty(), "need at least one sample");
         let stages = net.into_stages();
+        assert_eq!(stages.len(), slots.len(), "one slot per layer stage");
         let num_layer_stages = stages.len();
-        let pipeline_stages = num_layer_stages + 1; // + loss stage
         let cap = config.channel_capacity.max(1);
 
         // Backward channels: bwd[s] carries gradients into stage s.
@@ -232,7 +280,7 @@ impl ThreadedPipeline {
             // blocks (or wakes) anyone.
             let (loss_tx, loss_rx) = unbounded::<(usize, f32)>();
             let mut handles = Vec::with_capacity(num_layer_stages);
-            for (s, stage) in stages.into_iter().enumerate() {
+            for ((s, stage), slot) in stages.into_iter().enumerate().zip(slots.iter_mut()) {
                 let (fwd_out, fwd_rx) = bounded::<FwdMsg>(cap);
                 let fwd_in = std::mem::replace(&mut next_fwd_rx, fwd_rx);
                 let bwd_in = bwd_channels[s].1.clone();
@@ -246,16 +294,7 @@ impl ThreadedPipeline {
                 let cfg = config.clone();
                 handles.push(scope.spawn(move || {
                     run_stage(
-                        s,
-                        pipeline_stages,
-                        stage,
-                        fwd_in,
-                        fwd_out,
-                        bwd_in,
-                        bwd_out,
-                        done,
-                        loss,
-                        &cfg,
+                        s, stage, slot, fwd_in, fwd_out, bwd_in, bwd_out, done, loss, &cfg,
                     )
                 }));
             }
@@ -336,7 +375,16 @@ impl TrainEngine for ThreadedPipeline {
 
     fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         let order = data.epoch_order(seed, epoch);
-        let samples: Vec<(Tensor, usize)> = order
+        let (total, samples) = TrainEngine::train_range(self, data, &order);
+        if samples == 0 {
+            0.0
+        } else {
+            total / samples as f64
+        }
+    }
+
+    fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        let samples: Vec<(Tensor, usize)> = indices
             .iter()
             .map(|&i| {
                 let (x, label) = data.sample(i);
@@ -344,11 +392,44 @@ impl TrainEngine for ThreadedPipeline {
             })
             .collect();
         let losses = self.stream(&samples);
-        if losses.is_empty() {
-            0.0
-        } else {
-            losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64
+        (losses.iter().map(|&l| l as f64).sum::<f64>(), losses.len())
+    }
+
+    fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::write_network(self.net.as_ref().expect("network present"), snap);
+        crate::state::write_engine_section(snap, "threaded", |w| {
+            w.put_usize(self.samples_seen);
+            w.put_u32(self.slots.len() as u32);
+            for slot in &self.slots {
+                w.put_usize(slot.updates);
+                slot.opt.write_state(w);
+            }
+            self.metrics.write_state(w);
+        });
+    }
+
+    fn read_state(
+        &mut self,
+        archive: &pbp_snapshot::SnapshotArchive,
+    ) -> Result<(), pbp_snapshot::SnapshotError> {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::read_network(self.net.as_mut().expect("network present"), archive)?;
+        let mut r = crate::state::engine_reader(archive, "threaded")?;
+        self.samples_seen = r.take_usize()?;
+        let n = r.take_u32()? as usize;
+        if n != self.slots.len() {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "threaded state for {n} stages, engine has {}",
+                self.slots.len()
+            )));
         }
+        for slot in &mut self.slots {
+            slot.updates = r.take_usize()?;
+            slot.opt.read_state(&mut r)?;
+        }
+        self.metrics.read_state(&mut r)?;
+        r.finish()
     }
 
     fn network_mut(&mut self) -> &mut Network {
@@ -379,12 +460,13 @@ impl TrainEngine for ThreadedPipeline {
 
 /// One stage worker: alternates between draining gradients (update +
 /// backward send) and accepting forward activations, until the upstream
-/// closes and all in-flight samples have returned.
+/// closes and all in-flight samples have returned. Optimizer state and
+/// the update counter live in the caller's [`StageSlot`].
 #[allow(clippy::too_many_arguments)]
 fn run_stage(
     s: usize,
-    pipeline_stages: usize,
     mut stage: Stage,
+    slot: &mut StageSlot,
     fwd_in: Receiver<FwdMsg>,
     fwd_out: Option<Sender<FwdMsg>>,
     bwd_in: Receiver<BwdMsg>,
@@ -393,20 +475,13 @@ fn run_stage(
     loss_out: Option<Sender<(usize, f32)>>,
     config: &ThreadedConfig,
 ) -> (usize, Stage, StageCounters) {
-    let delay = if config.fill_drain {
-        0
-    } else {
-        stage_delay(s, pipeline_stages)
-    };
-    let stage_cfg = config.mitigation.stage_config(delay, s);
-    let opt = StageOptimizer::new(&stage.params(), stage_cfg, config.schedule.at(0));
     let mut worker = StageWorker {
         stage: &mut stage,
-        opt,
+        opt: &mut slot.opt,
         stash: VecDeque::new(),
         fwd_marks: VecDeque::new(),
         counters: StageCounters::default(),
-        updates: 0,
+        updates: &mut slot.updates,
         fwd_out,
         bwd_out,
         done,
@@ -472,14 +547,14 @@ fn run_stage(
 
 struct StageWorker<'a> {
     stage: &'a mut Stage,
-    opt: StageOptimizer,
+    opt: &'a mut StageOptimizer,
     stash: VecDeque<Vec<Tensor>>,
     /// Update count at the time of each in-flight forward pass; the
     /// difference at backward time is the stage's *realized* gradient
     /// delay (emergent from thread interleaving, not imposed).
     fwd_marks: VecDeque<usize>,
     counters: StageCounters,
-    updates: usize,
+    updates: &'a mut usize,
     /// Downstream activation channel; `None` on the last layer stage, which
     /// terminates the forward pass at the inline loss instead.
     fwd_out: Option<Sender<FwdMsg>>,
@@ -498,7 +573,7 @@ impl StageWorker<'_> {
     /// [`Self::handle_bwd`] by the caller.
     fn handle_fwd(&mut self, mut msg: FwdMsg) -> Option<BwdMsg> {
         let start = Instant::now();
-        self.fwd_marks.push_back(self.updates);
+        self.fwd_marks.push_back(*self.updates);
         let params = self.stage.params();
         let predicted = if params.is_empty() {
             None
@@ -537,9 +612,9 @@ impl StageWorker<'_> {
     fn handle_bwd(&mut self, mut msg: BwdMsg) {
         let start = Instant::now();
         let mark = self.fwd_marks.pop_front().expect("gradients in fifo order");
-        let delay = self.updates - mark;
+        let delay = *self.updates - mark;
         self.opt
-            .set_hyperparams(self.config.schedule.at(self.updates));
+            .set_hyperparams(self.config.schedule.at(*self.updates));
         self.stage.zero_grads();
         if self.config.weight_stashing {
             let stashed = self.stash.pop_front().expect("stash in backward order");
@@ -559,7 +634,7 @@ impl StageWorker<'_> {
         if has_params {
             self.opt.step(&mut params, &grads);
         }
-        self.updates += 1;
+        *self.updates += 1;
         if has_params {
             self.counters
                 .record_update(delay, start.elapsed().as_nanos());

@@ -149,17 +149,26 @@ impl SgdmTrainer {
     /// `seed` and `epoch`; returns the mean training loss.
     pub fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         let order = data.epoch_order(seed, epoch);
-        let mut total = 0.0f64;
-        let mut batches = 0usize;
-        for chunk in order.chunks(self.batch_size) {
-            total += self.train_batch_indices(data, chunk) as f64;
-            batches += 1;
-        }
+        let (total, batches) = self.train_range(data, &order);
         if batches == 0 {
             0.0
         } else {
             total / batches as f64
         }
+    }
+
+    /// Trains a contiguous slice of an epoch order; returns the loss sum
+    /// and the number of batches it covered. Slice boundaries must land
+    /// on batch multiples (see `align_stop`) for the chunking to match an
+    /// unsliced epoch.
+    pub fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(self.batch_size) {
+            total += self.train_batch_indices(data, chunk) as f64;
+            batches += 1;
+        }
+        (total, batches)
     }
 
     /// Trains on one batch given by dataset indices; returns the loss.
@@ -204,6 +213,56 @@ impl TrainEngine for SgdmTrainer {
 
     fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
         SgdmTrainer::train_epoch(self, data, seed, epoch)
+    }
+
+    fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
+        SgdmTrainer::train_range(self, data, indices)
+    }
+
+    fn samples_per_update(&self) -> usize {
+        self.batch_size
+    }
+
+    fn align_stop(&self, _pos: usize, proposed: usize, epoch_len: usize) -> usize {
+        // Batches start at in-epoch offsets that are batch multiples; the
+        // epoch's trailing partial batch is reached only by running to
+        // the end.
+        (proposed.div_ceil(self.batch_size) * self.batch_size).min(epoch_len)
+    }
+
+    fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::write_network(&self.net, snap);
+        crate::state::write_engine_section(snap, "sgdm", |w| {
+            w.put_usize(self.samples_seen);
+            w.put_u32(self.state.len() as u32);
+            for s in &self.state {
+                s.write_state(w);
+            }
+            self.metrics.write_state(w);
+        });
+    }
+
+    fn read_state(
+        &mut self,
+        archive: &pbp_snapshot::SnapshotArchive,
+    ) -> Result<(), pbp_snapshot::SnapshotError> {
+        use pbp_snapshot::Snapshottable;
+        pbp_nn::snapshot::read_network(&mut self.net, archive)?;
+        let mut r = crate::state::engine_reader(archive, "sgdm")?;
+        self.samples_seen = r.take_usize()?;
+        let n = r.take_u32()? as usize;
+        if n != self.state.len() {
+            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
+                "sgdm state for {n} stages, engine has {}",
+                self.state.len()
+            )));
+        }
+        for s in &mut self.state {
+            s.read_state(&mut r)?;
+        }
+        self.metrics.read_state(&mut r)?;
+        r.finish()
     }
 
     fn network_mut(&mut self) -> &mut Network {

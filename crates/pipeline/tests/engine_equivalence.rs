@@ -161,9 +161,10 @@ fn pb_with_zero_delay_is_bit_identical_to_sgdm_batch_1() {
 fn threaded_fill_drain_matches_sgdm_batch_1() {
     let data = blobs(3, 30, 0.4, 3);
     let (train, val) = data.split(0.2);
-    // One epoch: the threaded engine re-creates its per-stage optimizers on
-    // every training call, so cross-epoch momentum does not carry over.
-    let config = RunConfig::new(1, 8);
+    // Two epochs: the threaded engine's per-stage optimizer state now
+    // persists across training calls, so momentum carries over epoch
+    // boundaries exactly as in the sequential engines.
+    let config = RunConfig::new(2, 8);
 
     let mut threaded =
         EngineSpec::Threaded(ThreadedConfig::fill_drain(schedule())).build(fresh_net(23));

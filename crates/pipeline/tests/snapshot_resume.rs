@@ -1,0 +1,295 @@
+//! Crash-injection matrix: for every engine, a run that is killed at an
+//! arbitrary update index and restarted from its latest snapshot must
+//! finish with weights bit-identical to an uninterrupted snapshotting
+//! run — and the snapshotting runner itself must not perturb training
+//! relative to the plain [`run_training`] loop.
+//!
+//! The threaded engine participates in fill-and-drain mode, which is
+//! deterministic; its free-running PB mode has a timing-dependent weight
+//! trajectory (the realized delays emerge from thread interleaving), so
+//! no two runs of it are comparable bit-for-bit, snapshots or not.
+
+use pbp_data::blobs;
+use pbp_nn::models::mlp;
+use pbp_nn::Network;
+use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
+use pbp_pipeline::{
+    latest_snapshot, resume_training, run_to_crash, run_training, run_training_with_snapshots,
+    DelayDistribution, DelayedConfig, EngineSpec, NoHooks, PbConfig, RunConfig, SnapshotPolicy,
+    ThreadedConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn schedule() -> LrSchedule {
+    LrSchedule::constant(Hyperparams::new(0.05, 0.9))
+}
+
+fn fresh_net(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    mlp(&[2, 10, 3], &mut rng)
+}
+
+/// Every engine with a deterministic weight trajectory.
+fn deterministic_specs() -> Vec<EngineSpec> {
+    vec![
+        EngineSpec::Sgdm {
+            schedule: schedule(),
+            batch: 4,
+        },
+        EngineSpec::FillDrain {
+            schedule: schedule(),
+            update_size: 4,
+        },
+        EngineSpec::Pb(PbConfig::plain(schedule()).with_mitigation(Mitigation::lwpv_scd())),
+        EngineSpec::Pb(PbConfig::plain(schedule()).with_weight_stashing()),
+        EngineSpec::Delayed(DelayedConfig::inconsistent(2, 4, schedule())),
+        EngineSpec::Asgd {
+            distribution: DelayDistribution::Uniform { max: 3 },
+            batch: 4,
+            schedule: schedule(),
+            delay_seed: 7,
+        },
+        EngineSpec::Threaded(ThreadedConfig::fill_drain(schedule())),
+    ]
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("pbp_snapshot_resume_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_networks_equal(a: &Network, b: &Network, context: &str) {
+    for s in 0..a.num_stages() {
+        for (p, q) in a.stage(s).params().iter().zip(b.stage(s).params()) {
+            assert_eq!(p.as_slice(), q.as_slice(), "{context}: stage {s}");
+        }
+    }
+}
+
+/// Kill at update 7 with snapshots every 3 updates on a 54-sample,
+/// 3-epoch run: the kill lands between snapshots and snapshot points
+/// land mid-epoch, exercising partial-epoch restore.
+#[test]
+fn every_engine_resumes_bit_identically_after_a_crash() {
+    let data = blobs(3, 24, 0.4, 40);
+    let (train, val) = data.split(0.25);
+    let config = RunConfig::new(3, 17);
+
+    for (i, spec) in deterministic_specs().into_iter().enumerate() {
+        let label = spec.label();
+
+        // Uninterrupted snapshotting run — the reference.
+        let dir_a = tmpdir(&format!("ref{i}"));
+        let policy_a = SnapshotPolicy::new(&dir_a, 3);
+        let mut reference = spec.build(fresh_net(90));
+        let report_a = run_training_with_snapshots(
+            reference.as_mut(),
+            &train,
+            &val,
+            &config,
+            &policy_a,
+            &mut NoHooks,
+        )
+        .expect("reference run");
+
+        // Crashed run: killed at update 7, snapshots every 3 updates.
+        let dir_b = tmpdir(&format!("crash{i}"));
+        let policy_b = SnapshotPolicy::new(&dir_b, 3);
+        let mut victim = spec.build(fresh_net(90));
+        let outcome = run_to_crash(
+            victim.as_mut(),
+            &train,
+            &val,
+            &config,
+            &policy_b,
+            7,
+            &mut NoHooks,
+        )
+        .expect("crash run");
+        assert!(outcome.is_none(), "{label}: kill point inside the run");
+
+        // Restart: fresh engine of the same spec, state from the latest
+        // surviving snapshot.
+        let snap = latest_snapshot(&dir_b)
+            .expect("list snapshots")
+            .expect("at least one snapshot written before the kill");
+        let mut resumed = spec.build(fresh_net(90));
+        let report_c = resume_training(
+            resumed.as_mut(),
+            &train,
+            &val,
+            &config,
+            Some(&policy_b),
+            &snap,
+            &mut NoHooks,
+        )
+        .expect("resume run");
+
+        assert_networks_equal(&reference.into_network(), &resumed.into_network(), &label);
+        assert_eq!(report_a.records.len(), report_c.records.len(), "{label}");
+        for (a, c) in report_a.records.iter().zip(&report_c.records) {
+            assert_eq!(a, c, "{label}: records must match bit-for-bit");
+        }
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+}
+
+/// Taking snapshots must not change what is trained: weights and
+/// validation metrics match the plain loop bit-for-bit (the training
+/// loss mean may associate differently, so it gets a tolerance).
+#[test]
+fn snapshotting_does_not_perturb_training() {
+    let data = blobs(3, 24, 0.4, 41);
+    let (train, val) = data.split(0.25);
+    let config = RunConfig::new(2, 19);
+
+    for (i, spec) in deterministic_specs().into_iter().enumerate() {
+        let label = spec.label();
+        let mut plain = spec.build(fresh_net(91));
+        let report_plain = run_training(plain.as_mut(), &train, &val, &config, &mut NoHooks);
+
+        let dir = tmpdir(&format!("noperturb{i}"));
+        let policy = SnapshotPolicy::new(&dir, 2);
+        let mut snapped = spec.build(fresh_net(91));
+        let report_snap = run_training_with_snapshots(
+            snapped.as_mut(),
+            &train,
+            &val,
+            &config,
+            &policy,
+            &mut NoHooks,
+        )
+        .expect("snapshotting run");
+
+        assert_eq!(report_plain.records.len(), report_snap.records.len());
+        for (a, b) in report_plain.records.iter().zip(&report_snap.records) {
+            assert_eq!(a.val_loss, b.val_loss, "{label}");
+            assert_eq!(a.val_acc, b.val_acc, "{label}");
+            assert!(
+                (a.train_loss - b.train_loss).abs() < 1e-9,
+                "{label}: {} vs {}",
+                a.train_loss,
+                b.train_loss
+            );
+        }
+        assert_networks_equal(&plain.into_network(), &snapped.into_network(), &label);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn retention_prunes_old_snapshots() {
+    let data = blobs(3, 24, 0.4, 42);
+    let (train, val) = data.split(0.25);
+    let dir = tmpdir("retention");
+    let policy = SnapshotPolicy::new(&dir, 2).with_keep(2);
+    let spec = EngineSpec::Sgdm {
+        schedule: schedule(),
+        batch: 4,
+    };
+    let mut engine = spec.build(fresh_net(92));
+    run_training_with_snapshots(
+        engine.as_mut(),
+        &train,
+        &val,
+        &RunConfig::new(3, 23),
+        &policy,
+        &mut NoHooks,
+    )
+    .expect("snapshotting run");
+    let snaps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("snapshot dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("snap-"))
+        .collect();
+    assert_eq!(snaps.len(), 2, "keep=2 must prune older snapshots");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_mismatched_engines() {
+    let data = blobs(3, 24, 0.4, 43);
+    let (train, val) = data.split(0.25);
+    let config = RunConfig::new(2, 29);
+    let dir = tmpdir("mismatch");
+    let policy = SnapshotPolicy::new(&dir, 2);
+    let mut sgdm = EngineSpec::Sgdm {
+        schedule: schedule(),
+        batch: 4,
+    }
+    .build(fresh_net(93));
+    run_training_with_snapshots(sgdm.as_mut(), &train, &val, &config, &policy, &mut NoHooks)
+        .expect("snapshotting run");
+    let snap = latest_snapshot(&dir).expect("list").expect("snapshot");
+
+    let mut other = EngineSpec::FillDrain {
+        schedule: schedule(),
+        update_size: 4,
+    }
+    .build(fresh_net(93));
+    let err = resume_training(
+        other.as_mut(),
+        &train,
+        &val,
+        &config,
+        None,
+        &snap,
+        &mut NoHooks,
+    )
+    .expect_err("resuming an SGDM snapshot into fill&drain must fail");
+    assert!(
+        matches!(err, pbp_snapshot::SnapshotError::Mismatch(_)),
+        "typed mismatch, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A completed snapshotting run leaves a final snapshot; resuming from
+/// it is a no-op that still reproduces the full report.
+#[test]
+fn resuming_a_finished_run_reproduces_its_report() {
+    let data = blobs(3, 24, 0.4, 44);
+    let (train, val) = data.split(0.25);
+    let config = RunConfig::new(2, 31);
+    let dir = tmpdir("finished");
+    let policy = SnapshotPolicy::new(&dir, 4);
+    let spec = EngineSpec::FillDrain {
+        schedule: schedule(),
+        update_size: 4,
+    };
+    let mut engine = spec.build(fresh_net(94));
+    let report = run_training_with_snapshots(
+        engine.as_mut(),
+        &train,
+        &val,
+        &config,
+        &policy,
+        &mut NoHooks,
+    )
+    .expect("snapshotting run");
+
+    let snap = latest_snapshot(&dir).expect("list").expect("snapshot");
+    let mut redux = spec.build(fresh_net(94));
+    let report_redux = resume_training(
+        redux.as_mut(),
+        &train,
+        &val,
+        &config,
+        None,
+        &snap,
+        &mut NoHooks,
+    )
+    .expect("resume of finished run");
+    assert_eq!(report.records, report_redux.records);
+    assert_networks_equal(
+        &engine.into_network(),
+        &redux.into_network(),
+        "finished-run resume",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,382 @@
+//! The `PBPSNAP1` section container: build, atomic save, verified load.
+
+use crate::crc::Crc32;
+use crate::error::SnapshotError;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes at the head of every snapshot file.
+pub const MAGIC: &[u8; 8] = b"PBPSNAP1";
+
+/// Container version this crate writes and reads.
+pub const VERSION: u32 = 1;
+
+/// Upper bound on the section count; anything larger is corruption.
+const MAX_SECTIONS: u32 = 1 << 20;
+
+/// Accumulates named sections and writes them as one container.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SnapshotBuilder::default()
+    }
+
+    /// Adds a named section. Re-adding a name replaces the previous
+    /// payload (last writer wins), keeping builders idempotent.
+    pub fn add_section(&mut self, name: &str, payload: Vec<u8>) {
+        if let Some(slot) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = payload;
+        } else {
+            self.sections.push((name.to_string(), payload));
+        }
+    }
+
+    /// Section names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Serializes the container into a writer.
+    pub fn write_to(&self, out: &mut impl Write) -> Result<(), SnapshotError> {
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&(self.sections.len() as u32).to_le_bytes())?;
+        for (name, payload) in &self.sections {
+            let name_bytes = name.as_bytes();
+            assert!(
+                name_bytes.len() <= u16::MAX as usize,
+                "section name too long"
+            );
+            out.write_all(&(name_bytes.len() as u16).to_le_bytes())?;
+            out.write_all(name_bytes)?;
+            out.write_all(&section_crc(name_bytes, payload).to_le_bytes())?;
+            out.write_all(&(payload.len() as u64).to_le_bytes())?;
+            out.write_all(payload)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the container into a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out)
+            .expect("in-memory write cannot fail");
+        out
+    }
+
+    /// Writes the container to `path` atomically: the bytes go to a
+    /// temp file in the same directory (same filesystem, so the final
+    /// rename is atomic), are synced to disk, and only then renamed
+    /// over the destination. A crash mid-write leaves either the old
+    /// snapshot or none — never a torn file.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        fs::create_dir_all(dir).map_err(SnapshotError::Io)?;
+        let file_name = path.file_name().ok_or_else(|| {
+            SnapshotError::Io(std::io::Error::other("snapshot path has no file name"))
+        })?;
+        let tmp = dir.join(format!(
+            ".{}.tmp-{}",
+            file_name.to_string_lossy(),
+            std::process::id()
+        ));
+        let result = (|| -> Result<(), SnapshotError> {
+            let mut file = fs::File::create(&tmp).map_err(SnapshotError::Io)?;
+            self.write_to(&mut file)?;
+            file.sync_all().map_err(SnapshotError::Io)?;
+            fs::rename(&tmp, path).map_err(SnapshotError::Io)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+/// A parsed, checksum-verified snapshot container.
+#[derive(Debug)]
+pub struct SnapshotArchive {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotArchive {
+    /// Parses a container from a reader, verifying the magic, version,
+    /// and every section's CRC before returning.
+    pub fn read_from(input: &mut impl Read) -> Result<Self, SnapshotError> {
+        let mut magic = [0u8; 8];
+        read_exact(input, &mut magic)?;
+        if &magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = read_u32(input)?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let count = read_u32(input)?;
+        if count > MAX_SECTIONS {
+            return Err(SnapshotError::Corrupt(format!(
+                "section count {count} exceeds limit"
+            )));
+        }
+        let mut sections = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name_len = read_u16(input)? as usize;
+            let mut name_bytes = vec![0u8; name_len];
+            read_exact(input, &mut name_bytes)?;
+            let name = String::from_utf8(name_bytes)
+                .map_err(|_| SnapshotError::Corrupt("section name is not UTF-8".into()))?;
+            let stored_crc = read_u32(input)?;
+            let len = read_u64(input)?;
+            let len = usize::try_from(len).map_err(|_| {
+                SnapshotError::Corrupt(format!("section {name:?} length {len} overflows"))
+            })?;
+            // Never pre-allocate from an untrusted length: a corrupted
+            // length field must surface as truncation, not an OOM abort.
+            let mut payload = Vec::new();
+            (&mut *input)
+                .take(len as u64)
+                .read_to_end(&mut payload)
+                .map_err(SnapshotError::from)?;
+            if payload.len() != len {
+                return Err(SnapshotError::Corrupt(format!(
+                    "section {name:?} truncated: wanted {len} bytes, got {}",
+                    payload.len()
+                )));
+            }
+            if section_crc(name.as_bytes(), &payload) != stored_crc {
+                return Err(SnapshotError::ChecksumMismatch(name));
+            }
+            sections.push((name, payload));
+        }
+        // The container owns the whole byte stream: anything after the
+        // last section means a corrupted section count or appended junk.
+        let mut probe = [0u8; 1];
+        match input.read(&mut probe) {
+            Ok(0) => {}
+            Ok(_) => {
+                return Err(SnapshotError::Corrupt(
+                    "trailing bytes after last section".into(),
+                ))
+            }
+            Err(e) => return Err(SnapshotError::from(e)),
+        }
+        Ok(SnapshotArchive { sections })
+    }
+
+    /// Loads and verifies a container from a file.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let mut file = fs::File::open(path).map_err(SnapshotError::Io)?;
+        SnapshotArchive::read_from(&mut file)
+    }
+
+    /// Parses a container from an in-memory byte slice.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut cursor = bytes;
+        SnapshotArchive::read_from(&mut cursor)
+    }
+
+    /// Section names in file order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Borrows a section payload by name.
+    pub fn section(&self, name: &str) -> Result<&[u8], SnapshotError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, payload)| payload.as_slice())
+            .ok_or_else(|| SnapshotError::MissingSection(name.to_string()))
+    }
+
+    /// True if the archive contains a section with this name.
+    pub fn has_section(&self, name: &str) -> bool {
+        self.sections.iter().any(|(n, _)| n == name)
+    }
+}
+
+/// Finds the newest snapshot (`snap-*.pbps`, lexicographically greatest
+/// name — file names embed a zero-padded progress counter) in `dir`.
+/// Returns `Ok(None)` if the directory is missing or holds no snapshots.
+pub fn latest_snapshot(dir: &Path) -> Result<Option<PathBuf>, SnapshotError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    let mut best: Option<PathBuf> = None;
+    for entry in entries {
+        let path = entry.map_err(SnapshotError::Io)?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with("snap-") || !name.ends_with(".pbps") {
+            continue;
+        }
+        if best
+            .as_ref()
+            .and_then(|b| b.file_name().and_then(|n| n.to_str()))
+            .is_none_or(|b| name > b)
+        {
+            best = Some(path);
+        }
+    }
+    Ok(best)
+}
+
+/// Section checksum: covers the name bytes and the payload, so flips in
+/// either are detected.
+fn section_crc(name: &[u8], payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(name);
+    crc.update(payload);
+    crc.finish()
+}
+
+fn read_exact(input: &mut impl Read, buf: &mut [u8]) -> Result<(), SnapshotError> {
+    input.read_exact(buf).map_err(SnapshotError::from)
+}
+
+fn read_u16(input: &mut impl Read) -> Result<u16, SnapshotError> {
+    let mut b = [0u8; 2];
+    read_exact(input, &mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32(input: &mut impl Read) -> Result<u32, SnapshotError> {
+    let mut b = [0u8; 4];
+    read_exact(input, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(input: &mut impl Read) -> Result<u64, SnapshotError> {
+    let mut b = [0u8; 8];
+    read_exact(input, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_builder() -> SnapshotBuilder {
+        let mut b = SnapshotBuilder::new();
+        b.add_section("net", vec![1, 2, 3, 4, 5]);
+        b.add_section("engine", vec![]);
+        b.add_section("run", b"run state".to_vec());
+        b
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let bytes = sample_builder().to_bytes();
+        let ar = SnapshotArchive::from_bytes(&bytes).unwrap();
+        assert_eq!(ar.names().collect::<Vec<_>>(), vec!["net", "engine", "run"]);
+        assert_eq!(ar.section("net").unwrap(), &[1, 2, 3, 4, 5]);
+        assert_eq!(ar.section("engine").unwrap(), &[] as &[u8]);
+        assert_eq!(ar.section("run").unwrap(), b"run state");
+        assert!(matches!(
+            ar.section("absent"),
+            Err(SnapshotError::MissingSection(_))
+        ));
+    }
+
+    #[test]
+    fn re_adding_a_section_replaces_it() {
+        let mut b = SnapshotBuilder::new();
+        b.add_section("net", vec![1]);
+        b.add_section("net", vec![2, 3]);
+        let ar = SnapshotArchive::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(ar.section("net").unwrap(), &[2, 3]);
+        assert_eq!(ar.names().count(), 1);
+    }
+
+    #[test]
+    fn corrupted_magic_is_bad_magic() {
+        let mut bytes = sample_builder().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            SnapshotArchive::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = sample_builder().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            SnapshotArchive::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_checksum_mismatch() {
+        let bytes = sample_builder().to_bytes();
+        // Flip one bit in the "net" payload (the last 5 bytes of its
+        // section record, which ends before "engine"'s name record).
+        let mut corrupted = bytes.clone();
+        let pos = 8 + 4 + 4 + 2 + 3 + 4 + 8; // header + name rec + crc + len
+        corrupted[pos] ^= 0x10;
+        match SnapshotArchive::from_bytes(&corrupted) {
+            Err(SnapshotError::ChecksumMismatch(name)) => assert_eq!(name, "net"),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_typed_error() {
+        let bytes = sample_builder().to_bytes();
+        for cut in 0..bytes.len() {
+            match SnapshotArchive::from_bytes(&bytes[..cut]) {
+                Err(
+                    SnapshotError::Corrupt(_)
+                    | SnapshotError::BadMagic
+                    | SnapshotError::ChecksumMismatch(_),
+                ) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_save_and_latest_snapshot() {
+        let dir = std::env::temp_dir().join(format!("pbp_snap_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        assert!(latest_snapshot(&dir).unwrap().is_none());
+        let b = sample_builder();
+        b.save_atomic(&dir.join("snap-000000000010.pbps")).unwrap();
+        b.save_atomic(&dir.join("snap-000000000002.pbps")).unwrap();
+        let latest = latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(
+            latest.file_name().unwrap().to_str().unwrap(),
+            "snap-000000000010.pbps"
+        );
+        let ar = SnapshotArchive::load(&latest).unwrap();
+        assert_eq!(ar.section("net").unwrap(), &[1, 2, 3, 4, 5]);
+        // No temp files left behind.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                name.to_string_lossy().ends_with(".pbps"),
+                "stray file {name:?}"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = SnapshotArchive::load(Path::new("/nonexistent/snap.pbps")).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "{err}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Typed snapshot errors: every corruption mode maps to a variant so
+//! callers (and tests) can distinguish truncation from foreign data from
+//! bit flips — none of them panic.
+
+use std::fmt;
+
+/// Errors from writing, reading, or applying a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the `PBPSNAP1` magic.
+    BadMagic,
+    /// The container version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// A section's payload failed its CRC32 check.
+    ChecksumMismatch(String),
+    /// A section required by the reader is absent.
+    MissingSection(String),
+    /// The byte stream is structurally invalid (truncated, bad counts,
+    /// invalid UTF-8, out-of-range values).
+    Corrupt(String),
+    /// The stored state does not fit the object being restored
+    /// (stage/layer/shape disagreement).
+    Mismatch(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a PBPSNAP1 snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::ChecksumMismatch(name) => {
+                write!(f, "checksum mismatch in section {name:?}")
+            }
+            SnapshotError::MissingSection(name) => write!(f, "missing section {name:?}"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Mismatch(what) => write!(f, "snapshot/state mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        // A short read while parsing the container is corruption, not an
+        // environment failure — report it as such so callers see one
+        // truncation variant regardless of where the bytes ran out.
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapshotError::Corrupt("truncated container".into())
+        } else {
+            SnapshotError::Io(e)
+        }
+    }
+}

@@ -2,9 +2,10 @@
 //!
 //! Large GEMMs are partitioned into independent chunks (disjoint regions of
 //! the output matrix) and executed on a process-wide pool of worker threads.
-//! The pool size comes from the `PBP_THREADS` environment variable, falling
-//! back to the machine's available parallelism; [`set_max_threads`] overrides
-//! it at runtime (used by benchmarks and the kernel-equivalence tests to
+//! The pool size comes from the `PBP_THREADS` environment variable (invalid
+//! or zero values are ignored with a one-time warning), falling back to the
+//! machine's available parallelism; [`set_max_threads`] overrides it at
+//! runtime (used by benchmarks and the kernel-equivalence tests to
 //! sweep thread counts inside one process).
 //!
 //! # Determinism
@@ -41,16 +42,36 @@ struct PoolState {
 
 static POOL: OnceLock<PoolState> = OnceLock::new();
 
+/// Parses a `PBP_THREADS` value. Rejects (returns `None` for) anything
+/// that is not an integer ≥ 1 — including `0`, which would silently
+/// disable all kernels if taken literally.
+fn parse_threads(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// One-time warning gate for invalid `PBP_THREADS` values: the resolver
+/// can run on any thread, and repeating the warning per kernel call
+/// would flood stderr.
+static ENV_WARNING: std::sync::Once = std::sync::Once::new();
+
 fn env_threads() -> usize {
-    std::env::var("PBP_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("PBP_THREADS") {
+        Err(_) => fallback(),
+        Ok(raw) => parse_threads(&raw).unwrap_or_else(|| {
+            ENV_WARNING.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid PBP_THREADS={raw:?} \
+                     (expected an integer >= 1); using available parallelism"
+                );
+            });
+            fallback()
+        }),
+    }
 }
 
 /// The number of threads kernels may use (including the calling thread's
@@ -204,6 +225,18 @@ mod tests {
         });
         set_max_threads(1);
         assert!(result.is_err(), "panic must surface on the caller");
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads("  16 \n"), Some(16));
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads("0"), None, "zero would disable kernels");
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("eight"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("4.5"), None);
     }
 
     #[test]

@@ -19,6 +19,9 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test --workspace -q
 
+echo "== snapshot kill-and-resume smoke (threaded engine, bit-identical resume) =="
+cargo run --release -q -p pbp-bench --bin snapshot_smoke
+
 echo "== kernel bench smoke (compile + one tiny timed pass) =="
 cargo bench -p pbp-bench --bench layer_kernels -- --test
 PBP_THREADS=2 PBP_BENCH_SMOKE=1 cargo run --release -q -p pbp-bench --bin bench_kernels >/dev/null

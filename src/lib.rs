@@ -24,6 +24,7 @@
 //! | [`optim`] | `pbp-optim` | SGDM, SC, LWP, SpecTrain, hyperparameter scaling |
 //! | [`pipeline`] | `pbp-pipeline` | PB emulator, fill-and-drain, threaded runtime |
 //! | [`quadratic`] | `pbp-quadratic` | convex-quadratic delay analysis (Figures 4-7) |
+//! | [`snapshot`] | `pbp-snapshot` | fault-tolerant training snapshots, bit-identical resume |
 //!
 //! # Quickstart
 //!
@@ -57,4 +58,5 @@ pub use pbp_nn as nn;
 pub use pbp_optim as optim;
 pub use pbp_pipeline as pipeline;
 pub use pbp_quadratic as quadratic;
+pub use pbp_snapshot as snapshot;
 pub use pbp_tensor as tensor;
