@@ -1,12 +1,23 @@
-//! Kernel benchmark: naive reference vs tiled vs pool-parallel GEMM and
-//! conv paths, with bit-identity verification on every timed configuration.
+//! Kernel benchmark: naive reference vs scalar-tiled vs SIMD vs
+//! pool-parallel GEMM and conv paths, plus batched-evaluation timing, with
+//! bit-identity verification on every timed configuration.
+//!
+//! The `tiled` lane pins the scalar register tile (`SimdTier::Scalar`);
+//! the `simd` lane runs whatever tier `PBP_SIMD` + CPU detection resolve
+//! to, so `PBP_SIMD=0 bench_kernels` degenerates both lanes to scalar and
+//! still passes every assertion — that is the escape-hatch smoke
+//! `scripts/check.sh` runs. All lanes are bit-identical by the fma
+//! accumulation contract, so every speedup is free of numeric drift.
 //!
 //! Prints comparison tables and writes `results/BENCH_kernels.json` with
 //! per-size timings, GFLOP/s, and speedups over the naive reference. The
 //! acceptance bar for the kernels layer is the `gemm` entry at 256: the
 //! tiled-parallel path must beat the naive reference by ≥ 5×.
 
-use pbp_bench::Table;
+use pbp_bench::{cifar_data, Table};
+use pbp_nn::models::{mlp, simple_cnn};
+use pbp_pipeline::evaluate;
+use pbp_tensor::ops::simd::{self, SimdTier};
 use pbp_tensor::ops::{conv2d, conv2d_backward, gemm_nn, reference, Conv2dSpec};
 use pbp_tensor::{pool, Tensor};
 use rand::rngs::StdRng;
@@ -42,6 +53,7 @@ struct GemmRow {
     n: usize,
     naive_s: f64,
     tiled_s: f64,
+    simd_s: f64,
     parallel_s: f64,
 }
 
@@ -54,7 +66,7 @@ struct ConvRow {
     gemm_bwd_s: f64,
 }
 
-fn bench_gemm(n: usize) -> GemmRow {
+fn bench_gemm(n: usize, simd_tier: SimdTier) -> GemmRow {
     let mut rng = StdRng::seed_from_u64(n as u64);
     let a = pbp_tensor::normal(&[n, n], 0.0, 1.0, &mut rng);
     let b = pbp_tensor::normal(&[n, n], 0.0, 1.0, &mut rng);
@@ -68,11 +80,20 @@ fn bench_gemm(n: usize) -> GemmRow {
     });
     assert_bits_eq(&out, &want, "naive");
 
+    // Tiled lane: scalar register tile, serial — the pre-SIMD baseline.
     pool::set_max_threads(1);
+    simd::set_tier(SimdTier::Scalar);
     let tiled_s = time_it(|| {
         gemm_nn(black_box(asl), black_box(bsl), &mut out, n, n, n, false);
     });
     assert_bits_eq(&out, &want, "tiled");
+
+    // SIMD lane: same tiling, register tiles on the resolved tier.
+    simd::set_tier(simd_tier);
+    let simd_s = time_it(|| {
+        gemm_nn(black_box(asl), black_box(bsl), &mut out, n, n, n, false);
+    });
+    assert_bits_eq(&out, &want, "simd");
 
     pool::set_max_threads(8);
     let parallel_s = time_it(|| {
@@ -85,8 +106,58 @@ fn bench_gemm(n: usize) -> GemmRow {
         n,
         naive_s,
         tiled_s,
+        simd_s,
         parallel_s,
     }
+}
+
+struct EvalRow {
+    model: &'static str,
+    batch: usize,
+    eval_s: f64,
+    loss: f64,
+    acc: f64,
+}
+
+/// Times `evaluate` over `data` at several batch sizes and asserts the
+/// metrics are exactly equal at every size — the batched path is a
+/// throughput knob, not a numerics knob. Dense networks collapse each
+/// batch into one GEMM (big wins); conv networks lower per sample, so
+/// batching there mostly saves loop and loss-call overhead.
+fn bench_eval(
+    model: &'static str,
+    net: &mut pbp_nn::Network,
+    data: &pbp_data::Dataset,
+    batches: &[usize],
+) -> Vec<EvalRow> {
+    let rows: Vec<EvalRow> = batches
+        .iter()
+        .map(|&batch| {
+            let (loss, acc) = evaluate(net, data, batch);
+            let eval_s = time_it(|| {
+                black_box(evaluate(net, data, batch));
+            });
+            EvalRow {
+                model,
+                batch,
+                eval_s,
+                loss,
+                acc,
+            }
+        })
+        .collect();
+    for r in &rows[1..] {
+        assert!(
+            r.loss.to_bits() == rows[0].loss.to_bits() && r.acc == rows[0].acc,
+            "{model} eval metrics drifted at batch {}: ({}, {}) vs ({}, {})",
+            r.batch,
+            r.loss,
+            r.acc,
+            rows[0].loss,
+            rows[0].acc
+        );
+    }
+    rows
 }
 
 fn bench_conv(ch: usize, size: usize) -> ConvRow {
@@ -147,23 +218,47 @@ fn gflops(n: usize, secs: f64) -> f64 {
     2.0 * (n as f64).powi(3) / secs / 1e9
 }
 
+/// The same dataset with every sample flattened to one feature vector, so
+/// an MLP can evaluate the identical samples and labels.
+fn flatten_dataset(data: &pbp_data::Dataset) -> pbp_data::Dataset {
+    let mut samples = Vec::with_capacity(data.len());
+    let mut labels = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let (x, label) = data.sample(i);
+        samples.push(x.reshape(&[x.len()]).expect("same volume"));
+        labels.push(label);
+    }
+    pbp_data::Dataset::new(samples, labels, data.num_classes())
+}
+
 fn main() {
     // `PBP_BENCH_SMOKE=1` is the scripts/check.sh gate: a quick pass over the
     // smaller shapes that still runs every bit-identity assertion, but leaves
     // the committed results/BENCH_kernels.json untouched.
     let smoke = std::env::var_os("PBP_BENCH_SMOKE").is_some();
-    println!("== Kernel benchmark: naive vs tiled vs pool-parallel ==");
-    println!("(every timed path verified bit-identical to the reference)\n");
+    // Resolve the SIMD lane's tier from PBP_SIMD + CPU detection *before*
+    // any set_tier call, so the escape hatch governs this process's lanes.
+    let simd_tier = simd::active_tier();
+    println!("== Kernel benchmark: naive vs tiled vs simd vs pool-parallel ==");
+    println!(
+        "(every timed path verified bit-identical to the reference; simd tier: {})\n",
+        simd_tier.name()
+    );
 
     let gemm_sizes: &[usize] = if smoke { &[64, 128] } else { &[64, 128, 256] };
-    let gemm_rows: Vec<GemmRow> = gemm_sizes.iter().map(|&n| bench_gemm(n)).collect();
+    let gemm_rows: Vec<GemmRow> = gemm_sizes
+        .iter()
+        .map(|&n| bench_gemm(n, simd_tier))
+        .collect();
     let mut table = Table::new([
         "gemm n",
         "naive ms",
         "tiled ms",
+        "simd ms",
         "par ms",
-        "tiled gflop/s",
+        "simd gflop/s",
         "tiled x",
+        "simd x",
         "par x",
     ]);
     for r in &gemm_rows {
@@ -171,9 +266,11 @@ fn main() {
             format!("{0}x{0}x{0}", r.n),
             format!("{:.3}", r.naive_s * 1e3),
             format!("{:.3}", r.tiled_s * 1e3),
+            format!("{:.3}", r.simd_s * 1e3),
             format!("{:.3}", r.parallel_s * 1e3),
-            format!("{:.2}", gflops(r.n, r.tiled_s)),
+            format!("{:.2}", gflops(r.n, r.simd_s)),
             format!("{:.1}", r.naive_s / r.tiled_s),
+            format!("{:.1}", r.naive_s / r.simd_s),
             format!("{:.1}", r.naive_s / r.parallel_s),
         ]);
     }
@@ -212,26 +309,71 @@ fn main() {
     }
     table.print();
 
+    let eval_batches: &[usize] = if smoke { &[1, 16] } else { &[1, 16, 64] };
+    let val_n = if smoke { 48 } else { 256 };
+    let (_, val) = cifar_data(12, 1, val_n);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut cnn = simple_cnn(3, 8, 3, val.num_classes(), &mut rng);
+    let mut dense = mlp(&[3 * 12 * 12, 96, 96, val.num_classes()], &mut rng);
+    let flat_val = flatten_dataset(&val);
+    let mut eval_rows = bench_eval("cnn", &mut cnn, &val, eval_batches);
+    eval_rows.extend(bench_eval("mlp", &mut dense, &flat_val, eval_batches));
+    let mut table = Table::new(["eval model", "batch", "eval ms", "x vs batch 1", "metrics"]);
+    for r in &eval_rows {
+        let base = eval_rows
+            .iter()
+            .find(|b| b.model == r.model && b.batch == eval_batches[0])
+            .expect("batch-1 baseline present");
+        table.row([
+            r.model.to_string(),
+            format!("{}", r.batch),
+            format!("{:.3}", r.eval_s * 1e3),
+            format!("{:.2}", base.eval_s / r.eval_s),
+            "bit-identical".to_string(),
+        ]);
+    }
+    table.print();
+
     if smoke {
         println!("\nsmoke mode: results/BENCH_kernels.json left untouched");
         return;
     }
 
-    let mut json = String::from("{\n  \"bench\": \"kernels\",\n  \"gemm\": [\n");
+    let mut json = String::from("{\n  \"bench\": \"kernels\",\n");
+    let _ = writeln!(json, "  \"simd_tier\": \"{}\",", simd_tier.name());
+    json.push_str("  \"gemm\": [\n");
     for (i, r) in gemm_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"n\": {}, \"naive_ms\": {:.4}, \"tiled_ms\": {:.4}, \"parallel_ms\": {:.4}, \
-             \"tiled_gflops\": {:.3}, \"tiled_speedup\": {:.2}, \"parallel_speedup\": {:.2}, \
+            "    {{\"n\": {}, \"naive_ms\": {:.4}, \"tiled_ms\": {:.4}, \"simd_ms\": {:.4}, \
+             \"parallel_ms\": {:.4}, \"tiled_gflops\": {:.3}, \"simd_gflops\": {:.3}, \
+             \"tiled_speedup\": {:.2}, \"simd_speedup\": {:.2}, \"parallel_speedup\": {:.2}, \
              \"bit_identical\": true}}{}",
             r.n,
             r.naive_s * 1e3,
             r.tiled_s * 1e3,
+            r.simd_s * 1e3,
             r.parallel_s * 1e3,
             gflops(r.n, r.tiled_s),
+            gflops(r.n, r.simd_s),
             r.naive_s / r.tiled_s,
+            r.naive_s / r.simd_s,
             r.naive_s / r.parallel_s,
             if i + 1 < gemm_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"eval\": [\n");
+    for (i, r) in eval_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"batch\": {}, \"eval_ms\": {:.4}, \"loss\": {:.6}, \
+             \"acc\": {:.4}, \"metrics_bit_identical\": true}}{}",
+            r.model,
+            r.batch,
+            r.eval_s * 1e3,
+            r.loss,
+            r.acc,
+            if i + 1 < eval_rows.len() { "," } else { "" }
         );
     }
     json.push_str("  ],\n  \"conv\": [\n");

@@ -21,6 +21,13 @@ pub struct Conv2d {
     stash: VecDeque<ConvStash>,
     /// Retired im2col buffers recycled by later forwards.
     spare: Vec<Vec<f32>>,
+    /// Input spatial size seen by the most recent forward pass; lets
+    /// [`Layer::flops_per_sample`] report the spatially-resolved cost.
+    last_hw: Option<(usize, usize)>,
+    /// In eval mode no backward will consume the stash, so forward recycles
+    /// its im2col buffers straight back to `spare` — batched evaluation
+    /// then reuses warm buffers instead of allocating cold ones per sample.
+    training: bool,
 }
 
 impl Conv2d {
@@ -47,6 +54,8 @@ impl Conv2d {
             grad_bias: bias.then(|| Tensor::zeros(&[out_channels])),
             stash: VecDeque::new(),
             spare: Vec::new(),
+            last_hw: None,
+            training: true,
             spec,
         }
     }
@@ -72,6 +81,7 @@ impl Layer for Conv2d {
     fn forward(&mut self, stack: &mut LaneStack) {
         let x = stack.pop().expect("conv2d: empty stack");
         let (h, w) = (x.shape()[2], x.shape()[3]);
+        self.last_hw = Some((h, w));
         let (mut y, cols) =
             conv2d_reusing(&x, &self.weight, &self.spec, &mut self.spare).expect("conv2d shapes");
         if let Some(b) = &self.bias {
@@ -87,7 +97,11 @@ impl Layer for Conv2d {
                 }
             }
         }
-        self.stash.push_back((cols, (h, w)));
+        if self.training {
+            self.stash.push_back((cols, (h, w)));
+        } else {
+            self.spare.extend(cols);
+        }
         stack.push(y);
     }
 
@@ -151,8 +165,24 @@ impl Layer for Conv2d {
         }
     }
 
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
     fn clear_stash(&mut self) {
         self.stash.clear();
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        match self.last_hw {
+            // Each weight is reused across every output pixel.
+            Some((h, w)) => {
+                let pixels = (self.spec.out_size(h) * self.spec.out_size(w)) as u64;
+                2 * self.weight.len() as u64 * pixels
+            }
+            // No forward seen yet: fall back to the parameter-based default.
+            None => 2 * self.param_count() as u64,
+        }
     }
 }
 

@@ -29,6 +29,14 @@ pub struct WsConv2d {
     stash: VecDeque<WsStash>,
     /// Retired im2col buffers recycled by later forwards.
     spare: Vec<Vec<f32>>,
+    /// Input spatial size seen by the most recent forward pass; lets
+    /// [`Layer::flops_per_sample`] report the spatially-resolved cost.
+    last_hw: Option<(usize, usize)>,
+    /// In eval mode no backward will consume the stash, so forward recycles
+    /// its im2col buffers straight back to `spare` (see [`Conv2d`]).
+    ///
+    /// [`Conv2d`]: crate::layers::Conv2d
+    training: bool,
 }
 
 impl WsConv2d {
@@ -56,6 +64,8 @@ impl WsConv2d {
             spec,
             stash: VecDeque::new(),
             spare: Vec::new(),
+            last_hw: None,
+            training: true,
         }
     }
 
@@ -106,10 +116,15 @@ impl Layer for WsConv2d {
     fn forward(&mut self, stack: &mut LaneStack) {
         let x = stack.pop().expect("ws_conv: empty stack");
         let (h, w) = (x.shape()[2], x.shape()[3]);
+        self.last_hw = Some((h, w));
         let (what, _) = self.standardized();
         let (y, cols) =
             conv2d_reusing(&x, &what, &self.spec, &mut self.spare).expect("ws_conv shapes");
-        self.stash.push_back((cols, (h, w), what));
+        if self.training {
+            self.stash.push_back((cols, (h, w), what));
+        } else {
+            self.spare.extend(cols);
+        }
         stack.push(y);
     }
 
@@ -170,8 +185,24 @@ impl Layer for WsConv2d {
         self.grad_weight.fill(0.0);
     }
 
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
     fn clear_stash(&mut self) {
         self.stash.clear();
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        match self.last_hw {
+            // Each standardized weight is reused across every output pixel.
+            Some((h, w)) => {
+                let pixels = (self.spec.out_size(h) * self.spec.out_size(w)) as u64;
+                2 * self.weight.len() as u64 * pixels
+            }
+            // No forward seen yet: fall back to the parameter-based default.
+            None => 2 * self.param_count() as u64,
+        }
     }
 }
 

@@ -44,19 +44,50 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     ((loss / n as f64) as f32, grad)
 }
 
-/// Fraction of rows whose argmax matches the label.
+/// Per-sample softmax cross-entropy losses for logits `[N, C]`, in `f64`.
+///
+/// Element `i` is exactly the per-row term `softmax_cross_entropy` sums
+/// before taking the batch mean (`ln Σ exp(x − max) − (x[label] − max)`,
+/// computed per row in `f64`). Because each value depends only on its own
+/// row, the vector is identical however the same samples are grouped into
+/// batches — which is what lets [`accuracy`]-style dataset metrics be
+/// accumulated batch-size-invariantly (see `pbp_pipeline`'s `evaluate`).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `labels.len() != N`, or a label is
+/// out of range.
+pub fn softmax_cross_entropy_losses(logits: &Tensor, labels: &[usize]) -> Vec<f64> {
+    assert_eq!(logits.rank(), 2, "logits must be [N, C]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "labels length must match batch size");
+    let ls = logits.as_slice();
+    let mut losses = Vec::with_capacity(n);
+    for ni in 0..n {
+        let row = &ls[ni * c..(ni + 1) * c];
+        let label = labels[ni];
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &v in row {
+            denom += ((v - max) as f64).exp();
+        }
+        losses.push(denom.ln() - (row[label] - max) as f64);
+    }
+    losses
+}
+
+/// Number of rows whose argmax matches the label (first maximum wins on
+/// ties, matching [`accuracy`]).
 ///
 /// # Panics
 ///
 /// Panics if `logits` is not rank 2 or `labels.len()` differs from the
 /// batch size.
-pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+pub fn correct_count(logits: &Tensor, labels: &[usize]) -> usize {
     assert_eq!(logits.rank(), 2, "logits must be [N, C]");
     let (n, c) = (logits.shape()[0], logits.shape()[1]);
     assert_eq!(labels.len(), n);
-    if n == 0 {
-        return 0.0;
-    }
     let ls = logits.as_slice();
     let mut correct = 0usize;
     for ni in 0..n {
@@ -70,6 +101,21 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
         if best == labels[ni] {
             correct += 1;
         }
+    }
+    correct
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or `labels.len()` differs from the
+/// batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let correct = correct_count(logits, labels);
+    let n = labels.len();
+    if n == 0 {
+        return 0.0;
     }
     correct as f64 / n as f64
 }
@@ -126,6 +172,35 @@ mod tests {
         let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
         assert!(loss.is_finite());
         assert!(grad.all_finite());
+    }
+
+    #[test]
+    fn per_sample_losses_match_batch_and_singleton_calls() {
+        let logits =
+            Tensor::from_vec(vec![0.5, -1.0, 2.0, 3.0, 0.0, -2.0, 0.1, 0.2, 0.3], &[3, 3]).unwrap();
+        let labels = [2usize, 0, 1];
+        let losses = softmax_cross_entropy_losses(&logits, &labels);
+        // The mean of the per-sample values reproduces the batch loss bit
+        // for bit (same f64 accumulation order, same final rounding)...
+        let (batch_loss, _) = softmax_cross_entropy(&logits, &labels);
+        let mean = (losses.iter().sum::<f64>() / 3.0) as f32;
+        assert_eq!(mean.to_bits(), batch_loss.to_bits());
+        // ...and each value matches its own one-row batch bit for bit.
+        for (i, &l) in losses.iter().enumerate() {
+            let row =
+                Tensor::from_vec(logits.as_slice()[i * 3..(i + 1) * 3].to_vec(), &[1, 3]).unwrap();
+            let (solo, _) = softmax_cross_entropy(&row, &[labels[i]]);
+            assert_eq!((l as f32).to_bits(), solo.to_bits());
+        }
+    }
+
+    #[test]
+    fn correct_count_matches_accuracy() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 1.0, 0.0, 0.0, 3.0], &[3, 3]).unwrap();
+        assert_eq!(correct_count(&logits, &[1, 0, 2]), 3);
+        assert_eq!(correct_count(&logits, &[0, 0, 2]), 2);
+        assert_eq!(correct_count(&logits, &[0, 1, 0]), 0);
     }
 
     #[test]

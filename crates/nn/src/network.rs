@@ -112,6 +112,14 @@ impl Stage {
         self.layers.iter().map(|l| l.param_count()).sum()
     }
 
+    /// Estimated forward-pass FLOPs for one sample (sum of the stage's
+    /// layers — see [`Layer::flops_per_sample`]). The threaded engine uses
+    /// the *relative* magnitudes to decide how many cores its stage
+    /// workers deserve versus the kernel pool.
+    pub fn flops_per_sample(&self) -> u64 {
+        self.layers.iter().map(|l| l.flops_per_sample()).sum()
+    }
+
     /// Borrows the stage's layers in order (for per-layer state capture).
     pub fn layers(&self) -> &[Box<dyn Layer>] {
         &self.layers
@@ -152,6 +160,10 @@ impl Stage {
 ///   [`Network::stage_mut`], interleaving samples and weight versions.
 pub struct Network {
     stages: Vec<Stage>,
+    /// Mirrors the last [`Network::set_training`] call (networks start in
+    /// training mode). Layers keep their own behaviour switches; this flag
+    /// exists so callers like `evaluate` can save and restore the mode.
+    training: bool,
 }
 
 impl std::fmt::Debug for Network {
@@ -166,9 +178,12 @@ impl std::fmt::Debug for Network {
 }
 
 impl Network {
-    /// Creates a network from stages.
+    /// Creates a network from stages, in training mode.
     pub fn new(stages: Vec<Stage>) -> Self {
-        Network { stages }
+        Network {
+            stages,
+            training: true,
+        }
     }
 
     /// Consumes the network, yielding its stages — used by the threaded
@@ -250,9 +265,16 @@ impl Network {
 
     /// Switches training/eval behaviour.
     pub fn set_training(&mut self, training: bool) {
+        self.training = training;
         for stage in &mut self.stages {
             stage.set_training(training);
         }
+    }
+
+    /// Whether the network is in training mode (the default) — i.e. the
+    /// value of the last [`Network::set_training`] call.
+    pub fn is_training(&self) -> bool {
+        self.training
     }
 
     /// Drops all stashed activations in every stage.

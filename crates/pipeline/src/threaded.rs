@@ -29,7 +29,7 @@ use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::{Network, Stage};
 use pbp_optim::{LrSchedule, Mitigation, StageOptimizer};
-use pbp_tensor::Tensor;
+use pbp_tensor::{pool, Tensor};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -258,6 +258,14 @@ impl ThreadedPipeline {
         assert!(!samples.is_empty(), "need at least one sample");
         let stages = net.into_stages();
         assert_eq!(stages.len(), slots.len(), "one slot per layer stage");
+        // Core-aware co-scheduling: the stage workers below are real OS
+        // threads competing with the kernel pool for the same cores. Park
+        // one pool core per *heavy* stage for the duration of the run so
+        // the two layers of parallelism divide the machine instead of
+        // oversubscribing it; the reservation is dropped right after the
+        // workers join. Kernels are bit-identical at any thread count, so
+        // this shifts wall-clock only, never results.
+        let cores = reserve_stage_cores(&stages);
         let num_layer_stages = stages.len();
         let cap = config.channel_capacity.max(1);
 
@@ -333,6 +341,7 @@ impl ThreadedPipeline {
             }
         });
 
+        drop(cores);
         let elapsed = start.elapsed();
         loss_pairs.sort_by_key(|(id, _)| *id);
         let losses: Vec<f32> = loss_pairs.into_iter().map(|(_, l)| l).collect();
@@ -349,6 +358,34 @@ impl ThreadedPipeline {
         };
         (net, losses, report, counter_slots)
     }
+}
+
+/// Counts the stages heavy enough to deserve a dedicated core: those
+/// carrying at least half their fair share (`total / (2·S)`) of the
+/// network's per-sample FLOPs. Floored at 1 — a pipeline always has at
+/// least one working stage.
+fn heavy_stage_count(flops: &[u64]) -> usize {
+    let total: u64 = flops.iter().sum();
+    if total == 0 {
+        return 1;
+    }
+    let threshold = (total / (2 * flops.len() as u64)).max(1);
+    flops.iter().filter(|&&f| f >= threshold).count().max(1)
+}
+
+/// Parks one kernel-pool core per heavy stage (see [`heavy_stage_count`])
+/// while a streaming run is in flight, capped at the machine's planning
+/// core count. Forward + backward costs roughly 3× the forward FLOPs, a
+/// uniform factor that cancels in the share comparison but keeps the
+/// estimate honest. Returns `None` on single-core machines, where there
+/// is nothing to divide.
+fn reserve_stage_cores(stages: &[Stage]) -> Option<pool::CoreReservation> {
+    let cores = pool::configured_threads();
+    if cores <= 1 {
+        return None;
+    }
+    let flops: Vec<u64> = stages.iter().map(|s| s.flops_per_sample() * 3).collect();
+    Some(pool::reserve(heavy_stage_count(&flops).min(cores)))
 }
 
 impl TrainEngine for ThreadedPipeline {
@@ -753,6 +790,18 @@ mod tests {
             pb.samples_per_sec,
             fd.samples_per_sec
         );
+    }
+
+    #[test]
+    fn heavy_stage_counting_tracks_flop_shares() {
+        // Uniform shares: every stage clears half the fair share.
+        assert_eq!(heavy_stage_count(&[10, 10, 10, 10]), 4);
+        // One dominant stage starves the rest below threshold.
+        assert_eq!(heavy_stage_count(&[1000, 1, 1, 1]), 1);
+        // Parameterless pipeline (e.g. all-activation stages): floor at 1.
+        assert_eq!(heavy_stage_count(&[0, 0]), 1);
+        // Mixed: total 211, fair half-share 26 → the two 100s qualify.
+        assert_eq!(heavy_stage_count(&[100, 100, 10, 1]), 2);
     }
 
     #[test]

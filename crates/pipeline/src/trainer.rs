@@ -4,20 +4,34 @@
 use crate::engine::TrainEngine;
 use crate::metrics::{EngineMetrics, MetricsRecorder};
 use pbp_data::Dataset;
-use pbp_nn::loss::{accuracy, softmax_cross_entropy};
+use pbp_nn::loss::{correct_count, softmax_cross_entropy, softmax_cross_entropy_losses};
 use pbp_nn::Network;
 use pbp_optim::{Hyperparams, LrSchedule, SgdmState};
 use pbp_tensor::Tensor;
 use std::time::Instant;
 
 /// Evaluates classification loss and accuracy over a dataset, in eval mode
-/// (dropout off, batch-norm running statistics).
+/// (dropout off, batch-norm running statistics). The mode in force before
+/// the call is restored afterwards.
+///
+/// # Batch-size invariance
+///
+/// `batch` only sets how many samples share one forward pass — it cannot
+/// change the reported metrics. The forward kernels are bit-identical
+/// however a product is dispatched (see `pbp_tensor::ops::gemm`), and eval
+/// mode makes every layer act row-wise, so each sample's logits are the
+/// same bits at any batch size; metrics are then accumulated per sample
+/// (`f64` loss terms summed in dataset order, integer correct counts)
+/// rather than per batch. Large batches are purely a throughput win:
+/// bigger GEMMs tile and parallelize better. `batched_eval.rs` enforces
+/// the invariance.
 pub fn evaluate(net: &mut Network, data: &Dataset, batch: usize) -> (f64, f64) {
     assert!(batch > 0, "batch must be positive");
+    let was_training = net.is_training();
     net.set_training(false);
     net.clear_stash();
     let mut total_loss = 0.0f64;
-    let mut total_correct = 0.0f64;
+    let mut total_correct = 0usize;
     let mut seen = 0usize;
     let mut i = 0usize;
     while i < data.len() {
@@ -25,18 +39,19 @@ pub fn evaluate(net: &mut Network, data: &Dataset, batch: usize) -> (f64, f64) {
         let indices: Vec<usize> = (i..hi).collect();
         let (x, labels) = data.batch(&indices);
         let logits = net.forward(&x);
-        let (loss, _) = softmax_cross_entropy(&logits, &labels);
-        total_loss += loss as f64 * labels.len() as f64;
-        total_correct += accuracy(&logits, &labels) * labels.len() as f64;
+        for loss in softmax_cross_entropy_losses(&logits, &labels) {
+            total_loss += loss;
+        }
+        total_correct += correct_count(&logits, &labels);
         seen += labels.len();
         net.clear_stash();
         i = hi;
     }
-    net.set_training(true);
+    net.set_training(was_training);
     if seen == 0 {
         (0.0, 0.0)
     } else {
-        (total_loss / seen as f64, total_correct / seen as f64)
+        (total_loss / seen as f64, total_correct as f64 / seen as f64)
     }
 }
 

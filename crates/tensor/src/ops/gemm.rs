@@ -17,33 +17,45 @@
 //!
 //! # Bit-exact accumulation contract
 //!
-//! Every path — naive reference, simple, tiled, parallel at any thread
-//! count — computes each output element as a single left-to-right chain of
-//! `f32` multiply-adds in increasing `k` order, starting from the existing
-//! value of `C` (accumulate mode) or from `0.0` (overwrite mode). Blocking
-//! and packing only reorder *memory traffic*, never the per-element
-//! floating-point association, and partitions split the *output* (never the
-//! `k` reduction), so results are bit-identical across every dispatch path
-//! and thread count. `tests/proptest_kernels.rs` enforces this against the
+//! Every path — naive reference, simple, tiled, SIMD, parallel at any
+//! thread count — computes each output element as a single left-to-right
+//! chain of *fused* multiply-adds (`f32::mul_add`) in increasing `k` order,
+//! starting from the existing value of `C` (accumulate mode) or from `0.0`
+//! (overwrite mode). An IEEE 754 fma rounds exactly once, so the scalar
+//! `mul_add` chain and the `vfmadd` chains in the [`super::simd`]
+//! micro-kernels compute the same function bit for bit — there is no
+//! contracted-vs-uncontracted ambiguity for the compiler to exploit.
+//! Blocking and packing only reorder *memory traffic*, never the
+//! per-element floating-point association; partitions split the *output*
+//! (never the `k` reduction); and SIMD tier selection (see `PBP_SIMD` in
+//! [`super::simd`]) picks among bit-identical implementations. Results are
+//! therefore bit-identical across every dispatch path, SIMD tier, and
+//! thread count. `tests/proptest_kernels.rs` enforces this against the
 //! retained naive reference in [`super::reference`].
 
+use super::simd;
 use crate::pool;
 use std::cell::RefCell;
 
 /// Rows of `C` computed per register tile. With 256-bit lanes, 4 rows ×
 /// `NR` = 8 vector accumulators — enough independent FMA chains to cover
 /// FMA latency without spilling the register file (8 rows spill).
-const MR: usize = 4;
-/// Columns of `C` computed per register tile (one AVX-512 lane set; two
-/// AVX2 lanes — written so LLVM autovectorizes the `j` loop).
-const NR: usize = 16;
+pub(crate) const MR: usize = 4;
+/// Columns of `C` computed per register tile: one AVX-512 lane set, two
+/// AVX2 lanes. Full-width tiles dispatch to the explicit micro-kernels in
+/// [`super::simd`]; ragged edges run the scalar tile.
+pub(crate) const NR: usize = 16;
 /// `k`-panel depth: a packed `KC × NR` tile of `B` stays L1-resident.
 const KC: usize = 256;
 /// Below this many output-times-reduction elements (`m·k·n`) the simple
 /// loops win (no packing overhead).
 const TILED_MIN_ELEMS: usize = 16 * 1024;
-/// Below this, parallel dispatch is never worth the synchronization.
-const PAR_MIN_ELEMS: usize = 128 * 1024;
+/// Minimum `m·k·n` elements *per resolved thread* before parallel dispatch
+/// pays for its synchronization. Scaling the cutoff with the thread count
+/// keeps small products serial on wide machines (BENCH_kernels showed the
+/// pool losing to single-threaded tiled up to n=128 GEMM at 8 threads)
+/// while still splitting mid-size work on narrow ones.
+const PAR_MIN_ELEMS_PER_THREAD: usize = 512 * 1024;
 /// Rows (or columns) of `C` per parallel chunk. Shape-derived only, so the
 /// partition — and therefore the result — is independent of thread count.
 const PAR_CHUNK: usize = 32;
@@ -154,7 +166,8 @@ fn gemm_dispatch<const AT: bool, const BT: bool>(
             tiled_region::<AT, BT>(a, b, cp, m, k, n, rows, cols, acc);
         }
     };
-    if elems >= PAR_MIN_ELEMS && chunks > 1 && pool::max_threads() > 1 {
+    let threads = pool::max_threads();
+    if threads > 1 && chunks > 1 && elems >= PAR_MIN_ELEMS_PER_THREAD.saturating_mul(threads) {
         pool::parallel_for(chunks, &run_chunk);
     } else {
         for ci in 0..chunks {
@@ -164,11 +177,11 @@ fn gemm_dispatch<const AT: bool, const BT: bool>(
 }
 
 /// Short-reduction `Aᵀ·B` kernel over the output region `rows × cols`:
-/// each `C` row is swept `k` times by vectorized axpys while it (and all
-/// `k` rows of `B`) stay L1-resident. Per element the multiply-add chain
-/// still runs in increasing `k` order from `+0.0` (overwrite) or the
-/// existing value (accumulate), so results match the tiled path bit for
-/// bit.
+/// each `C` row is swept `k` times by vectorized fma axpys while it (and
+/// all `k` rows of `B`) stay L1-resident. Per element the fused
+/// multiply-add chain still runs in increasing `k` order from `+0.0`
+/// (overwrite) or the existing value (accumulate), so results match the
+/// tiled path bit for bit.
 #[allow(clippy::too_many_arguments)]
 fn tn_axpy_region(
     a: &[f32],
@@ -194,7 +207,7 @@ fn tn_axpy_region(
             // replacing a separate zero-fill pass over `C`.
             let av = a[i];
             for (cj, &bv) in crow.iter_mut().zip(&b[col0..col0 + width]) {
-                *cj = 0.0 + av * bv;
+                *cj = av.mul_add(bv, 0.0);
             }
             kk = 1;
         }
@@ -202,7 +215,7 @@ fn tn_axpy_region(
             let av = a[kk * m + i];
             let brow = &b[kk * n + col0..][..width];
             for (cj, &bv) in crow.iter_mut().zip(brow) {
-                *cj += av * bv;
+                *cj = av.mul_add(bv, *cj);
             }
             kk += 1;
         }
@@ -313,13 +326,54 @@ fn pack_b<const BT: bool>(
 
 /// `MRL × NR` register tile: loads the current `C` values (or starts from
 /// zeros when `load_c` is false — the first panel in overwrite mode),
-/// extends each element's multiply-add chain across the `kc` panel in
-/// increasing `k` order, and stores the tile back. Loading-then-storing
+/// extends each element's fused multiply-add chain across the `kc` panel
+/// in increasing `k` order, and stores the tile back. Loading-then-storing
 /// (rather than keeping per-panel partial sums) is what preserves the
 /// bit-exact association across `KC` blocking.
+///
+/// Full-width tiles (`nr == NR`) dispatch to the explicit SIMD
+/// micro-kernels in [`super::simd`] when a tier is active; those compute
+/// the identical fma chains with `vfmadd`, so which path runs is
+/// unobservable in the output bits. Ragged right-edge tiles always run the
+/// scalar loop below.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn micro<const AT: bool, const MRL: usize>(
+    a: &[f32],
+    lda: usize,
+    i0: usize,
+    p0: usize,
+    kc: usize,
+    bp: &[f32],
+    bstride: usize,
+    c: CPtr,
+    ldc: usize,
+    j0: usize,
+    nr: usize,
+    load_c: bool,
+) {
+    if nr == NR {
+        // SAFETY: the caller's region contract covers rows `i0..i0 + MRL`
+        // and columns `j0..j0 + NR` of `C`; `bp` holds `kc` panel rows of
+        // `NR` floats at stride `bstride`, and `A` indices stay in bounds
+        // exactly as in the scalar loop below.
+        let dispatched = unsafe {
+            simd::tile_full_width::<AT, MRL>(a, lda, i0, p0, kc, bp, bstride, c.0, ldc, j0, load_c)
+        };
+        if dispatched {
+            return;
+        }
+    }
+    micro_scalar::<AT, MRL>(a, lda, i0, p0, kc, bp, bstride, c, ldc, j0, nr, load_c);
+}
+
+/// The scalar register tile behind [`micro`]. Kept out-of-line (`micro`
+/// itself is inlined into a very large region loop, where LLVM's SLP
+/// vectorizer gives up on the 16 independent fma chains); as a small
+/// standalone function the `j` loop vectorizes to packed `vfmadd`.
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn micro_scalar<const AT: bool, const MRL: usize>(
     a: &[f32],
     lda: usize,
     i0: usize,
@@ -354,7 +408,7 @@ fn micro<const AT: bool, const MRL: usize>(
             let arow = &a[(p0 + kk) * lda + i0..][..MRL];
             for (acc_row, &av) in acc.iter_mut().zip(arow) {
                 for j in 0..NR {
-                    acc_row[j] += av * brow[j];
+                    acc_row[j] = av.mul_add(brow[j], acc_row[j]);
                 }
             }
             boff += bstride;
@@ -369,7 +423,7 @@ fn micro<const AT: bool, const MRL: usize>(
             for (acc_row, arow) in acc.iter_mut().zip(&arows) {
                 let av = arow[kk];
                 for j in 0..NR {
-                    acc_row[j] += av * brow[j];
+                    acc_row[j] = av.mul_add(brow[j], acc_row[j]);
                 }
             }
             boff += bstride;
@@ -409,10 +463,10 @@ fn simple<const AT: bool, const BT: bool>(
                 let (mut s0, mut s1, mut s2, mut s3) =
                     (crow[j], crow[j + 1], crow[j + 2], crow[j + 3]);
                 for (kk, &av) in arow.iter().enumerate() {
-                    s0 += av * b0[kk];
-                    s1 += av * b1[kk];
-                    s2 += av * b2[kk];
-                    s3 += av * b3[kk];
+                    s0 = av.mul_add(b0[kk], s0);
+                    s1 = av.mul_add(b1[kk], s1);
+                    s2 = av.mul_add(b2[kk], s2);
+                    s3 = av.mul_add(b3[kk], s3);
                 }
                 crow[j] = s0;
                 crow[j + 1] = s1;
@@ -424,7 +478,7 @@ fn simple<const AT: bool, const BT: bool>(
                 let brow = &b[j * k..][..k];
                 let mut s = crow[j];
                 for (kk, &av) in arow.iter().enumerate() {
-                    s += av * brow[kk];
+                    s = av.mul_add(brow[kk], s);
                 }
                 crow[j] = s;
                 j += 1;
@@ -440,7 +494,7 @@ fn simple<const AT: bool, const BT: bool>(
                 let av = arow[i];
                 let crow = &mut c[i * n..][..n];
                 for j in 0..n {
-                    crow[j] += av * brow[j];
+                    crow[j] = av.mul_add(brow[j], crow[j]);
                 }
             }
         }
@@ -452,7 +506,7 @@ fn simple<const AT: bool, const BT: bool>(
             for (kk, &av) in arow.iter().enumerate() {
                 let brow = &b[kk * n..][..n];
                 for j in 0..n {
-                    crow[j] += av * brow[j];
+                    crow[j] = av.mul_add(brow[j], crow[j]);
                 }
             }
         }
@@ -534,7 +588,9 @@ mod tests {
 
     #[test]
     fn parallel_is_bit_identical_to_serial() {
-        let (m, k, n) = (130, 70, 90);
+        // Large enough that 8 threads clear the per-thread cutoff
+        // (m·k·n ≥ 8 × PAR_MIN_ELEMS_PER_THREAD).
+        let (m, k, n) = (260, 100, 260);
         let a = rand_vec(m * k, 10);
         let b = rand_vec(k * n, 11);
         let mut serial = vec![0.0; m * n];

@@ -11,6 +11,7 @@ mod matmul;
 mod pool;
 mod reduce;
 pub mod reference;
+pub mod simd;
 
 pub use conv::{col2im, conv2d, conv2d_backward, conv2d_reusing, im2col, Conv2dSpec};
 pub use elementwise::{axpy, lerp_into, scale_add_into};

@@ -3,7 +3,9 @@
 //! These are the *definitional* implementations the optimized kernels in
 //! [`super::gemm`] and [`super::conv`] are differentially tested against
 //! (`tests/proptest_kernels.rs`): plain loops with one explicit `f32`
-//! multiply-add chain per output element, in increasing reduction order.
+//! *fused* multiply-add chain (`f32::mul_add`) per output element, in
+//! increasing reduction order. An IEEE 754 fma rounds once, so these
+//! chains are the same function the SIMD `vfmadd` micro-kernels compute.
 //! They are deliberately slow — scalar, no blocking, no packing — and serve
 //! as both the correctness oracle and the "naive" baseline for
 //! `results/BENCH_kernels.json`.
@@ -27,7 +29,7 @@ pub fn matmul_acc_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
         for j in 0..n {
             let mut s = c[i * n + j];
             for kk in 0..k {
-                s += a[i * k + kk] * b[kk * n + j];
+                s = a[i * k + kk].mul_add(b[kk * n + j], s);
             }
             c[i * n + j] = s;
         }
@@ -46,7 +48,7 @@ pub fn matmul_nt_acc_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize
         for j in 0..n {
             let mut s = c[i * n + j];
             for kk in 0..k {
-                s += a[i * k + kk] * b[j * k + kk];
+                s = a[i * k + kk].mul_add(b[j * k + kk], s);
             }
             c[i * n + j] = s;
         }
@@ -65,7 +67,7 @@ pub fn matmul_tn_acc_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize
         for j in 0..n {
             let mut s = c[i * n + j];
             for kk in 0..k {
-                s += a[kk * m + i] * b[kk * n + j];
+                s = a[kk * m + i].mul_add(b[kk * n + j], s);
             }
             c[i * n + j] = s;
         }
@@ -108,8 +110,8 @@ pub fn conv2d_ref(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor 
                                 if ii < 0 || jj < 0 || ii >= h as isize || jj >= w as isize {
                                     continue;
                                 }
-                                s += xs[((ni * c + ci) * h + ii as usize) * w + jj as usize]
-                                    * ws[((oc * c + ci) * k + ki) * k + kj];
+                                s = xs[((ni * c + ci) * h + ii as usize) * w + jj as usize]
+                                    .mul_add(ws[((oc * c + ci) * k + ki) * k + kj], s);
                             }
                         }
                     }
@@ -173,8 +175,10 @@ pub fn conv2d_backward_ref(
                                 if ii < 0 || jj < 0 || ii >= h as isize || jj >= w as isize {
                                     continue;
                                 }
-                                s += dys[((ni * oc_n + oc) * oh + oi) * ow + oj]
-                                    * xs[((ni * c + ci) * h + ii as usize) * w + jj as usize];
+                                s = dys[((ni * oc_n + oc) * oh + oi) * ow + oj].mul_add(
+                                    xs[((ni * c + ci) * h + ii as usize) * w + jj as usize],
+                                    s,
+                                );
                             }
                         }
                         if ni == 0 {
@@ -203,8 +207,8 @@ pub fn conv2d_backward_ref(
                             }
                             let mut s = 0.0f32;
                             for oc in 0..oc_n {
-                                s += ws[((oc * c + ci) * k + ki) * k + kj]
-                                    * dys[((ni * oc_n + oc) * oh + oi) * ow + oj];
+                                s = ws[((oc * c + ci) * k + ki) * k + kj]
+                                    .mul_add(dys[((ni * oc_n + oc) * oh + oi) * ow + oj], s);
                             }
                             gi[((ni * c + ci) * h + ii as usize) * w + jj as usize] += s;
                         }

@@ -6,7 +6,9 @@
 //! or zero values are ignored with a one-time warning), falling back to the
 //! machine's available parallelism; [`set_max_threads`] overrides it at
 //! runtime (used by benchmarks and the kernel-equivalence tests to
-//! sweep thread counts inside one process).
+//! sweep thread counts inside one process). Engines that run their own
+//! worker threads park cores with [`reserve`] so kernels and stage workers
+//! share the machine instead of oversubscribing it.
 //!
 //! # Determinism
 //!
@@ -29,6 +31,11 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// Effective thread cap. Zero means "not yet resolved"; the first call to
 /// [`max_threads`] resolves it from `PBP_THREADS` / available parallelism.
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cores currently reserved away from the kernel pool by [`reserve`] (the
+/// threaded pipeline engine parks one reservation per busy stage worker
+/// while a stream is in flight).
+static RESERVED: AtomicUsize = AtomicUsize::new(0);
 
 struct PoolState {
     /// Shared MPMC job queue; every worker holds a clone of the receiver.
@@ -74,10 +81,11 @@ fn env_threads() -> usize {
     }
 }
 
-/// The number of threads kernels may use (including the calling thread's
-/// share of the work). Resolved once from `PBP_THREADS` or the machine's
-/// available parallelism; override with [`set_max_threads`].
-pub fn max_threads() -> usize {
+/// The configured thread cap, before any active [`reserve`] is subtracted.
+/// Resolved once from `PBP_THREADS` or the machine's available parallelism;
+/// override with [`set_max_threads`]. Engines use this for *planning* how
+/// many cores exist to divide between stage workers and the kernel pool.
+pub fn configured_threads() -> usize {
     match MAX_THREADS.load(Ordering::Relaxed) {
         0 => {
             let n = env_threads();
@@ -88,6 +96,41 @@ pub fn max_threads() -> usize {
         }
         n => n,
     }
+}
+
+/// The number of threads kernels may use right now (including the calling
+/// thread's share of the work): the configured cap minus any cores parked
+/// by outstanding [`reserve`] guards, floored at 1 so kernels always make
+/// progress. Because kernel results are bit-identical at any thread count,
+/// reservations only change performance, never results.
+pub fn max_threads() -> usize {
+    let cap = configured_threads();
+    cap.saturating_sub(RESERVED.load(Ordering::Relaxed)).max(1)
+}
+
+/// RAII guard for a core reservation taken with [`reserve`]. Dropping it
+/// returns the cores to the kernel pool.
+#[derive(Debug)]
+pub struct CoreReservation {
+    n: usize,
+}
+
+impl Drop for CoreReservation {
+    fn drop(&mut self) {
+        RESERVED.fetch_sub(self.n, Ordering::Relaxed);
+    }
+}
+
+/// Parks `n` cores away from the kernel pool until the returned guard is
+/// dropped. Used by the threaded pipeline engine to co-schedule: while its
+/// stage worker threads are busy, the kernel pool is shrunk to the leftover
+/// cores instead of oversubscribing the machine. Reservations stack
+/// (guards from different engines add up), and [`max_threads`] never drops
+/// below 1, so an over-reservation degrades to serial kernels rather than
+/// deadlock.
+pub fn reserve(n: usize) -> CoreReservation {
+    RESERVED.fetch_add(n, Ordering::Relaxed);
+    CoreReservation { n }
 }
 
 /// Overrides the kernel thread cap for the whole process (clamped to ≥ 1).
@@ -190,8 +233,13 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
 
+    /// Serializes tests that mutate the process-global thread cap, so the
+    /// exact-value assertions below cannot race each other.
+    static CAP_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn serial_when_single_threaded() {
+        let _guard = CAP_LOCK.lock().unwrap();
         set_max_threads(1);
         let hits = AtomicU32::new(0);
         parallel_for(5, &|_| {
@@ -202,6 +250,7 @@ mod tests {
 
     #[test]
     fn runs_every_chunk_exactly_once_on_workers() {
+        let _guard = CAP_LOCK.lock().unwrap();
         set_max_threads(4);
         let flags: Vec<AtomicU32> = (0..37).map(|_| AtomicU32::new(0)).collect();
         parallel_for(flags.len(), &|i| {
@@ -215,6 +264,7 @@ mod tests {
 
     #[test]
     fn chunk_panic_propagates_to_caller() {
+        let _guard = CAP_LOCK.lock().unwrap();
         set_max_threads(2);
         let result = std::panic::catch_unwind(|| {
             parallel_for(8, &|i| {
@@ -240,7 +290,28 @@ mod tests {
     }
 
     #[test]
+    fn reservations_shrink_and_restore_the_cap() {
+        let _guard = CAP_LOCK.lock().unwrap();
+        set_max_threads(8);
+        assert_eq!(max_threads(), 8);
+        {
+            let _r = reserve(3);
+            assert_eq!(max_threads(), 5);
+            {
+                let _r2 = reserve(10);
+                // Over-reservation floors at 1 instead of deadlocking.
+                assert_eq!(max_threads(), 1);
+            }
+            assert_eq!(max_threads(), 5);
+        }
+        assert_eq!(max_threads(), 8);
+        assert_eq!(configured_threads(), 8, "reserve never touches the cap");
+        set_max_threads(1);
+    }
+
+    #[test]
     fn threads_env_override_wins() {
+        let _guard = CAP_LOCK.lock().unwrap();
         // Can't portably mutate the environment mid-process for OnceLock-free
         // statics, but the setter must round-trip and clamp.
         set_max_threads(0);

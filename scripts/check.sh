@@ -24,6 +24,12 @@ cargo run --release -q -p pbp-bench --bin snapshot_smoke
 
 echo "== kernel bench smoke (compile + one tiny timed pass) =="
 cargo bench -p pbp-bench --bench layer_kernels -- --test
+# The bench asserts every lane (tiled, SIMD, parallel, batched eval) is
+# bit-identical to the naive reference internally, so these runs double as
+# differential smoke tests. The second run exercises the PBP_SIMD=0 escape
+# hatch; on CPUs without AVX2+FMA both runs degrade to the scalar tile and
+# still pass.
 PBP_THREADS=2 PBP_BENCH_SMOKE=1 cargo run --release -q -p pbp-bench --bin bench_kernels >/dev/null
+PBP_THREADS=2 PBP_BENCH_SMOKE=1 PBP_SIMD=0 cargo run --release -q -p pbp-bench --bin bench_kernels >/dev/null
 
 echo "All checks passed."

@@ -4,14 +4,20 @@
 //! GEMM-lowered im2col convolution in `pbp_tensor::ops::conv`) must be
 //! **bit-identical** to the retained naive references in
 //! `pbp_tensor::ops::reference` — not merely close. The kernels uphold a
-//! single-chain-per-element accumulation contract (see the `gemm` module
-//! docs), which makes exact `to_bits` comparison a meaningful property over
-//! random shapes, strides, paddings, and thread counts.
+//! single-fma-chain-per-element accumulation contract (see the `gemm`
+//! module docs): every path — naive reference, scalar tile, AVX2/AVX-512
+//! micro-kernels — folds each product in with one exactly-rounded fused
+//! multiply-add, which makes exact `to_bits` comparison a meaningful
+//! property over random shapes, strides, paddings, thread counts, and
+//! SIMD tiers. (The per-tier edge-tile grid lives in the tensor crate's
+//! `simd_differential` suite; here the default tier runs throughout.)
 //!
 //! Every comparison here is against the scalar reference, so concurrent
-//! tests flipping the global thread cap cannot invalidate a baseline: the
-//! contract says the optimized result is the same bytes at *any* cap.
+//! tests flipping the global thread cap or SIMD tier cannot invalidate a
+//! baseline: the contract says the optimized result is the same bytes at
+//! *any* cap and tier.
 
+use pipelined_backprop::tensor::ops::simd::{detected_tier, set_tier, SimdTier};
 use pipelined_backprop::tensor::ops::{
     conv2d, conv2d_backward, gemm_nn, gemm_nt, gemm_tn, reference, Conv2dSpec,
 };
@@ -155,12 +161,19 @@ proptest! {
     }
 }
 
-/// A product big enough (256·128·256 = 8.4M elems) to always take the
-/// parallel tiled path when threads > 1, with a ragged variant that leaves
-/// remainder row/column tiles. Checked bitwise against the scalar reference
-/// at every thread count.
+/// Large products swept across the parallel-dispatch boundary *and* every
+/// SIMD tier this CPU supports, bitwise against the scalar reference. The
+/// cutoff is per-thread work (`PAR_MIN_ELEMS_PER_THREAD`), so the sweep
+/// deliberately crosses it both ways: 256·128·256 = 8.4M elems goes
+/// parallel at 2 and 8 threads, while the ragged 251·67·233 = 3.9M goes
+/// parallel at 2 threads but stays serial at 8 (too little work per
+/// worker) — same bytes either side of the boundary.
 #[test]
-fn large_gemm_takes_parallel_path_and_stays_bitwise_exact() {
+fn large_gemm_is_bitwise_exact_across_threads_and_tiers() {
+    let tiers: Vec<SimdTier> = [SimdTier::Scalar, SimdTier::Avx2Fma, SimdTier::Avx512Fma]
+        .into_iter()
+        .filter(|&t| t <= detected_tier())
+        .collect();
     for &(m, k, n) in &[(256usize, 128usize, 256usize), (251, 67, 233)] {
         let a = rand_vec(m * k, 77);
         let b = rand_vec(k * n, 78);
@@ -168,11 +181,19 @@ fn large_gemm_takes_parallel_path_and_stays_bitwise_exact() {
         reference::matmul_ref(&a, &b, &mut want, m, k, n);
         for &threads in &THREAD_SWEEP {
             pool::set_max_threads(threads);
-            let mut got = vec![0.0; m * n];
-            gemm_nn(&a, &b, &mut got, m, k, n, false);
-            assert_bits_eq(&got, &want, &format!("large nn {m}x{k}x{n} t={threads}"));
+            for &tier in &tiers {
+                set_tier(tier);
+                let mut got = vec![0.0; m * n];
+                gemm_nn(&a, &b, &mut got, m, k, n, false);
+                assert_bits_eq(
+                    &got,
+                    &want,
+                    &format!("large nn {m}x{k}x{n} t={threads} tier={}", tier.name()),
+                );
+            }
         }
     }
+    set_tier(detected_tier());
     pool::set_max_threads(1);
 }
 
