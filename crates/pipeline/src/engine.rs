@@ -85,6 +85,16 @@ pub trait TrainEngine {
         archive: &pbp_snapshot::SnapshotArchive,
     ) -> Result<(), pbp_snapshot::SnapshotError>;
 
+    /// Takes the pending [`PipelineFault`](crate::fault::PipelineFault),
+    /// if the engine hit one during its last training call. Engines that
+    /// cannot fault (everything but the threaded runtime) return `None`.
+    /// Runners must check this after every training call before trusting
+    /// the returned losses; a faulted engine is poisoned and must be
+    /// rebuilt.
+    fn take_fault(&mut self) -> Option<crate::fault::PipelineFault> {
+        None
+    }
+
     /// Borrows the network (e.g. for evaluation).
     fn network_mut(&mut self) -> &mut Network;
 
@@ -142,7 +152,11 @@ impl RunConfig {
 ///
 /// # Panics
 ///
-/// Panics if `config.eval_batch == 0` or `config.eval_every == 0`.
+/// Panics if `config.eval_batch == 0` or `config.eval_every == 0`, or if
+/// the engine reports a [`PipelineFault`](crate::fault::PipelineFault)
+/// mid-run — this plain loop has no recovery story; use
+/// [`run_supervised`](crate::supervisor::run_supervised) for runs that
+/// should survive faults.
 pub fn run_training(
     engine: &mut dyn TrainEngine,
     train: &Dataset,
@@ -156,6 +170,9 @@ pub fn run_training(
     for epoch in 0..config.epochs {
         hooks.on_epoch_start(epoch);
         let train_loss = engine.train_epoch(train, config.seed, epoch);
+        if let Some(fault) = engine.take_fault() {
+            panic!("engine faulted in epoch {epoch}: {fault} (use run_supervised to recover)");
+        }
         let is_last = epoch + 1 == config.epochs;
         if (epoch + 1) % config.eval_every == 0 || is_last {
             let (val_loss, val_acc) = evaluate(engine.network_mut(), val, config.eval_batch);

@@ -38,12 +38,14 @@ pub mod asgd;
 pub mod delayed;
 pub mod emulator;
 pub mod engine;
+pub mod fault;
 pub mod filldrain;
 pub mod memory;
 pub mod metrics;
 pub mod resume;
 pub mod schedule;
 pub mod state;
+pub mod supervisor;
 pub mod threaded;
 pub mod trainer;
 
@@ -51,18 +53,22 @@ pub use asgd::{AsgdTrainer, DelayDistribution};
 pub use delayed::{DelayedConfig, DelayedTrainer};
 pub use emulator::{PbConfig, PipelinedTrainer};
 pub use engine::{run_training, EngineSpec, RunConfig, TrainEngine};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, PipelineFault, RunError};
 pub use filldrain::FillDrainTrainer;
 pub use memory::MemoryModel;
 pub use metrics::{
     EngineMetrics, JsonSink, MetricsRecorder, MetricsSink, NoHooks, StageCounters, TrainHooks,
 };
 pub use resume::{
-    latest_snapshot, resume_training, run_to_crash, run_training_with_snapshots, SnapshotPolicy,
-    SECTION_RUN,
+    latest_snapshot, resume_degraded, resume_training, run_to_crash, run_training_with_snapshots,
+    SnapshotPolicy, SECTION_RUN,
 };
 pub use schedule::{
     fill_drain_utilization, pb_utilization, stage_delay, ScheduleModel, StageActivity,
 };
 pub use state::SECTION_ENGINE;
+pub use supervisor::{
+    degraded_spec, run_supervised, RecoveryPolicy, SupervisedOutcome, SupervisionEvent, Watchdog,
+};
 pub use threaded::{ThreadedConfig, ThreadedPipeline, ThroughputReport};
 pub use trainer::{evaluate, EpochRecord, SgdmTrainer, TrainReport};

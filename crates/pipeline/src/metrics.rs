@@ -265,6 +265,13 @@ pub trait TrainHooks {
     fn on_run_end(&mut self, report: &TrainReport, metrics: &EngineMetrics) {
         let _ = (report, metrics);
     }
+
+    /// Called by [`run_supervised`](crate::supervisor::run_supervised) on
+    /// every supervision event: a detected fault, a snapshot restart, or
+    /// the switchover to the degraded engine.
+    fn on_supervision_event(&mut self, event: &crate::supervisor::SupervisionEvent) {
+        let _ = event;
+    }
 }
 
 /// The do-nothing observer.
@@ -308,6 +315,10 @@ pub trait MetricsSink {
 pub struct JsonSink {
     path: PathBuf,
     runs: Vec<String>,
+    /// Supervision events observed since the last recorded run; attached
+    /// to the next run object as its `"supervision"` array, so fault
+    /// recoveries and degradation switchovers are visible in the output.
+    supervision: Vec<String>,
 }
 
 impl JsonSink {
@@ -317,6 +328,7 @@ impl JsonSink {
         JsonSink {
             path: path.into(),
             runs: Vec::new(),
+            supervision: Vec::new(),
         }
     }
 
@@ -371,6 +383,17 @@ impl MetricsSink for JsonSink {
             ));
         }
         run.push_str("],");
+        if !self.supervision.is_empty() {
+            run.push_str("\"supervision\":[");
+            for (i, ev) in self.supervision.iter().enumerate() {
+                if i > 0 {
+                    run.push(',');
+                }
+                run.push_str(&json_string(ev));
+            }
+            run.push_str("],");
+            self.supervision.clear();
+        }
         run.push_str(&format!("\"metrics\":{}", metrics.to_json()));
         run.push('}');
         self.runs.push(run);
@@ -389,6 +412,10 @@ impl MetricsSink for JsonSink {
 impl TrainHooks for JsonSink {
     fn on_run_end(&mut self, report: &TrainReport, metrics: &EngineMetrics) {
         self.record(report, metrics);
+    }
+
+    fn on_supervision_event(&mut self, event: &crate::supervisor::SupervisionEvent) {
+        self.supervision.push(event.to_string());
     }
 }
 

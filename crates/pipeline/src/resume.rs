@@ -26,6 +26,7 @@
 //! kill would.
 
 use crate::engine::{RunConfig, TrainEngine};
+use crate::fault::RunError;
 use crate::metrics::TrainHooks;
 use crate::trainer::{evaluate, EpochRecord, TrainReport};
 use pbp_data::{Dataset, StreamCursor};
@@ -214,7 +215,7 @@ fn drive(
     kill_at_samples: Option<usize>,
     mut state: RunnerState,
     hooks: &mut dyn TrainHooks,
-) -> Result<Outcome, SnapshotError> {
+) -> Result<Outcome, RunError> {
     assert!(config.eval_batch > 0, "eval batch must be positive");
     assert!(config.eval_every > 0, "eval cadence must be positive");
     let spu = engine.samples_per_update().max(1);
@@ -251,6 +252,12 @@ fn drive(
             let stop = engine.align_stop(pos, proposed.max(pos + 1), order.len());
             assert!(stop > pos, "align_stop must make progress");
             let (sum, units) = engine.train_range(train, &order[pos..stop]);
+            if let Some(fault) = engine.take_fault() {
+                // The engine is poisoned; surface the typed fault so a
+                // supervisor can rebuild and resume from the last
+                // snapshot (everything up to it is already on disk).
+                return Err(RunError::Fault(fault));
+            }
             state.epoch_sum += sum;
             state.epoch_units += units;
             state.cursor.pos = stop;
@@ -305,7 +312,7 @@ pub fn run_training_with_snapshots(
     config: &RunConfig,
     policy: &SnapshotPolicy,
     hooks: &mut dyn TrainHooks,
-) -> Result<TrainReport, SnapshotError> {
+) -> Result<TrainReport, RunError> {
     let next = engine.samples_seen() + policy.every_updates * engine.samples_per_update().max(1);
     let state = RunnerState::fresh(config.seed, next);
     match drive(engine, train, val, config, Some(policy), None, state, hooks)? {
@@ -327,7 +334,7 @@ pub fn run_to_crash(
     policy: &SnapshotPolicy,
     kill_after_updates: usize,
     hooks: &mut dyn TrainHooks,
-) -> Result<Option<TrainReport>, SnapshotError> {
+) -> Result<Option<TrainReport>, RunError> {
     let spu = engine.samples_per_update().max(1);
     let start = engine.samples_seen();
     let state = RunnerState::fresh(config.seed, start + policy.every_updates * spu);
@@ -360,10 +367,50 @@ pub fn resume_training(
     policy: Option<&SnapshotPolicy>,
     snapshot: &Path,
     hooks: &mut dyn TrainHooks,
-) -> Result<TrainReport, SnapshotError> {
+) -> Result<TrainReport, RunError> {
     let archive = SnapshotArchive::load(snapshot)?;
     engine.read_state(&archive)?;
     let state = read_runner_state(&archive, &engine.label(), config.seed)?;
+    match drive(engine, train, val, config, policy, None, state, hooks)? {
+        Outcome::Finished(report) => Ok(report),
+        Outcome::Killed => unreachable!("no kill point configured"),
+    }
+}
+
+/// Cross-engine resume for the graceful-degradation path: restores only
+/// the **network weights** and the runner's progress (cursor, partial
+/// epoch loss, records) from a snapshot written by a *different* engine —
+/// identified by `from_label` — into a freshly-built fallback `engine`,
+/// then continues the run to completion.
+///
+/// Unlike [`resume_training`] this does **not** restore engine-internal
+/// state: the fallback engine starts with fresh optimizer state (zero
+/// momentum, schedule position at its own `samples_seen`) and empty
+/// pipeline buffers, because the failed engine's internals are
+/// meaningless to it. Weights, data position and collected records carry
+/// over exactly; see DESIGN.md §9 for what determinism this does and
+/// does not preserve.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_degraded(
+    engine: &mut dyn TrainEngine,
+    train: &Dataset,
+    val: &Dataset,
+    config: &RunConfig,
+    policy: Option<&SnapshotPolicy>,
+    snapshot: &Path,
+    from_label: &str,
+    hooks: &mut dyn TrainHooks,
+) -> Result<TrainReport, RunError> {
+    let archive = SnapshotArchive::load(snapshot)?;
+    pbp_nn::snapshot::read_network(engine.network_mut(), &archive)?;
+    let mut state = read_runner_state(&archive, from_label, config.seed)?;
+    // The fallback engine's update counter starts at zero, so the
+    // recorded cadence position (absolute samples_seen of the old
+    // engine) is meaningless here; restart the cadence clock.
+    if let Some(policy) = policy {
+        state.next_snap =
+            engine.samples_seen() + policy.every_updates * engine.samples_per_update().max(1);
+    }
     match drive(engine, train, val, config, policy, None, state, hooks)? {
         Outcome::Finished(report) => Ok(report),
         Outcome::Killed => unreachable!("no kill point configured"),

@@ -1,0 +1,617 @@
+//! Supervision of the threaded pipeline runtime: stall watchdog, panic
+//! containment, and recover-or-degrade orchestration.
+//!
+//! Two layers:
+//!
+//! * **Stream supervision** ([`Watchdog`], [`StreamSupervisor`]): while a
+//!   threaded run is streaming, the calling thread doubles as a
+//!   supervisor. Workers emit rate-limited heartbeats and a final
+//!   completion report over an events channel; the supervisor feeds
+//!   samples with bounded waits, tracks the oldest heartbeat, and on a
+//!   panic report / silent stage / severed channel flips a shared abort
+//!   flag, drains what it can within a shutdown grace period, joins the
+//!   workers that reported in, detaches the rest, and surfaces a typed
+//!   [`PipelineFault`] instead of hanging.
+//! * **Run supervision** ([`run_supervised`], [`RecoveryPolicy`]): wraps
+//!   the snapshot-driven training loop. On a fault it rebuilds the engine
+//!   and resumes from the latest *valid* snapshot with bounded retries and
+//!   exponential backoff; when the fault keeps recurring it degrades to
+//!   the deterministic emulator of the same configuration
+//!   ([`degraded_spec`]) and finishes training there, logging every
+//!   fault/restart/degradation through
+//!   [`TrainHooks::on_supervision_event`](crate::metrics::TrainHooks::on_supervision_event).
+
+use crate::engine::{EngineSpec, RunConfig};
+use crate::fault::{PipelineFault, RunError};
+use crate::metrics::{StageCounters, TrainHooks};
+use crate::resume::{
+    resume_degraded, resume_training, run_training_with_snapshots, SnapshotPolicy,
+};
+use crate::threaded::StageSlot;
+use crate::trainer::TrainReport;
+use pbp_nn::{Network, Stage};
+use pbp_snapshot::latest_valid_snapshot;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Liveness policy of a supervised streaming run.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    /// A live stage silent for longer than this (while work is
+    /// outstanding) is declared stalled.
+    pub stall_timeout: Duration,
+    /// Supervisor bounded-wait tick: how long any single feed/park wait
+    /// blocks before liveness is re-checked.
+    pub poll: Duration,
+    /// After a fault is flagged, how long the supervisor waits for
+    /// workers to acknowledge the abort before detaching them.
+    pub shutdown_grace: Duration,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            stall_timeout: Duration::from_secs(10),
+            poll: Duration::from_millis(2),
+            shutdown_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Watchdog {
+    /// A tight configuration for tests and smoke runs: 200 ms stall
+    /// timeout, 1 ms poll, 500 ms shutdown grace.
+    pub fn fast() -> Self {
+        Watchdog {
+            stall_timeout: Duration::from_millis(200),
+            poll: Duration::from_millis(1),
+            shutdown_grace: Duration::from_millis(500),
+        }
+    }
+
+    /// Sets the stall timeout.
+    pub fn with_stall_timeout(mut self, stall_timeout: Duration) -> Self {
+        self.stall_timeout = stall_timeout;
+        self
+    }
+}
+
+/// How a stage worker's run ended.
+#[derive(Debug)]
+pub(crate) enum StageOutcome {
+    /// The worker drained its stream and exited its loop.
+    Completed,
+    /// The worker's body panicked; caught by `catch_unwind`.
+    Panicked(String),
+}
+
+/// A worker's final report: its stage, optimizer slot and counters travel
+/// back to the supervisor by value, so a clean run reassembles the
+/// network without joining on thread results.
+#[derive(Debug)]
+pub(crate) struct StageDone {
+    pub stage_idx: usize,
+    pub stage: Stage,
+    pub slot: StageSlot,
+    pub counters: StageCounters,
+    pub outcome: StageOutcome,
+}
+
+/// Worker → supervisor control-plane traffic.
+#[derive(Debug)]
+pub(crate) enum StageEvent {
+    /// Rate-limited liveness signal.
+    Beat { stage: usize },
+    /// Final report; boxed because it carries the whole stage.
+    Done(Box<StageDone>),
+}
+
+/// The control-plane state machine the calling thread runs while workers
+/// stream. Tracks heartbeats, collects final reports, decides when the
+/// run has failed and owns the abort/grace protocol.
+pub(crate) struct StreamSupervisor {
+    watchdog: Watchdog,
+    last_beat: Vec<Instant>,
+    done: Vec<Option<StageDone>>,
+    fault: Option<PipelineFault>,
+    abort: Arc<AtomicBool>,
+    grace_deadline: Option<Instant>,
+    done_count: usize,
+}
+
+impl StreamSupervisor {
+    pub(crate) fn new(stages: usize, watchdog: Watchdog) -> Self {
+        StreamSupervisor {
+            watchdog,
+            last_beat: vec![Instant::now(); stages],
+            done: (0..stages).map(|_| None).collect(),
+            fault: None,
+            abort: Arc::new(AtomicBool::new(false)),
+            grace_deadline: None,
+            done_count: 0,
+        }
+    }
+
+    /// The abort flag shared with every worker.
+    pub(crate) fn abort_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.abort)
+    }
+
+    pub(crate) fn on_event(&mut self, event: StageEvent) {
+        match event {
+            StageEvent::Beat { stage } => self.last_beat[stage] = Instant::now(),
+            StageEvent::Done(done) => {
+                let s = done.stage_idx;
+                if let StageOutcome::Panicked(message) = &done.outcome {
+                    self.flag(PipelineFault::StagePanicked {
+                        stage: s,
+                        message: message.clone(),
+                    });
+                }
+                if self.done[s].is_none() {
+                    self.done_count += 1;
+                }
+                self.done[s] = Some(*done);
+            }
+        }
+    }
+
+    /// True once every worker has reported in.
+    pub(crate) fn all_done(&self) -> bool {
+        self.done_count == self.done.len()
+    }
+
+    /// Whether stage `s` has reported in (and can be joined without
+    /// blocking).
+    pub(crate) fn is_done(&self, s: usize) -> bool {
+        self.done[s].is_some()
+    }
+
+    /// Records `fault` and starts the abort protocol. Root causes beat
+    /// symptoms: a stage panic or stall detected *after* a secondary
+    /// channel-closed/incomplete fault replaces it (the disconnect a dead
+    /// stage leaves behind often reaches the supervisor before the
+    /// worker's own panic report does). Among equal-priority faults the
+    /// first one wins.
+    pub(crate) fn flag(&mut self, fault: PipelineFault) {
+        fn priority(f: &PipelineFault) -> u8 {
+            match f {
+                PipelineFault::StagePanicked { .. } => 3,
+                PipelineFault::StageStalled { .. } => 2,
+                PipelineFault::ChannelClosed { .. } => 1,
+                PipelineFault::Incomplete { .. } => 0,
+            }
+        }
+        if self
+            .fault
+            .as_ref()
+            .is_none_or(|old| priority(&fault) > priority(old))
+        {
+            self.fault = Some(fault);
+        }
+        self.abort.store(true, Ordering::Relaxed);
+        if self.grace_deadline.is_none() {
+            self.grace_deadline = Some(Instant::now() + self.watchdog.shutdown_grace);
+        }
+    }
+
+    pub(crate) fn aborting(&self) -> bool {
+        self.grace_deadline.is_some()
+    }
+
+    pub(crate) fn grace_expired(&self) -> bool {
+        self.grace_deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Stall detection: flags the live stage with the oldest heartbeat
+    /// once it exceeds the stall timeout. Returns `true` if a fault was
+    /// (or already had been) flagged.
+    pub(crate) fn check_watchdog(&mut self) -> bool {
+        if self.fault.is_some() {
+            return true;
+        }
+        let oldest = (0..self.done.len())
+            .filter(|&s| self.done[s].is_none())
+            .min_by_key(|&s| self.last_beat[s]);
+        if let Some(stage) = oldest {
+            let silent = self.last_beat[stage].elapsed();
+            if silent > self.watchdog.stall_timeout {
+                self.flag(PipelineFault::StageStalled {
+                    stage,
+                    stalled_for: silent,
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    pub(crate) fn fault(&self) -> Option<&PipelineFault> {
+        self.fault.as_ref()
+    }
+
+    /// Consumes the supervisor: the fault if one was flagged, otherwise
+    /// the reassembled per-stage payloads in stage order.
+    pub(crate) fn into_result(
+        self,
+    ) -> Result<Vec<(Stage, StageSlot, StageCounters)>, PipelineFault> {
+        if let Some(fault) = self.fault {
+            return Err(fault);
+        }
+        Ok(self
+            .done
+            .into_iter()
+            .map(|d| {
+                let d = d.expect("no fault implies every stage reported");
+                (d.stage, d.slot, d.counters)
+            })
+            .collect())
+    }
+}
+
+/// Retry-and-degrade policy of [`run_supervised`].
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Restart (resume-from-snapshot) attempts after the initial run.
+    pub max_restarts: usize,
+    /// Backoff before the first restart; doubles per attempt (capped at
+    /// 64×).
+    pub backoff: Duration,
+    /// After retries are exhausted, fall back to the deterministic
+    /// emulator ([`degraded_spec`]) instead of failing.
+    pub degrade: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_restarts: 3,
+            backoff: Duration::from_millis(50),
+            degrade: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No-wait retries for tests.
+    pub fn immediate(max_restarts: usize) -> Self {
+        RecoveryPolicy {
+            max_restarts,
+            backoff: Duration::ZERO,
+            degrade: true,
+        }
+    }
+
+    /// Disables the degradation fallback: exhausted retries fail the run.
+    pub fn no_degrade(mut self) -> Self {
+        self.degrade = false;
+        self
+    }
+}
+
+/// One entry in the supervision log.
+#[derive(Debug, Clone)]
+pub enum SupervisionEvent {
+    /// An attempt ended in a pipeline fault.
+    Fault {
+        /// 0 = the initial run, n = the n-th restart.
+        attempt: usize,
+        /// The typed fault.
+        fault: PipelineFault,
+    },
+    /// A restart is beginning.
+    Restart {
+        /// Restart number (1-based).
+        attempt: usize,
+        /// Snapshot file the restart resumes from, if any.
+        from_snapshot: Option<String>,
+    },
+    /// Retries exhausted; the run switched to the deterministic emulator.
+    Degraded {
+        /// Label of the engine taking over.
+        to: String,
+    },
+}
+
+impl std::fmt::Display for SupervisionEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupervisionEvent::Fault { attempt, fault } => {
+                write!(f, "attempt {attempt} faulted: {fault}")
+            }
+            SupervisionEvent::Restart {
+                attempt,
+                from_snapshot,
+            } => match from_snapshot {
+                Some(snap) => write!(f, "restart {attempt} from {snap}"),
+                None => write!(f, "restart {attempt} from scratch"),
+            },
+            SupervisionEvent::Degraded { to } => write!(f, "degraded to {to}"),
+        }
+    }
+}
+
+/// The result of a supervised run that completed (possibly degraded).
+#[derive(Debug)]
+pub struct SupervisedOutcome {
+    /// The finished training report.
+    pub report: TrainReport,
+    /// Everything the supervisor did, in order.
+    pub events: Vec<SupervisionEvent>,
+    /// Restarts performed before completion (or degradation).
+    pub restarts: usize,
+    /// Whether the run finished on the degraded engine.
+    pub degraded: bool,
+}
+
+/// The deterministic emulator equivalent of a threaded spec — where a
+/// supervised run lands when the threaded runtime keeps faulting. The
+/// fill/drain threaded mode maps to [`FillDrainTrainer`](crate::FillDrainTrainer)
+/// at update size one; free-running PB maps to the cycle-accurate
+/// [`PipelinedTrainer`](crate::PipelinedTrainer) with the same mitigation
+/// and stashing. Non-threaded specs have no degraded form.
+pub fn degraded_spec(spec: &EngineSpec) -> Option<EngineSpec> {
+    match spec {
+        EngineSpec::Threaded(cfg) if cfg.fill_drain => Some(EngineSpec::FillDrain {
+            schedule: cfg.schedule.clone(),
+            update_size: 1,
+        }),
+        EngineSpec::Threaded(cfg) => {
+            let mut pb = crate::emulator::PbConfig::plain(cfg.schedule.clone())
+                .with_mitigation(cfg.mitigation);
+            if cfg.weight_stashing {
+                pb = pb.with_weight_stashing();
+            }
+            Some(EngineSpec::Pb(pb))
+        }
+        _ => None,
+    }
+}
+
+/// Runs `spec` to completion under snapshot-backed fault recovery.
+///
+/// The initial attempt (or, when `policy.dir` already holds a valid
+/// snapshot, a resume of it) trains with periodic snapshots. On a
+/// [`RunError::Fault`] the engine is rebuilt from `make_net` and resumed
+/// from the latest valid snapshot, up to `recovery.max_restarts` times
+/// with doubling backoff. If the fault keeps recurring and
+/// `recovery.degrade` is set, the run switches to [`degraded_spec`] — the
+/// deterministic emulator with the same optimizer configuration — resumes
+/// network weights and run progress from the last valid snapshot (fresh
+/// optimizer state; see DESIGN.md §9), and finishes there, snapshotting
+/// into `policy.dir/degraded`. Every fault, restart and degradation is
+/// reported through `hooks` and returned in the outcome's event log.
+///
+/// For a deterministic engine (threaded fill/drain), a faulted-and-
+/// resumed run is bit-identical to an uninterrupted one — the same
+/// guarantee [`resume_training`] provides, now applied automatically.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised(
+    spec: &EngineSpec,
+    make_net: &mut dyn FnMut() -> Network,
+    train: &pbp_data::Dataset,
+    val: &pbp_data::Dataset,
+    config: &RunConfig,
+    policy: &SnapshotPolicy,
+    recovery: &RecoveryPolicy,
+    hooks: &mut dyn TrainHooks,
+) -> Result<SupervisedOutcome, RunError> {
+    let mut events: Vec<SupervisionEvent> = Vec::new();
+    let mut attempt = 0usize;
+    loop {
+        let mut engine = spec.build(make_net());
+        let snapshot = latest_valid_snapshot(&policy.dir)?;
+        let result = match &snapshot {
+            Some(path) => resume_training(
+                engine.as_mut(),
+                train,
+                val,
+                config,
+                Some(policy),
+                path,
+                hooks,
+            ),
+            None => run_training_with_snapshots(engine.as_mut(), train, val, config, policy, hooks),
+        };
+        match result {
+            Ok(report) => {
+                return Ok(SupervisedOutcome {
+                    report,
+                    events,
+                    restarts: attempt,
+                    degraded: false,
+                })
+            }
+            Err(RunError::Fault(fault)) => {
+                let event = SupervisionEvent::Fault {
+                    attempt,
+                    fault: fault.clone(),
+                };
+                hooks.on_supervision_event(&event);
+                events.push(event);
+                if attempt >= recovery.max_restarts {
+                    if !recovery.degrade {
+                        return Err(RunError::Fault(fault));
+                    }
+                    return run_degraded(
+                        spec, make_net, train, val, config, policy, hooks, events, attempt, fault,
+                    );
+                }
+                attempt += 1;
+                let backoff = recovery.backoff * (1u32 << (attempt - 1).min(6) as u32);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                let from_snapshot = latest_valid_snapshot(&policy.dir)?
+                    .map(|p| p.file_name().unwrap_or_default().to_string_lossy().into());
+                let event = SupervisionEvent::Restart {
+                    attempt,
+                    from_snapshot,
+                };
+                hooks.on_supervision_event(&event);
+                events.push(event);
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+/// The degradation tail of [`run_supervised`]: switch the run to the
+/// deterministic emulator and finish it there.
+#[allow(clippy::too_many_arguments)]
+fn run_degraded(
+    spec: &EngineSpec,
+    make_net: &mut dyn FnMut() -> Network,
+    train: &pbp_data::Dataset,
+    val: &pbp_data::Dataset,
+    config: &RunConfig,
+    policy: &SnapshotPolicy,
+    hooks: &mut dyn TrainHooks,
+    mut events: Vec<SupervisionEvent>,
+    restarts: usize,
+    last_fault: PipelineFault,
+) -> Result<SupervisedOutcome, RunError> {
+    let Some(fallback) = degraded_spec(spec) else {
+        // Nothing deterministic to fall back to — surface the fault.
+        return Err(RunError::Fault(last_fault));
+    };
+    let event = SupervisionEvent::Degraded {
+        to: fallback.label(),
+    };
+    hooks.on_supervision_event(&event);
+    events.push(event);
+    // Degraded snapshots go to a subdirectory: the fresh engine's sample
+    // counter restarts, so its snapshot names must not collide with (or be
+    // shadowed by) the faulted run's.
+    let degraded_policy = SnapshotPolicy {
+        dir: policy.dir.join("degraded"),
+        every_updates: policy.every_updates,
+        keep: policy.keep,
+    };
+    let mut engine = fallback.build(make_net());
+    let report = if let Some(own) = latest_valid_snapshot(&degraded_policy.dir)? {
+        // An earlier degraded attempt got this far — continue it.
+        resume_training(
+            engine.as_mut(),
+            train,
+            val,
+            config,
+            Some(&degraded_policy),
+            &own,
+            hooks,
+        )?
+    } else if let Some(snapshot) = latest_valid_snapshot(&policy.dir)? {
+        resume_degraded(
+            engine.as_mut(),
+            train,
+            val,
+            config,
+            Some(&degraded_policy),
+            &snapshot,
+            &spec.label(),
+            hooks,
+        )?
+    } else {
+        run_training_with_snapshots(engine.as_mut(), train, val, config, &degraded_policy, hooks)?
+    };
+    Ok(SupervisedOutcome {
+        report,
+        events,
+        restarts,
+        degraded: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulator::PbConfig;
+    use crate::threaded::ThreadedConfig;
+    use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
+
+    fn schedule() -> LrSchedule {
+        LrSchedule::constant(Hyperparams::new(0.05, 0.9))
+    }
+
+    #[test]
+    fn degraded_specs_map_to_deterministic_engines() {
+        let fd = degraded_spec(&EngineSpec::Threaded(
+            ThreadedConfig::fill_drain(schedule()),
+        ));
+        assert!(matches!(
+            fd,
+            Some(EngineSpec::FillDrain { update_size: 1, .. })
+        ));
+        let pb = degraded_spec(&EngineSpec::Threaded(
+            ThreadedConfig::pb(schedule())
+                .with_mitigation(Mitigation::scd())
+                .with_weight_stashing(),
+        ));
+        match pb {
+            Some(EngineSpec::Pb(cfg)) => {
+                assert!(cfg.weight_stashing);
+                assert_eq!(cfg.mitigation.label(), Mitigation::scd().label());
+            }
+            other => panic!("expected Pb spec, got {other:?}"),
+        }
+        assert!(degraded_spec(&EngineSpec::Pb(PbConfig::plain(schedule()))).is_none());
+    }
+
+    #[test]
+    fn watchdog_flags_oldest_silent_stage() {
+        let mut sup = StreamSupervisor::new(
+            3,
+            Watchdog {
+                stall_timeout: Duration::from_millis(10),
+                poll: Duration::from_millis(1),
+                shutdown_grace: Duration::from_millis(10),
+            },
+        );
+        assert!(!sup.check_watchdog());
+        std::thread::sleep(Duration::from_millis(15));
+        sup.on_event(StageEvent::Beat { stage: 1 });
+        sup.on_event(StageEvent::Beat { stage: 2 });
+        assert!(sup.check_watchdog());
+        match sup.fault() {
+            Some(PipelineFault::StageStalled { stage: 0, .. }) => {}
+            other => panic!("expected stage-0 stall, got {other:?}"),
+        }
+        assert!(sup.aborting());
+        assert!(sup.abort_flag().load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn root_cause_faults_beat_symptoms() {
+        let mut sup = StreamSupervisor::new(1, Watchdog::fast());
+        sup.flag(PipelineFault::ChannelClosed { stage: 0 });
+        // A lower-priority symptom cannot displace it...
+        sup.flag(PipelineFault::Incomplete {
+            expected: 5,
+            completed: 1,
+        });
+        assert!(matches!(
+            sup.fault(),
+            Some(PipelineFault::ChannelClosed { stage: 0 })
+        ));
+        // ...but the late-arriving root cause (a worker's panic report)
+        // upgrades the recorded fault.
+        sup.flag(PipelineFault::StagePanicked {
+            stage: 2,
+            message: "boom".into(),
+        });
+        assert!(matches!(
+            sup.fault(),
+            Some(PipelineFault::StagePanicked { stage: 2, .. })
+        ));
+        // Equal priority: first wins.
+        sup.flag(PipelineFault::StagePanicked {
+            stage: 0,
+            message: "late".into(),
+        });
+        assert!(matches!(
+            sup.fault(),
+            Some(PipelineFault::StagePanicked { stage: 2, .. })
+        ));
+    }
+}

@@ -1,5 +1,5 @@
 //! Real multi-threaded pipeline runtime: one OS thread per stage,
-//! activations and gradients flowing over channels.
+//! activations and gradients flowing over channels, under supervision.
 //!
 //! This is the systems half of the paper's claim: pipelined
 //! backpropagation keeps all workers busy after the initial fill, while
@@ -19,19 +19,38 @@
 //!   always terminates at the last stage — which computes the loss inline
 //!   and turns straight around into backward — and cannot deadlock;
 //! * each worker drains pending gradients before accepting new forward
-//!   work, which keeps updates flowing and bounds activation stashes.
+//!   work, which keeps updates flowing and bounds activation stashes;
+//! * every run is **supervised** (DESIGN.md §9): workers run under
+//!   `catch_unwind` on owned (detachable) threads, emit heartbeats to the
+//!   calling thread, and honour a shared abort flag; the calling thread
+//!   feeds samples with bounded waits and doubles as the watchdog. A
+//!   panicking, stalling or channel-dropping stage therefore surfaces as
+//!   a typed [`PipelineFault`] within the watchdog timeout instead of
+//!   hanging the run. Fault injection for tests is scripted through
+//!   [`FaultPlan`] in the config.
 
 use crate::engine::{batch_rows, TrainEngine};
+use crate::fault::{FaultAction, FaultInjector, FaultPlan, PipelineFault};
 use crate::metrics::{EngineMetrics, MetricsRecorder, StageCounters};
 use crate::schedule::{fill_drain_utilization, pb_utilization, stage_delay};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crate::supervisor::{StageDone, StageEvent, StageOutcome, StreamSupervisor, Watchdog};
+use crossbeam::channel::{
+    bounded, select2_timeout, unbounded, Receiver, RecvTimeoutError, Select2, SendTimeoutError,
+    Sender,
+};
 use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::{Network, Stage};
 use pbp_optim::{LrSchedule, Mitigation, StageOptimizer};
 use pbp_tensor::{pool, Tensor};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Minimum interval between heartbeats from one worker; keeps the events
+/// channel cheap while staying far below any sane stall timeout.
+const BEAT_INTERVAL: Duration = Duration::from_millis(1);
 
 /// Configuration of the threaded pipeline.
 #[derive(Debug, Clone)]
@@ -49,6 +68,12 @@ pub struct ThreadedConfig {
     pub fill_drain: bool,
     /// Forward-channel capacity (in-flight samples per link).
     pub channel_capacity: usize,
+    /// Scripted fault injection (tests and chaos runs); `None` in
+    /// production.
+    pub fault_plan: Option<FaultPlan>,
+    /// Liveness policy: stall timeout, supervisor poll tick, shutdown
+    /// grace.
+    pub watchdog: Watchdog,
 }
 
 impl ThreadedConfig {
@@ -60,6 +85,8 @@ impl ThreadedConfig {
             schedule,
             fill_drain: false,
             channel_capacity: 1,
+            fault_plan: None,
+            watchdog: Watchdog::default(),
         }
     }
 
@@ -80,6 +107,18 @@ impl ThreadedConfig {
     /// Enables weight stashing.
     pub fn with_weight_stashing(mut self) -> Self {
         self.weight_stashing = true;
+        self
+    }
+
+    /// Arms a fault-injection script.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the watchdog policy.
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
         self
     }
 }
@@ -108,15 +147,26 @@ struct BwdMsg {
 /// Per-stage state that outlives a single streaming call: the stage's
 /// optimizer (velocity, SC/LWP buffers) and its update counter, which
 /// doubles as the stage's schedule position.
-struct StageSlot {
-    opt: StageOptimizer,
-    updates: usize,
+#[derive(Debug)]
+pub(crate) struct StageSlot {
+    pub(crate) opt: StageOptimizer,
+    pub(crate) updates: usize,
+}
+
+/// Everything a successful streaming call hands back to the engine.
+struct StreamOutput {
+    net: Network,
+    losses: Vec<f32>,
+    report: ThroughputReport,
+    counters: Vec<StageCounters>,
+    slots: Vec<StageSlot>,
 }
 
 /// The threaded pipeline runtime (see module docs).
 ///
-/// Use the static [`ThreadedPipeline::train`] to stream one batch of
-/// samples through a network, or construct a stateful engine with
+/// Use the static [`ThreadedPipeline::train`] /
+/// [`ThreadedPipeline::try_train`] to stream one batch of samples through
+/// a network, or construct a stateful engine with
 /// [`ThreadedPipeline::new`] to drive it through the shared
 /// [`run_training`](crate::engine::run_training) loop. The stateful form
 /// keeps per-stage optimizer state (velocity, SC/LWP buffers, schedule
@@ -124,6 +174,12 @@ struct StageSlot {
 /// momentum and the learning-rate schedule carry across epochs exactly as
 /// in the other engines; the static form starts from fresh optimizer
 /// state each call.
+///
+/// On a [`PipelineFault`] the engine is **poisoned**: the network and
+/// optimizer state were lost with the failed workers. The fault is
+/// retrievable once via [`TrainEngine::take_fault`]; recovery means
+/// rebuilding the engine and resuming from a snapshot (see
+/// [`run_supervised`](crate::supervisor::run_supervised)).
 pub struct ThreadedPipeline {
     net: Option<Network>,
     config: ThreadedConfig,
@@ -132,6 +188,7 @@ pub struct ThreadedPipeline {
     samples_seen: usize,
     pipeline_stage_count: usize,
     last_throughput: Option<ThroughputReport>,
+    fault: Option<PipelineFault>,
 }
 
 impl std::fmt::Debug for ThreadedPipeline {
@@ -159,6 +216,7 @@ impl ThreadedPipeline {
             samples_seen: 0,
             pipeline_stage_count,
             last_throughput: None,
+            fault: None,
         }
     }
 
@@ -183,13 +241,26 @@ impl ThreadedPipeline {
     }
 
     /// Borrows the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was poisoned by a [`PipelineFault`] — the
+    /// network was lost with the failed workers; rebuild the engine and
+    /// resume from a snapshot.
     pub fn network_mut(&mut self) -> &mut Network {
-        self.net.as_mut().expect("network present")
+        self.net
+            .as_mut()
+            .expect("network lost to a pipeline fault; rebuild the engine (see take_fault)")
     }
 
     /// Consumes the engine, returning the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was poisoned by a [`PipelineFault`].
     pub fn into_network(self) -> Network {
-        self.net.expect("network present")
+        self.net
+            .expect("network lost to a pipeline fault; rebuild the engine (see take_fault)")
     }
 
     /// Throughput of the most recent training call, if any.
@@ -199,22 +270,42 @@ impl ThreadedPipeline {
 
     /// Streams `samples` through the pipeline, accumulating metrics;
     /// returns per-sample losses in input order. Per-stage optimizer
-    /// state persists across calls (see the type docs).
-    pub fn stream(&mut self, samples: &[(Tensor, usize)]) -> Vec<f32> {
+    /// state persists across calls (see the type docs). On a fault the
+    /// engine is poisoned and the fault is both returned and stored for
+    /// [`TrainEngine::take_fault`].
+    pub fn try_stream(&mut self, samples: &[(Tensor, usize)]) -> Result<Vec<f32>, PipelineFault> {
         if samples.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let net = self.net.take().expect("network present");
-        let (net, losses, report, counters) =
-            Self::train_with_slots(net, samples, &self.config, &mut self.slots);
-        self.net = Some(net);
-        for (s, c) in counters.iter().enumerate() {
-            self.metrics.merge_stage(s, c);
+        let net = self
+            .net
+            .take()
+            .expect("network lost to a pipeline fault; rebuild the engine (see take_fault)");
+        let slots = std::mem::take(&mut self.slots);
+        match Self::train_with_slots(net, samples, &self.config, slots) {
+            Ok(out) => {
+                self.net = Some(out.net);
+                self.slots = out.slots;
+                for (s, c) in out.counters.iter().enumerate() {
+                    self.metrics.merge_stage(s, c);
+                }
+                self.metrics.add_train_ns(out.report.elapsed.as_nanos());
+                self.samples_seen += samples.len();
+                self.last_throughput = Some(out.report);
+                Ok(out.losses)
+            }
+            Err(fault) => {
+                self.fault = Some(fault.clone());
+                Err(fault)
+            }
         }
-        self.metrics.add_train_ns(report.elapsed.as_nanos());
-        self.samples_seen += samples.len();
-        self.last_throughput = Some(report);
-        losses
+    }
+
+    /// [`ThreadedPipeline::try_stream`] with the legacy panic-on-fault
+    /// contract.
+    pub fn stream(&mut self, samples: &[(Tensor, usize)]) -> Vec<f32> {
+        self.try_stream(samples)
+            .unwrap_or_else(|fault| panic!("threaded pipeline fault: {fault}"))
     }
 
     /// Streams `samples` through the pipeline once, training as it goes.
@@ -223,38 +314,73 @@ impl ThreadedPipeline {
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty or a worker thread panics.
+    /// Panics if `samples` is empty or the run ends in a
+    /// [`PipelineFault`] (use [`ThreadedPipeline::try_train`] for a typed
+    /// error).
     pub fn train(
         net: Network,
         samples: &[(Tensor, usize)],
         config: &ThreadedConfig,
     ) -> (Network, Vec<f32>, ThroughputReport) {
-        let (net, losses, report, _) = Self::train_instrumented(net, samples, config);
-        (net, losses, report)
+        Self::try_train(net, samples, config)
+            .unwrap_or_else(|fault| panic!("threaded pipeline fault: {fault}"))
+    }
+
+    /// Fallible [`ThreadedPipeline::train`]: a detected stage panic,
+    /// stall or severed channel returns a typed [`PipelineFault`] within
+    /// the watchdog timeout instead of hanging or propagating the panic.
+    pub fn try_train(
+        net: Network,
+        samples: &[(Tensor, usize)],
+        config: &ThreadedConfig,
+    ) -> Result<(Network, Vec<f32>, ThroughputReport), PipelineFault> {
+        let (net, losses, report, _) = Self::try_train_instrumented(net, samples, config)?;
+        Ok((net, losses, report))
     }
 
     /// [`ThreadedPipeline::train`], additionally returning the per-stage
     /// counters measured by the workers (effective delays included).
     /// Starts from fresh optimizer state; the stateful engine goes through
-    /// [`ThreadedPipeline::stream`] instead, which persists it.
+    /// [`ThreadedPipeline::try_stream`] instead, which persists it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`PipelineFault`]; see
+    /// [`ThreadedPipeline::try_train_instrumented`].
     pub fn train_instrumented(
         net: Network,
         samples: &[(Tensor, usize)],
         config: &ThreadedConfig,
     ) -> (Network, Vec<f32>, ThroughputReport, Vec<StageCounters>) {
-        let mut slots = Self::fresh_slots(&net, config);
-        Self::train_with_slots(net, samples, config, &mut slots)
+        Self::try_train_instrumented(net, samples, config)
+            .unwrap_or_else(|fault| panic!("threaded pipeline fault: {fault}"))
     }
 
-    /// Core runtime: streams `samples` through scoped worker threads, each
-    /// borrowing its stage's [`StageSlot`] so optimizer state survives the
-    /// call.
+    /// Fallible [`ThreadedPipeline::train_instrumented`].
+    #[allow(clippy::type_complexity)]
+    pub fn try_train_instrumented(
+        net: Network,
+        samples: &[(Tensor, usize)],
+        config: &ThreadedConfig,
+    ) -> Result<(Network, Vec<f32>, ThroughputReport, Vec<StageCounters>), PipelineFault> {
+        let slots = Self::fresh_slots(&net, config);
+        let out = Self::train_with_slots(net, samples, config, slots)?;
+        Ok((out.net, out.losses, out.report, out.counters))
+    }
+
+    /// Core supervised runtime: spawns one owned worker thread per stage,
+    /// then runs the control plane on the calling thread — feeding
+    /// samples with bounded waits, draining heartbeats/losses, checking
+    /// the watchdog, and on any fault aborting, draining within the
+    /// shutdown grace and detaching whatever will not die. Stage payloads
+    /// travel back by value over the events channel, so joins never
+    /// block on an unresponsive worker.
     fn train_with_slots(
         net: Network,
         samples: &[(Tensor, usize)],
         config: &ThreadedConfig,
-        slots: &mut [StageSlot],
-    ) -> (Network, Vec<f32>, ThroughputReport, Vec<StageCounters>) {
+        slots: Vec<StageSlot>,
+    ) -> Result<StreamOutput, PipelineFault> {
         assert!(!samples.is_empty(), "need at least one sample");
         let stages = net.into_stages();
         assert_eq!(stages.len(), slots.len(), "one slot per layer stage");
@@ -263,100 +389,184 @@ impl ThreadedPipeline {
         // one pool core per *heavy* stage for the duration of the run so
         // the two layers of parallelism divide the machine instead of
         // oversubscribing it; the reservation is dropped right after the
-        // workers join. Kernels are bit-identical at any thread count, so
+        // run ends. Kernels are bit-identical at any thread count, so
         // this shifts wall-clock only, never results.
         let cores = reserve_stage_cores(&stages);
         let num_layer_stages = stages.len();
         let cap = config.channel_capacity.max(1);
+        let poll = config.watchdog.poll.max(Duration::from_millis(1));
+        let mut sup = StreamSupervisor::new(num_layer_stages, config.watchdog.clone());
+        let abort = sup.abort_flag();
 
         // Backward channels: bwd[s] carries gradients into stage s.
         let bwd_channels: Vec<(Sender<BwdMsg>, Receiver<BwdMsg>)> =
             (0..num_layer_stages).map(|_| unbounded()).collect();
         // Completion channel (fill-and-drain mode only).
         let (done_tx, done_rx) = unbounded::<()>();
+        // Loss results flow out-of-band on an unbounded channel so
+        // reporting a loss never blocks anyone.
+        let (loss_tx, loss_rx) = unbounded::<(usize, f32)>();
+        // Control plane: heartbeats and final stage reports.
+        let (events_tx, events_rx) = unbounded::<StageEvent>();
+        let (feed_tx, mut next_fwd_rx) = bounded::<FwdMsg>(cap);
 
         let start = Instant::now();
-        let mut stage_slots: Vec<Option<Stage>> = (0..num_layer_stages).map(|_| None).collect();
-        let mut counter_slots: Vec<StageCounters> =
-            vec![StageCounters::default(); num_layer_stages];
-        let mut loss_pairs: Vec<(usize, f32)> = Vec::new();
-
-        std::thread::scope(|scope| {
-            let (feed_tx, mut next_fwd_rx) = bounded::<FwdMsg>(cap);
-            // Loss results flow out-of-band on an unbounded channel the main
-            // thread drains after the workers join, so reporting a loss never
-            // blocks (or wakes) anyone.
-            let (loss_tx, loss_rx) = unbounded::<(usize, f32)>();
-            let mut handles = Vec::with_capacity(num_layer_stages);
-            for ((s, stage), slot) in stages.into_iter().enumerate().zip(slots.iter_mut()) {
-                let (fwd_out, fwd_rx) = bounded::<FwdMsg>(cap);
-                let fwd_in = std::mem::replace(&mut next_fwd_rx, fwd_rx);
-                let bwd_in = bwd_channels[s].1.clone();
-                let bwd_out = (s > 0).then(|| bwd_channels[s - 1].0.clone());
-                let done = (s == 0 && config.fill_drain).then(|| done_tx.clone());
+        let mut handles = Vec::with_capacity(num_layer_stages);
+        for ((s, stage), slot) in stages.into_iter().enumerate().zip(slots) {
+            let (fwd_out, fwd_rx) = bounded::<FwdMsg>(cap);
+            let fwd_in = std::mem::replace(&mut next_fwd_rx, fwd_rx);
+            let ctx = StageCtx {
+                s,
+                stage,
+                slot,
+                fwd_in,
                 // The last layer stage computes the loss inline instead of
                 // forwarding logits: two channel hops per sample disappear,
                 // and with them two context switches on small cores.
-                let loss = (s + 1 == num_layer_stages).then(|| loss_tx.clone());
-                let fwd_out = (s + 1 != num_layer_stages).then_some(fwd_out);
-                let cfg = config.clone();
-                handles.push(scope.spawn(move || {
-                    run_stage(
-                        s, stage, slot, fwd_in, fwd_out, bwd_in, bwd_out, done, loss, &cfg,
-                    )
-                }));
-            }
-            // Drop the original channel endpoints held by this thread so
-            // disconnects propagate once workers finish.
-            drop(next_fwd_rx);
-            drop(bwd_channels);
-            drop(done_tx);
-            drop(loss_tx);
+                fwd_out: (s + 1 != num_layer_stages).then_some(fwd_out),
+                bwd_in: bwd_channels[s].1.clone(),
+                bwd_out: (s > 0).then(|| bwd_channels[s - 1].0.clone()),
+                done: (s == 0 && config.fill_drain).then(|| done_tx.clone()),
+                loss_out: (s + 1 == num_layer_stages).then(|| loss_tx.clone()),
+                config: config.clone(),
+                injector: config
+                    .fault_plan
+                    .as_ref()
+                    .map(|p| p.injector_for(s))
+                    .unwrap_or_default(),
+                abort: Arc::clone(&abort),
+                events: events_tx.clone(),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pbp-stage-{s}"))
+                    .spawn(move || run_stage(ctx))
+                    .expect("spawn stage worker"),
+            );
+        }
+        // Drop the original channel endpoints held by this thread so
+        // disconnects propagate once workers finish.
+        drop(next_fwd_rx);
+        drop(bwd_channels);
+        drop(done_tx);
+        drop(loss_tx);
+        drop(events_tx);
 
-            // ---- Feeder (this thread).
-            for (id, (x, label)) in samples.iter().enumerate() {
-                let mut shape = vec![1usize];
-                shape.extend_from_slice(x.shape());
-                let batched = x.reshape(&shape).expect("same volume");
-                feed_tx
-                    .send(FwdMsg {
-                        id,
-                        stack: vec![batched],
-                        label: *label,
-                    })
-                    .expect("pipeline alive");
-                if config.fill_drain {
-                    done_rx.recv().expect("stage 0 reports completion");
-                }
-            }
-            drop(feed_tx);
-
-            for handle in handles {
-                let (s, stage, counters) = handle.join().expect("stage worker panicked");
-                stage_slots[s] = Some(stage);
-                counter_slots[s] = counters;
+        // ---- Control plane (this thread): feeder + watchdog + collector.
+        let mut feed_tx = Some(feed_tx);
+        let mut next = 0usize;
+        let mut awaiting_drain = false;
+        let mut pending: Option<FwdMsg> = None;
+        let mut loss_pairs: Vec<(usize, f32)> = Vec::new();
+        loop {
+            while let Ok(event) = events_rx.try_recv() {
+                sup.on_event(event);
             }
             while let Ok(pair) = loss_rx.try_recv() {
                 loss_pairs.push(pair);
             }
-        });
+            if sup.all_done() {
+                while let Ok(pair) = loss_rx.try_recv() {
+                    loss_pairs.push(pair);
+                }
+                if sup.fault().is_none() && loss_pairs.len() < samples.len() {
+                    sup.flag(PipelineFault::Incomplete {
+                        expected: samples.len(),
+                        completed: loss_pairs.len(),
+                    });
+                }
+                break;
+            }
+            if sup.aborting() {
+                drop(feed_tx.take());
+                if sup.grace_expired() {
+                    break;
+                }
+                if let Ok(event) = events_rx.recv_timeout(poll) {
+                    sup.on_event(event);
+                }
+                continue;
+            }
+            if sup.check_watchdog() {
+                continue;
+            }
+            if awaiting_drain {
+                match done_rx.recv_timeout(poll) {
+                    Ok(()) => awaiting_drain = false,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        sup.flag(PipelineFault::ChannelClosed { stage: 0 })
+                    }
+                }
+            } else if next < samples.len() {
+                let msg = pending.take().unwrap_or_else(|| {
+                    let (x, label) = &samples[next];
+                    let mut shape = vec![1usize];
+                    shape.extend_from_slice(x.shape());
+                    FwdMsg {
+                        id: next,
+                        stack: vec![x.reshape(&shape).expect("same volume")],
+                        label: *label,
+                    }
+                });
+                let tx = feed_tx.as_ref().expect("feeder open while not aborting");
+                match tx.send_timeout(msg, poll) {
+                    Ok(()) => {
+                        next += 1;
+                        if config.fill_drain {
+                            awaiting_drain = true;
+                        }
+                    }
+                    Err(SendTimeoutError::Timeout(m)) => pending = Some(m),
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        sup.flag(PipelineFault::ChannelClosed { stage: 0 })
+                    }
+                }
+            } else {
+                // End of stream: dropping the feeder starts the shutdown
+                // cascade; park on control-plane events until all report.
+                drop(feed_tx.take());
+                if let Ok(event) = events_rx.recv_timeout(poll) {
+                    sup.on_event(event);
+                }
+            }
+        }
+        drop(feed_tx);
 
+        // Join only workers that already reported in (non-blocking by
+        // construction); the rest are detached and exit on their own once
+        // their blocked operation observes the abort flag or a disconnect.
+        for (s, handle) in handles.into_iter().enumerate() {
+            if sup.is_done(s) {
+                let _ = handle.join();
+            }
+        }
         drop(cores);
         let elapsed = start.elapsed();
+
+        let parts = sup.into_result()?;
         loss_pairs.sort_by_key(|(id, _)| *id);
         let losses: Vec<f32> = loss_pairs.into_iter().map(|(_, l)| l).collect();
-        let net = Network::new(
-            stage_slots
-                .into_iter()
-                .map(|s| s.expect("every stage returned"))
-                .collect(),
-        );
+        let mut net_stages = Vec::with_capacity(num_layer_stages);
+        let mut out_slots = Vec::with_capacity(num_layer_stages);
+        let mut counters = Vec::with_capacity(num_layer_stages);
+        for (stage, slot, c) in parts {
+            net_stages.push(stage);
+            out_slots.push(slot);
+            counters.push(c);
+        }
         let report = ThroughputReport {
             samples: samples.len(),
             elapsed,
             samples_per_sec: samples.len() as f64 / elapsed.as_secs_f64().max(1e-12),
         };
-        (net, losses, report, counter_slots)
+        Ok(StreamOutput {
+            net: Network::new(net_stages),
+            losses,
+            report,
+            counters,
+            slots: out_slots,
+        })
     }
 }
 
@@ -428,13 +638,26 @@ impl TrainEngine for ThreadedPipeline {
                 (x.clone(), label)
             })
             .collect();
-        let losses = self.stream(&samples);
-        (losses.iter().map(|&l| l as f64).sum::<f64>(), losses.len())
+        match self.try_stream(&samples) {
+            Ok(losses) => (losses.iter().map(|&l| l as f64).sum::<f64>(), losses.len()),
+            // Fault recorded for take_fault; the runner checks it before
+            // trusting the (empty) result.
+            Err(_) => (0.0, 0),
+        }
+    }
+
+    fn take_fault(&mut self) -> Option<PipelineFault> {
+        self.fault.take()
     }
 
     fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
         use pbp_snapshot::Snapshottable;
-        pbp_nn::snapshot::write_network(self.net.as_ref().expect("network present"), snap);
+        pbp_nn::snapshot::write_network(
+            self.net
+                .as_ref()
+                .expect("cannot snapshot a fault-poisoned engine"),
+            snap,
+        );
         crate::state::write_engine_section(snap, "threaded", |w| {
             w.put_usize(self.samples_seen);
             w.put_u32(self.slots.len() as u32);
@@ -495,103 +718,111 @@ impl TrainEngine for ThreadedPipeline {
     }
 }
 
-/// One stage worker: alternates between draining gradients (update +
-/// backward send) and accepting forward activations, until the upstream
-/// closes and all in-flight samples have returned. Optimizer state and
-/// the update counter live in the caller's [`StageSlot`].
-#[allow(clippy::too_many_arguments)]
-fn run_stage(
+/// Everything one stage worker thread owns.
+struct StageCtx {
     s: usize,
-    mut stage: Stage,
-    slot: &mut StageSlot,
+    stage: Stage,
+    slot: StageSlot,
     fwd_in: Receiver<FwdMsg>,
     fwd_out: Option<Sender<FwdMsg>>,
     bwd_in: Receiver<BwdMsg>,
     bwd_out: Option<Sender<BwdMsg>>,
     done: Option<Sender<()>>,
     loss_out: Option<Sender<(usize, f32)>>,
-    config: &ThreadedConfig,
-) -> (usize, Stage, StageCounters) {
+    config: ThreadedConfig,
+    injector: FaultInjector,
+    abort: Arc<AtomicBool>,
+    events: Sender<StageEvent>,
+}
+
+/// Stringifies a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One stage worker: runs the stream loop under `catch_unwind`, then
+/// ships its stage, optimizer slot, counters and outcome back to the
+/// supervisor over the events channel. Data-plane endpoints are severed
+/// *before* the final report so neighbours unblock even if the body
+/// panicked mid-message.
+fn run_stage(ctx: StageCtx) {
+    let StageCtx {
+        s,
+        stage,
+        slot,
+        fwd_in,
+        fwd_out,
+        bwd_in,
+        bwd_out,
+        done,
+        loss_out,
+        config,
+        injector,
+        abort,
+        events,
+    } = ctx;
     let mut worker = StageWorker {
-        stage: &mut stage,
-        opt: &mut slot.opt,
+        s,
+        stage,
+        opt: slot.opt,
+        updates: slot.updates,
         stash: VecDeque::new(),
         fwd_marks: VecDeque::new(),
         counters: StageCounters::default(),
-        updates: &mut slot.updates,
         fwd_out,
         bwd_out,
         done,
         loss_out,
         config,
+        injector,
+        abort,
+        events: events.clone(),
+        last_beat: Instant::now(),
     };
-
-    let mut in_flight = 0usize;
-    let mut fwd_open = true;
-    loop {
-        // Drain pending gradients first: updates should never wait.
-        while let Ok(msg) = bwd_in.try_recv() {
-            worker.handle_bwd(msg);
-            in_flight -= 1;
-        }
-        if !fwd_open && in_flight == 0 {
-            break;
-        }
-        if fwd_open && in_flight > 0 {
-            crossbeam::channel::select! {
-                recv(bwd_in) -> msg => {
-                    if let Ok(msg) = msg {
-                        worker.handle_bwd(msg);
-                        in_flight -= 1;
-                    }
-                }
-                recv(fwd_in) -> msg => match msg {
-                    Ok(msg) => {
-                        if let Some(grad) = worker.handle_fwd(msg) {
-                            worker.handle_bwd(grad);
-                        } else {
-                            in_flight += 1;
-                        }
-                    }
-                    Err(_) => fwd_open = false,
-                },
-            }
-        } else if in_flight > 0 {
-            match bwd_in.recv() {
-                Ok(msg) => {
-                    worker.handle_bwd(msg);
-                    in_flight -= 1;
-                }
-                Err(_) => break,
-            }
-        } else {
-            match fwd_in.recv() {
-                Ok(msg) => {
-                    if let Some(grad) = worker.handle_fwd(msg) {
-                        worker.handle_bwd(grad);
-                    } else {
-                        in_flight += 1;
-                    }
-                }
-                Err(_) => fwd_open = false,
-            }
-        }
-    }
-    let counters = std::mem::take(&mut worker.counters);
-    drop(worker);
-    (s, stage, counters)
+    let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        worker.run(&fwd_in, &bwd_in)
+    })) {
+        Ok(()) => StageOutcome::Completed,
+        Err(payload) => StageOutcome::Panicked(panic_message(payload.as_ref())),
+    };
+    let StageWorker {
+        stage,
+        opt,
+        updates,
+        counters,
+        fwd_out,
+        bwd_out,
+        done,
+        loss_out,
+        ..
+    } = worker;
+    drop((fwd_out, bwd_out, done, loss_out, fwd_in, bwd_in));
+    let _ = events.send(StageEvent::Done(Box::new(StageDone {
+        stage_idx: s,
+        stage,
+        slot: StageSlot { opt, updates },
+        counters,
+        outcome,
+    })));
 }
 
-struct StageWorker<'a> {
-    stage: &'a mut Stage,
-    opt: &'a mut StageOptimizer,
+struct StageWorker {
+    s: usize,
+    stage: Stage,
+    opt: StageOptimizer,
     stash: VecDeque<Vec<Tensor>>,
     /// Update count at the time of each in-flight forward pass; the
     /// difference at backward time is the stage's *realized* gradient
     /// delay (emergent from thread interleaving, not imposed).
     fwd_marks: VecDeque<usize>,
     counters: StageCounters,
-    updates: &'a mut usize,
+    updates: usize,
     /// Downstream activation channel; `None` on the last layer stage, which
     /// terminates the forward pass at the inline loss instead.
     fwd_out: Option<Sender<FwdMsg>>,
@@ -600,17 +831,123 @@ struct StageWorker<'a> {
     /// Per-sample `(id, loss)` reporting channel; `Some` only on the last
     /// layer stage.
     loss_out: Option<Sender<(usize, f32)>>,
-    config: &'a ThreadedConfig,
+    config: ThreadedConfig,
+    injector: FaultInjector,
+    abort: Arc<AtomicBool>,
+    events: Sender<StageEvent>,
+    last_beat: Instant,
 }
 
-impl StageWorker<'_> {
+impl StageWorker {
+    fn tick(&self) -> Duration {
+        self.config.watchdog.poll.max(Duration::from_millis(1))
+    }
+
+    /// Rate-limited liveness signal to the supervisor.
+    fn beat(&mut self) {
+        if self.last_beat.elapsed() >= BEAT_INTERVAL {
+            let _ = self.events.send(StageEvent::Beat { stage: self.s });
+            self.last_beat = Instant::now();
+        }
+    }
+
+    /// The stream loop: alternates between draining gradients (update +
+    /// backward send) and accepting forward activations, until the
+    /// upstream closes and all in-flight samples have returned — or the
+    /// supervisor raises the abort flag. All waits are bounded by the
+    /// watchdog poll tick so the abort flag is observed promptly.
+    fn run(&mut self, fwd_in: &Receiver<FwdMsg>, bwd_in: &Receiver<BwdMsg>) {
+        let tick = self.tick();
+        let mut in_flight = 0usize;
+        let mut fwd_open = true;
+        loop {
+            if self.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            // Drain pending gradients first: updates should never wait.
+            while let Ok(msg) = bwd_in.try_recv() {
+                self.handle_bwd(msg);
+                in_flight -= 1;
+            }
+            if !fwd_open && in_flight == 0 {
+                return;
+            }
+            if fwd_open && in_flight > 0 {
+                match select2_timeout(bwd_in, fwd_in, tick) {
+                    Some(Select2::First(Ok(msg))) => {
+                        self.handle_bwd(msg);
+                        in_flight -= 1;
+                    }
+                    // Downstream died with our samples in flight: their
+                    // gradients will never arrive.
+                    Some(Select2::First(Err(_))) => return,
+                    Some(Select2::Second(Ok(msg))) => {
+                        if let Some(grad) = self.handle_fwd(msg) {
+                            self.handle_bwd(grad);
+                        } else {
+                            in_flight += 1;
+                        }
+                    }
+                    Some(Select2::Second(Err(_))) => fwd_open = false,
+                    None => self.beat(),
+                }
+            } else if in_flight > 0 {
+                match bwd_in.recv_timeout(tick) {
+                    Ok(msg) => {
+                        self.handle_bwd(msg);
+                        in_flight -= 1;
+                    }
+                    Err(RecvTimeoutError::Timeout) => self.beat(),
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            } else {
+                match fwd_in.recv_timeout(tick) {
+                    Ok(msg) => {
+                        if let Some(grad) = self.handle_fwd(msg) {
+                            self.handle_bwd(grad);
+                        } else {
+                            in_flight += 1;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => self.beat(),
+                    Err(RecvTimeoutError::Disconnected) => fwd_open = false,
+                }
+            }
+        }
+    }
+
+    /// Abort-aware bounded send downstream: retries on back-pressure,
+    /// beating each tick (a full downstream is *their* stall, not ours),
+    /// gives up on disconnect, severed link or abort.
+    fn send_fwd(&mut self, mut msg: FwdMsg) {
+        let tick = self.tick();
+        loop {
+            if self.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            let Some(tx) = &self.fwd_out else {
+                // Severed by fault injection: the sample is silently lost.
+                return;
+            };
+            match tx.send_timeout(msg, tick) {
+                Ok(()) => return,
+                Err(SendTimeoutError::Timeout(m)) => {
+                    msg = m;
+                    self.beat();
+                }
+                Err(SendTimeoutError::Disconnected(_)) => return,
+            }
+        }
+    }
+
     /// Runs the forward pass and either forwards the activations downstream
     /// (returning `None`) or — on the last layer stage — computes the loss
     /// inline and returns the gradient message for an immediate
     /// [`Self::handle_bwd`] by the caller.
     fn handle_fwd(&mut self, mut msg: FwdMsg) -> Option<BwdMsg> {
+        self.beat();
         let start = Instant::now();
-        self.fwd_marks.push_back(*self.updates);
+        self.fwd_marks.push_back(self.updates);
         let params = self.stage.params();
         let predicted = if params.is_empty() {
             None
@@ -638,20 +975,33 @@ impl StageWorker<'_> {
             return Some(BwdMsg { stack: vec![grad] });
         }
         self.counters.add_busy_ns(start.elapsed().as_nanos());
-        let _ = self
-            .fwd_out
-            .as_ref()
-            .expect("non-terminal stages have a forward channel")
-            .send(msg);
+        self.send_fwd(msg);
         None
     }
 
     fn handle_bwd(&mut self, mut msg: BwdMsg) {
+        self.beat();
+        // Fault-injection point: "update N" faults strike while the
+        // update is being applied, exactly where a real stage dies.
+        match self.injector.on_update(self.updates) {
+            FaultAction::None => {}
+            FaultAction::Panic => panic!(
+                "injected fault: stage {} panics at update {}",
+                self.s, self.updates
+            ),
+            FaultAction::Stall(d) => std::thread::sleep(d),
+            FaultAction::Sever => {
+                self.fwd_out = None;
+                self.bwd_out = None;
+                self.done = None;
+                self.loss_out = None;
+            }
+        }
         let start = Instant::now();
         let mark = self.fwd_marks.pop_front().expect("gradients in fifo order");
-        let delay = *self.updates - mark;
+        let delay = self.updates - mark;
         self.opt
-            .set_hyperparams(self.config.schedule.at(*self.updates));
+            .set_hyperparams(self.config.schedule.at(self.updates));
         self.stage.zero_grads();
         if self.config.weight_stashing {
             let stashed = self.stash.pop_front().expect("stash in backward order");
@@ -671,7 +1021,7 @@ impl StageWorker<'_> {
         if has_params {
             self.opt.step(&mut params, &grads);
         }
-        *self.updates += 1;
+        self.updates += 1;
         if has_params {
             self.counters
                 .record_update(delay, start.elapsed().as_nanos());
@@ -694,6 +1044,7 @@ impl StageWorker<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
     use crate::trainer::{evaluate, SgdmTrainer};
     use pbp_data::spirals;
     use pbp_nn::models::mlp;
@@ -813,5 +1164,24 @@ mod tests {
         let (_, losses, _) = ThreadedPipeline::train(net, &samples, &cfg);
         assert_eq!(losses.len(), 60);
         assert!(losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn injected_panic_poisons_stateful_engine_with_typed_fault() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = mlp(&[2, 8, 8, 3], &mut rng);
+        let cfg = ThreadedConfig::fill_drain(schedule())
+            .with_fault_plan(FaultPlan::new(0).with(FaultSpec::panic_at(1, 3)))
+            .with_watchdog(Watchdog::fast());
+        let mut engine = ThreadedPipeline::new(net, cfg);
+        let samples = sample_vec(20);
+        let err = engine.try_stream(&samples).unwrap_err();
+        assert!(
+            matches!(err, PipelineFault::StagePanicked { stage: 1, .. }),
+            "{err}"
+        );
+        // The fault is stored for the runner, exactly once.
+        assert_eq!(TrainEngine::take_fault(&mut engine), Some(err));
+        assert_eq!(TrainEngine::take_fault(&mut engine), None);
     }
 }

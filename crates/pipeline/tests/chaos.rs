@@ -1,0 +1,308 @@
+//! Chaos suite for the supervised threaded pipeline (ISSUE 5 acceptance):
+//!
+//! * (a) injected stage panics and stalls surface as typed
+//!   [`PipelineFault`]s within the watchdog timeout — never a deadlock,
+//!   across a proptest sweep of random fault plans;
+//! * (b) a kill-at-update-N plus supervisor auto-resume of the
+//!   deterministic threaded fill/drain engine is bit-identical to the
+//!   uninterrupted run;
+//! * (c) a repeatedly-failing stage degrades the run to the deterministic
+//!   emulator, which completes training with the switchover recorded in
+//!   the metrics output.
+
+use pbp_data::{blobs, Dataset};
+use pbp_nn::models::mlp;
+use pbp_nn::Network;
+use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule};
+use pbp_pipeline::{
+    run_supervised, run_training_with_snapshots, EngineSpec, FaultPlan, FaultSpec, JsonSink,
+    NoHooks, PipelineFault, RecoveryPolicy, RunConfig, RunError, SnapshotPolicy, SupervisionEvent,
+    ThreadedConfig, ThreadedPipeline, Watchdog,
+};
+use pbp_snapshot::{latest_valid_snapshot, SnapshotArchive};
+use pbp_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn schedule() -> LrSchedule {
+    let hp = scale_hyperparams(Hyperparams::new(0.1, 0.9), 8, 1);
+    LrSchedule::constant(hp)
+}
+
+fn fresh_net(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    mlp(&[2, 8, 8, 3], &mut rng)
+}
+
+fn sample_vec(data: &Dataset, n: usize) -> Vec<(Tensor, usize)> {
+    (0..n)
+        .map(|i| {
+            let (x, l) = data.sample(i % data.len());
+            (x.clone(), l)
+        })
+        .collect()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pbp_chaos_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Satellite regression: a forced stage panic used to drop a channel
+/// sender and block the neighbours' `recv()` forever. Under supervision
+/// it must surface as a typed fault, fast.
+#[test]
+fn forced_stage_panic_returns_typed_error_not_deadlock() {
+    let data = blobs(3, 10, 0.4, 1);
+    let samples = sample_vec(&data, 30);
+    let cfg = ThreadedConfig::pb(schedule())
+        .with_fault_plan(FaultPlan::new(0).with(FaultSpec::panic_at(1, 5)))
+        .with_watchdog(Watchdog::fast());
+    let start = Instant::now();
+    let err = ThreadedPipeline::try_train(fresh_net(1), &samples, &cfg).unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(err, PipelineFault::StagePanicked { stage: 1, .. }),
+        "{err}"
+    );
+    assert!(
+        err.to_string().contains("injected fault"),
+        "panic payload should be preserved: {err}"
+    );
+    // Fast watchdog: detection + shutdown grace is well under a second;
+    // anything near this bound would mean we hung until some timeout.
+    assert!(elapsed < Duration::from_secs(5), "took {elapsed:?}");
+}
+
+/// (a) An injected stall longer than the stall timeout is detected by the
+/// watchdog and attributed to the right stage.
+#[test]
+fn injected_stall_is_flagged_by_watchdog_within_timeout() {
+    let data = blobs(3, 10, 0.4, 2);
+    let samples = sample_vec(&data, 30);
+    let cfg = ThreadedConfig::fill_drain(schedule())
+        .with_fault_plan(FaultPlan::new(0).with(FaultSpec::stall_at(
+            1,
+            3,
+            Duration::from_millis(800),
+        )))
+        .with_watchdog(Watchdog::fast().with_stall_timeout(Duration::from_millis(100)));
+    let start = Instant::now();
+    let err = ThreadedPipeline::try_train(fresh_net(2), &samples, &cfg).unwrap_err();
+    let elapsed = start.elapsed();
+    match err {
+        PipelineFault::StageStalled { stage, stalled_for } => {
+            assert_eq!(stage, 1, "stall attributed to the sleeping stage");
+            assert!(stalled_for >= Duration::from_millis(100));
+        }
+        other => panic!("expected a stall fault, got {other}"),
+    }
+    // Detection must not wait out the full 800 ms sleep plus margin—the
+    // watchdog fires at ~100 ms and the grace period is 500 ms.
+    assert!(elapsed < Duration::from_secs(3), "took {elapsed:?}");
+}
+
+// (a) Zero deadlocks across random fault plans: whatever combination of
+// panics, stalls, channel drops and jitter a seed produces, on either
+// threaded mode, the run terminates promptly with success or a typed
+// fault.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_fault_plans_always_terminate(seed in 0u64..10_000) {
+        let net = fresh_net(seed);
+        let stages = net.num_stages();
+        let plan = FaultPlan::random(seed, stages, 40);
+        let base = if seed % 2 == 0 {
+            ThreadedConfig::pb(schedule())
+        } else {
+            ThreadedConfig::fill_drain(schedule())
+        };
+        let cfg = base
+            .with_fault_plan(plan)
+            .with_watchdog(Watchdog::fast());
+        let data = blobs(3, 10, 0.4, 3);
+        let samples = sample_vec(&data, 40);
+        let start = Instant::now();
+        let result = ThreadedPipeline::try_train(net, &samples, &cfg);
+        let elapsed = start.elapsed();
+        prop_assert!(
+            elapsed < Duration::from_secs(20),
+            "seed {seed}: near-hang, took {elapsed:?}"
+        );
+        match result {
+            Ok((_, losses, _)) => prop_assert_eq!(losses.len(), samples.len()),
+            Err(fault) => {
+                // Any typed fault is an acceptable terminal state; its
+                // Display must not panic either.
+                let _ = fault.to_string();
+            }
+        }
+    }
+}
+
+/// (b) Kill at update N, then supervisor auto-resume: for the
+/// deterministic threaded fill/drain engine the recovered run must be
+/// bit-identical to an uninterrupted one — same epoch records, same
+/// final weights.
+#[test]
+fn supervised_recovery_is_bit_identical_for_deterministic_engine() {
+    let data = blobs(3, 10, 0.4, 9);
+    let (train, val) = data.split(0.25);
+    let config = RunConfig::new(2, 17);
+
+    // Uninterrupted reference run with the same snapshot cadence.
+    let clean_dir = tmpdir("clean");
+    let clean_spec = EngineSpec::Threaded(ThreadedConfig::fill_drain(schedule()));
+    let mut clean_engine = clean_spec.build(fresh_net(7));
+    let clean_report = run_training_with_snapshots(
+        clean_engine.as_mut(),
+        &train,
+        &val,
+        &config,
+        &SnapshotPolicy::new(&clean_dir, 4),
+        &mut NoHooks,
+    )
+    .expect("clean run");
+
+    // Same engine, same data, but stage 1 panics once at update 12 — a
+    // transient fault the supervisor must absorb via snapshot resume.
+    let chaos_dir = tmpdir("recover");
+    let faulty_spec = EngineSpec::Threaded(
+        ThreadedConfig::fill_drain(schedule())
+            .with_fault_plan(FaultPlan::new(0).with(FaultSpec::panic_at(1, 12)))
+            .with_watchdog(Watchdog::fast()),
+    );
+    let outcome = run_supervised(
+        &faulty_spec,
+        &mut || fresh_net(7),
+        &train,
+        &val,
+        &config,
+        &SnapshotPolicy::new(&chaos_dir, 4),
+        &RecoveryPolicy::immediate(3),
+        &mut NoHooks,
+    )
+    .expect("supervised run recovers");
+
+    assert!(outcome.restarts >= 1, "the fault must actually have fired");
+    assert!(!outcome.degraded);
+    assert!(outcome
+        .events
+        .iter()
+        .any(|e| matches!(e, SupervisionEvent::Fault { .. })));
+
+    // Records (train loss, val loss, val acc) are f64-exact.
+    assert_eq!(clean_report.records.len(), outcome.report.records.len());
+    for (a, b) in clean_report.records.iter().zip(&outcome.report.records) {
+        assert_eq!(a, b, "records diverged after recovery");
+    }
+
+    // Final weights are byte-identical: compare the `net` sections of the
+    // final snapshots both runs wrote on completion.
+    let clean_snap = latest_valid_snapshot(&clean_dir).unwrap().unwrap();
+    let chaos_snap = latest_valid_snapshot(&chaos_dir).unwrap().unwrap();
+    assert_eq!(
+        clean_snap.file_name(),
+        chaos_snap.file_name(),
+        "both runs end at the same sample count"
+    );
+    let clean_net = SnapshotArchive::load(&clean_snap).unwrap();
+    let chaos_net = SnapshotArchive::load(&chaos_snap).unwrap();
+    assert_eq!(
+        clean_net.section("net").unwrap(),
+        chaos_net.section("net").unwrap(),
+        "final network weights must be bit-identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+}
+
+/// (c) A hard (recurring) fault exhausts retries and degrades to the
+/// deterministic emulator, which completes the run; the switchover is
+/// visible in the recorded metrics JSON.
+#[test]
+fn repeated_fault_degrades_to_emulator_and_completes() {
+    let data = blobs(3, 8, 0.4, 11);
+    let (train, val) = data.split(0.25);
+    let config = RunConfig::new(2, 23);
+    let dir = tmpdir("degrade");
+    let spec = EngineSpec::Threaded(
+        ThreadedConfig::fill_drain(schedule())
+            .with_fault_plan(FaultPlan::new(0).with(FaultSpec::panic_at(1, 5).recurring()))
+            .with_watchdog(Watchdog::fast()),
+    );
+    let sink_path = dir.join("metrics.json");
+    let mut sink = JsonSink::new(&sink_path);
+    let outcome = run_supervised(
+        &spec,
+        &mut || fresh_net(13),
+        &train,
+        &val,
+        &config,
+        &SnapshotPolicy::new(&dir, 2),
+        &RecoveryPolicy::immediate(1),
+        &mut sink,
+    )
+    .expect("degraded run completes");
+
+    assert!(outcome.degraded, "run must have degraded");
+    assert_eq!(outcome.restarts, 1);
+    let degraded_to = outcome.events.iter().find_map(|e| match e {
+        SupervisionEvent::Degraded { to } => Some(to.clone()),
+        _ => None,
+    });
+    assert_eq!(degraded_to.as_deref(), Some("Fill&Drain SGDM (N=1)"));
+    // Training finished: one record per epoch, all finite.
+    assert_eq!(outcome.report.records.len(), config.epochs);
+    assert!(outcome
+        .report
+        .records
+        .iter()
+        .all(|r| r.train_loss.is_finite() && r.val_acc.is_finite()));
+
+    // The switchover shows up in the metrics the sink recorded.
+    let json = sink.to_json();
+    assert!(json.contains("\"supervision\":["), "{json}");
+    assert!(json.contains("degraded to Fill&Drain SGDM (N=1)"), "{json}");
+    assert!(json.contains("panicked"), "{json}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With degradation disabled, exhausted retries surface the last typed
+/// fault instead.
+#[test]
+fn no_degrade_policy_surfaces_fault_after_retries() {
+    let data = blobs(3, 8, 0.4, 12);
+    let (train, val) = data.split(0.25);
+    let config = RunConfig::new(1, 29);
+    let dir = tmpdir("nodegrade");
+    let spec = EngineSpec::Threaded(
+        ThreadedConfig::fill_drain(schedule())
+            .with_fault_plan(FaultPlan::new(0).with(FaultSpec::panic_at(0, 2).recurring()))
+            .with_watchdog(Watchdog::fast()),
+    );
+    let err = run_supervised(
+        &spec,
+        &mut || fresh_net(21),
+        &train,
+        &val,
+        &config,
+        &SnapshotPolicy::new(&dir, 2),
+        &RecoveryPolicy::immediate(1).no_degrade(),
+        &mut NoHooks,
+    )
+    .expect_err("must fail without a degradation path");
+    match err {
+        RunError::Fault(PipelineFault::StagePanicked { stage: 0, .. }) => {}
+        other => panic!("expected the recurring stage-0 panic, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

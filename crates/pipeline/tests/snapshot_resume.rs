@@ -243,7 +243,10 @@ fn resume_rejects_mismatched_engines() {
     )
     .expect_err("resuming an SGDM snapshot into fill&drain must fail");
     assert!(
-        matches!(err, pbp_snapshot::SnapshotError::Mismatch(_)),
+        matches!(
+            err,
+            pbp_pipeline::RunError::Snapshot(pbp_snapshot::SnapshotError::Mismatch(_))
+        ),
         "typed mismatch, got {err:?}"
     );
     let _ = std::fs::remove_dir_all(&dir);

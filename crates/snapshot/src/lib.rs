@@ -39,7 +39,9 @@ mod crc;
 mod error;
 
 pub use codec::{StateReader, StateWriter};
-pub use container::{latest_snapshot, SnapshotArchive, SnapshotBuilder, MAGIC, VERSION};
+pub use container::{
+    latest_snapshot, latest_valid_snapshot, SnapshotArchive, SnapshotBuilder, MAGIC, VERSION,
+};
 pub use crc::{crc32, Crc32};
 pub use error::SnapshotError;
 

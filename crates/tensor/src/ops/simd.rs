@@ -92,15 +92,27 @@ pub fn detected_tier() -> SimdTier {
     SimdTier::Scalar
 }
 
+/// Parses a `PBP_SIMD` value into the tier *cap* it requests (the active
+/// tier is the minimum of this cap and the detected capability), or
+/// `None` for an unrecognized value — mirroring `PBP_THREADS` parsing in
+/// [`crate::pool`]: a pure function so the accepted grammar is testable
+/// without touching process environment.
+fn parse_simd(raw: &str) -> Option<SimdTier> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "0" | "off" | "scalar" => Some(SimdTier::Scalar),
+        "avx2" => Some(SimdTier::Avx2Fma),
+        "" | "1" | "on" | "auto" | "avx512" => Some(SimdTier::Avx512Fma),
+        _ => None,
+    }
+}
+
 fn env_tier() -> SimdTier {
     let best = detected_tier();
     match std::env::var("PBP_SIMD") {
         Err(_) => best,
-        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
-            "0" | "off" | "scalar" => SimdTier::Scalar,
-            "avx2" => best.min(SimdTier::Avx2Fma),
-            "" | "1" | "on" | "auto" | "avx512" => best,
-            _ => {
+        Ok(raw) => match parse_simd(&raw) {
+            Some(cap) => best.min(cap),
+            None => {
                 ENV_WARNING.call_once(|| {
                     eprintln!(
                         "warning: ignoring unrecognized PBP_SIMD={raw:?} \
@@ -342,5 +354,26 @@ mod tests {
         assert_eq!(SimdTier::Scalar.name(), "scalar");
         assert_eq!(SimdTier::Avx2Fma.name(), "avx2");
         assert_eq!(SimdTier::Avx512Fma.name(), "avx512");
+    }
+
+    #[test]
+    fn parse_simd_accepts_documented_grammar_only() {
+        // Scalar escape hatch, in all spellings.
+        for raw in ["0", "off", "scalar", " OFF ", "Scalar"] {
+            assert_eq!(parse_simd(raw), Some(SimdTier::Scalar), "{raw:?}");
+        }
+        // AVX2 cap.
+        assert_eq!(parse_simd("avx2"), Some(SimdTier::Avx2Fma));
+        assert_eq!(parse_simd("AVX2"), Some(SimdTier::Avx2Fma));
+        // Best-tier spellings (cap above everything, min() is identity).
+        for raw in ["", "1", "on", "auto", "avx512", " Auto "] {
+            assert_eq!(parse_simd(raw), Some(SimdTier::Avx512Fma), "{raw:?}");
+        }
+        // Everything else is rejected so env_tier falls back to the
+        // detected tier (with a one-time warning).
+        for raw in ["2", "sse", "avx", "true", "fastest", "avx2 "] {
+            let trimmed_ok = raw.trim() == "avx2";
+            assert_eq!(parse_simd(raw).is_none(), !trimmed_ok, "{raw:?}");
+        }
     }
 }

@@ -22,6 +22,11 @@ cargo test --workspace -q
 echo "== snapshot kill-and-resume smoke (threaded engine, bit-identical resume) =="
 cargo run --release -q -p pbp-bench --bin snapshot_smoke
 
+echo "== chaos smoke (seeded panic + stall, supervised recovery) =="
+# Injects a stage panic and a stage stall into a supervised threaded run;
+# the one worker-panic backtrace printed mid-run is the injection itself.
+cargo run --release -q -p pbp-bench --bin chaos_smoke
+
 echo "== kernel bench smoke (compile + one tiny timed pass) =="
 cargo bench -p pbp-bench --bench layer_kernels -- --test
 # The bench asserts every lane (tiled, SIMD, parallel, batched eval) is
