@@ -1,15 +1,16 @@
-//! Engine benchmark: runs all six training engines on one fixed workload
-//! through the shared [`run_training`] loop, prints a comparison table and
-//! writes the full per-stage metrics (updates, busy time, effective-delay
-//! histograms, occupancy, throughput) to `results/BENCH_engines.json` via
-//! the [`JsonSink`] observer.
+//! Engine benchmark: runs every training engine — including the 1F1B and
+//! 2BP schedules — on one fixed workload through the shared
+//! [`run_training`] loop, prints a comparison table and writes the full
+//! per-stage metrics (updates, busy time, effective-delay histograms,
+//! occupancy, throughput) to `results/BENCH_engines.json` via the
+//! [`JsonSink`] observer.
 
 use pbp_bench::{cifar_data, Budget, Table};
 use pbp_nn::models::simple_cnn;
 use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule, Mitigation};
 use pbp_pipeline::{
     run_training, DelayDistribution, DelayedConfig, EngineSpec, JsonSink, MetricsSink, PbConfig,
-    RunConfig, ThreadedConfig,
+    RunConfig, ScheduledConfig, ThreadedConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,6 +50,16 @@ fn main() {
             delay_seed: 17,
         },
         EngineSpec::Threaded(ThreadedConfig::pb(LrSchedule::constant(hp1))),
+        // 1F1B/2BP apply the mean gradient of M microbatches per update,
+        // so like fill&drain they take the batch-M hyperparameters.
+        EngineSpec::Scheduled(ScheduledConfig::one_f_one_b(
+            batch,
+            LrSchedule::constant(hp_batch),
+        )),
+        EngineSpec::Scheduled(ScheduledConfig::two_bp(
+            batch,
+            LrSchedule::constant(hp_batch),
+        )),
     ];
 
     println!(

@@ -38,6 +38,30 @@ pub trait Layer: Send {
     /// Runs the backward transformation in place on the gradient stack.
     fn backward(&mut self, grad_stack: &mut LaneStack);
 
+    /// Input-gradient half of the backward pass, for schedules that split
+    /// backward into grad-input and grad-weight (2BP): pops the output
+    /// gradients, pushes the input gradients, and *defers* the parameter
+    /// gradients — each call enqueues one unit of pending weight-gradient
+    /// work that a later [`Layer::backward_weight`] call retires.
+    ///
+    /// The default runs the fused [`Layer::backward`] (parameter gradients
+    /// accumulate immediately), leaving nothing deferred — correct for
+    /// parameterless layers and for layers whose parameter gradients depend
+    /// on intermediate values the fused pass computes anyway. Callers must
+    /// pair every `backward_input` with exactly one `backward_weight`, in
+    /// FIFO order, before the next [`Layer::zero_grads`].
+    fn backward_input(&mut self, grad_stack: &mut LaneStack) {
+        self.backward(grad_stack);
+    }
+
+    /// Retires the oldest pending weight-gradient unit deferred by
+    /// [`Layer::backward_input`], accumulating into the parameter-gradient
+    /// buffers. The gradients it produces depend only on values stashed at
+    /// `backward_input` time (never on the current weights), which is what
+    /// makes deferring them to the update boundary exact. Default: no-op
+    /// (the fused default of `backward_input` left nothing pending).
+    fn backward_weight(&mut self) {}
+
     /// Borrows the trainable parameters (possibly empty).
     fn params(&self) -> Vec<&Tensor> {
         Vec::new()

@@ -1,7 +1,7 @@
 //! Convolutional layer.
 
 use crate::layer::{LaneStack, Layer};
-use pbp_tensor::ops::{conv2d_backward, conv2d_reusing, Conv2dSpec};
+use pbp_tensor::ops::{conv2d_backward_input, conv2d_backward_weight, conv2d_reusing, Conv2dSpec};
 use pbp_tensor::{he_normal, Tensor};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -19,6 +19,9 @@ pub struct Conv2d {
     grad_bias: Option<Tensor>,
     /// Per-in-flight-sample stash: im2col buffers + input spatial size.
     stash: VecDeque<ConvStash>,
+    /// `(g, cols)` pairs deferred by [`Layer::backward_input`], retired in
+    /// FIFO order by [`Layer::backward_weight`] (2BP split backward).
+    wgrad_pending: VecDeque<(Tensor, Vec<Vec<f32>>)>,
     /// Retired im2col buffers recycled by later forwards.
     spare: Vec<Vec<f32>>,
     /// Input spatial size seen by the most recent forward pass; lets
@@ -53,6 +56,7 @@ impl Conv2d {
             grad_weight: Tensor::zeros(&spec.weight_shape()),
             grad_bias: bias.then(|| Tensor::zeros(&[out_channels])),
             stash: VecDeque::new(),
+            wgrad_pending: VecDeque::new(),
             spare: Vec::new(),
             last_hw: None,
             training: true,
@@ -63,6 +67,30 @@ impl Conv2d {
     /// The convolution geometry.
     pub fn spec(&self) -> &Conv2dSpec {
         &self.spec
+    }
+
+    /// Accumulates `grad_weight += dY·colsᵀ` and the bias gradient — the
+    /// weight half shared by the fused backward and
+    /// [`Layer::backward_weight`]. Reads no current weights, so running it
+    /// at the update boundary instead of backward time is exact.
+    fn accumulate_weight_grads(&mut self, g: &Tensor, cols: &[Vec<f32>]) {
+        let gw = conv2d_backward_weight(g, cols, &self.spec).expect("conv2d grad shapes");
+        pbp_tensor::ops::axpy(1.0, &gw, &mut self.grad_weight);
+        if let Some(gb) = &mut self.grad_bias {
+            let [n, oc, oh, ow] = [g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]];
+            let gs = g.as_slice();
+            let gbs = gb.as_mut_slice();
+            for ni in 0..n {
+                for c in 0..oc {
+                    let base = (ni * oc + c) * oh * ow;
+                    let mut acc = 0.0f32;
+                    for p in 0..oh * ow {
+                        acc += gs[base + p];
+                    }
+                    gbs[c] += acc;
+                }
+            }
+        }
     }
 }
 
@@ -108,26 +136,30 @@ impl Layer for Conv2d {
     fn backward(&mut self, grad_stack: &mut LaneStack) {
         let g = grad_stack.pop().expect("conv2d: empty grad stack");
         let (cols, hw) = self.stash.pop_front().expect("conv2d: no stashed input");
-        let (gx, gw) =
-            conv2d_backward(&g, &self.weight, &cols, hw, &self.spec).expect("conv2d grad shapes");
+        let gx = conv2d_backward_input(&g, &self.weight, hw, &self.spec).expect("conv2d shapes");
+        self.accumulate_weight_grads(&g, &cols);
         self.spare.extend(cols);
-        pbp_tensor::ops::axpy(1.0, &gw, &mut self.grad_weight);
-        if let Some(gb) = &mut self.grad_bias {
-            let [n, oc, oh, ow] = [g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]];
-            let gs = g.as_slice();
-            let gbs = gb.as_mut_slice();
-            for ni in 0..n {
-                for c in 0..oc {
-                    let base = (ni * oc + c) * oh * ow;
-                    let mut acc = 0.0f32;
-                    for p in 0..oh * ow {
-                        acc += gs[base + p];
-                    }
-                    gbs[c] += acc;
-                }
-            }
-        }
         grad_stack.push(gx);
+    }
+
+    fn backward_input(&mut self, grad_stack: &mut LaneStack) {
+        let g = grad_stack.pop().expect("conv2d: empty grad stack");
+        let (cols, hw) = self.stash.pop_front().expect("conv2d: no stashed input");
+        // The input gradient reads the *current* weights, so it stays on
+        // the critical path; the weight half depends only on (g, cols) and
+        // is deferred (cols return to `spare` once it retires).
+        let gx = conv2d_backward_input(&g, &self.weight, hw, &self.spec).expect("conv2d shapes");
+        grad_stack.push(gx);
+        self.wgrad_pending.push_back((g, cols));
+    }
+
+    fn backward_weight(&mut self) {
+        let (g, cols) = self
+            .wgrad_pending
+            .pop_front()
+            .expect("conv2d: no deferred weight-gradient work");
+        self.accumulate_weight_grads(&g, &cols);
+        self.spare.extend(cols);
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -170,6 +202,9 @@ impl Layer for Conv2d {
     }
 
     fn clear_stash(&mut self) {
+        // Deferred weight-gradient work survives: under 2BP an update
+        // window (and its pending `backward_weight` halves) can span an
+        // evaluation pause, which flushes activation stashes.
         self.stash.clear();
     }
 
@@ -238,6 +273,51 @@ mod tests {
         let [_, _, oh, ow] = [1usize, 3, 4, 4];
         for c in 0..3 {
             assert!((gb.as_slice()[c] - (oh * ow) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn split_backward_is_bit_identical_to_fused() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut fused = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut split = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng);
+        let mut data_rng = StdRng::seed_from_u64(7);
+        let xs: Vec<Tensor> = (0..2)
+            .map(|_| pbp_tensor::normal(&[1, 2, 5, 5], 0.0, 1.0, &mut data_rng))
+            .collect();
+        let gs: Vec<Tensor> = (0..2)
+            .map(|_| pbp_tensor::normal(&[1, 3, 5, 5], 0.0, 1.0, &mut data_rng))
+            .collect();
+        let mut fused_gx = Vec::new();
+        let mut split_gx = Vec::new();
+        for x in &xs {
+            let mut s = vec![x.clone()];
+            fused.forward(&mut s);
+            let mut s = vec![x.clone()];
+            split.forward(&mut s);
+        }
+        // Two samples in flight: backward_input twice, then retire both
+        // deferred weight-gradient units — the 2BP call pattern.
+        for g in &gs {
+            let mut gs1 = vec![g.clone()];
+            fused.backward(&mut gs1);
+            fused_gx.push(gs1.pop().unwrap());
+            let mut gs2 = vec![g.clone()];
+            split.backward_input(&mut gs2);
+            split_gx.push(gs2.pop().unwrap());
+        }
+        split.backward_weight();
+        split.backward_weight();
+        for (a, b) in fused_gx.iter().zip(&split_gx) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "input grads differ");
+            }
+        }
+        for (a, b) in fused.grads().iter().zip(split.grads()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "weight grads differ");
+            }
         }
     }
 

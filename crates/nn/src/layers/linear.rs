@@ -16,6 +16,9 @@ pub struct Linear {
     grad_weight: Tensor,
     grad_bias: Option<Tensor>,
     stash: VecDeque<Tensor>,
+    /// `(g, x)` pairs deferred by [`Layer::backward_input`], retired in
+    /// FIFO order by [`Layer::backward_weight`] (2BP split backward).
+    wgrad_pending: VecDeque<(Tensor, Tensor)>,
     in_features: usize,
     out_features: usize,
 }
@@ -29,8 +32,29 @@ impl Linear {
             grad_weight: Tensor::zeros(&[out_features, in_features]),
             grad_bias: bias.then(|| Tensor::zeros(&[out_features])),
             stash: VecDeque::new(),
+            wgrad_pending: VecDeque::new(),
             in_features,
             out_features,
+        }
+    }
+
+    /// Accumulates `grad_weight += gᵀ·x` and the bias gradient — the
+    /// weight half shared by the fused backward and [`Layer::backward_weight`].
+    /// Reads no current weights, so running it at the update boundary
+    /// instead of backward time is exact.
+    fn accumulate_weight_grads(&mut self, g: &Tensor, x: &Tensor) {
+        // grad_weight += gᵀ · x  ([out,N]ᵀ·[N,in] → [out,in]), accumulated
+        // in place by the tiled transpose-A GEMM — no temporary.
+        pbp_tensor::ops::matmul_tn_acc(g, x, &mut self.grad_weight).expect("linear grad shapes");
+        if let Some(gb) = &mut self.grad_bias {
+            let (n, o) = (g.shape()[0], self.out_features);
+            let gs = g.as_slice();
+            let gbs = gb.as_mut_slice();
+            for ni in 0..n {
+                for oi in 0..o {
+                    gbs[oi] += gs[ni * o + oi];
+                }
+            }
         }
     }
 
@@ -77,21 +101,28 @@ impl Layer for Linear {
     fn backward(&mut self, grad_stack: &mut LaneStack) {
         let g = grad_stack.pop().expect("linear: empty grad stack");
         let x = self.stash.pop_front().expect("linear: no stashed input");
-        // grad_weight += gᵀ · x  ([out,N]ᵀ·[N,in] → [out,in]), accumulated
-        // in place by the tiled transpose-A GEMM — no temporary.
-        pbp_tensor::ops::matmul_tn_acc(&g, &x, &mut self.grad_weight).expect("linear grad shapes");
-        if let Some(gb) = &mut self.grad_bias {
-            let (n, o) = (g.shape()[0], self.out_features);
-            let gs = g.as_slice();
-            let gbs = gb.as_mut_slice();
-            for ni in 0..n {
-                for oi in 0..o {
-                    gbs[oi] += gs[ni * o + oi];
-                }
-            }
-        }
+        self.accumulate_weight_grads(&g, &x);
         let gx = g.matmul(&self.weight).expect("linear grad shapes");
         grad_stack.push(gx);
+    }
+
+    fn backward_input(&mut self, grad_stack: &mut LaneStack) {
+        let g = grad_stack.pop().expect("linear: empty grad stack");
+        let x = self.stash.pop_front().expect("linear: no stashed input");
+        // The input gradient reads the *current* weights, so it stays on
+        // the critical path; the weight half depends only on (g, x) and is
+        // deferred.
+        let gx = g.matmul(&self.weight).expect("linear grad shapes");
+        grad_stack.push(gx);
+        self.wgrad_pending.push_back((g, x));
+    }
+
+    fn backward_weight(&mut self) {
+        let (g, x) = self
+            .wgrad_pending
+            .pop_front()
+            .expect("linear: no deferred weight-gradient work");
+        self.accumulate_weight_grads(&g, &x);
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -130,6 +161,9 @@ impl Layer for Linear {
     }
 
     fn clear_stash(&mut self) {
+        // Deferred weight-gradient work survives: under 2BP an update
+        // window (and its pending `backward_weight` halves) can span an
+        // evaluation pause, which flushes activation stashes.
         self.stash.clear();
     }
 }
@@ -220,6 +254,50 @@ mod tests {
         assert_eq!(gw_after_first.as_slice()[1], 0.0);
         let mut g2 = vec![Tensor::ones(&[1, 2])];
         layer.backward(&mut g2);
+    }
+
+    #[test]
+    fn split_backward_is_bit_identical_to_fused() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut fused = Linear::new(5, 3, true, &mut rng);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut split = Linear::new(5, 3, true, &mut rng);
+        // Two samples in flight: backward_input twice, then retire both
+        // deferred weight-gradient units — the 2BP call pattern.
+        let xs: Vec<Tensor> = (0..2)
+            .map(|i| pbp_tensor::normal(&[1, 5], 0.0, 1.0, &mut StdRng::seed_from_u64(10 + i)))
+            .collect();
+        let gs: Vec<Tensor> = (0..2)
+            .map(|i| pbp_tensor::normal(&[1, 3], 0.0, 1.0, &mut StdRng::seed_from_u64(20 + i)))
+            .collect();
+        let mut fused_gx = Vec::new();
+        let mut split_gx = Vec::new();
+        for x in &xs {
+            let mut s = vec![x.clone()];
+            fused.forward(&mut s);
+            let mut s = vec![x.clone()];
+            split.forward(&mut s);
+        }
+        for g in &gs {
+            let mut gs1 = vec![g.clone()];
+            fused.backward(&mut gs1);
+            fused_gx.push(gs1.pop().unwrap());
+            let mut gs2 = vec![g.clone()];
+            split.backward_input(&mut gs2);
+            split_gx.push(gs2.pop().unwrap());
+        }
+        split.backward_weight();
+        split.backward_weight();
+        for (a, b) in fused_gx.iter().zip(&split_gx) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "input grads differ");
+            }
+        }
+        for (a, b) in fused.grads().iter().zip(split.grads()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "weight grads differ");
+            }
+        }
     }
 
     #[test]

@@ -58,6 +58,26 @@ impl Stage {
         }
     }
 
+    /// Input-gradient half of the backward pass (2BP split backward):
+    /// propagates gradients through every layer in reverse order while each
+    /// layer defers its parameter-gradient work. Pair with exactly one
+    /// [`Stage::backward_weight`] per call, in FIFO order.
+    pub fn backward_input(&mut self, grad_stack: &mut LaneStack) {
+        for layer in self.layers.iter_mut().rev() {
+            layer.backward_input(grad_stack);
+        }
+    }
+
+    /// Retires one deferred weight-gradient unit per layer (the oldest).
+    /// Layer order is irrelevant for the result — parameter-gradient
+    /// buffers are disjoint per layer — but reverse order mirrors
+    /// [`Stage::backward_input`].
+    pub fn backward_weight(&mut self) {
+        for layer in self.layers.iter_mut().rev() {
+            layer.backward_weight();
+        }
+    }
+
     /// Borrows all trainable parameters of the stage, in a stable order.
     pub fn params(&self) -> Vec<&Tensor> {
         self.layers.iter().flat_map(|l| l.params()).collect()
@@ -254,6 +274,33 @@ impl Network {
         }
         assert_eq!(stack.len(), 1, "backward must end with a single lane");
         stack.pop().expect("non-empty stack")
+    }
+
+    /// Input-gradient half of the backward pass (2BP split): propagates
+    /// the loss gradient through every stage via
+    /// [`Stage::backward_input`], leaving each layer's weight-gradient
+    /// work pending until [`Network::backward_weight`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if backward does not reduce back to a single input gradient.
+    pub fn backward_input(&mut self, grad_logits: &Tensor) -> Tensor {
+        let mut stack: LaneStack = vec![grad_logits.clone()];
+        for stage in self.stages.iter_mut().rev() {
+            stage.backward_input(&mut stack);
+        }
+        assert_eq!(stack.len(), 1, "backward must end with a single lane");
+        stack.pop().expect("non-empty stack")
+    }
+
+    /// Weight-gradient half of the backward pass (2BP split): retires the
+    /// oldest pending weight-gradient computation in every stage,
+    /// accumulating parameter gradients inside the layers. Must be called
+    /// once per preceding [`Network::backward_input`], in FIFO order.
+    pub fn backward_weight(&mut self) {
+        for stage in self.stages.iter_mut().rev() {
+            stage.backward_weight();
+        }
     }
 
     /// Zeroes all accumulated gradients.

@@ -14,6 +14,7 @@
 
 use crate::engine::{run_training, RunConfig, TrainEngine};
 use crate::metrics::{EngineMetrics, MetricsRecorder, NoHooks};
+use crate::schedule::{Action, MicrobatchSchedule};
 use crate::trainer::TrainReport;
 use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
@@ -69,8 +70,14 @@ impl DelayedConfig {
 }
 
 /// Delayed-gradient trainer (uniform delay, arbitrary batch size).
+///
+/// Executes the [`MicrobatchSchedule::UniformDelay`] action stream at
+/// whole-network granularity: one `Forward`/`BackwardInput`/
+/// `BackwardWeight`/`Update` cycle per batch, with the forward pass under
+/// the weight version from `delay` updates ago.
 pub struct DelayedTrainer {
     net: Network,
+    plan: MicrobatchSchedule,
     opts: Vec<StageOptimizer>,
     /// FIFO of whole-network forward weight versions; front is what the
     /// next update's forward pass sees.
@@ -116,6 +123,9 @@ impl DelayedTrainer {
         let metrics = MetricsRecorder::new(net.num_stages());
         DelayedTrainer {
             net,
+            plan: MicrobatchSchedule::UniformDelay {
+                delay: config.delay,
+            },
             opts,
             history,
             config,
@@ -141,41 +151,67 @@ impl DelayedTrainer {
         for opt in &mut self.opts {
             opt.set_hyperparams(hp);
         }
+        // One batch is one microbatch of the UniformDelay plan, executed at
+        // whole-network granularity.
+        let update_index = self.samples_seen / self.config.batch_size;
         let master = self.net.snapshot();
-        let fwd = self.history.pop_front().expect("history pre-filled");
-        // Forward with the delayed (possibly predicted) weights.
-        self.net.load(&fwd);
-        self.net.zero_grads();
-        let logits = self.net.forward(x);
-        let (loss, grad) = softmax_cross_entropy(&logits, labels);
-        if !self.config.consistent {
-            // Weight inconsistency: backward under the master weights.
-            self.net.load(&master);
-        }
-        self.net.backward(&grad);
-        // Update the master copy.
-        self.net.load(&master);
-        for s in 0..self.net.num_stages() {
-            let step_start = Instant::now();
-            let stage = self.net.stage_mut(s);
-            let (mut params, grads) = stage.params_and_grads();
-            if grads.is_empty() {
-                continue;
+        let mut loss = 0.0f32;
+        let mut grad: Option<Tensor> = None;
+        for action in self.plan.stage_actions(update_index) {
+            match action {
+                Action::Forward(_) => {
+                    let fwd = self.history.pop_front().expect("history pre-filled");
+                    // Forward with the delayed (possibly predicted) weights.
+                    self.net.load(&fwd);
+                    self.net.zero_grads();
+                    let logits = self.net.forward(x);
+                    let (l, g) = softmax_cross_entropy(&logits, labels);
+                    loss = l;
+                    grad = Some(g);
+                }
+                Action::BackwardInput(_) => {
+                    if !self.config.consistent {
+                        // Weight inconsistency: backward under the master
+                        // weights.
+                        self.net.load(&master);
+                    }
+                    self.net
+                        .backward_input(grad.as_ref().expect("forward precedes backward"));
+                }
+                Action::BackwardWeight(_) => {
+                    self.net.backward_weight();
+                }
+                Action::Update => {
+                    // Update the master copy.
+                    self.net.load(&master);
+                    for s in 0..self.net.num_stages() {
+                        let step_start = Instant::now();
+                        let stage = self.net.stage_mut(s);
+                        let (mut params, grads) = stage.params_and_grads();
+                        if grads.is_empty() {
+                            continue;
+                        }
+                        self.opts[s].step(&mut params, &grads);
+                        self.metrics.record_update(
+                            s,
+                            self.config.delay,
+                            step_start.elapsed().as_nanos(),
+                        );
+                    }
+                    // Enqueue the next forward version (with prediction if
+                    // configured).
+                    let mut next = Vec::with_capacity(self.net.num_stages());
+                    for s in 0..self.net.num_stages() {
+                        let params = self.net.stage(s).params();
+                        let v = self.opts[s]
+                            .forward_weights(&params)
+                            .unwrap_or_else(|| params.into_iter().cloned().collect());
+                        next.push(v);
+                    }
+                    self.history.push_back(next);
+                }
             }
-            self.opts[s].step(&mut params, &grads);
-            self.metrics
-                .record_update(s, self.config.delay, step_start.elapsed().as_nanos());
         }
-        // Enqueue the next forward version (with prediction if configured).
-        let mut next = Vec::with_capacity(self.net.num_stages());
-        for s in 0..self.net.num_stages() {
-            let params = self.net.stage(s).params();
-            let v = self.opts[s]
-                .forward_weights(&params)
-                .unwrap_or_else(|| params.into_iter().cloned().collect());
-            next.push(v);
-        }
-        self.history.push_back(next);
         self.samples_seen += labels.len();
         self.metrics.add_train_ns(start.elapsed().as_nanos());
         loss

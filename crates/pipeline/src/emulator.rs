@@ -21,18 +21,22 @@
 //! post-update weights, the engine enqueues the *predicted* forward weights
 //! `ŵ` (Eqs. 18-19) computed from the state at push time — exactly what a
 //! real pipelined implementation would compute locally at forward time.
+//!
+//! Since the schedule/execution split, this engine is the
+//! [`MicrobatchSchedule::PipelinedBackprop`] instance of the shared
+//! [`ScheduleCore`](crate::scheduled) machinery: every sample's action
+//! stream is `Forward, BackwardInput, BackwardWeight, Update`, and the
+//! per-stage weight-version FIFOs live in the core.
 
 use crate::engine::{batch_rows, run_training, RunConfig, TrainEngine};
-use crate::metrics::{EngineMetrics, MetricsRecorder, NoHooks};
-use crate::schedule::{pb_utilization, stage_delay};
+use crate::metrics::{EngineMetrics, NoHooks};
+use crate::schedule::{pb_utilization, MicrobatchSchedule};
+use crate::scheduled::ScheduleCore;
 use crate::trainer::TrainReport;
 use pbp_data::Dataset;
-use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::Network;
-use pbp_optim::{LrSchedule, Mitigation, StageOptimizer};
+use pbp_optim::{LrSchedule, Mitigation};
 use pbp_tensor::Tensor;
-use std::collections::VecDeque;
-use std::time::Instant;
 
 /// Configuration of a pipelined-backpropagation run.
 #[derive(Debug, Clone)]
@@ -75,19 +79,11 @@ impl PbConfig {
     }
 }
 
-/// The cycle-accurate PB training engine.
+/// The cycle-accurate PB training engine: the pure-PB schedule executed on
+/// the shared schedule core.
 pub struct PipelinedTrainer {
-    net: Network,
-    opts: Vec<StageOptimizer>,
-    /// Per stage: FIFO of forward weight versions; front is the version the
-    /// next sample's forward pass must see.
-    fwd_queues: Vec<VecDeque<Vec<Tensor>>>,
-    /// Per stage: stashed forward weights for in-flight samples (weight
-    /// stashing only).
-    stashes: Vec<VecDeque<Vec<Tensor>>>,
+    pub(crate) core: ScheduleCore,
     config: PbConfig,
-    samples_seen: usize,
-    metrics: MetricsRecorder,
 }
 
 impl std::fmt::Debug for PipelinedTrainer {
@@ -95,10 +91,10 @@ impl std::fmt::Debug for PipelinedTrainer {
         write!(
             f,
             "PipelinedTrainer({} stages, {}, stashing={}, samples_seen={})",
-            self.net.pipeline_stage_count(),
+            self.core.net.pipeline_stage_count(),
             self.config.mitigation.label(),
             self.config.weight_stashing,
-            self.samples_seen
+            self.core.samples_seen
         )
     }
 }
@@ -107,179 +103,55 @@ impl PipelinedTrainer {
     /// Creates the engine for a network, setting up per-stage delays,
     /// optimizers and weight-version queues.
     pub fn new(net: Network, config: PbConfig) -> Self {
-        let num_pipeline_stages = net.pipeline_stage_count();
-        let layer_stages = net.num_stages();
-        let hp = config.schedule.at(0);
-        let mut opts = Vec::with_capacity(layer_stages);
-        let mut fwd_queues = Vec::with_capacity(layer_stages);
-        for s in 0..layer_stages {
-            let delay = config
-                .delay_override
-                .unwrap_or_else(|| stage_delay(s, num_pipeline_stages));
-            let stage_cfg = config.mitigation.stage_config(delay, s);
-            let params = net.stage(s).params();
-            opts.push(StageOptimizer::new(&params, stage_cfg, hp));
-            let snapshot = net.stage(s).snapshot();
-            let queue: VecDeque<Vec<Tensor>> = (0..=delay).map(|_| snapshot.clone()).collect();
-            fwd_queues.push(queue);
-        }
-        let stashes = (0..layer_stages).map(|_| VecDeque::new()).collect();
-        let metrics = MetricsRecorder::new(layer_stages);
-        PipelinedTrainer {
+        let core = ScheduleCore::new(
             net,
-            opts,
-            fwd_queues,
-            stashes,
-            config,
-            samples_seen: 0,
-            metrics,
-        }
+            MicrobatchSchedule::PipelinedBackprop,
+            config.mitigation,
+            config.weight_stashing,
+            config.schedule.clone(),
+            config.delay_override,
+        );
+        PipelinedTrainer { core, config }
     }
 
     /// The per-stage gradient delays in effect.
     pub fn delays(&self) -> Vec<usize> {
-        self.opts.iter().map(|o| o.config().delay).collect()
+        self.core.opts.iter().map(|o| o.config().delay).collect()
     }
 
     /// Borrows the network (for evaluation etc.). Evaluation uses the
     /// current (most recent) weights, as the paper does.
     pub fn network_mut(&mut self) -> &mut Network {
-        &mut self.net
+        &mut self.core.net
     }
 
     /// Consumes the trainer, returning the network.
     pub fn into_network(self) -> Network {
-        self.net
+        self.core.net
     }
 
     /// Number of samples trained on so far.
     pub fn samples_seen(&self) -> usize {
-        self.samples_seen
+        self.core.samples_seen
     }
 
     /// Trains on one sample (`x` without batch dimension); returns the
     /// loss computed in the pipeline's loss stage.
     pub fn train_sample(&mut self, x: &Tensor, label: usize) -> f32 {
-        let start = Instant::now();
-        let hp = self.config.schedule.at(self.samples_seen);
-        for opt in &mut self.opts {
-            opt.set_hyperparams(hp);
-        }
-        // Add the batch dimension.
-        let mut shape = vec![1usize];
-        shape.extend_from_slice(x.shape());
-        let batched = x.reshape(&shape).expect("same volume");
-
-        // ---- Forward sweep: each stage under its delayed weight version.
-        let mut stack = vec![batched];
-        for s in 0..self.net.num_stages() {
-            let stage_start = Instant::now();
-            let fwd_w = self.fwd_queues[s]
-                .pop_front()
-                .expect("queue maintains delay+1 entries");
-            let stage = self.net.stage_mut(s);
-            if fwd_w.is_empty() {
-                stage.forward(&mut stack);
-            } else {
-                let current = stage.snapshot();
-                stage.load(&fwd_w);
-                stage.forward(&mut stack);
-                stage.load(&current);
-            }
-            if self.config.weight_stashing {
-                self.stashes[s].push_back(fwd_w);
-            }
-            self.metrics
-                .add_busy_ns(s, stage_start.elapsed().as_nanos());
-        }
-        assert_eq!(stack.len(), 1, "network must reduce to a single lane");
-        let logits = stack.pop().expect("non-empty");
-
-        // ---- Loss stage.
-        let (loss, grad) = softmax_cross_entropy(&logits, &[label]);
-
-        // ---- Backward sweep: gradient flows back, each stage updates
-        // immediately on receiving it (PB's defining property).
-        let mut gstack = vec![grad];
-        for s in (0..self.net.num_stages()).rev() {
-            let stage_start = Instant::now();
-            let bwd_override: Option<Vec<Tensor>> = if self.config.weight_stashing {
-                let stashed = self.stashes[s].pop_front().expect("stash in sync");
-                (!stashed.is_empty()).then_some(stashed)
-            } else if self.opts[s].config().bwd_horizon != 0.0 {
-                let stage = self.net.stage(s);
-                let params = stage.params();
-                (!params.is_empty()).then(|| {
-                    self.opts[s]
-                        .backward_weights(&params)
-                        .expect("bwd horizon configured")
-                })
-            } else {
-                None
-            };
-            let stage = self.net.stage_mut(s);
-            stage.zero_grads();
-            match bwd_override {
-                Some(bw) => {
-                    let current = stage.snapshot();
-                    stage.load(&bw);
-                    stage.backward(&mut gstack);
-                    stage.load(&current);
-                }
-                None => stage.backward(&mut gstack),
-            }
-            // Apply the update with the just-arrived gradient.
-            let (mut params, grads) = stage.params_and_grads();
-            let has_params = !grads.is_empty();
-            if has_params {
-                self.opts[s].step(&mut params, &grads);
-            }
-            // Enqueue the forward weight version a future sample will see.
-            let stage = self.net.stage(s);
-            let params = stage.params();
-            let next_fwd = self.opts[s]
-                .forward_weights(&params)
-                .unwrap_or_else(|| params.into_iter().cloned().collect());
-            self.fwd_queues[s].push_back(next_fwd);
-            if has_params {
-                self.metrics.record_update(
-                    s,
-                    self.opts[s].config().delay,
-                    stage_start.elapsed().as_nanos(),
-                );
-            } else {
-                self.metrics
-                    .add_busy_ns(s, stage_start.elapsed().as_nanos());
-            }
-        }
-        self.samples_seen += 1;
-        self.metrics.add_train_ns(start.elapsed().as_nanos());
-        loss
+        self.core.train_microbatch(x, label)
     }
 
     /// Trains one epoch at update size one in the deterministic order for
     /// `(seed, epoch)`; returns the mean loss.
     pub fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
-        let order = data.epoch_order(seed, epoch);
-        let (total, samples) = self.train_range(data, &order);
-        if samples == 0 {
-            0.0
-        } else {
-            total / samples as f64
-        }
+        self.core.train_epoch(data, seed, epoch)
     }
 
     /// Trains a contiguous slice of an epoch order; returns the loss sum
     /// and the number of samples covered. All pipeline state (weight
     /// version queues, stashes) carries across slices.
     pub fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
-        let mut total = 0.0f64;
-        for &i in indices {
-            let (x, label) = data.sample(i);
-            let x = x.clone();
-            total += self.train_sample(&x, label) as f64;
-        }
-        (total, indices.len())
+        self.core.train_range(data, indices)
     }
 
     /// Full training run: `epochs` epochs with validation after each,
@@ -309,35 +181,23 @@ impl TrainEngine for PipelinedTrainer {
         let total: f32 = rows
             .iter()
             .zip(labels)
-            .map(|(row, &label)| self.train_sample(row, label))
+            .map(|(row, &label)| self.core.train_microbatch(row, label))
             .sum();
         total / labels.len() as f32
     }
 
     fn train_epoch(&mut self, data: &Dataset, seed: u64, epoch: usize) -> f64 {
-        PipelinedTrainer::train_epoch(self, data, seed, epoch)
+        self.core.train_epoch(data, seed, epoch)
     }
 
     fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
-        PipelinedTrainer::train_range(self, data, indices)
+        self.core.train_range(data, indices)
     }
 
     fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
-        use pbp_snapshot::Snapshottable;
-        pbp_nn::snapshot::write_network(&self.net, snap);
+        pbp_nn::snapshot::write_network(&self.core.net, snap);
         crate::state::write_engine_section(snap, "pb", |w| {
-            w.put_usize(self.samples_seen);
-            w.put_u32(self.opts.len() as u32);
-            for opt in &self.opts {
-                opt.write_state(w);
-            }
-            for queue in &self.fwd_queues {
-                crate::state::write_version_queue(w, queue);
-            }
-            for stash in &self.stashes {
-                crate::state::write_version_queue(w, stash);
-            }
-            self.metrics.write_state(w);
+            self.core.write_core_state(w);
         });
     }
 
@@ -345,36 +205,9 @@ impl TrainEngine for PipelinedTrainer {
         &mut self,
         archive: &pbp_snapshot::SnapshotArchive,
     ) -> Result<(), pbp_snapshot::SnapshotError> {
-        use pbp_snapshot::Snapshottable;
-        pbp_nn::snapshot::read_network(&mut self.net, archive)?;
+        pbp_nn::snapshot::read_network(&mut self.core.net, archive)?;
         let mut r = crate::state::engine_reader(archive, "pb")?;
-        self.samples_seen = r.take_usize()?;
-        let n = r.take_u32()? as usize;
-        if n != self.opts.len() {
-            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
-                "pb state for {n} stages, engine has {}",
-                self.opts.len()
-            )));
-        }
-        for opt in &mut self.opts {
-            opt.read_state(&mut r)?;
-        }
-        for (s, queue) in self.fwd_queues.iter_mut().enumerate() {
-            *queue = crate::state::read_version_queue(&mut r)?;
-            // Invariant of the emulation: one forward version per possible
-            // in-flight sample, `delay + 1` entries.
-            let want = self.opts[s].config().delay + 1;
-            if queue.len() != want {
-                return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
-                    "pb stage {s} forward queue holds {} versions, delay requires {want}",
-                    queue.len()
-                )));
-            }
-        }
-        for stash in self.stashes.iter_mut() {
-            *stash = crate::state::read_version_queue(&mut r)?;
-        }
-        self.metrics.read_state(&mut r)?;
+        self.core.read_core_state(&mut r, "pb")?;
         r.finish()
     }
 
@@ -383,7 +216,7 @@ impl TrainEngine for PipelinedTrainer {
     }
 
     fn samples_seen(&self) -> usize {
-        PipelinedTrainer::samples_seen(self)
+        self.core.samples_seen
     }
 
     fn metrics(&self) -> EngineMetrics {
@@ -391,12 +224,13 @@ impl TrainEngine for PipelinedTrainer {
         // Figure 2 schedule model's (only meaningful for the paper's
         // pipeline delays, not for overridden ones).
         let occupancy =
-            (self.samples_seen > 0 && self.config.delay_override.is_none()).then(|| {
-                let s = self.net.pipeline_stage_count();
-                pb_utilization(self.samples_seen + 2 * s - 2, s)
+            (self.core.samples_seen > 0 && self.config.delay_override.is_none()).then(|| {
+                let s = self.core.net.pipeline_stage_count();
+                pb_utilization(self.core.samples_seen + 2 * s - 2, s)
             });
-        self.metrics
-            .snapshot(TrainEngine::label(self), self.samples_seen, occupancy)
+        self.core
+            .metrics
+            .snapshot(TrainEngine::label(self), self.core.samples_seen, occupancy)
     }
 
     fn into_network(self: Box<Self>) -> Network {
@@ -497,10 +331,10 @@ mod tests {
         let cfg = PbConfig::plain(schedule()).with_weight_stashing();
         let mut pb = PipelinedTrainer::new(net, cfg);
         pb.train_epoch(&data, 1, 0);
-        for (s, q) in pb.fwd_queues.iter().enumerate() {
-            assert_eq!(q.len(), pb.opts[s].config().delay + 1, "stage {s}");
+        for (s, q) in pb.core.fwd_queues.iter().enumerate() {
+            assert_eq!(q.len(), pb.core.opts[s].config().delay + 1, "stage {s}");
         }
-        assert!(pb.stashes.iter().all(|st| st.is_empty()));
+        assert!(pb.core.stashes.iter().all(|st| st.is_empty()));
     }
 
     #[test]

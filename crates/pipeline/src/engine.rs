@@ -17,6 +17,7 @@ use crate::delayed::{DelayedConfig, DelayedTrainer};
 use crate::emulator::{PbConfig, PipelinedTrainer};
 use crate::filldrain::FillDrainTrainer;
 use crate::metrics::{EngineMetrics, TrainHooks};
+use crate::scheduled::{ScheduledConfig, ScheduledTrainer};
 use crate::threaded::{ThreadedConfig, ThreadedPipeline};
 use crate::trainer::{evaluate, EpochRecord, SgdmTrainer, TrainReport};
 use pbp_data::Dataset;
@@ -227,6 +228,10 @@ pub enum EngineSpec {
     },
     /// The thread-per-stage runtime ([`ThreadedPipeline`]).
     Threaded(ThreadedConfig),
+    /// The generic scheduled engine ([`ScheduledTrainer`]) — any
+    /// [`MicrobatchSchedule`](crate::schedule::MicrobatchSchedule),
+    /// notably 1F1B and 2BP.
+    Scheduled(ScheduledConfig),
 }
 
 impl EngineSpec {
@@ -255,6 +260,7 @@ impl EngineSpec {
                 *delay_seed,
             )),
             EngineSpec::Threaded(config) => Box::new(ThreadedPipeline::new(net, config.clone())),
+            EngineSpec::Scheduled(config) => Box::new(ScheduledTrainer::new(net, config.clone())),
         }
     }
 
@@ -284,7 +290,7 @@ impl EngineSpec {
             ),
             EngineSpec::Asgd { distribution, .. } => format!("ASGD {distribution:?}"),
             EngineSpec::Threaded(config) => {
-                if config.fill_drain {
+                if config.drains_per_sample() {
                     "Threaded Fill&Drain".to_string()
                 } else {
                     let mut label = format!("Threaded {}", config.mitigation.label());
@@ -294,6 +300,7 @@ impl EngineSpec {
                     label
                 }
             }
+            EngineSpec::Scheduled(config) => config.label(),
         }
     }
 }
@@ -354,6 +361,10 @@ mod tests {
                 delay_seed: 0,
             },
             EngineSpec::Threaded(ThreadedConfig::fill_drain(schedule())),
+            EngineSpec::Scheduled(ScheduledConfig::one_f_one_b(4, schedule())),
+            EngineSpec::Scheduled(
+                ScheduledConfig::two_bp(4, schedule()).with_mitigation(Mitigation::scd()),
+            ),
         ];
         for spec in specs {
             let mut rng = StdRng::seed_from_u64(0);

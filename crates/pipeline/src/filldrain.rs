@@ -7,28 +7,30 @@
 //! processes samples individually (per-worker batch size one, as in the
 //! paper's GProp validation, Figure 16) and tracks the pipeline-step
 //! accounting so experiments can report utilization alongside accuracy.
+//!
+//! Since the schedule/execution split, this engine is the
+//! [`MicrobatchSchedule::FillDrain`] instance of the shared
+//! [`ScheduleCore`](crate::scheduled) machinery: every stage's version lag
+//! is zero (the core skips the weight-version dance entirely), gradients
+//! accumulate mean-scaled across the update window, and the `Update`
+//! action fires at window boundaries. Only the fill/drain *step
+//! accounting* — Eq. 1's denominator — lives here.
 
 use crate::engine::{batch_rows, run_training, RunConfig, TrainEngine};
-use crate::metrics::{EngineMetrics, MetricsRecorder, NoHooks};
+use crate::metrics::{EngineMetrics, NoHooks};
+use crate::schedule::MicrobatchSchedule;
+use crate::scheduled::ScheduleCore;
 use crate::trainer::TrainReport;
 use pbp_data::Dataset;
-use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::Network;
-use pbp_optim::{LrSchedule, SgdmState};
+use pbp_optim::{LrSchedule, Mitigation};
 use pbp_tensor::Tensor;
-use std::time::Instant;
 
 /// Fill-and-drain pipeline SGD trainer with update size `n`.
 pub struct FillDrainTrainer {
-    net: Network,
-    state: Vec<SgdmState>,
-    schedule: LrSchedule,
+    core: ScheduleCore,
     update_size: usize,
-    samples_seen: usize,
     pipeline_steps: usize,
-    /// Accumulated (mean-scaled) gradients for the in-flight update.
-    pending: usize,
-    metrics: MetricsRecorder,
 }
 
 impl std::fmt::Debug for FillDrainTrainer {
@@ -36,7 +38,7 @@ impl std::fmt::Debug for FillDrainTrainer {
         write!(
             f,
             "FillDrainTrainer(N={}, samples_seen={})",
-            self.update_size, self.samples_seen
+            self.update_size, self.core.samples_seen
         )
     }
 }
@@ -49,30 +51,34 @@ impl FillDrainTrainer {
     /// Panics if `update_size == 0`.
     pub fn new(net: Network, schedule: LrSchedule, update_size: usize) -> Self {
         assert!(update_size > 0, "update size must be positive");
-        let state = (0..net.num_stages())
-            .map(|s| SgdmState::new(&net.stage(s).params()))
-            .collect();
-        let metrics = MetricsRecorder::new(net.num_stages());
-        FillDrainTrainer {
+        let core = ScheduleCore::new(
             net,
-            state,
+            MicrobatchSchedule::FillDrain { update_size },
+            Mitigation::None,
+            false,
             schedule,
+            None,
+        );
+        FillDrainTrainer {
+            core,
             update_size,
-            samples_seen: 0,
             pipeline_steps: 0,
-            pending: 0,
-            metrics,
         }
     }
 
     /// Borrows the network.
     pub fn network_mut(&mut self) -> &mut Network {
-        &mut self.net
+        &mut self.core.net
     }
 
     /// Consumes the trainer, returning the network.
     pub fn into_network(self) -> Network {
-        self.net
+        self.core.net
+    }
+
+    /// Samples accumulated toward the in-flight update.
+    fn pending(&self) -> usize {
+        self.core.samples_seen % self.update_size
     }
 
     /// Total pipeline steps consumed so far (fill + stream + drain per
@@ -87,49 +93,20 @@ impl FillDrainTrainer {
         if self.pipeline_steps == 0 {
             return 0.0;
         }
-        self.samples_seen as f64 / self.pipeline_steps as f64
+        self.core.samples_seen as f64 / self.pipeline_steps as f64
     }
 
     /// Trains one sample; the weight update fires after every
     /// `update_size` samples, after draining the pipeline. Returns the
     /// sample loss.
     pub fn train_sample(&mut self, x: &Tensor, label: usize) -> f32 {
-        let start = Instant::now();
-        let mut shape = vec![1usize];
-        shape.extend_from_slice(x.shape());
-        let batched = x.reshape(&shape).expect("same volume");
-        if self.pending == 0 {
-            self.net.zero_grads();
-        }
-        let logits = self.net.forward(&batched);
-        let (loss, grad) = softmax_cross_entropy(&logits, &[label]);
-        // Mean gradient over the update: scale each sample's contribution.
-        let grad = grad.scale(1.0 / self.update_size as f32);
-        self.net.backward(&grad);
-        self.pending += 1;
-        self.samples_seen += 1;
-        if self.pending == self.update_size {
-            let hp = self.schedule.at(self.samples_seen - self.update_size);
-            for s in 0..self.net.num_stages() {
-                let step_start = Instant::now();
-                let stage = self.net.stage_mut(s);
-                let (mut params, grads) = stage.params_and_grads();
-                let has_params = !grads.is_empty();
-                self.state[s].step(&mut params, &grads, hp);
-                if has_params {
-                    // Draining before every update keeps forward and
-                    // backward weights identical: effective delay 0.
-                    self.metrics
-                        .record_update(s, 0, step_start.elapsed().as_nanos());
-                }
-            }
+        let loss = self.core.train_microbatch(x, label);
+        if self.pending() == 0 {
             // Step accounting: one fill-and-drain cycle (Eq. 1's exact
             // denominator).
-            let s = self.net.pipeline_stage_count();
+            let s = self.core.net.pipeline_stage_count();
             self.pipeline_steps += self.update_size + 2 * s - 2;
-            self.pending = 0;
         }
-        self.metrics.add_train_ns(start.elapsed().as_nanos());
         loss
     }
 
@@ -146,8 +123,7 @@ impl FillDrainTrainer {
 
     /// Trains a contiguous slice of an epoch order; returns the loss sum
     /// and the number of samples covered. The partially-accumulated
-    /// update (`pending`) carries across slices exactly as it does across
-    /// epochs.
+    /// update carries across slices exactly as it does across epochs.
     pub fn train_range(&mut self, data: &Dataset, indices: &[usize]) -> (f64, usize) {
         let mut total = 0.0f64;
         for &i in indices {
@@ -203,7 +179,7 @@ impl TrainEngine for FillDrainTrainer {
         // multiple-of-N complement. The epoch end is always allowed (the
         // update then stays pending, and `snapshot_ready` gates there).
         let n = self.update_size;
-        let rem = (self.pending + (proposed - pos)) % n;
+        let rem = (self.pending() + (proposed - pos)) % n;
         let aligned = if rem == 0 {
             proposed
         } else {
@@ -213,21 +189,14 @@ impl TrainEngine for FillDrainTrainer {
     }
 
     fn snapshot_ready(&self) -> bool {
-        self.pending == 0
+        self.pending() == 0
     }
 
     fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
-        use pbp_snapshot::Snapshottable;
-        pbp_nn::snapshot::write_network(&self.net, snap);
+        pbp_nn::snapshot::write_network(&self.core.net, snap);
         crate::state::write_engine_section(snap, "filldrain", |w| {
-            w.put_usize(self.samples_seen);
             w.put_usize(self.pipeline_steps);
-            w.put_usize(self.pending);
-            w.put_u32(self.state.len() as u32);
-            for s in &self.state {
-                s.write_state(w);
-            }
-            self.metrics.write_state(w);
+            self.core.write_core_state(w);
         });
     }
 
@@ -235,32 +204,19 @@ impl TrainEngine for FillDrainTrainer {
         &mut self,
         archive: &pbp_snapshot::SnapshotArchive,
     ) -> Result<(), pbp_snapshot::SnapshotError> {
-        use pbp_snapshot::Snapshottable;
-        pbp_nn::snapshot::read_network(&mut self.net, archive)?;
+        pbp_nn::snapshot::read_network(&mut self.core.net, archive)?;
         let mut r = crate::state::engine_reader(archive, "filldrain")?;
-        self.samples_seen = r.take_usize()?;
         self.pipeline_steps = r.take_usize()?;
-        self.pending = r.take_usize()?;
-        if self.pending != 0 {
+        self.core.read_core_state(&mut r, "filldrain")?;
+        if self.pending() != 0 {
             // Snapshots are only written at update boundaries: a nonzero
             // pending count would also require the accumulated layer
             // gradients, which are deliberately not serialized.
             return Err(pbp_snapshot::SnapshotError::Corrupt(format!(
                 "fill&drain snapshot taken mid-update (pending={})",
-                self.pending
+                self.pending()
             )));
         }
-        let n = r.take_u32()? as usize;
-        if n != self.state.len() {
-            return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
-                "fill&drain state for {n} stages, engine has {}",
-                self.state.len()
-            )));
-        }
-        for s in &mut self.state {
-            s.read_state(&mut r)?;
-        }
-        self.metrics.read_state(&mut r)?;
         r.finish()
     }
 
@@ -269,13 +225,14 @@ impl TrainEngine for FillDrainTrainer {
     }
 
     fn samples_seen(&self) -> usize {
-        self.samples_seen
+        self.core.samples_seen
     }
 
     fn metrics(&self) -> EngineMetrics {
         let occupancy = (self.pipeline_steps > 0).then(|| self.utilization());
-        self.metrics
-            .snapshot(TrainEngine::label(self), self.samples_seen, occupancy)
+        self.core
+            .metrics
+            .snapshot(TrainEngine::label(self), self.core.samples_seen, occupancy)
     }
 
     fn into_network(self: Box<Self>) -> Network {

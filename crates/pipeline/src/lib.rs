@@ -44,6 +44,7 @@ pub mod memory;
 pub mod metrics;
 pub mod resume;
 pub mod schedule;
+pub mod scheduled;
 pub mod state;
 pub mod supervisor;
 pub mod threaded;
@@ -64,8 +65,10 @@ pub use resume::{
     SnapshotPolicy, SECTION_RUN,
 };
 pub use schedule::{
-    fill_drain_utilization, pb_utilization, stage_delay, ScheduleModel, StageActivity,
+    fill_drain_utilization, pb_utilization, stage_delay, Action, MicrobatchSchedule, ScheduleModel,
+    StageActivity,
 };
+pub use scheduled::{ScheduledConfig, ScheduledTrainer};
 pub use state::SECTION_ENGINE;
 pub use supervisor::{
     degraded_spec, run_supervised, RecoveryPolicy, SupervisedOutcome, SupervisionEvent, Watchdog,

@@ -353,7 +353,7 @@ pub struct SupervisedOutcome {
 /// and stashing. Non-threaded specs have no degraded form.
 pub fn degraded_spec(spec: &EngineSpec) -> Option<EngineSpec> {
     match spec {
-        EngineSpec::Threaded(cfg) if cfg.fill_drain => Some(EngineSpec::FillDrain {
+        EngineSpec::Threaded(cfg) if cfg.drains_per_sample() => Some(EngineSpec::FillDrain {
             schedule: cfg.schedule.clone(),
             update_size: 1,
         }),

@@ -32,7 +32,7 @@
 use crate::engine::{batch_rows, TrainEngine};
 use crate::fault::{FaultAction, FaultInjector, FaultPlan, PipelineFault};
 use crate::metrics::{EngineMetrics, MetricsRecorder, StageCounters};
-use crate::schedule::{fill_drain_utilization, pb_utilization, stage_delay};
+use crate::schedule::{fill_drain_utilization, pb_utilization, MicrobatchSchedule};
 use crate::supervisor::{StageDone, StageEvent, StageOutcome, StreamSupervisor, Watchdog};
 use crossbeam::channel::{
     bounded, select2_timeout, unbounded, Receiver, RecvTimeoutError, Select2, SendTimeoutError,
@@ -63,9 +63,13 @@ pub struct ThreadedConfig {
     pub weight_stashing: bool,
     /// Learning-rate schedule (per update applied at each stage).
     pub schedule: LrSchedule,
-    /// `true`: drain the pipeline after every sample (fill-and-drain SGD at
-    /// N = 1) — the baseline whose throughput PB beats.
-    pub fill_drain: bool,
+    /// The microbatch schedule the worker threads realize. The runtime
+    /// supports the two plans whose dataflow it physically implements:
+    /// [`MicrobatchSchedule::PipelinedBackprop`] (stream continuously,
+    /// update on every gradient) and [`MicrobatchSchedule::FillDrain`] at
+    /// `update_size == 1` (drain the pipeline after every sample — the
+    /// baseline whose throughput PB beats).
+    pub plan: MicrobatchSchedule,
     /// Forward-channel capacity (in-flight samples per link).
     pub channel_capacity: usize,
     /// Scripted fault injection (tests and chaos runs); `None` in
@@ -83,7 +87,7 @@ impl ThreadedConfig {
             mitigation: Mitigation::None,
             weight_stashing: false,
             schedule,
-            fill_drain: false,
+            plan: MicrobatchSchedule::PipelinedBackprop,
             channel_capacity: 1,
             fault_plan: None,
             watchdog: Watchdog::default(),
@@ -93,9 +97,14 @@ impl ThreadedConfig {
     /// Fill-and-drain SGD at update size one.
     pub fn fill_drain(schedule: LrSchedule) -> Self {
         ThreadedConfig {
-            fill_drain: true,
+            plan: MicrobatchSchedule::FillDrain { update_size: 1 },
             ..ThreadedConfig::pb(schedule)
         }
+    }
+
+    /// Whether the plan drains the pipeline after every sample.
+    pub(crate) fn drains_per_sample(&self) -> bool {
+        matches!(self.plan, MicrobatchSchedule::FillDrain { .. })
     }
 
     /// Sets the mitigation method.
@@ -195,8 +204,10 @@ impl std::fmt::Debug for ThreadedPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ThreadedPipeline({} stages, fill_drain={}, samples_seen={})",
-            self.pipeline_stage_count, self.config.fill_drain, self.samples_seen
+            "ThreadedPipeline({} stages, {}, samples_seen={})",
+            self.pipeline_stage_count,
+            self.config.plan.label(),
+            self.samples_seen
         )
     }
 }
@@ -221,16 +232,26 @@ impl ThreadedPipeline {
     }
 
     /// Builds untouched per-stage optimizer slots for `net` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's plan is not one the worker threads can
+    /// physically realize.
     fn fresh_slots(net: &Network, config: &ThreadedConfig) -> Vec<StageSlot> {
+        assert!(
+            matches!(
+                config.plan,
+                MicrobatchSchedule::PipelinedBackprop
+                    | MicrobatchSchedule::FillDrain { update_size: 1 }
+            ),
+            "threaded runtime implements the PB and fill&drain (N=1) dataflows, got {}",
+            config.plan.label()
+        );
         let pipeline_stages = net.pipeline_stage_count();
         let hp = config.schedule.at(0);
         (0..net.num_stages())
             .map(|s| {
-                let delay = if config.fill_drain {
-                    0
-                } else {
-                    stage_delay(s, pipeline_stages)
-                };
+                let delay = config.plan.stage_delay(s, pipeline_stages);
                 let stage_cfg = config.mitigation.stage_config(delay, s);
                 StageSlot {
                     opt: StageOptimizer::new(&net.stage(s).params(), stage_cfg, hp),
@@ -426,7 +447,7 @@ impl ThreadedPipeline {
                 fwd_out: (s + 1 != num_layer_stages).then_some(fwd_out),
                 bwd_in: bwd_channels[s].1.clone(),
                 bwd_out: (s > 0).then(|| bwd_channels[s - 1].0.clone()),
-                done: (s == 0 && config.fill_drain).then(|| done_tx.clone()),
+                done: (s == 0 && config.drains_per_sample()).then(|| done_tx.clone()),
                 loss_out: (s + 1 == num_layer_stages).then(|| loss_tx.clone()),
                 config: config.clone(),
                 injector: config
@@ -513,7 +534,7 @@ impl ThreadedPipeline {
                 match tx.send_timeout(msg, poll) {
                     Ok(()) => {
                         next += 1;
-                        if config.fill_drain {
+                        if config.drains_per_sample() {
                             awaiting_drain = true;
                         }
                     }
@@ -600,7 +621,7 @@ fn reserve_stage_cores(stages: &[Stage]) -> Option<pool::CoreReservation> {
 
 impl TrainEngine for ThreadedPipeline {
     fn label(&self) -> String {
-        if self.config.fill_drain {
+        if self.config.drains_per_sample() {
             "Threaded Fill&Drain".to_string()
         } else {
             let mut label = format!("Threaded {}", self.config.mitigation.label());
@@ -702,7 +723,7 @@ impl TrainEngine for ThreadedPipeline {
 
     fn metrics(&self) -> EngineMetrics {
         let s = self.pipeline_stage_count;
-        let occupancy = if self.config.fill_drain {
+        let occupancy = if self.config.drains_per_sample() {
             Some(fill_drain_utilization(1, s))
         } else if self.samples_seen > 0 {
             Some(pb_utilization(self.samples_seen + 2 * s - 2, s))

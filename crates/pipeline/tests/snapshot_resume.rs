@@ -15,8 +15,8 @@ use pbp_nn::Network;
 use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
 use pbp_pipeline::{
     latest_snapshot, resume_training, run_to_crash, run_training, run_training_with_snapshots,
-    DelayDistribution, DelayedConfig, EngineSpec, NoHooks, PbConfig, RunConfig, SnapshotPolicy,
-    ThreadedConfig,
+    DelayDistribution, DelayedConfig, EngineSpec, NoHooks, PbConfig, RunConfig, ScheduledConfig,
+    SnapshotPolicy, ThreadedConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +52,8 @@ fn deterministic_specs() -> Vec<EngineSpec> {
             delay_seed: 7,
         },
         EngineSpec::Threaded(ThreadedConfig::fill_drain(schedule())),
+        EngineSpec::Scheduled(ScheduledConfig::one_f_one_b(4, schedule())),
+        EngineSpec::Scheduled(ScheduledConfig::two_bp(4, schedule())),
     ]
 }
 

@@ -255,6 +255,12 @@ pub fn conv2d_reusing(
 /// Given `grad_out` `[N, OC, OH, OW]`, the forward weights and the im2col
 /// buffers produced by [`conv2d`], returns `(grad_input, grad_weight)`.
 ///
+/// The two halves are independent and exposed separately as
+/// [`conv2d_backward_input`] / [`conv2d_backward_weight`] for schedules
+/// that split backward into grad-input and deferred grad-weight passes
+/// (2BP); this fused entry point composes them and is bit-identical to
+/// running the halves at different times.
+///
 /// # Errors
 ///
 /// Returns a shape error if the gradient shape disagrees with `spec`.
@@ -265,6 +271,27 @@ pub fn conv2d_backward(
     input_hw: (usize, usize),
     spec: &Conv2dSpec,
 ) -> Result<(Tensor, Tensor)> {
+    let grad_in = conv2d_backward_input(grad_out, weight, input_hw, spec)?;
+    let grad_w = conv2d_backward_weight(grad_out, cols, spec)?;
+    Ok((grad_in, grad_w))
+}
+
+/// Input-gradient half of [`conv2d_backward`]: `col2im(Wᵀ·dY)` per sample.
+///
+/// Reads only the forward weights and the output gradient — no stashed
+/// activations — so it can run on the critical path while the weight half
+/// waits for the update boundary. The `k = out_channels` transpose-A GEMM
+/// is the short-reduction axpy path of [`super::gemm`].
+///
+/// # Errors
+///
+/// Returns a shape error if the gradient shape disagrees with `spec`.
+pub fn conv2d_backward_input(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    input_hw: (usize, usize),
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
     if grad_out.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -286,47 +313,13 @@ pub fn conv2d_backward(
     let c = spec.in_channels;
     let p = oh * ow;
     let mut grad_in = Tensor::zeros(&[n, c, h, w]);
-    let mut grad_w = Tensor::zeros(&spec.weight_shape());
     let wslice = weight.as_slice();
-    // Weight gradients accumulate across the batch as completed per-sample
-    // subtotals (`grad_w += dYᵢ · colsᵢᵀ` with each product summed on its
-    // own), never as one flat chain over all samples. Callers that feed
-    // samples one at a time (fill&drain, pipelined backprop) accumulate the
-    // per-call results the same way, so batched and sample-at-a-time
-    // training stay bit-equivalent.
-    let mut gw_tmp: Vec<f32> = Vec::new();
     DCOLS_BUF.with(|buf| {
         let dcols = &mut *buf.borrow_mut();
         dcols.resize(rows * p, 0.0);
         for ni in 0..n {
             let dy =
                 &grad_out.as_slice()[ni * spec.out_channels * p..(ni + 1) * spec.out_channels * p];
-            if ni == 0 {
-                // First sample's chains start from the zeroed grad_w.
-                gemm_nt(
-                    dy,
-                    &cols[ni],
-                    grad_w.as_mut_slice(),
-                    spec.out_channels,
-                    p,
-                    rows,
-                    true,
-                );
-            } else {
-                gw_tmp.resize(spec.out_channels * rows, 0.0);
-                gemm_nt(
-                    dy,
-                    &cols[ni],
-                    &mut gw_tmp,
-                    spec.out_channels,
-                    p,
-                    rows,
-                    false,
-                );
-                for (g, t) in grad_w.as_mut_slice().iter_mut().zip(&gw_tmp) {
-                    *g += *t;
-                }
-            }
             // dcols = Wᵀ · dY (transpose-A GEMM, no explicit Wᵀ), then col2im.
             gemm_tn(
                 wslice,
@@ -341,7 +334,82 @@ pub fn conv2d_backward(
             col2im(&dcols[..rows * p], c, h, w, spec, gi);
         }
     });
-    Ok((grad_in, grad_w))
+    Ok(grad_in)
+}
+
+/// Weight-gradient half of [`conv2d_backward`]: `Σᵢ dYᵢ · colsᵢᵀ`.
+///
+/// Reads only the output gradient and the stashed im2col buffers — not the
+/// (possibly since-updated) weights — which is what makes deferring it to
+/// the update boundary exact rather than an approximation.
+///
+/// # Errors
+///
+/// Returns a shape error if `grad_out` disagrees with `spec` or the column
+/// buffers.
+pub fn conv2d_backward_weight(
+    grad_out: &Tensor,
+    cols: &[Vec<f32>],
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    if grad_out.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: grad_out.rank(),
+            op: "conv2d_backward",
+        });
+    }
+    let n = grad_out.shape()[0];
+    let p = grad_out.shape()[2] * grad_out.shape()[3];
+    let rows = spec.fan_in();
+    if grad_out.shape()[1] != spec.out_channels
+        || cols.len() != n
+        || cols.iter().any(|c| c.len() != rows * p)
+    {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![n, spec.out_channels, rows, p],
+            op: "conv2d_backward",
+        });
+    }
+    let mut grad_w = Tensor::zeros(&spec.weight_shape());
+    // Weight gradients accumulate across the batch as completed per-sample
+    // subtotals (`grad_w += dYᵢ · colsᵢᵀ` with each product summed on its
+    // own), never as one flat chain over all samples. Callers that feed
+    // samples one at a time (fill&drain, pipelined backprop) accumulate the
+    // per-call results the same way, so batched and sample-at-a-time
+    // training stay bit-equivalent.
+    let mut gw_tmp: Vec<f32> = Vec::new();
+    for ni in 0..n {
+        let dy = &grad_out.as_slice()[ni * spec.out_channels * p..(ni + 1) * spec.out_channels * p];
+        if ni == 0 {
+            // First sample's chains start from the zeroed grad_w.
+            gemm_nt(
+                dy,
+                &cols[ni],
+                grad_w.as_mut_slice(),
+                spec.out_channels,
+                p,
+                rows,
+                true,
+            );
+        } else {
+            gw_tmp.resize(spec.out_channels * rows, 0.0);
+            gemm_nt(
+                dy,
+                &cols[ni],
+                &mut gw_tmp,
+                spec.out_channels,
+                p,
+                rows,
+                false,
+            );
+            for (g, t) in grad_w.as_mut_slice().iter_mut().zip(&gw_tmp) {
+                *g += *t;
+            }
+        }
+    }
+    Ok(grad_w)
 }
 
 #[cfg(test)]
@@ -472,6 +540,29 @@ mod tests {
             let num = (op.as_slice().iter().sum::<f32>() - om.as_slice().iter().sum::<f32>())
                 / (2.0 * eps);
             assert!((num - gw.as_slice()[idx]).abs() < 1e-2, "weight grad {idx}");
+        }
+    }
+
+    #[test]
+    fn split_backward_halves_match_fused_bitwise() {
+        // 2BP runs the two halves at different times; the fused entry point
+        // and the halves must be the same function bit for bit, batched and
+        // per-sample alike.
+        let spec = Conv2dSpec::new(3, 4, 3, 1, 1).unwrap();
+        for n in [1usize, 3] {
+            let input = rand_tensor(&[n, 3, 6, 6], 7);
+            let weight = rand_tensor(&spec.weight_shape(), 8);
+            let (out, cols) = conv2d(&input, &weight, &spec).unwrap();
+            let grad_out = rand_tensor(out.shape(), 9);
+            let (gin, gw) = conv2d_backward(&grad_out, &weight, &cols, (6, 6), &spec).unwrap();
+            let gin_half = conv2d_backward_input(&grad_out, &weight, (6, 6), &spec).unwrap();
+            let gw_half = conv2d_backward_weight(&grad_out, &cols, &spec).unwrap();
+            for (a, b) in gin.as_slice().iter().zip(gin_half.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "grad_input n={n}");
+            }
+            for (a, b) in gw.as_slice().iter().zip(gw_half.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "grad_weight n={n}");
+            }
         }
     }
 

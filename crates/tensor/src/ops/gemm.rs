@@ -60,9 +60,11 @@ const PAR_MIN_ELEMS_PER_THREAD: usize = 512 * 1024;
 /// partition — and therefore the result — is independent of thread count.
 const PAR_CHUNK: usize = 32;
 /// `Aᵀ·B` products with a reduction this short (conv input gradients have
-/// `k = out_channels`) skip the register-tiling machinery: a row-wise axpy
-/// keeps the whole working set L1-resident and avoids hundreds of
-/// short-panel micro-kernel invocations.
+/// `k = out_channels`; the deferred weight-grad GEMMs of split-backward
+/// schedules have `k = microbatch rows`) skip the register-tiling
+/// machinery: a row-wise axpy keeps the whole working set L1-resident and
+/// avoids hundreds of short-panel micro-kernel invocations. The sweeps
+/// dispatch to [`simd::axpy_row`] per tier.
 const TN_AXPY_MAX_K: usize = 24;
 
 thread_local! {
@@ -177,11 +179,12 @@ fn gemm_dispatch<const AT: bool, const BT: bool>(
 }
 
 /// Short-reduction `Aᵀ·B` kernel over the output region `rows × cols`:
-/// each `C` row is swept `k` times by vectorized fma axpys while it (and
-/// all `k` rows of `B`) stay L1-resident. Per element the fused
-/// multiply-add chain still runs in increasing `k` order from `+0.0`
-/// (overwrite) or the existing value (accumulate), so results match the
-/// tiled path bit for bit.
+/// each `C` row is swept `k` times by fma axpys while it (and all `k` rows
+/// of `B`) stay L1-resident. Sweeps dispatch to the [`simd::axpy_row`]
+/// micro-kernels on the active tier (scalar fallback below). Per element
+/// the fused multiply-add chain still runs in increasing `k` order from
+/// `+0.0` (overwrite) or the existing value (accumulate), so results match
+/// the tiled path — and every SIMD tier — bit for bit.
 #[allow(clippy::too_many_arguments)]
 fn tn_axpy_region(
     a: &[f32],
@@ -206,16 +209,21 @@ fn tn_axpy_region(
             // The `kk == 0` sweep starts every chain at literal `+0.0`,
             // replacing a separate zero-fill pass over `C`.
             let av = a[i];
-            for (cj, &bv) in crow.iter_mut().zip(&b[col0..col0 + width]) {
-                *cj = av.mul_add(bv, 0.0);
+            let brow = &b[col0..col0 + width];
+            if !simd::axpy_row(av, brow, crow, true) {
+                for (cj, &bv) in crow.iter_mut().zip(brow) {
+                    *cj = av.mul_add(bv, 0.0);
+                }
             }
             kk = 1;
         }
         while kk < k {
             let av = a[kk * m + i];
             let brow = &b[kk * n + col0..][..width];
-            for (cj, &bv) in crow.iter_mut().zip(brow) {
-                *cj = av.mul_add(bv, *cj);
+            if !simd::axpy_row(av, brow, crow, false) {
+                for (cj, &bv) in crow.iter_mut().zip(brow) {
+                    *cj = av.mul_add(bv, *cj);
+                }
             }
             kk += 1;
         }

@@ -13,7 +13,10 @@ mod reduce;
 pub mod reference;
 pub mod simd;
 
-pub use conv::{col2im, conv2d, conv2d_backward, conv2d_reusing, im2col, Conv2dSpec};
+pub use conv::{
+    col2im, conv2d, conv2d_backward, conv2d_backward_input, conv2d_backward_weight, conv2d_reusing,
+    im2col, Conv2dSpec,
+};
 pub use elementwise::{axpy, lerp_into, scale_add_into};
 pub use gemm::{gemm_nn, gemm_nt, gemm_tn};
 pub use matmul::matmul_tn_acc;

@@ -28,6 +28,12 @@
 //! tiles always take the scalar path, which is why edge tiles need no
 //! masked loads — and why the two paths meeting in one output matrix is
 //! routinely exercised rather than a corner case.
+//!
+//! Besides the register tiles, the short-reduction `tn` axpy path (conv
+//! input gradients and the deferred weight-gradient GEMMs of split-backward
+//! schedules, see `TN_AXPY_MAX_K` in [`super::gemm`]) dispatches its row
+//! sweeps through [`axpy_row`] — the same per-element fma chains, vectorized
+//! across the row instead of across a tile.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -208,6 +214,43 @@ pub(crate) unsafe fn tile_full_width<const AT: bool, const MRL: usize>(
     }
 }
 
+/// Runs one fused-multiply-add axpy sweep of the short-reduction `tn`
+/// path on the active SIMD tier: `c[j] = fma(av, b[j], c[j])`, or
+/// `c[j] = fma(av, b[j], 0.0)` when `zero_init` (the first sweep in
+/// overwrite mode — note `fma(·, ·, +0.0)`, not a bare multiply, so the
+/// `−0.0` products round identically to the scalar `mul_add` sweep).
+/// Elements are independent and `vfmadd` computes the same exactly-rounded
+/// fma as `f32::mul_add`, so every tier is bit-identical by construction.
+/// Returns `false` when the caller should run the scalar sweep instead
+/// (scalar tier active, or a non-x86-64 target).
+#[inline(always)]
+pub(crate) fn axpy_row(av: f32, b: &[f32], c: &mut [f32], zero_init: bool) -> bool {
+    debug_assert_eq!(b.len(), c.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        match active_tier() {
+            SimdTier::Avx512Fma => {
+                // SAFETY: tier selection proved avx512f; `b` and `c` are
+                // equal-length slices.
+                unsafe { x86::axpy_avx512(av, b, c, zero_init) };
+                true
+            }
+            SimdTier::Avx2Fma => {
+                // SAFETY: tier selection proved avx2+fma; `b` and `c` are
+                // equal-length slices.
+                unsafe { x86::axpy_avx2(av, b, c, zero_init) };
+                true
+            }
+            SimdTier::Scalar => false,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (av, b, c, zero_init);
+        false
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     use super::super::gemm::NR;
@@ -327,6 +370,83 @@ mod x86 {
         }
         for (r, acc_row) in acc.iter().enumerate() {
             _mm512_storeu_ps(c.add((i0 + r) * ldc + j0), *acc_row);
+        }
+    }
+
+    /// AVX2+FMA axpy sweep for [`super::axpy_row`]: 256-bit `vfmadd`
+    /// across the row, scalar `mul_add` tail — per element the same single
+    /// exactly-rounded fma as the scalar sweep.
+    ///
+    /// # Safety
+    ///
+    /// `avx2` and `fma` must be available at runtime; `b.len() == c.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn axpy_avx2(av: f32, b: &[f32], c: &mut [f32], zero_init: bool) {
+        let n = c.len();
+        let av8 = _mm256_set1_ps(av);
+        let bp = b.as_ptr();
+        let cp = c.as_mut_ptr();
+        let mut j = 0usize;
+        if zero_init {
+            let zero = _mm256_setzero_ps();
+            while j + 8 <= n {
+                let bv = _mm256_loadu_ps(bp.add(j));
+                _mm256_storeu_ps(cp.add(j), _mm256_fmadd_ps(av8, bv, zero));
+                j += 8;
+            }
+            while j < n {
+                *cp.add(j) = av.mul_add(*bp.add(j), 0.0);
+                j += 1;
+            }
+        } else {
+            while j + 8 <= n {
+                let bv = _mm256_loadu_ps(bp.add(j));
+                let cv = _mm256_loadu_ps(cp.add(j));
+                _mm256_storeu_ps(cp.add(j), _mm256_fmadd_ps(av8, bv, cv));
+                j += 8;
+            }
+            while j < n {
+                *cp.add(j) = av.mul_add(*bp.add(j), *cp.add(j));
+                j += 1;
+            }
+        }
+    }
+
+    /// AVX-512F axpy sweep for [`super::axpy_row`]: 512-bit `vfmadd`
+    /// across the row, scalar `mul_add` tail.
+    ///
+    /// # Safety
+    ///
+    /// `avx512f` must be available at runtime; `b.len() == c.len()`.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn axpy_avx512(av: f32, b: &[f32], c: &mut [f32], zero_init: bool) {
+        let n = c.len();
+        let av16 = _mm512_set1_ps(av);
+        let bp = b.as_ptr();
+        let cp = c.as_mut_ptr();
+        let mut j = 0usize;
+        if zero_init {
+            let zero = _mm512_setzero_ps();
+            while j + 16 <= n {
+                let bv = _mm512_loadu_ps(bp.add(j));
+                _mm512_storeu_ps(cp.add(j), _mm512_fmadd_ps(av16, bv, zero));
+                j += 16;
+            }
+            while j < n {
+                *cp.add(j) = av.mul_add(*bp.add(j), 0.0);
+                j += 1;
+            }
+        } else {
+            while j + 16 <= n {
+                let bv = _mm512_loadu_ps(bp.add(j));
+                let cv = _mm512_loadu_ps(cp.add(j));
+                _mm512_storeu_ps(cp.add(j), _mm512_fmadd_ps(av16, bv, cv));
+                j += 16;
+            }
+            while j < n {
+                *cp.add(j) = av.mul_add(*bp.add(j), *cp.add(j));
+                j += 1;
+            }
         }
     }
 }

@@ -146,8 +146,10 @@ fn pool_and_simd_grid_stays_bit_identical() {
 }
 
 /// The `tn` layout has a dedicated short-reduction path for
-/// `k ≤ TN_AXPY_MAX_K` (axpy sweeps instead of packed tiles). It never
-/// dispatches to SIMD, so flipping tiers must not change a single bit.
+/// `k ≤ TN_AXPY_MAX_K` (axpy sweeps instead of packed tiles). Its sweeps
+/// dispatch to the per-tier `axpy_row` micro-kernels, whose `vfmadd`
+/// chains are the same exactly-rounded fmas as the scalar sweep — so
+/// flipping tiers must not change a single bit.
 #[test]
 fn tn_short_reduction_is_tier_independent() {
     let _g = lock();
@@ -168,6 +170,48 @@ fn tn_short_reduction_is_tier_independent() {
                 &want,
                 &format!("tn-short k={k} acc={acc} tier={}", tier.name()),
             );
+        }
+    }
+    set_tier(detected_tier());
+}
+
+/// The tn-axpy micro-kernel edges, per tier: shapes chosen so the chunk
+/// grid splits by rows and by columns, row widths cover full vector lanes,
+/// ragged tails shorter than one AVX2 lane, and `k` hits both 1 (a single
+/// deferred weight-grad microbatch row) and `TN_AXPY_MAX_K` itself.
+/// Bitwise against the naive reference in every cell.
+#[test]
+fn tn_axpy_micro_kernel_edges_match_reference_per_tier() {
+    let _g = lock();
+    pool::set_max_threads(1);
+    const AXPY_SHAPES: [(usize, usize, usize, &str); 4] = [
+        // n > m: chunked by columns (width 32, then a 5-wide scalar tail).
+        (40, 5, 517, "by-cols-ragged-tail"),
+        // m > n: chunked by rows, full-width sweeps with a 96-float row.
+        (200, 3, 96, "by-rows-full-lanes"),
+        // k at the dispatch boundary TN_AXPY_MAX_K = 24.
+        (64, 24, 200, "k-at-boundary"),
+        // k = 1: exactly the deferred Linear weight-grad shape (one
+        // microbatch row), overwrite mode is a single zero-init sweep.
+        (140, 1, 140, "k-one"),
+    ];
+    for &(m, k, n, tag) in &AXPY_SHAPES {
+        let a_tn = rand_vec(k * m, 61);
+        let b = rand_vec(k * n, 62);
+        let init = rand_vec(m * n, 63);
+        for acc in [false, true] {
+            let mut want = if acc { init.clone() } else { vec![0.0; m * n] };
+            reference::matmul_tn_acc_ref(&a_tn, &b, &mut want, m, k, n);
+            for tier in supported_tiers() {
+                set_tier(tier);
+                let mut got = if acc { init.clone() } else { vec![0.0; m * n] };
+                gemm_tn(&a_tn, &b, &mut got, m, k, n, acc);
+                assert_bits_eq(
+                    &got,
+                    &want,
+                    &format!("tn-axpy {tag} {m}x{k}x{n} acc={acc} tier={}", tier.name()),
+                );
+            }
         }
     }
     set_tier(detected_tier());

@@ -22,6 +22,9 @@ cargo test --workspace -q
 echo "== snapshot kill-and-resume smoke (threaded engine, bit-identical resume) =="
 cargo run --release -q -p pbp-bench --bin snapshot_smoke
 
+echo "== schedule smoke (1F1B + 2BP delay histograms, split-backward bit-identity) =="
+cargo run --release -q -p pbp-bench --bin schedule_smoke
+
 echo "== chaos smoke (seeded panic + stall, supervised recovery) =="
 # Injects a stage panic and a stage stall into a supervised threaded run;
 # the one worker-panic backtrace printed mid-run is the injection itself.
