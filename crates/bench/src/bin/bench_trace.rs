@@ -1,0 +1,158 @@
+//! Trace + MFU bench lane: runs the four microbatch schedules (PB,
+//! fill&drain, 1F1B, 2BP) under the Chrome-trace recorder, writes one
+//! Perfetto-loadable trace per schedule to `results/trace_{tag}.json`
+//! (wall-clock stage lanes plus the virtual schedule diagram), and an
+//! MFU/bubble summary to `results/BENCH_trace.json`.
+//!
+//! Load a trace at <https://ui.perfetto.dev> (or `chrome://tracing`):
+//! process 0 is the measured run, process 1 the idealized schedule.
+//!
+//! `PBP_BENCH_SMOKE=1` shrinks the workload for the scripts/check.sh gate.
+
+use pbp_bench::Table;
+use pbp_data::spirals;
+use pbp_nn::models::mlp;
+use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule};
+use pbp_pipeline::{
+    emit_schedule_timeline, schedule_bubble_fraction, MicrobatchSchedule, ScheduledConfig,
+    ScheduledTrainer, TrainEngine,
+};
+use pbp_trace::mfu::{measure_peak_gflops, model_flops, reports_to_json, MfuReport};
+use pbp_trace::Tracer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const M: usize = 8;
+
+fn plans() -> Vec<(&'static str, MicrobatchSchedule)> {
+    vec![
+        ("pb", MicrobatchSchedule::PipelinedBackprop),
+        (
+            "filldrain",
+            MicrobatchSchedule::FillDrain { update_size: M },
+        ),
+        (
+            "1f1b",
+            MicrobatchSchedule::OneFOneB {
+                microbatches_per_update: M,
+            },
+        ),
+        (
+            "2bp",
+            MicrobatchSchedule::TwoBP {
+                microbatches_per_update: M,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::var_os("PBP_BENCH_SMOKE").is_some();
+    let samples = if smoke { 64 } else { 512 };
+    let widths = [2usize, 64, 64, 3];
+    let data = spirals(3, 64, 0.05, 7);
+    let hp = scale_hyperparams(Hyperparams::new(0.1, 0.9), 128, M);
+    let peak = measure_peak_gflops();
+    // Virtual-timeline scale: enough stages and microbatches that the
+    // fill/drain ramps are a small fraction of steady state.
+    let (virt_stages, virt_mb) = (4usize, 8 * M);
+
+    println!(
+        "== Trace bench: {} schedules, {samples} samples, machine peak {peak:.2} GFLOP/s ==\n",
+        plans().len()
+    );
+
+    let mut table = Table::new(["schedule", "bubble", "MFU", "GFLOP/s", "spans", "trace"]);
+    let mut reports: Vec<(String, String)> = Vec::new();
+    let mut bubbles: Vec<(String, f64)> = Vec::new();
+    for (tag, plan) in plans() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = mlp(&widths, &mut rng);
+        let fwd_flops: u64 = (0..net.num_stages())
+            .map(|s| net.stage(s).flops_per_sample())
+            .sum();
+        let tracer = Tracer::new();
+        let mut engine =
+            ScheduledTrainer::new(net, ScheduledConfig::new(plan, LrSchedule::constant(hp)));
+        engine.set_tracer(tracer.clone());
+        let order: Vec<usize> = (0..samples).map(|i| i % data.len()).collect();
+        let started = Instant::now();
+        TrainEngine::train_range(&mut engine, &data, &order);
+        let wall = started.elapsed().as_secs_f64();
+
+        // The idealized schedule diagram rides in the same trace file as
+        // the measured run, on the virtual process.
+        emit_schedule_timeline(&tracer, &plan, virt_stages, virt_mb);
+        let trace = tracer.finish();
+        let path = format!("results/trace_{tag}.json");
+        trace.write(&path).expect("write trace");
+
+        let bubble = schedule_bubble_fraction(&plan, virt_stages, virt_mb);
+        let report = MfuReport::new(model_flops(fwd_flops, samples), wall, peak);
+        table.row([
+            plan.label().to_string(),
+            format!("{:.3}", bubble),
+            format!("{:.4}", report.mfu),
+            format!("{:.2}", report.achieved_gflops),
+            trace.span_count().to_string(),
+            path.clone(),
+        ]);
+        reports.push((
+            plan.label().to_string(),
+            format!(
+                "\"trace\":\"{path}\",\"bubble_fraction\":{bubble},\"mfu_report\":{}",
+                report.to_json()
+            ),
+        ));
+        bubbles.push((plan.label().to_string(), bubble));
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+
+    // The ordering the paper's Figure 2 predicts: fill&drain pays the
+    // full per-window drain, 1F1B only start-up ramps, PB streams.
+    let bubble_of = |label: &str| {
+        bubbles
+            .iter()
+            .find(|(l, _)| l.contains(label))
+            .map(|(_, b)| *b)
+            .unwrap()
+    };
+    let (fd, ofob, pb) = (bubble_of("Fill&Drain"), bubble_of("1F1B"), bubble_of("PB"));
+    assert!(
+        fd > ofob && ofob > pb,
+        "bubble ordering violated: fill&drain {fd:.3} > 1F1B {ofob:.3} > PB {pb:.3}"
+    );
+    println!("\nbubble ordering holds: fill&drain {fd:.3} > 1F1B {ofob:.3} > PB {pb:.3}");
+
+    // Disabled-tracer overhead probe: the same run with recording off
+    // should cost within noise of one with no tracer installed at all.
+    let throughput = |install_disabled: bool| {
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = mlp(&widths, &mut rng);
+        let mut engine = ScheduledTrainer::new(
+            net,
+            ScheduledConfig::one_f_one_b(M, LrSchedule::constant(hp)),
+        );
+        if install_disabled {
+            engine.set_tracer(Tracer::disabled());
+        }
+        let order: Vec<usize> = (0..samples).map(|i| i % data.len()).collect();
+        let started = Instant::now();
+        TrainEngine::train_range(&mut engine, &data, &order);
+        samples as f64 / started.elapsed().as_secs_f64()
+    };
+    let base = throughput(false);
+    let disabled = throughput(true);
+    println!(
+        "disabled-tracer overhead: {base:.0} samples/s bare vs {disabled:.0} with a \
+         disabled tracer ({:+.2}%)",
+        100.0 * (base - disabled) / base
+    );
+
+    std::fs::write("results/BENCH_trace.json", reports_to_json(&reports))
+        .expect("write results/BENCH_trace.json");
+    println!("wrote MFU + bubble summary to results/BENCH_trace.json");
+}

@@ -1,0 +1,97 @@
+//! CI smoke for the trace layer: a short traced 1F1B run must serialize
+//! to schema-valid Chrome trace JSON (parsed back with the crate's own
+//! parser), the virtual schedule diagrams must order their bubbles
+//! fill&drain > 1F1B > PB, and the MFU report must be finite and nonzero.
+
+use pbp_data::spirals;
+use pbp_nn::models::mlp;
+use pbp_optim::{scale_hyperparams, Hyperparams, LrSchedule};
+use pbp_pipeline::{
+    schedule_bubble_fraction, MicrobatchSchedule, ScheduledConfig, ScheduledTrainer, TrainEngine,
+};
+use pbp_trace::json::Json;
+use pbp_trace::mfu::{measure_peak_gflops, model_flops, MfuReport};
+use pbp_trace::Tracer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let m = 4usize;
+    let samples = 32usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = mlp(&[2, 16, 16, 3], &mut rng);
+    let fwd_flops: u64 = (0..net.num_stages())
+        .map(|s| net.stage(s).flops_per_sample())
+        .sum();
+    let data = spirals(3, 16, 0.05, 7);
+    let hp = scale_hyperparams(Hyperparams::new(0.1, 0.9), 128, m);
+    let tracer = Tracer::new();
+    let mut engine = ScheduledTrainer::new(
+        net,
+        ScheduledConfig::one_f_one_b(m, LrSchedule::constant(hp)),
+    );
+    engine.set_tracer(tracer.clone());
+    let order: Vec<usize> = (0..samples).map(|i| i % data.len()).collect();
+    let started = Instant::now();
+    TrainEngine::train_range(&mut engine, &data, &order);
+    let wall = started.elapsed().as_secs_f64();
+    let trace = tracer.finish();
+    assert!(trace.span_count() > 0, "traced run recorded no spans");
+
+    // Round-trip the Chrome JSON through the crate's own parser and
+    // check the trace-event schema Perfetto expects.
+    let json = Json::parse(&trace.to_chrome_json()).expect("trace JSON parses");
+    let events = json
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    let mut complete = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("event has ph");
+        assert!(ev.get("pid").and_then(|p| p.as_f64()).is_some(), "pid");
+        assert!(ev.get("name").is_some(), "name");
+        match ph {
+            "X" => {
+                complete += 1;
+                for key in ["tid", "ts", "dur"] {
+                    assert!(ev.get(key).and_then(|v| v.as_f64()).is_some(), "X {key}");
+                }
+            }
+            "i" => {
+                assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some(), "i ts");
+            }
+            "M" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert_eq!(complete, trace.span_count(), "one X event per span");
+
+    // Virtual schedule diagrams: the bubble ordering Figure 2 predicts.
+    let (s, n) = (4usize, 32usize);
+    let fd = schedule_bubble_fraction(&MicrobatchSchedule::FillDrain { update_size: 8 }, s, n);
+    let ofob = schedule_bubble_fraction(
+        &MicrobatchSchedule::OneFOneB {
+            microbatches_per_update: 8,
+        },
+        s,
+        n,
+    );
+    let pb = schedule_bubble_fraction(&MicrobatchSchedule::PipelinedBackprop, s, n);
+    assert!(
+        fd > ofob && ofob > pb && pb > 0.0 && fd < 1.0,
+        "bubble ordering violated: {fd:.3} / {ofob:.3} / {pb:.3}"
+    );
+
+    let report = MfuReport::new(model_flops(fwd_flops, samples), wall, measure_peak_gflops());
+    assert!(
+        report.mfu.is_finite() && report.mfu > 0.0 && report.mfu <= 1.0,
+        "MFU out of bounds: {report:?}"
+    );
+
+    println!(
+        "PASS: {} spans schema-valid, bubbles {fd:.3} > {ofob:.3} > {pb:.3}, {}",
+        trace.span_count(),
+        report.summary("1F1B")
+    );
+}

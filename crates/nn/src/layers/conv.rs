@@ -210,10 +210,12 @@ impl Layer for Conv2d {
 
     fn flops_per_sample(&self) -> u64 {
         match self.last_hw {
-            // Each weight is reused across every output pixel.
+            // Each weight is reused across every output pixel; the bias
+            // adds one FLOP per output element.
             Some((h, w)) => {
                 let pixels = (self.spec.out_size(h) * self.spec.out_size(w)) as u64;
-                2 * self.weight.len() as u64 * pixels
+                let bias = self.bias.as_ref().map_or(0, |b| b.len() as u64) * pixels;
+                2 * self.weight.len() as u64 * pixels + bias
             }
             // No forward seen yet: fall back to the parameter-based default.
             None => 2 * self.param_count() as u64,

@@ -160,6 +160,18 @@ impl Layer for Linear {
         }
     }
 
+    fn flops_per_sample(&self) -> u64 {
+        // x·Wᵀ is in·out multiply-adds (2 FLOPs each); the bias is one add
+        // per output feature, not two per parameter as the default counts.
+        let matmul = 2 * (self.in_features * self.out_features) as u64;
+        matmul
+            + if self.bias.is_some() {
+                self.out_features as u64
+            } else {
+                0
+            }
+    }
+
     fn clear_stash(&mut self) {
         // Deferred weight-gradient work survives: under 2BP an update
         // window (and its pending `backward_weight` halves) can span an

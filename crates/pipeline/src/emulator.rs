@@ -194,6 +194,10 @@ impl TrainEngine for PipelinedTrainer {
         self.core.train_range(data, indices)
     }
 
+    fn set_tracer(&mut self, tracer: pbp_trace::Tracer) {
+        self.core.set_tracer(tracer);
+    }
+
     fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
         pbp_nn::snapshot::write_network(&self.core.net, snap);
         crate::state::write_engine_section(snap, "pb", |w| {

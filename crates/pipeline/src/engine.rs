@@ -96,6 +96,13 @@ pub trait TrainEngine {
         None
     }
 
+    /// Installs a [`Tracer`](pbp_trace::Tracer): subsequent training calls
+    /// record per-stage begin/end spans into it. Engines without span
+    /// instrumentation ignore the tracer (the default).
+    fn set_tracer(&mut self, tracer: pbp_trace::Tracer) {
+        let _ = tracer;
+    }
+
     /// Borrows the network (e.g. for evaluation).
     fn network_mut(&mut self) -> &mut Network;
 

@@ -48,6 +48,7 @@ pub mod scheduled;
 pub mod state;
 pub mod supervisor;
 pub mod threaded;
+pub mod timeline;
 pub mod trainer;
 
 pub use asgd::{AsgdTrainer, DelayDistribution};
@@ -58,7 +59,8 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec, PipelineFault, RunError};
 pub use filldrain::FillDrainTrainer;
 pub use memory::MemoryModel;
 pub use metrics::{
-    EngineMetrics, JsonSink, MetricsRecorder, MetricsSink, NoHooks, StageCounters, TrainHooks,
+    EngineMetrics, JsonSink, MetricsRecorder, MetricsSink, NoHooks, StageCounters, TraceHooks,
+    TrainHooks,
 };
 pub use resume::{
     latest_snapshot, resume_degraded, resume_training, run_to_crash, run_training_with_snapshots,
@@ -74,4 +76,5 @@ pub use supervisor::{
     degraded_spec, run_supervised, RecoveryPolicy, SupervisedOutcome, SupervisionEvent, Watchdog,
 };
 pub use threaded::{ThreadedConfig, ThreadedPipeline, ThroughputReport};
+pub use timeline::{emit_schedule_timeline, schedule_bubble_fraction};
 pub use trainer::{evaluate, EpochRecord, SgdmTrainer, TrainReport};

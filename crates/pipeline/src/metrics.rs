@@ -184,6 +184,12 @@ impl MetricsRecorder {
         self.stages[stage].merge(counters);
     }
 
+    /// Updates applied at `stage` so far (the weight-version tag tracing
+    /// attaches to spans).
+    pub fn stage_updates(&self, stage: usize) -> u64 {
+        self.stages[stage].updates
+    }
+
     /// Snapshots the counters into an [`EngineMetrics`].
     pub fn snapshot(
         &self,
@@ -267,10 +273,90 @@ pub trait TrainHooks {
     }
 
     /// Called by [`run_supervised`](crate::supervisor::run_supervised) on
-    /// every supervision event: a detected fault, a snapshot restart, or
-    /// the switchover to the degraded engine.
+    /// every supervision event: a detected fault, a snapshot restart, a
+    /// backoff sleep, or the switchover to the degraded engine.
     fn on_supervision_event(&mut self, event: &crate::supervisor::SupervisionEvent) {
         let _ = event;
+    }
+
+    /// Called by the snapshot runner after a snapshot is written, with the
+    /// sample cursor it covers, the file it landed in, and how long the
+    /// write took.
+    fn on_snapshot(&mut self, samples: usize, path: &Path, elapsed: std::time::Duration) {
+        let _ = (samples, path, elapsed);
+    }
+}
+
+/// A [`TrainHooks`] adapter that records supervision events and snapshot
+/// writes into a [`Tracer`](pbp_trace::Tracer) lane named `supervisor`,
+/// while forwarding every callback to an inner observer. Faults, restarts,
+/// backoffs and degradation switchovers become instant events; snapshot
+/// writes become spans covering the measured write time.
+#[derive(Debug)]
+pub struct TraceHooks<H: TrainHooks> {
+    tracer: pbp_trace::Tracer,
+    lane: pbp_trace::Lane,
+    inner: H,
+}
+
+impl<H: TrainHooks> TraceHooks<H> {
+    /// Wraps `inner`, recording into `tracer` (sorted above the stage
+    /// lanes in the trace view).
+    pub fn new(tracer: &pbp_trace::Tracer, inner: H) -> Self {
+        TraceHooks {
+            tracer: tracer.clone(),
+            lane: tracer.lane(pbp_trace::PID_WALL, "supervisor", -1),
+            inner,
+        }
+    }
+
+    /// Flushes the supervisor lane and returns the inner observer.
+    pub fn into_inner(mut self) -> H {
+        self.lane.flush();
+        self.inner
+    }
+}
+
+impl<H: TrainHooks> TrainHooks for TraceHooks<H> {
+    fn on_epoch_start(&mut self, epoch: usize) {
+        self.inner.on_epoch_start(epoch);
+    }
+
+    fn on_epoch_end(&mut self, record: &EpochRecord) {
+        self.inner.on_epoch_end(record);
+    }
+
+    fn on_run_end(&mut self, report: &TrainReport, metrics: &EngineMetrics) {
+        self.lane.flush();
+        self.inner.on_run_end(report, metrics);
+    }
+
+    fn on_supervision_event(&mut self, event: &crate::supervisor::SupervisionEvent) {
+        use crate::supervisor::SupervisionEvent;
+        use pbp_trace::TracePhase;
+        let phase = match event {
+            SupervisionEvent::Fault { .. } => TracePhase::Fault,
+            SupervisionEvent::Restart { .. } => TracePhase::Restart,
+            SupervisionEvent::Backoff { .. } => TracePhase::Backoff,
+            SupervisionEvent::Degraded { .. } => TracePhase::Degraded,
+        };
+        self.lane.instant(phase, Some(event.to_string()));
+        self.lane.flush();
+        self.inner.on_supervision_event(event);
+    }
+
+    fn on_snapshot(&mut self, samples: usize, path: &Path, elapsed: std::time::Duration) {
+        let now = self.tracer.now_ns();
+        let start = now.saturating_sub(elapsed.as_nanos() as u64);
+        self.lane.span_at(
+            start,
+            now,
+            pbp_trace::TracePhase::Snapshot,
+            Some(samples as u64),
+            None,
+        );
+        self.lane.flush();
+        self.inner.on_snapshot(samples, path, elapsed);
     }
 }
 

@@ -167,13 +167,17 @@ fn save_snapshot(
     policy: &SnapshotPolicy,
     state: &RunnerState,
     samples: usize,
+    hooks: &mut dyn TrainHooks,
 ) -> Result<(), SnapshotError> {
+    let started = std::time::Instant::now();
     let mut snap = SnapshotBuilder::new();
     engine.write_state(&mut snap);
     let mut w = StateWriter::new();
     write_runner_state(&mut w, state, &engine.label());
     snap.add_section(SECTION_RUN, w.into_bytes());
-    snap.save_atomic(&policy.dir.join(format!("snap-{samples:012}.pbps")))?;
+    let path = policy.dir.join(format!("snap-{samples:012}.pbps"));
+    snap.save_atomic(&path)?;
+    hooks.on_snapshot(samples, &path, started.elapsed());
     prune(policy)
 }
 
@@ -238,7 +242,7 @@ fn drive(
                     // points at the *next* snapshot, letting a resumed run
                     // fall into the same rhythm.
                     state.next_snap = here + policy.every_updates * spu;
-                    save_snapshot(engine, policy, &state, here)?;
+                    save_snapshot(engine, policy, &state, here, hooks)?;
                 }
             }
             let pos = state.cursor.pos;
@@ -290,7 +294,7 @@ fn drive(
         if engine.snapshot_ready() {
             let here = engine.samples_seen();
             state.next_snap = here + policy.every_updates * spu;
-            save_snapshot(engine, policy, &state, here)?;
+            save_snapshot(engine, policy, &state, here, hooks)?;
         }
     }
     let mut report = TrainReport::new(engine.label());

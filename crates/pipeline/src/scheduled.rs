@@ -59,6 +59,9 @@ pub(crate) struct ScheduleCore {
     pub(crate) schedule: LrSchedule,
     pub(crate) samples_seen: usize,
     pub(crate) metrics: MetricsRecorder,
+    /// Per-stage trace lanes (`None` while tracing is disabled, so every
+    /// instrumentation point in the hot loop costs one branch).
+    pub(crate) lanes: Option<Vec<pbp_trace::Lane>>,
 }
 
 impl ScheduleCore {
@@ -103,6 +106,32 @@ impl ScheduleCore {
             schedule,
             samples_seen: 0,
             metrics,
+            lanes: None,
+        }
+    }
+
+    /// Installs a tracer: every stage records spans for the actions it
+    /// executes into a `stage-{s}` wall-clock lane, tagged with the
+    /// microbatch index and the stage's weight version (updates applied).
+    pub(crate) fn set_tracer(&mut self, tracer: pbp_trace::Tracer) {
+        if tracer.enabled() {
+            self.lanes = Some(
+                (0..self.net.num_stages())
+                    .map(|s| tracer.lane(pbp_trace::PID_WALL, format!("stage-{s}"), s as i64))
+                    .collect(),
+            );
+        } else {
+            self.lanes = None;
+        }
+    }
+
+    /// Flushes any buffered trace records into the tracer (called at the
+    /// end of every training slice; lanes also flush on drop).
+    pub(crate) fn flush_trace(&mut self) {
+        if let Some(lanes) = self.lanes.as_mut() {
+            for lane in lanes {
+                lane.flush();
+            }
         }
     }
 
@@ -161,6 +190,13 @@ impl ScheduleCore {
         let mut stack = vec![batched];
         for s in 0..self.net.num_stages() {
             let stage_start = Instant::now();
+            if let Some(lanes) = self.lanes.as_mut() {
+                lanes[s].begin(
+                    pbp_trace::TracePhase::Forward,
+                    Some(self.samples_seen as u64),
+                    Some(self.metrics.stage_updates(s)),
+                );
+            }
             let fwd_w = self.fwd_queues[s]
                 .pop_front()
                 .expect("queue maintains lag+1 entries");
@@ -180,6 +216,9 @@ impl ScheduleCore {
             }
             if self.weight_stashing {
                 self.stashes[s].push_back(fwd_w);
+            }
+            if let Some(lanes) = self.lanes.as_mut() {
+                lanes[s].end();
             }
             self.metrics
                 .add_busy_ns(s, stage_start.elapsed().as_nanos());
@@ -204,7 +243,14 @@ impl ScheduleCore {
             for action in &actions {
                 match *action {
                     Action::Forward(_) => {}
-                    Action::BackwardInput(_) => {
+                    Action::BackwardInput(i) => {
+                        if let Some(lanes) = self.lanes.as_mut() {
+                            lanes[s].begin(
+                                pbp_trace::TracePhase::BackwardInput,
+                                Some(i as u64),
+                                Some(self.metrics.stage_updates(s)),
+                            );
+                        }
                         let bwd_override = self.backward_override(s);
                         let stage = self.net.stage_mut(s);
                         if first_of_update {
@@ -219,17 +265,37 @@ impl ScheduleCore {
                             }
                             None => stage.backward_input(&mut gstack),
                         }
+                        if let Some(lanes) = self.lanes.as_mut() {
+                            lanes[s].end();
+                        }
                     }
-                    Action::BackwardWeight(_) => {
+                    Action::BackwardWeight(j) => {
+                        if let Some(lanes) = self.lanes.as_mut() {
+                            lanes[s].begin(
+                                pbp_trace::TracePhase::BackwardWeight,
+                                Some(j as u64),
+                                Some(self.metrics.stage_updates(s)),
+                            );
+                        }
                         // Weight-gradient halves read no weights, only
                         // values stashed at BackwardInput time, so no
                         // override dance is needed.
                         self.net.stage_mut(s).backward_weight();
+                        if let Some(lanes) = self.lanes.as_mut() {
+                            lanes[s].end();
+                        }
                     }
                     Action::Update => {
                         let stage = self.net.stage_mut(s);
                         let (mut params, grads) = stage.params_and_grads();
                         if !grads.is_empty() {
+                            if let Some(lanes) = self.lanes.as_mut() {
+                                lanes[s].begin(
+                                    pbp_trace::TracePhase::Update,
+                                    Some(self.samples_seen as u64),
+                                    Some(self.metrics.stage_updates(s) + 1),
+                                );
+                            }
                             if self.plan.splits_backward() {
                                 // Deferred weight gradients arrive at the
                                 // boundary, detached from any backward
@@ -239,6 +305,9 @@ impl ScheduleCore {
                                 self.opts[s].step_deferred(&mut params);
                             } else {
                                 self.opts[s].step(&mut params, &grads);
+                            }
+                            if let Some(lanes) = self.lanes.as_mut() {
+                                lanes[s].end();
                             }
                             updated = true;
                         }
@@ -280,6 +349,7 @@ impl ScheduleCore {
             let x = x.clone();
             total += self.train_microbatch(&x, label) as f64;
         }
+        self.flush_trace();
         (total, indices.len())
     }
 
@@ -557,6 +627,10 @@ impl TrainEngine for ScheduledTrainer {
         self.core
             .samples_seen
             .is_multiple_of(self.config.plan.microbatches_per_update())
+    }
+
+    fn set_tracer(&mut self, tracer: pbp_trace::Tracer) {
+        self.core.set_tracer(tracer);
     }
 
     fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {

@@ -307,6 +307,13 @@ pub enum SupervisionEvent {
         /// Snapshot file the restart resumes from, if any.
         from_snapshot: Option<String>,
     },
+    /// The supervisor is sleeping (exponential backoff) before a restart.
+    Backoff {
+        /// The restart attempt (1-based) the sleep precedes.
+        attempt: usize,
+        /// Length of the sleep.
+        delay: Duration,
+    },
     /// Retries exhausted; the run switched to the deterministic emulator.
     Degraded {
         /// Label of the engine taking over.
@@ -327,6 +334,9 @@ impl std::fmt::Display for SupervisionEvent {
                 Some(snap) => write!(f, "restart {attempt} from {snap}"),
                 None => write!(f, "restart {attempt} from scratch"),
             },
+            SupervisionEvent::Backoff { attempt, delay } => {
+                write!(f, "backoff before restart {attempt}: {delay:?}")
+            }
             SupervisionEvent::Degraded { to } => write!(f, "degraded to {to}"),
         }
     }
@@ -441,6 +451,12 @@ pub fn run_supervised(
                 attempt += 1;
                 let backoff = recovery.backoff * (1u32 << (attempt - 1).min(6) as u32);
                 if !backoff.is_zero() {
+                    let event = SupervisionEvent::Backoff {
+                        attempt,
+                        delay: backoff,
+                    };
+                    hooks.on_supervision_event(&event);
+                    events.push(event);
                     std::thread::sleep(backoff);
                 }
                 let from_snapshot = latest_valid_snapshot(&policy.dir)?

@@ -78,6 +78,11 @@ pub struct ThreadedConfig {
     /// Liveness policy: stall timeout, supervisor poll tick, shutdown
     /// grace.
     pub watchdog: Watchdog,
+    /// Trace recorder the stage workers report spans into (disabled by
+    /// default). Living in the config — rather than only on the engine —
+    /// means a supervisor that rebuilds the engine from its
+    /// [`EngineSpec`](crate::EngineSpec) keeps tracing across restarts.
+    pub tracer: pbp_trace::Tracer,
 }
 
 impl ThreadedConfig {
@@ -91,6 +96,7 @@ impl ThreadedConfig {
             channel_capacity: 1,
             fault_plan: None,
             watchdog: Watchdog::default(),
+            tracer: pbp_trace::Tracer::disabled(),
         }
     }
 
@@ -130,6 +136,12 @@ impl ThreadedConfig {
         self.watchdog = watchdog;
         self
     }
+
+    /// Installs a trace recorder.
+    pub fn with_tracer(mut self, tracer: pbp_trace::Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
 }
 
 /// Wall-clock throughput of a threaded run.
@@ -145,6 +157,9 @@ pub struct ThroughputReport {
 
 struct FwdMsg {
     id: usize,
+    /// Global microbatch index (the engine's sample counter at send time),
+    /// carried only so trace spans can be tagged across streaming calls.
+    mb: usize,
     stack: Vec<Tensor>,
     label: usize,
 }
@@ -303,7 +318,7 @@ impl ThreadedPipeline {
             .take()
             .expect("network lost to a pipeline fault; rebuild the engine (see take_fault)");
         let slots = std::mem::take(&mut self.slots);
-        match Self::train_with_slots(net, samples, &self.config, slots) {
+        match Self::train_with_slots(net, samples, &self.config, slots, self.samples_seen) {
             Ok(out) => {
                 self.net = Some(out.net);
                 self.slots = out.slots;
@@ -385,7 +400,7 @@ impl ThreadedPipeline {
         config: &ThreadedConfig,
     ) -> Result<(Network, Vec<f32>, ThroughputReport, Vec<StageCounters>), PipelineFault> {
         let slots = Self::fresh_slots(&net, config);
-        let out = Self::train_with_slots(net, samples, config, slots)?;
+        let out = Self::train_with_slots(net, samples, config, slots, 0)?;
         Ok((out.net, out.losses, out.report, out.counters))
     }
 
@@ -401,6 +416,7 @@ impl ThreadedPipeline {
         samples: &[(Tensor, usize)],
         config: &ThreadedConfig,
         slots: Vec<StageSlot>,
+        mb_base: usize,
     ) -> Result<StreamOutput, PipelineFault> {
         assert!(!samples.is_empty(), "need at least one sample");
         let stages = net.into_stages();
@@ -526,6 +542,7 @@ impl ThreadedPipeline {
                     shape.extend_from_slice(x.shape());
                     FwdMsg {
                         id: next,
+                        mb: mb_base + next,
                         stack: vec![x.reshape(&shape).expect("same volume")],
                         label: *label,
                     }
@@ -671,6 +688,10 @@ impl TrainEngine for ThreadedPipeline {
         self.fault.take()
     }
 
+    fn set_tracer(&mut self, tracer: pbp_trace::Tracer) {
+        self.config.tracer = tracer;
+    }
+
     fn write_state(&self, snap: &mut pbp_snapshot::SnapshotBuilder) {
         use pbp_snapshot::Snapshottable;
         pbp_nn::snapshot::write_network(
@@ -788,6 +809,9 @@ fn run_stage(ctx: StageCtx) {
         abort,
         events,
     } = ctx;
+    let lane = config
+        .tracer
+        .lane(pbp_trace::PID_WALL, format!("stage-{s}"), s as i64);
     let mut worker = StageWorker {
         s,
         stage,
@@ -795,6 +819,7 @@ fn run_stage(ctx: StageCtx) {
         updates: slot.updates,
         stash: VecDeque::new(),
         fwd_marks: VecDeque::new(),
+        mb_marks: VecDeque::new(),
         counters: StageCounters::default(),
         fwd_out,
         bwd_out,
@@ -805,6 +830,7 @@ fn run_stage(ctx: StageCtx) {
         abort,
         events: events.clone(),
         last_beat: Instant::now(),
+        lane,
     };
     let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         worker.run(&fwd_in, &bwd_in)
@@ -821,8 +847,15 @@ fn run_stage(ctx: StageCtx) {
         bwd_out,
         done,
         loss_out,
+        mut lane,
         ..
     } = worker;
+    if let StageOutcome::Panicked(msg) = &outcome {
+        lane.instant(pbp_trace::TracePhase::Fault, Some(msg.clone()));
+    }
+    // Dropping the lane flushes the worker's buffered spans into the
+    // shared trace, even after a panic.
+    drop(lane);
     drop((fwd_out, bwd_out, done, loss_out, fwd_in, bwd_in));
     let _ = events.send(StageEvent::Done(Box::new(StageDone {
         stage_idx: s,
@@ -842,6 +875,9 @@ struct StageWorker {
     /// difference at backward time is the stage's *realized* gradient
     /// delay (emergent from thread interleaving, not imposed).
     fwd_marks: VecDeque<usize>,
+    /// Global microbatch index of each in-flight forward, so backward
+    /// trace spans carry the same tag as their forward counterpart.
+    mb_marks: VecDeque<u64>,
     counters: StageCounters,
     updates: usize,
     /// Downstream activation channel; `None` on the last layer stage, which
@@ -857,6 +893,8 @@ struct StageWorker {
     abort: Arc<AtomicBool>,
     events: Sender<StageEvent>,
     last_beat: Instant,
+    /// This worker's trace lane (no-op when tracing is disabled).
+    lane: pbp_trace::Lane,
 }
 
 impl StageWorker {
@@ -968,7 +1006,13 @@ impl StageWorker {
     fn handle_fwd(&mut self, mut msg: FwdMsg) -> Option<BwdMsg> {
         self.beat();
         let start = Instant::now();
+        self.lane.begin(
+            pbp_trace::TracePhase::Forward,
+            Some(msg.mb as u64),
+            Some(self.updates as u64),
+        );
         self.fwd_marks.push_back(self.updates);
+        self.mb_marks.push_back(msg.mb as u64);
         let params = self.stage.params();
         let predicted = if params.is_empty() {
             None
@@ -992,9 +1036,13 @@ impl StageWorker {
             assert_eq!(msg.stack.len(), 1, "loss stage expects a single lane");
             let (loss, grad) = softmax_cross_entropy(&msg.stack[0], &[msg.label]);
             let _ = loss_tx.send((msg.id, loss));
+            self.lane.end();
             self.counters.add_busy_ns(start.elapsed().as_nanos());
             return Some(BwdMsg { stack: vec![grad] });
         }
+        // End the span before the send: downstream back-pressure is the
+        // neighbour's stall, not this stage's compute.
+        self.lane.end();
         self.counters.add_busy_ns(start.elapsed().as_nanos());
         self.send_fwd(msg);
         None
@@ -1010,7 +1058,11 @@ impl StageWorker {
                 "injected fault: stage {} panics at update {}",
                 self.s, self.updates
             ),
-            FaultAction::Stall(d) => std::thread::sleep(d),
+            FaultAction::Stall(d) => {
+                self.lane.begin(pbp_trace::TracePhase::Stall, None, None);
+                std::thread::sleep(d);
+                self.lane.end();
+            }
             FaultAction::Sever => {
                 self.fwd_out = None;
                 self.bwd_out = None;
@@ -1020,7 +1072,10 @@ impl StageWorker {
         }
         let start = Instant::now();
         let mark = self.fwd_marks.pop_front().expect("gradients in fifo order");
+        let mb = self.mb_marks.pop_front();
         let delay = self.updates - mark;
+        self.lane
+            .begin(pbp_trace::TracePhase::BackwardInput, mb, Some(mark as u64));
         self.opt
             .set_hyperparams(self.config.schedule.at(self.updates));
         self.stage.zero_grads();
@@ -1039,8 +1094,15 @@ impl StageWorker {
         }
         let (mut params, grads) = self.stage.params_and_grads();
         let has_params = !grads.is_empty();
+        self.lane.end();
         if has_params {
+            self.lane.begin(
+                pbp_trace::TracePhase::Update,
+                mb,
+                Some(self.updates as u64 + 1),
+            );
             self.opt.step(&mut params, &grads);
+            self.lane.end();
         }
         self.updates += 1;
         if has_params {

@@ -1,0 +1,359 @@
+//! Virtual schedule timelines: ideal-hardware renderings of the
+//! microbatch schedules on the trace's virtual process
+//! ([`pbp_trace::PID_VIRTUAL`]).
+//!
+//! The sequential emulation engines execute every stage on one thread, so
+//! their wall-clock traces cannot show the *pipeline* bubbles a schedule
+//! would cost on real parallel hardware. This module closes that gap: it
+//! replays a [`MicrobatchSchedule`]'s dataflow on `S` idealized stage
+//! lanes with unit task costs and emits the resulting spans at virtual
+//! timestamps (1 tick = 1 µs), one lane per stage. Loaded in Perfetto
+//! next to the wall-clock lanes, the virtual process is the Figure 2
+//! schedule diagram; fed to [`pbp_trace::analysis::TraceAnalysis`], its
+//! gaps are the schedule's bubble fraction.
+//!
+//! The simulation is dependency-driven list scheduling:
+//!
+//! * `F(i, s)` waits for `F(i, s−1)` (activations flow downstream);
+//! * `BI(i, s)` waits for `BI(i, s+1)` (gradients flow upstream), and for
+//!   the stage's own `F(i, s)` (the stash must exist);
+//! * `BW` and `Update` are local work, forced to run right after the
+//!   `BackwardInput` (fused backward) or at the window close (2BP);
+//! * fill-and-drain additionally gates `F(i, s)` on the stage's update of
+//!   the previous window — its defining lag-0 barrier. The pipelined
+//!   schedules keep streaming across update boundaries on stale weight
+//!   versions, which is exactly why their bubbles are smaller.
+//!
+//! Each lane drains gradient work before taking new forward work
+//! (backward priority), mirroring the threaded runtime's worker loop.
+
+use crate::schedule::MicrobatchSchedule;
+use pbp_trace::{Lane, TracePhase, Tracer, PID_VIRTUAL};
+use std::collections::VecDeque;
+
+/// Nanoseconds per virtual tick: 1 µs, so Perfetto renders ticks at
+/// microsecond granularity.
+pub const TICK_NS: u64 = 1_000;
+
+/// Task costs in ticks. Forward and the two backward halves are modeled
+/// at equal cost (a GEMM each); the optimizer update is element-wise and
+/// cheaper.
+const COST_FWD: u64 = 2;
+const COST_BWD_INPUT: u64 = 2;
+const COST_BWD_WEIGHT: u64 = 2;
+const COST_UPDATE: u64 = 1;
+
+/// Local follow-up work a lane owes after a `BackwardInput` (fused
+/// weight half, deferred 2BP window, update at the window close).
+struct ForcedTask {
+    phase: TracePhase,
+    cost: u64,
+    microbatch: Option<u64>,
+}
+
+struct LaneSim {
+    lane: Lane,
+    cursor: u64,
+    next_fwd: usize,
+    next_bwd: usize,
+    forced: VecDeque<ForcedTask>,
+    updates: u64,
+    /// Finish tick of each completed update, in order (the fill&drain
+    /// barrier reads the previous window's entry).
+    update_finish: Vec<u64>,
+}
+
+/// What a lane would schedule next, and when it could start.
+enum Candidate {
+    Forced(u64),
+    BwdInput(u64),
+    Fwd(u64),
+}
+
+impl Candidate {
+    fn start(&self) -> u64 {
+        match self {
+            Candidate::Forced(t) | Candidate::BwdInput(t) | Candidate::Fwd(t) => *t,
+        }
+    }
+
+    /// Scheduling priority on a start-time tie: local forced work, then
+    /// gradients, then new forwards (backward priority).
+    fn rank(&self) -> u8 {
+        match self {
+            Candidate::Forced(_) => 0,
+            Candidate::BwdInput(_) => 1,
+            Candidate::Fwd(_) => 2,
+        }
+    }
+}
+
+/// Emits the virtual timeline of `plan` over `num_stages` stage lanes and
+/// `microbatches` microbatches into `tracer`'s virtual process. Lanes are
+/// named `sched-stage-{s}`.
+///
+/// # Panics
+///
+/// Panics if `num_stages == 0`, `microbatches == 0`, or `microbatches` is
+/// not a multiple of the plan's update size (a trailing partial window
+/// would never close).
+pub fn emit_schedule_timeline(
+    tracer: &Tracer,
+    plan: &MicrobatchSchedule,
+    num_stages: usize,
+    microbatches: usize,
+) {
+    let s_count = num_stages;
+    let n = microbatches;
+    let m = plan.microbatches_per_update();
+    assert!(s_count > 0, "pipeline needs at least one stage");
+    assert!(n > 0, "need at least one microbatch");
+    assert!(
+        n.is_multiple_of(m),
+        "microbatches ({n}) must be a whole number of update windows (M={m})"
+    );
+    let barrier = matches!(plan, MicrobatchSchedule::FillDrain { .. });
+    let split = plan.splits_backward();
+
+    let mut lanes: Vec<LaneSim> = (0..s_count)
+        .map(|s| LaneSim {
+            lane: tracer.lane(PID_VIRTUAL, format!("sched-stage-{s}"), s as i64),
+            cursor: 0,
+            next_fwd: 0,
+            next_bwd: 0,
+            forced: VecDeque::new(),
+            updates: 0,
+            update_finish: Vec::new(),
+        })
+        .collect();
+    let mut fwd_finish: Vec<Vec<Option<u64>>> = vec![vec![None; n]; s_count];
+    let mut bwd_finish: Vec<Vec<Option<u64>>> = vec![vec![None; n]; s_count];
+
+    // One F, BI and BW per microbatch plus one update per window, at
+    // every stage.
+    let total_tasks = s_count * (3 * n + n / m);
+    for _ in 0..total_tasks {
+        // Pick, over all lanes, the schedulable task with the earliest
+        // start (ties: backward priority, then the lower stage).
+        let mut best: Option<(usize, Candidate)> = None;
+        for (s, sim) in lanes.iter().enumerate() {
+            let cand = if !sim.forced.is_empty() {
+                Some(Candidate::Forced(sim.cursor))
+            } else {
+                let bwd = (sim.next_bwd < n).then(|| {
+                    let i = sim.next_bwd;
+                    let upstream = if s + 1 == s_count {
+                        fwd_finish[s][i]
+                    } else {
+                        bwd_finish[s + 1][i]
+                    };
+                    Some(Candidate::BwdInput(
+                        sim.cursor.max(upstream?).max(fwd_finish[s][i]?),
+                    ))
+                });
+                let fwd = (sim.next_fwd < n).then(|| {
+                    let i = sim.next_fwd;
+                    let mut ready = if s == 0 { 0 } else { fwd_finish[s - 1][i]? };
+                    if barrier && i >= m {
+                        // Lag-0 semantics: the forward must see the
+                        // weights of the previous window's update.
+                        ready = ready.max(*sim.update_finish.get(i / m - 1)?);
+                    }
+                    Some(Candidate::Fwd(sim.cursor.max(ready)))
+                });
+                match (bwd.flatten(), fwd.flatten()) {
+                    (Some(b), Some(f)) if f.start() < b.start() => Some(f),
+                    (Some(b), _) => Some(b),
+                    (None, f) => f,
+                }
+            };
+            let better = match (&cand, &best) {
+                (Some(c), Some((_, b))) => (c.start(), c.rank()) < (b.start(), b.rank()),
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if better {
+                best = cand.map(|c| (s, c));
+            }
+        }
+        let (s, cand) = best.expect("virtual timeline deadlocked (dependency cycle)");
+        let sim = &mut lanes[s];
+        let start = cand.start();
+        match cand {
+            Candidate::Forced(_) => {
+                let task = sim.forced.pop_front().expect("forced candidate");
+                let end = start + task.cost;
+                let wv = if task.phase == TracePhase::Update {
+                    sim.updates + 1
+                } else {
+                    sim.updates
+                };
+                sim.lane.span_at(
+                    start * TICK_NS,
+                    end * TICK_NS,
+                    task.phase,
+                    task.microbatch,
+                    Some(wv),
+                );
+                if task.phase == TracePhase::Update {
+                    sim.updates += 1;
+                    sim.update_finish.push(end);
+                }
+                sim.cursor = end;
+            }
+            Candidate::BwdInput(_) => {
+                let i = sim.next_bwd;
+                let end = start + COST_BWD_INPUT;
+                sim.lane.span_at(
+                    start * TICK_NS,
+                    end * TICK_NS,
+                    TracePhase::BackwardInput,
+                    Some(i as u64),
+                    Some(sim.updates),
+                );
+                bwd_finish[s][i] = Some(end);
+                sim.next_bwd = i + 1;
+                sim.cursor = end;
+                let closes = (i + 1).is_multiple_of(m);
+                if split {
+                    if closes {
+                        for j in i + 1 - m..=i {
+                            sim.forced.push_back(ForcedTask {
+                                phase: TracePhase::BackwardWeight,
+                                cost: COST_BWD_WEIGHT,
+                                microbatch: Some(j as u64),
+                            });
+                        }
+                    }
+                } else {
+                    sim.forced.push_back(ForcedTask {
+                        phase: TracePhase::BackwardWeight,
+                        cost: COST_BWD_WEIGHT,
+                        microbatch: Some(i as u64),
+                    });
+                }
+                if closes {
+                    sim.forced.push_back(ForcedTask {
+                        phase: TracePhase::Update,
+                        cost: COST_UPDATE,
+                        microbatch: Some(i as u64),
+                    });
+                }
+            }
+            Candidate::Fwd(_) => {
+                let i = sim.next_fwd;
+                let end = start + COST_FWD;
+                sim.lane.span_at(
+                    start * TICK_NS,
+                    end * TICK_NS,
+                    TracePhase::Forward,
+                    Some(i as u64),
+                    Some(sim.updates),
+                );
+                fwd_finish[s][i] = Some(end);
+                sim.next_fwd = i + 1;
+                sim.cursor = end;
+            }
+        }
+    }
+    for sim in &mut lanes {
+        sim.lane.flush();
+    }
+}
+
+/// Bubble fraction of `plan`'s virtual timeline: the idle share of the
+/// `num_stages × makespan` area, computed by rendering the timeline into
+/// a throwaway tracer and analyzing the virtual process.
+pub fn schedule_bubble_fraction(
+    plan: &MicrobatchSchedule,
+    num_stages: usize,
+    microbatches: usize,
+) -> f64 {
+    let tracer = Tracer::new();
+    emit_schedule_timeline(&tracer, plan, num_stages, microbatches);
+    let trace = tracer.finish();
+    pbp_trace::analysis::TraceAnalysis::of(&trace, PID_VIRTUAL).bubble_fraction()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbp_trace::analysis::TraceAnalysis;
+
+    #[test]
+    fn timeline_emits_the_full_action_stream_per_stage() {
+        let tracer = Tracer::new();
+        let plan = MicrobatchSchedule::OneFOneB {
+            microbatches_per_update: 4,
+        };
+        emit_schedule_timeline(&tracer, &plan, 3, 8);
+        let trace = tracer.finish();
+        for s in 0..3 {
+            let lane = trace
+                .lane(PID_VIRTUAL, &format!("sched-stage-{s}"))
+                .expect("stage lane");
+            let count = |p: TracePhase| lane.spans.iter().filter(|sp| sp.phase == p).count();
+            assert_eq!(count(TracePhase::Forward), 8);
+            assert_eq!(count(TracePhase::BackwardInput), 8);
+            assert_eq!(count(TracePhase::BackwardWeight), 8);
+            assert_eq!(count(TracePhase::Update), 2);
+            assert_eq!(lane.unmatched_begins, 0);
+        }
+        let analysis = TraceAnalysis::of(&trace, PID_VIRTUAL);
+        assert!(!analysis.any_overlap(), "lanes must be sequential");
+    }
+
+    #[test]
+    fn forwards_respect_the_downstream_staircase() {
+        let tracer = Tracer::new();
+        emit_schedule_timeline(&tracer, &MicrobatchSchedule::PipelinedBackprop, 4, 16);
+        let trace = tracer.finish();
+        for s in 1..4 {
+            let up = trace
+                .lane(PID_VIRTUAL, &format!("sched-stage-{}", s - 1))
+                .unwrap();
+            let down = trace
+                .lane(PID_VIRTUAL, &format!("sched-stage-{s}"))
+                .unwrap();
+            for i in 0..16u64 {
+                let f_up = up
+                    .spans
+                    .iter()
+                    .find(|sp| sp.phase == TracePhase::Forward && sp.microbatch == Some(i))
+                    .unwrap();
+                let f_down = down
+                    .spans
+                    .iter()
+                    .find(|sp| sp.phase == TracePhase::Forward && sp.microbatch == Some(i))
+                    .unwrap();
+                assert!(
+                    f_down.start_ns >= f_up.end_ns(),
+                    "stage {s} ran microbatch {i} before its input existed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bubble_fractions_order_fill_drain_above_1f1b_above_pb() {
+        let stages = 4;
+        let n = 64;
+        let fd =
+            schedule_bubble_fraction(&MicrobatchSchedule::FillDrain { update_size: 8 }, stages, n);
+        let ofob = schedule_bubble_fraction(
+            &MicrobatchSchedule::OneFOneB {
+                microbatches_per_update: 8,
+            },
+            stages,
+            n,
+        );
+        let pb = schedule_bubble_fraction(&MicrobatchSchedule::PipelinedBackprop, stages, n);
+        assert!(
+            fd > ofob && ofob > pb,
+            "bubble ordering violated: fill&drain {fd:.4} vs 1F1B {ofob:.4} vs PB {pb:.4}"
+        );
+        for b in [fd, ofob, pb] {
+            assert!(b > 0.0 && b < 1.0, "bubble fraction {b} out of range");
+        }
+    }
+}

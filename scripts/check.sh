@@ -30,6 +30,9 @@ echo "== chaos smoke (seeded panic + stall, supervised recovery) =="
 # the one worker-panic backtrace printed mid-run is the injection itself.
 cargo run --release -q -p pbp-bench --bin chaos_smoke
 
+echo "== trace smoke (Chrome-trace schema, bubble ordering, MFU bounds) =="
+cargo run --release -q -p pbp-bench --bin trace_smoke
+
 echo "== kernel bench smoke (compile + one tiny timed pass) =="
 cargo bench -p pbp-bench --bench layer_kernels -- --test
 # The bench asserts every lane (tiled, SIMD, parallel, batched eval) is
