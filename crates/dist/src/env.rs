@@ -1,0 +1,90 @@
+//! Hardened parsing of the `PBP_RANK` / `PBP_WORLD` environment
+//! variables, mirroring the `PBP_THREADS` / `PBP_SIMD` treatment in
+//! `pbp-tensor`: an invalid value is ignored with a one-time warning
+//! and the caller's fallback applies, instead of a panic or a silently
+//! wrong rank.
+
+use std::sync::Once;
+
+/// Parses a `PBP_RANK` value: a non-negative integer (`0`-based).
+fn parse_rank(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok()
+}
+
+/// Parses a `PBP_WORLD` value: a positive integer (a world of zero
+/// ranks cannot run anything).
+fn parse_world(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+static RANK_WARNING: Once = Once::new();
+static WORLD_WARNING: Once = Once::new();
+
+/// Reads `PBP_RANK` from the environment. Unset returns `None`; an
+/// invalid value warns once on stderr and also returns `None`, so the
+/// caller's explicit `--rank` flag or default applies.
+pub fn env_rank() -> Option<usize> {
+    match std::env::var("PBP_RANK") {
+        Ok(raw) => {
+            let parsed = parse_rank(&raw);
+            if parsed.is_none() {
+                RANK_WARNING.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid PBP_RANK={raw:?} \
+                         (want a non-negative integer)"
+                    );
+                });
+            }
+            parsed
+        }
+        Err(_) => None,
+    }
+}
+
+/// Reads `PBP_WORLD` from the environment. Unset returns `None`; an
+/// invalid or zero value warns once on stderr and returns `None`.
+pub fn env_world() -> Option<usize> {
+    match std::env::var("PBP_WORLD") {
+        Ok(raw) => {
+            let parsed = parse_world(&raw);
+            if parsed.is_none() {
+                WORLD_WARNING.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid PBP_WORLD={raw:?} \
+                         (want a positive integer)"
+                    );
+                });
+            }
+            parsed
+        }
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rank_accepts_non_negative_integers_only() {
+        assert_eq!(parse_rank("0"), Some(0));
+        assert_eq!(parse_rank("3"), Some(3));
+        assert_eq!(parse_rank("  12 \n"), Some(12));
+        assert_eq!(parse_rank("-1"), None);
+        assert_eq!(parse_rank("two"), None);
+        assert_eq!(parse_rank(""), None);
+        assert_eq!(parse_rank("1.5"), None);
+        assert_eq!(parse_rank("0x2"), None);
+    }
+
+    #[test]
+    fn parse_world_accepts_positive_integers_only() {
+        assert_eq!(parse_world("1"), Some(1));
+        assert_eq!(parse_world(" 8 "), Some(8));
+        assert_eq!(parse_world("0"), None, "an empty world cannot run");
+        assert_eq!(parse_world("-4"), None);
+        assert_eq!(parse_world("four"), None);
+        assert_eq!(parse_world(""), None);
+        assert_eq!(parse_world("2.0"), None);
+    }
+}

@@ -1,0 +1,256 @@
+//! The stage-group launcher: spawn one process per rank, supervise,
+//! restart from the newest common snapshot.
+//!
+//! This is the PR5 supervisor lifted from threads to processes. The
+//! parent spawns `world` children of the same executable (each told its
+//! rank), then polls their exit statuses. Inside a run, liveness is
+//! enforced *between* the children themselves — every rank watches its
+//! socket neighbors with the [`transport`](crate::transport) stall
+//! window, so a killed or hung peer surfaces as a typed
+//! [`DistError`](crate::DistError) and a nonzero exit in the rank that
+//! observed it. The parent's job is the recovery arc: when any child
+//! fails, kill the whole stage group (a pipeline chain cannot run with a
+//! hole in it), back off exponentially, compute the newest snapshot
+//! counter *every* rank holds a valid snapshot for, and respawn the
+//! group with `--resume-at` pointing there. Ranks that had advanced
+//! further simply discard the work past the common point — the price of
+//! not coordinating snapshot barriers across failures — and the restart
+//! converges to bit-identical final weights because resume is
+//! bit-identical per rank.
+
+use crate::error::DistError;
+use pbp_snapshot::{rank_prefix, SnapshotArchive};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// How the parent launches and supervises one stage group.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// Executable to spawn (usually `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Arguments passed to every child verbatim; the launcher appends
+    /// `--rank <r>` and `--resume-at <counter>` per child.
+    pub args: Vec<String>,
+    /// Number of rank processes.
+    pub world: usize,
+    /// Directory holding the rank-prefixed snapshot families.
+    pub snapshot_dir: PathBuf,
+    /// Restart budget: the group is respawned at most this many times.
+    pub max_restarts: usize,
+    /// Base backoff between restarts; doubles per consecutive restart.
+    pub backoff: Duration,
+    /// Kill the whole attempt if it runs longer than this.
+    pub attempt_timeout: Option<Duration>,
+}
+
+/// What the supervision loop did.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Spawn rounds (1 = no restart was needed).
+    pub attempts: usize,
+    /// Human-readable fault/restart log, in order.
+    pub events: Vec<String>,
+    /// The resume counter each attempt started from.
+    pub resume_points: Vec<usize>,
+}
+
+/// Snapshot counters for which `rank`'s family holds a *valid* (fully
+/// CRC-checked) snapshot, ascending.
+fn valid_counters(dir: &Path, rank: usize) -> Vec<usize> {
+    let prefix = format!("{}-", rank_prefix(rank));
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return Vec::new(),
+    };
+    let mut counters: Vec<usize> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let digits = name.strip_prefix(&prefix)?.strip_suffix(".pbps")?;
+            if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            let counter = digits.parse::<usize>().ok()?;
+            // Valid means loadable: the archive load verifies magic,
+            // version and every section CRC.
+            SnapshotArchive::load(&e.path()).ok()?;
+            Some(counter)
+        })
+        .collect();
+    counters.sort_unstable();
+    counters
+}
+
+/// The newest snapshot counter for which **all** `world` ranks hold a
+/// valid snapshot — the only point the whole group can restart from.
+/// Returns 0 (fresh start) when no common counter exists.
+pub fn common_resume_point(dir: &Path, world: usize) -> usize {
+    let mut common: Option<Vec<usize>> = None;
+    for rank in 0..world {
+        let counters = valid_counters(dir, rank);
+        common = Some(match common {
+            None => counters,
+            Some(prev) => prev.into_iter().filter(|c| counters.contains(c)).collect(),
+        });
+    }
+    common.and_then(|c| c.into_iter().max()).unwrap_or(0)
+}
+
+/// Spawns the stage group and supervises it to completion, restarting
+/// from the newest common snapshot on any child failure.
+pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, DistError> {
+    if spec.world == 0 {
+        return Err(DistError::Spec("world size must be at least 1".into()));
+    }
+    let mut report = LaunchReport {
+        attempts: 0,
+        events: Vec::new(),
+        resume_points: Vec::new(),
+    };
+    loop {
+        let attempt = report.attempts;
+        report.attempts += 1;
+        let resume = common_resume_point(&spec.snapshot_dir, spec.world);
+        report.resume_points.push(resume);
+        if attempt > 0 {
+            report
+                .events
+                .push(format!("restart {attempt}: resuming all ranks at {resume}"));
+        }
+        let mut children = Vec::with_capacity(spec.world);
+        for rank in 0..spec.world {
+            let mut cmd = std::process::Command::new(&spec.program);
+            cmd.args(&spec.args)
+                .arg("--rank")
+                .arg(rank.to_string())
+                .arg("--resume-at")
+                .arg(resume.to_string());
+            if attempt > 0 {
+                // One-shot fault injection: a child that aborted once
+                // must not re-abort after the supervised restart.
+                cmd.env_remove("PBP_DIST_ABORT_AT");
+            }
+            match cmd.spawn() {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    for mut c in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    return Err(DistError::Rank {
+                        rank,
+                        detail: format!("failed to spawn: {e}"),
+                    });
+                }
+            }
+        }
+
+        let started = Instant::now();
+        let fault = supervise(&mut children, spec.attempt_timeout, started);
+        match fault {
+            None => return Ok(report),
+            Some(detail) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                report.events.push(format!("fault: {detail}"));
+                if attempt >= spec.max_restarts {
+                    return Err(DistError::Rank {
+                        rank: spec.world, // group-level failure
+                        detail: format!("restart budget exhausted after: {detail}"),
+                    });
+                }
+                std::thread::sleep(spec.backoff * 2u32.pow(attempt.min(8) as u32));
+            }
+        }
+    }
+}
+
+/// Polls the children until all exit cleanly (returns `None`) or a fault
+/// is observed (returns its description). Children that exited are
+/// reaped as they finish.
+fn supervise(
+    children: &mut [std::process::Child],
+    timeout: Option<Duration>,
+    started: Instant,
+) -> Option<String> {
+    let mut done = vec![false; children.len()];
+    loop {
+        let mut all_done = true;
+        for (rank, child) in children.iter_mut().enumerate() {
+            if done[rank] {
+                continue;
+            }
+            match child.try_wait() {
+                Ok(Some(status)) if status.success() => done[rank] = true,
+                Ok(Some(status)) => return Some(format!("rank {rank} exited with {status}")),
+                Ok(None) => all_done = false,
+                Err(e) => return Some(format!("rank {rank} unwaitable: {e}")),
+            }
+        }
+        if all_done {
+            return None;
+        }
+        if let Some(t) = timeout {
+            if started.elapsed() > t {
+                return Some(format!("attempt exceeded {} ms", t.as_millis()));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbp_snapshot::{snapshot_file_name, SnapshotBuilder};
+
+    fn write_snap(dir: &Path, rank: usize, counter: usize) {
+        let mut b = SnapshotBuilder::new();
+        b.add_section("x", vec![1, 2, 3]);
+        b.save_atomic(&dir.join(snapshot_file_name(&rank_prefix(rank), counter)))
+            .unwrap();
+    }
+
+    #[test]
+    fn common_resume_point_is_the_newest_counter_all_ranks_share() {
+        let dir = std::env::temp_dir().join(format!("pbp_launch_common_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Rank 0 has 48 and 96; rank 1 only 48 (it died before 96).
+        write_snap(&dir, 0, 48);
+        write_snap(&dir, 0, 96);
+        write_snap(&dir, 1, 48);
+        assert_eq!(common_resume_point(&dir, 2), 48);
+        write_snap(&dir, 1, 96);
+        assert_eq!(common_resume_point(&dir, 2), 96);
+        // A third rank with no snapshots forces a fresh start.
+        assert_eq!(common_resume_point(&dir, 3), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_not_resume_candidates() {
+        let dir = std::env::temp_dir().join(format!("pbp_launch_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        write_snap(&dir, 0, 48);
+        write_snap(&dir, 1, 48);
+        // Corrupt rank 1's copy: flip a byte in the middle.
+        let path = dir.join(snapshot_file_name(&rank_prefix(1), 48));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+        assert_eq!(common_resume_point(&dir, 2), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_missing_directory_means_fresh_start() {
+        let dir = std::env::temp_dir().join(format!("pbp_launch_missing_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(common_resume_point(&dir, 4), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Multi-process distributed pipeline: socket transport, rank framing,
+//! and a stage-group launcher.
+//!
+//! This crate turns the single-process pipeline emulation into a chain
+//! of OS processes, one per *stage group*, exchanging activations and
+//! gradients over length-prefixed CRC-checked frames:
+//!
+//! * [`codec`] — the wire format: every frame is
+//!   `len u32 | body | crc32(body)`, with the body serialized through
+//!   the same `StateWriter`/`StateReader` codec snapshots use, so
+//!   tensors have exactly one byte-level representation in the repo.
+//! * [`transport`] — Unix-socket, TCP, and in-process loopback links
+//!   behind one [`Connection`] trait, with watchdog-style stall/closed
+//!   fault typing and deadline-based reconnect.
+//! * [`topology`] — the contiguous stage partition and its digest,
+//!   which the [`transport::handshake`] uses to refuse cross-run links.
+//! * [`runner`] — one rank's event loop: greedy forward-first within
+//!   the version-lag bound, backward actions in exact schedule order,
+//!   hyperparameters bound at backward boundaries, snapshot drain
+//!   barriers. Bit-identical to the sequential
+//!   [`ScheduledTrainer`](pbp_pipeline::ScheduledTrainer) by
+//!   construction (both drive the same
+//!   [`StageCell`](pbp_pipeline::StageCell)s — see DESIGN §12).
+//! * [`launch`] — the `pbp-launch` supervisor: spawns one process per
+//!   rank, watches for typed faults (peer death, stalls, nonzero
+//!   exits), and restarts the whole stage group from the newest
+//!   snapshot counter *all* ranks hold, with exponential backoff.
+//! * [`env`] — hardened `PBP_RANK` / `PBP_WORLD` parsing (invalid
+//!   values warn once and fall back, like `PBP_THREADS` / `PBP_SIMD`).
+
+pub mod codec;
+pub mod env;
+pub mod error;
+pub mod launch;
+pub mod runner;
+pub mod topology;
+pub mod transport;
+
+pub use codec::{Frame, MAX_FRAME_BYTES};
+pub use env::{env_rank, env_world};
+pub use error::DistError;
+pub use launch::{launch, LaunchReport, LaunchSpec};
+pub use runner::{
+    rank_snapshot_path, run_rank, splice_owned_stages, RankOutcome, RankSnapshots, RankSpec,
+    SECTION_DIST,
+};
+pub use topology::Topology;
+pub use transport::{handshake, loopback_pair, Connection, LinkListener, StreamConn, Transport};

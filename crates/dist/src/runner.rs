@@ -1,0 +1,764 @@
+//! The distributed stage runner: one process executes its stage group's
+//! slice of a [`MicrobatchSchedule`] action stream against socket
+//! neighbors.
+//!
+//! ## Bit-identity with the sequential core
+//!
+//! Every per-stage operation goes through the same
+//! [`StageCell`](pbp_pipeline::StageCell) methods the single-process
+//! [`ScheduleCore`](pbp_pipeline::ScheduledTrainer) calls, in the same
+//! per-stage order: forwards in microbatch order, backward actions in the
+//! plan's exact action-stream order, one `push_next_version` per
+//! microbatch. Cross-stage the runner *interleaves* differently — a rank
+//! runs ahead on forwards while downstream ranks still work on earlier
+//! microbatches — but the cell's ordering contract makes any such
+//! interleaving bit-identical: forwards read only queued weight versions
+//! (popped in push order) and backward actions mutate only that stage's
+//! weights. Two things need care beyond the contract:
+//!
+//! * **Hyperparameters** are applied at the *backward* boundary (before
+//!   the backward actions of each update window's first microbatch), not
+//!   at forward time. They only affect backward-phase operations —
+//!   updates, SpecTrain's re-prediction, the version pushed by
+//!   `push_next_version` — so this matches the sequential core exactly
+//!   even when forwards have run ahead.
+//! * **Run-ahead is bounded** by the smallest version lag among the
+//!   rank's stages: a forward may not outrun its weight-version queue.
+//!
+//! ## Dataflow
+//!
+//! Rank 0 feeds microbatches from the dataset in the deterministic
+//! `(seed, epoch)` order; activations flow downstream carrying the label,
+//! so only the last rank — which owns the loss stage — needs it.
+//! Gradients flow upstream carrying the microbatch's loss, so every rank
+//! ends the run with the identical loss sum in the identical f64
+//! summation order.
+//!
+//! ## Drain barriers
+//!
+//! Layer activation stashes are not serialized (snapshots require an
+//! empty pipeline, as everywhere in this codebase), so the runner caps
+//! forwards at the next snapshot boundary until backwards catch up:
+//! when the backward cursor reaches the boundary nothing is in flight
+//! and the rank's full state snapshots cleanly into its rank-prefixed
+//! file family. Heartbeats go to both neighbors right before the write
+//! so the slow save never trips a peer's stall watchdog.
+
+use crate::codec::Frame;
+use crate::error::DistError;
+use crate::topology::{fold, Topology};
+use crate::transport::{handshake, Connection};
+use pbp_data::Dataset;
+use pbp_nn::loss::softmax_cross_entropy;
+use pbp_nn::Network;
+use pbp_optim::{LrSchedule, Mitigation};
+use pbp_pipeline::{MicrobatchSchedule, StageCell};
+use pbp_snapshot::{
+    rank_prefix, snapshot_file_name, SnapshotArchive, SnapshotBuilder, SnapshotError, StateReader,
+    StateWriter,
+};
+use pbp_trace::{Lane, TracePhase, Tracer, PID_WALL};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Section of a rank snapshot holding the runner's distributed state
+/// (identity, cursors, stage cells, metrics).
+pub const SECTION_DIST: &str = "dist";
+
+/// When and where a rank writes its snapshots.
+#[derive(Debug, Clone)]
+pub struct RankSnapshots {
+    /// Directory shared by all ranks; files are rank-prefixed so
+    /// concurrent writers never collide.
+    pub dir: PathBuf,
+    /// Snapshot every this many microbatches. Must be a multiple of the
+    /// plan's microbatches-per-update so no accumulation window is open.
+    pub every: usize,
+    /// Most-recent snapshots retained per rank (older files this run
+    /// wrote are pruned).
+    pub keep: usize,
+}
+
+impl RankSnapshots {
+    /// Snapshots into `dir` every `every` microbatches, keeping 3.
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Self {
+        RankSnapshots {
+            dir: dir.into(),
+            every,
+            keep: 3,
+        }
+    }
+}
+
+/// The full specification of one rank's slice of a distributed run.
+/// Every rank derives it from the same launch arguments, and the run
+/// digest folds the parts that must agree, so mismatched processes are
+/// rejected at handshake time instead of silently diverging.
+#[derive(Debug, Clone)]
+pub struct RankSpec {
+    /// This process's rank.
+    pub rank: usize,
+    /// The stage partition shared by the whole launch.
+    pub topology: Topology,
+    /// The schedule every stage executes.
+    pub plan: MicrobatchSchedule,
+    /// Delay-mitigation method (Section 3).
+    pub mitigation: Mitigation,
+    /// Weight stashing: backward under the exact forward weights.
+    pub weight_stashing: bool,
+    /// Learning-rate/momentum schedule in microbatch units.
+    pub schedule: LrSchedule,
+    /// Seed for the deterministic epoch order (rank 0's data feed).
+    pub seed: u64,
+    /// Total microbatches to train (epochs × dataset length).
+    pub total_microbatches: usize,
+    /// Watchdog window: a neighbor silent past this is a typed fault.
+    pub stall: Duration,
+    /// Snapshot cadence; `None` disables snapshots (and resume).
+    pub snapshots: Option<RankSnapshots>,
+    /// Microbatch counter to resume from (0 = fresh start). Must name an
+    /// existing snapshot of this rank's family.
+    pub resume_at: usize,
+    /// Fault injection: abort the process (as a crash would) right after
+    /// this many microbatches have completed backward.
+    pub abort_after: Option<usize>,
+}
+
+impl RankSpec {
+    /// The digest both handshakes carry: topology, seed, length and
+    /// schedule must all agree between neighbors.
+    pub fn digest(&self) -> u64 {
+        let mut h = self.topology.digest();
+        h = fold(h, self.seed);
+        h = fold(h, self.total_microbatches as u64);
+        h = fold(h, u64::from(self.weight_stashing));
+        for b in self.plan.label().bytes() {
+            h = fold(h, u64::from(b));
+        }
+        for b in self.mitigation.label().bytes() {
+            h = fold(h, u64::from(b));
+        }
+        h
+    }
+
+    fn validate(&self, net: &Network) -> Result<(), DistError> {
+        if self.rank >= self.topology.world() {
+            return Err(DistError::Spec(format!(
+                "rank {} out of range for world {}",
+                self.rank,
+                self.topology.world()
+            )));
+        }
+        if self.topology.layer_stages() != net.num_stages() {
+            return Err(DistError::Spec(format!(
+                "topology partitions {} stages, network has {}",
+                self.topology.layer_stages(),
+                net.num_stages()
+            )));
+        }
+        let m = self.plan.microbatches_per_update();
+        if let Some(snaps) = &self.snapshots {
+            if snaps.every == 0 || !snaps.every.is_multiple_of(m) {
+                return Err(DistError::Spec(format!(
+                    "snapshot cadence {} must be a positive multiple of the \
+                     plan's {m} microbatches per update",
+                    snaps.every
+                )));
+            }
+            if snaps.keep == 0 {
+                return Err(DistError::Spec("must keep at least one snapshot".into()));
+            }
+        }
+        if self.resume_at > 0 {
+            let snaps = self.snapshots.as_ref().ok_or_else(|| {
+                DistError::Spec("resume requested but snapshots are disabled".into())
+            })?;
+            if !self.resume_at.is_multiple_of(snaps.every)
+                && self.resume_at != self.total_microbatches
+            {
+                return Err(DistError::Spec(format!(
+                    "resume point {} is not on the snapshot cadence {}",
+                    self.resume_at, snaps.every
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a finished rank hands back: the network (owned stages trained,
+/// the rest untouched), the loss sum over every microbatch, and the
+/// metrics for the stages this rank owns.
+pub struct RankOutcome {
+    /// The rank's network; only the stages in the rank's topology range
+    /// carry trained weights.
+    pub net: Network,
+    /// Microbatches fully processed (forward and backward).
+    pub samples_seen: usize,
+    /// Sum of per-microbatch losses, accumulated in microbatch order —
+    /// bit-identical across ranks and to the sequential core.
+    pub loss_sum: f64,
+    /// Per-stage counters, indexed by *global* stage; only this rank's
+    /// owned stages are populated.
+    pub metrics: pbp_pipeline::EngineMetrics,
+}
+
+/// The path of rank `rank`'s snapshot at microbatch counter `counter`.
+pub fn rank_snapshot_path(dir: &std::path::Path, rank: usize, counter: usize) -> PathBuf {
+    dir.join(snapshot_file_name(&rank_prefix(rank), counter))
+}
+
+/// Runs one rank's slice of the distributed run to completion.
+///
+/// `upstream` must be `None` exactly for rank 0 and `downstream` `None`
+/// exactly for the last rank. `tracer`, when enabled, records the same
+/// per-stage spans the sequential core records, in lanes named
+/// `rank{r}/stage-{s}` and tagged with microbatch index and weight
+/// version.
+pub fn run_rank(
+    net: Network,
+    data: &Dataset,
+    spec: &RankSpec,
+    upstream: Option<Box<dyn Connection>>,
+    downstream: Option<Box<dyn Connection>>,
+    tracer: Option<&Tracer>,
+) -> Result<RankOutcome, DistError> {
+    spec.validate(&net)?;
+    let world = spec.topology.world();
+    if upstream.is_none() != (spec.rank == 0) {
+        return Err(DistError::Spec(
+            "exactly rank 0 must run without an upstream link".into(),
+        ));
+    }
+    if downstream.is_none() != (spec.rank == world - 1) {
+        return Err(DistError::Spec(
+            "exactly the last rank must run without a downstream link".into(),
+        ));
+    }
+    let mut rank = Rank::new(net, spec, upstream, downstream, tracer)?;
+    rank.handshake_neighbors()?;
+    if spec.resume_at > 0 {
+        rank.restore(spec.resume_at)?;
+    }
+    rank.run(data)?;
+    rank.finish()
+}
+
+/// One rank's execution state.
+struct Rank<'a> {
+    spec: &'a RankSpec,
+    net: Network,
+    /// One cell per owned stage, indexed by `global_stage - range.start`.
+    cells: Vec<StageCell>,
+    upstream: Option<Box<dyn Connection>>,
+    downstream: Option<Box<dyn Connection>>,
+    metrics: pbp_pipeline::MetricsRecorder,
+    lanes: Option<Vec<Lane>>,
+    /// Global microbatch index of the next forward / backward.
+    next_fwd: usize,
+    next_bwd: usize,
+    /// Loss gradients computed at forward time, waiting for their
+    /// backward turn (last rank only).
+    pending: VecDeque<(pbp_tensor::Tensor, f32)>,
+    loss_sum: f64,
+    /// Cached epoch order for rank 0's data feed.
+    order: Vec<usize>,
+    order_epoch: usize,
+    /// Heartbeat counter (monotonic per link pair).
+    beat: u64,
+    /// Snapshot counters this process wrote, oldest first (for pruning).
+    written: Vec<usize>,
+}
+
+impl<'a> Rank<'a> {
+    fn new(
+        net: Network,
+        spec: &'a RankSpec,
+        upstream: Option<Box<dyn Connection>>,
+        downstream: Option<Box<dyn Connection>>,
+        tracer: Option<&Tracer>,
+    ) -> Result<Self, DistError> {
+        let pipeline_stages = spec.topology.pipeline_stages();
+        let hp = spec.schedule.at(0);
+        let range = spec.topology.range(spec.rank);
+        let cells = range
+            .clone()
+            .map(|s| {
+                StageCell::new(
+                    net.stage(s),
+                    s,
+                    pipeline_stages,
+                    &spec.plan,
+                    spec.mitigation,
+                    spec.weight_stashing,
+                    hp,
+                    None,
+                )
+            })
+            .collect();
+        let lanes = tracer.filter(|t| t.enabled()).map(|t| {
+            range
+                .clone()
+                .map(|s| t.lane(PID_WALL, format!("rank{}/stage-{s}", spec.rank), s as i64))
+                .collect()
+        });
+        Ok(Rank {
+            spec,
+            metrics: pbp_pipeline::MetricsRecorder::new(net.num_stages()),
+            net,
+            cells,
+            upstream,
+            downstream,
+            lanes,
+            next_fwd: 0,
+            next_bwd: 0,
+            pending: VecDeque::new(),
+            loss_sum: 0.0,
+            order: Vec::new(),
+            order_epoch: usize::MAX,
+            beat: 0,
+            written: Vec::new(),
+        })
+    }
+
+    fn range(&self) -> std::ops::Range<usize> {
+        self.spec.topology.range(self.spec.rank)
+    }
+
+    fn handshake_neighbors(&mut self) -> Result<(), DistError> {
+        let digest = self.spec.digest();
+        let world = self.spec.topology.world() as u32;
+        let me = self.spec.rank as u32;
+        let stall = self.spec.stall;
+        if let Some(up) = self.upstream.as_deref_mut() {
+            handshake(up, me, me - 1, world, digest, stall)?;
+        }
+        if let Some(down) = self.downstream.as_deref_mut() {
+            handshake(down, me, me + 1, world, digest, stall)?;
+        }
+        Ok(())
+    }
+
+    /// The run-ahead bound: the smallest version lag among owned stages
+    /// (queues hold `lag + 1` versions; a forward may not outrun them).
+    fn max_inflight(&self) -> usize {
+        self.cells
+            .iter()
+            .map(StageCell::version_lag)
+            .min()
+            .expect("every rank owns at least one stage")
+    }
+
+    fn in_flight(&self) -> usize {
+        self.next_fwd - self.next_bwd
+    }
+
+    /// The forward cap: forwards may not cross the next snapshot
+    /// boundary until backwards catch up (drain barrier).
+    fn fwd_cap(&self) -> usize {
+        match &self.spec.snapshots {
+            Some(snaps) => (self.next_bwd / snaps.every + 1) * snaps.every,
+            None => usize::MAX,
+        }
+    }
+
+    fn run(&mut self, data: &Dataset) -> Result<(), DistError> {
+        let total = self.spec.total_microbatches;
+        let max_inflight = self.max_inflight();
+        while self.next_bwd < total {
+            let can_fwd = self.next_fwd < total
+                && self.next_fwd < self.fwd_cap()
+                && self.in_flight() <= max_inflight;
+            if can_fwd {
+                self.forward_one(data)?;
+            } else {
+                self.backward_one()?;
+            }
+        }
+        self.flush_lanes();
+        // Final snapshot (unconditional): the launcher assembles the full
+        // network from every rank's state at the end of the run.
+        if self.spec.snapshots.is_some() && self.written.last() != Some(&total) {
+            self.save_snapshot(total)?;
+        }
+        // Courteous shutdown; a peer that already exited is fine.
+        let bye = Frame::Shutdown {
+            rank: self.spec.rank as u32,
+        };
+        if let Some(up) = self.upstream.as_deref_mut() {
+            let _ = up.send(&bye);
+        }
+        if let Some(down) = self.downstream.as_deref_mut() {
+            let _ = down.send(&bye);
+        }
+        Ok(())
+    }
+
+    fn forward_one(&mut self, data: &Dataset) -> Result<(), DistError> {
+        let mb = self.next_fwd;
+        let range = self.range();
+        let (mut stack, label) = match self.upstream.as_deref_mut() {
+            None => {
+                // Rank 0 feeds from the dataset in the deterministic
+                // (seed, epoch) order the sequential core uses.
+                let epoch = mb / data.len();
+                if epoch != self.order_epoch {
+                    self.order = data.epoch_order(self.spec.seed, epoch);
+                    self.order_epoch = epoch;
+                }
+                let (x, label) = data.sample(self.order[mb % data.len()]);
+                let mut shape = vec![1usize];
+                shape.extend_from_slice(x.shape());
+                let batched = x.reshape(&shape).expect("same volume");
+                (vec![batched], label)
+            }
+            Some(up) => match up.recv_data(self.spec.stall)? {
+                Frame::Activation {
+                    microbatch,
+                    label,
+                    lanes,
+                    ..
+                } => {
+                    if microbatch != mb as u64 {
+                        return Err(DistError::Corrupt(format!(
+                            "activation for microbatch {microbatch}, expected {mb} \
+                             (link desynchronized)"
+                        )));
+                    }
+                    (lanes, label as usize)
+                }
+                other => {
+                    return Err(DistError::Corrupt(format!(
+                        "expected activation, got {}",
+                        other.kind_name()
+                    )))
+                }
+            },
+        };
+        for (local, s) in range.clone().enumerate() {
+            let t0 = Instant::now();
+            if let Some(lanes) = self.lanes.as_mut() {
+                lanes[local].begin(
+                    TracePhase::Forward,
+                    Some(mb as u64),
+                    Some(self.metrics.stage_updates(s)),
+                );
+            }
+            self.cells[local].forward(self.net.stage_mut(s), &mut stack);
+            if let Some(lanes) = self.lanes.as_mut() {
+                lanes[local].end();
+            }
+            self.metrics.add_busy_ns(s, t0.elapsed().as_nanos());
+        }
+        match self.downstream.as_deref_mut() {
+            None => {
+                // Last rank: the loss stage is local. Compute the loss
+                // gradient now and queue it for this microbatch's
+                // backward turn.
+                assert_eq!(stack.len(), 1, "network must reduce to a single lane");
+                let logits = stack.pop().expect("non-empty");
+                let (loss, grad) = softmax_cross_entropy(&logits, &[label]);
+                let m = self.spec.plan.microbatches_per_update();
+                let grad = if m > 1 {
+                    grad.scale(1.0 / m as f32)
+                } else {
+                    grad
+                };
+                self.pending.push_back((grad, loss));
+            }
+            Some(down) => {
+                down.send(&Frame::Activation {
+                    microbatch: mb as u64,
+                    weight_version: self.metrics.stage_updates(range.end - 1),
+                    label: label as u32,
+                    lanes: stack,
+                })?;
+            }
+        }
+        self.next_fwd += 1;
+        Ok(())
+    }
+
+    fn backward_one(&mut self) -> Result<(), DistError> {
+        let mb = self.next_bwd;
+        let range = self.range();
+        let m = self.spec.plan.microbatches_per_update();
+        let first_of_update = mb.is_multiple_of(m);
+        if first_of_update {
+            // Hyperparameters bind at the backward boundary: they only
+            // affect backward-phase operations, so this matches the
+            // sequential core even with forward run-ahead.
+            let hp = self.spec.schedule.at(mb);
+            for cell in &mut self.cells {
+                cell.set_hyperparams(hp);
+            }
+        }
+        let (mut gstack, mb_loss) = match self.downstream.as_deref_mut() {
+            None => {
+                let (grad, loss) = self
+                    .pending
+                    .pop_front()
+                    .expect("backward chosen only with a microbatch in flight");
+                (vec![grad], loss)
+            }
+            Some(down) => match down.recv_data(self.spec.stall)? {
+                Frame::Gradient {
+                    microbatch,
+                    loss,
+                    lanes,
+                    ..
+                } => {
+                    if microbatch != mb as u64 {
+                        return Err(DistError::Corrupt(format!(
+                            "gradient for microbatch {microbatch}, expected {mb} \
+                             (link desynchronized)"
+                        )));
+                    }
+                    (lanes, loss)
+                }
+                other => {
+                    return Err(DistError::Corrupt(format!(
+                        "expected gradient, got {}",
+                        other.kind_name()
+                    )))
+                }
+            },
+        };
+        self.loss_sum += mb_loss as f64;
+        let actions = self.spec.plan.stage_actions(mb);
+        for (local, s) in range.clone().enumerate().rev() {
+            let t0 = Instant::now();
+            let mut updated = false;
+            for action in &actions {
+                match *action {
+                    pbp_pipeline::Action::Forward(_) => {}
+                    pbp_pipeline::Action::BackwardInput(i) => {
+                        if let Some(lanes) = self.lanes.as_mut() {
+                            lanes[local].begin(
+                                TracePhase::BackwardInput,
+                                Some(i as u64),
+                                Some(self.metrics.stage_updates(s)),
+                            );
+                        }
+                        self.cells[local].backward_input(
+                            self.net.stage_mut(s),
+                            &mut gstack,
+                            first_of_update,
+                        );
+                        if let Some(lanes) = self.lanes.as_mut() {
+                            lanes[local].end();
+                        }
+                    }
+                    pbp_pipeline::Action::BackwardWeight(j) => {
+                        if let Some(lanes) = self.lanes.as_mut() {
+                            lanes[local].begin(
+                                TracePhase::BackwardWeight,
+                                Some(j as u64),
+                                Some(self.metrics.stage_updates(s)),
+                            );
+                        }
+                        self.cells[local].backward_weight(self.net.stage_mut(s));
+                        if let Some(lanes) = self.lanes.as_mut() {
+                            lanes[local].end();
+                        }
+                    }
+                    pbp_pipeline::Action::Update => {
+                        if self.cells[local].will_update(self.net.stage(s)) {
+                            if let Some(lanes) = self.lanes.as_mut() {
+                                lanes[local].begin(
+                                    TracePhase::Update,
+                                    Some(mb as u64),
+                                    Some(self.metrics.stage_updates(s) + 1),
+                                );
+                            }
+                            self.cells[local]
+                                .update(self.net.stage_mut(s), self.spec.plan.splits_backward());
+                            if let Some(lanes) = self.lanes.as_mut() {
+                                lanes[local].end();
+                            }
+                            updated = true;
+                        }
+                    }
+                }
+            }
+            self.cells[local].push_next_version(self.net.stage(s));
+            if updated {
+                self.metrics
+                    .record_update(s, self.cells[local].delay(), t0.elapsed().as_nanos());
+            } else {
+                self.metrics.add_busy_ns(s, t0.elapsed().as_nanos());
+            }
+        }
+        if let Some(up) = self.upstream.as_deref_mut() {
+            up.send(&Frame::Gradient {
+                microbatch: mb as u64,
+                weight_version: self.metrics.stage_updates(range.start),
+                loss: mb_loss,
+                lanes: gstack,
+            })?;
+        }
+        self.next_bwd += 1;
+        if self.spec.abort_after == Some(self.next_bwd) {
+            eprintln!(
+                "rank {}: injected abort after {} microbatches",
+                self.spec.rank, self.next_bwd
+            );
+            std::process::abort();
+        }
+        if let Some(snaps) = &self.spec.snapshots {
+            if self.next_bwd.is_multiple_of(snaps.every)
+                && self.next_bwd > self.spec.resume_at
+                && self.next_bwd < self.spec.total_microbatches
+            {
+                debug_assert_eq!(self.in_flight(), 0, "snapshot requires a drained rank");
+                self.save_snapshot(self.next_bwd)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends a heartbeat on both links — called before slow local work
+    /// (snapshot writes) so peers' stall watchdogs keep quiet.
+    fn heartbeat(&mut self) {
+        self.beat += 1;
+        let frame = Frame::Heartbeat {
+            rank: self.spec.rank as u32,
+            beat: self.beat,
+        };
+        if let Some(up) = self.upstream.as_deref_mut() {
+            let _ = up.send(&frame);
+        }
+        if let Some(down) = self.downstream.as_deref_mut() {
+            let _ = down.send(&frame);
+        }
+    }
+
+    fn save_snapshot(&mut self, counter: usize) -> Result<(), DistError> {
+        let snaps = self.spec.snapshots.as_ref().expect("caller checked");
+        let dir = snaps.dir.clone();
+        let keep = snaps.keep;
+        self.heartbeat();
+        std::fs::create_dir_all(&dir)?;
+        let mut snap = SnapshotBuilder::new();
+        pbp_nn::snapshot::write_network(&self.net, &mut snap);
+        let mut w = StateWriter::new();
+        w.put_u32(self.spec.rank as u32);
+        w.put_u32(self.spec.topology.world() as u32);
+        w.put_u64(self.spec.digest());
+        w.put_usize(self.next_bwd);
+        w.put_f64(self.loss_sum);
+        w.put_u32(self.cells.len() as u32);
+        for cell in &self.cells {
+            cell.write_state(&mut w);
+        }
+        pbp_snapshot::Snapshottable::write_state(&self.metrics, &mut w);
+        snap.add_section(SECTION_DIST, w.into_bytes());
+        let path = rank_snapshot_path(&dir, self.spec.rank, counter);
+        snap.save_atomic(&path)?;
+        self.written.push(counter);
+        while self.written.len() > keep {
+            let old = self.written.remove(0);
+            match std::fs::remove_file(rank_snapshot_path(&dir, self.spec.rank, old)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, counter: usize) -> Result<(), DistError> {
+        let snaps = self.spec.snapshots.as_ref().expect("validated");
+        let path = rank_snapshot_path(&snaps.dir, self.spec.rank, counter);
+        let archive = SnapshotArchive::load(&path)?;
+        pbp_nn::snapshot::read_network(&mut self.net, &archive)?;
+        let mut r = StateReader::new(archive.section(SECTION_DIST)?);
+        let rank = r.take_u32()? as usize;
+        let world = r.take_u32()? as usize;
+        let digest = r.take_u64()?;
+        if rank != self.spec.rank
+            || world != self.spec.topology.world()
+            || digest != self.spec.digest()
+        {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot belongs to rank {rank}/{world}, this process is rank {}/{} \
+                 (digest {})",
+                self.spec.rank,
+                self.spec.topology.world(),
+                if digest == self.spec.digest() {
+                    "matches"
+                } else {
+                    "differs"
+                },
+            ))
+            .into());
+        }
+        let samples = r.take_usize()?;
+        if samples != counter {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot {path:?} covers {samples} microbatches, file name says {counter}"
+            ))
+            .into());
+        }
+        self.loss_sum = r.take_f64()?;
+        let n = r.take_u32()? as usize;
+        if n != self.cells.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {n} stage cells, rank owns {}",
+                self.cells.len()
+            ))
+            .into());
+        }
+        let first_owned = self.range().start;
+        for (local, cell) in self.cells.iter_mut().enumerate() {
+            cell.read_state(&mut r, "dist", first_owned + local)?;
+        }
+        pbp_snapshot::Snapshottable::read_state(&mut self.metrics, &mut r)?;
+        r.finish()?;
+        self.next_fwd = counter;
+        self.next_bwd = counter;
+        self.written.push(counter);
+        Ok(())
+    }
+
+    fn flush_lanes(&mut self) {
+        if let Some(lanes) = self.lanes.as_mut() {
+            for lane in lanes {
+                lane.flush();
+            }
+        }
+    }
+
+    fn finish(self) -> Result<RankOutcome, DistError> {
+        let label = format!(
+            "dist rank {}/{} {}",
+            self.spec.rank,
+            self.spec.topology.world(),
+            self.spec.plan.label()
+        );
+        let metrics = self.metrics.snapshot(label, self.next_bwd, None);
+        Ok(RankOutcome {
+            net: self.net,
+            samples_seen: self.next_bwd,
+            loss_sum: self.loss_sum,
+            metrics,
+        })
+    }
+}
+
+/// Splices every rank's owned stages into `target`: stage `s`'s
+/// parameters are copied from the outcome network of the rank owning
+/// `s`. Layer running state (batch-norm statistics etc.) follows the
+/// parameters via the per-stage snapshot/load path, which copies
+/// parameters only — matching the MLP scope of the distributed smoke
+/// runs; stateful layers additionally travel inside rank snapshots.
+pub fn splice_owned_stages(target: &mut Network, topology: &Topology, rank_nets: &[Network]) {
+    assert_eq!(rank_nets.len(), topology.world(), "one network per rank");
+    for (rank, net) in rank_nets.iter().enumerate() {
+        for s in topology.range(rank) {
+            let snap = net.stage(s).snapshot();
+            target.stage_mut(s).load(&snap);
+        }
+    }
+}

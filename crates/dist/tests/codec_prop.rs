@@ -1,0 +1,180 @@
+//! Property tests for the distributed wire codec: arbitrary frames must
+//! round-trip exactly (down to the bit patterns of NaN payloads), and
+//! arbitrary truncation, bit flips, and short reads must yield typed
+//! [`DistError`]s — never a panic, never a silently wrong frame.
+
+use pbp_dist::codec::{decode_frame, encode_frame, read_frame, Frame};
+use pbp_dist::DistError;
+use pbp_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Builds a lane stack from raw bit patterns. Bits are used verbatim
+/// (including NaN/inf patterns) so the round-trip check covers every
+/// representable f32, and the shape alternates between 1-D and 2-D.
+fn lanes_from_bits(lane_bits: &[Vec<u32>], rows: usize) -> Vec<Tensor> {
+    lane_bits
+        .iter()
+        .map(|bits| {
+            let data: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+            if rows > 1 && data.len().is_multiple_of(rows) {
+                let cols = data.len() / rows;
+                Tensor::from_vec(data, &[rows, cols]).unwrap()
+            } else {
+                let len = data.len();
+                Tensor::from_vec(data, &[len]).unwrap()
+            }
+        })
+        .collect()
+}
+
+/// Bitwise frame equality: `PartialEq` on `Frame` compares f32 values
+/// (NaN != NaN), so compare the canonical encodings instead.
+fn frames_bit_equal(a: &Frame, b: &Frame) -> bool {
+    encode_frame(a) == encode_frame(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn data_frames_round_trip(
+        lane_bits in proptest::collection::vec(
+            proptest::collection::vec(0u32..=u32::MAX, 1..9), 1..4),
+        rows in 1usize..4,
+        microbatch in 0u64..u64::MAX,
+        weight_version in 0u64..u64::MAX,
+        label in 0u32..=u32::MAX,
+        loss_bits in 0u32..=u32::MAX,
+        gradient in 0u8..2,
+    ) {
+        let lanes = lanes_from_bits(&lane_bits, rows);
+        let frame = if gradient == 1 {
+            Frame::Gradient {
+                microbatch,
+                weight_version,
+                loss: f32::from_bits(loss_bits),
+                lanes,
+            }
+        } else {
+            Frame::Activation { microbatch, weight_version, label, lanes }
+        };
+        let wire = encode_frame(&frame);
+        let decoded = decode_frame(&wire).unwrap();
+        prop_assert!(frames_bit_equal(&frame, &decoded));
+        // Shapes survive, not just the flat data.
+        let (orig, got) = match (&frame, &decoded) {
+            (Frame::Activation { lanes: a, .. }, Frame::Activation { lanes: b, .. }) => (a, b),
+            (Frame::Gradient { lanes: a, .. }, Frame::Gradient { lanes: b, .. }) => (a, b),
+            _ => return Err(TestCaseError::fail("frame kind changed in transit")),
+        };
+        prop_assert_eq!(orig.len(), got.len());
+        for (a, b) in orig.iter().zip(got.iter()) {
+            prop_assert_eq!(a.shape(), b.shape());
+        }
+    }
+
+    #[test]
+    fn control_frames_round_trip(
+        rank in 0u32..=u32::MAX,
+        world in 0u32..=u32::MAX,
+        digest in 0u64..u64::MAX,
+        beat in 0u64..u64::MAX,
+    ) {
+        for frame in [
+            Frame::Hello { rank, world, digest },
+            Frame::Heartbeat { rank, beat },
+            Frame::Shutdown { rank },
+        ] {
+            let decoded = decode_frame(&encode_frame(&frame)).unwrap();
+            prop_assert_eq!(&decoded, &frame);
+        }
+    }
+
+    #[test]
+    fn truncation_yields_typed_errors(
+        lane_bits in proptest::collection::vec(
+            proptest::collection::vec(0u32..=u32::MAX, 1..9), 1..3),
+        microbatch in 0u64..u64::MAX,
+        frac in 0.0f64..1.0,
+    ) {
+        let frame = Frame::Activation {
+            microbatch,
+            weight_version: 3,
+            label: 1,
+            lanes: lanes_from_bits(&lane_bits, 1),
+        };
+        let wire = encode_frame(&frame);
+        let cut = ((wire.len() as f64) * frac) as usize;
+        prop_assert!(cut < wire.len());
+        // Both entry points: one-shot slice decode and streamed read.
+        let direct = decode_frame(&wire[..cut]);
+        prop_assert!(matches!(
+            direct,
+            Err(DistError::PeerClosed | DistError::Corrupt(_) | DistError::ChecksumMismatch)
+        ), "decode of {cut}/{} bytes gave {direct:?}", wire.len());
+        let mut stream = std::io::Cursor::new(&wire[..cut]);
+        let short = read_frame(&mut stream);
+        prop_assert!(matches!(
+            short,
+            Err(DistError::PeerClosed | DistError::Corrupt(_) | DistError::ChecksumMismatch)
+        ), "short read of {cut}/{} bytes gave {short:?}", wire.len());
+    }
+
+    #[test]
+    fn bit_flips_never_parse_clean(
+        lane_bits in proptest::collection::vec(
+            proptest::collection::vec(0u32..=u32::MAX, 1..9), 1..3),
+        pos_seed in 0usize..1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let frame = Frame::Gradient {
+            microbatch: 7,
+            weight_version: 2,
+            loss: 0.25,
+            lanes: lanes_from_bits(&lane_bits, 1),
+        };
+        let mut wire = encode_frame(&frame);
+        let pos = pos_seed % wire.len();
+        wire[pos] ^= mask;
+        // Wherever the flip landed — length prefix, kind tag, tensor
+        // payload, or the CRC itself — the decode must fail with a typed
+        // error. CRC32 catches every single-byte corruption of the body;
+        // length-prefix corruption surfaces as Corrupt (oversized /
+        // trailing bytes) or PeerClosed (frame claims more than exists).
+        let result = decode_frame(&wire);
+        prop_assert!(matches!(
+            result,
+            Err(DistError::PeerClosed | DistError::Corrupt(_) | DistError::ChecksumMismatch)
+        ), "flip at {pos} (mask {mask:#04x}) gave {result:?}");
+    }
+
+    #[test]
+    fn streamed_frames_then_truncated_tail(
+        beats in proptest::collection::vec(0u64..u64::MAX, 1..5),
+        cut_seed in 1usize..64,
+    ) {
+        // A healthy prefix of whole frames followed by a torn final
+        // frame: every whole frame reads back, then the tear surfaces as
+        // a typed error, not a panic or a garbage frame.
+        let mut wire = Vec::new();
+        for (i, &beat) in beats.iter().enumerate() {
+            wire.extend_from_slice(&encode_frame(&Frame::Heartbeat {
+                rank: i as u32,
+                beat,
+            }));
+        }
+        let tail = encode_frame(&Frame::Shutdown { rank: 9 });
+        let cut = cut_seed % (tail.len() - 1) + 1; // keep ≥1 byte, < full
+        wire.extend_from_slice(&tail[..cut]);
+        let mut stream = std::io::Cursor::new(wire);
+        for (i, &beat) in beats.iter().enumerate() {
+            let frame = read_frame(&mut stream).unwrap();
+            prop_assert_eq!(frame, Frame::Heartbeat { rank: i as u32, beat });
+        }
+        let torn = read_frame(&mut stream);
+        prop_assert!(matches!(
+            torn,
+            Err(DistError::PeerClosed | DistError::Corrupt(_) | DistError::ChecksumMismatch)
+        ), "torn tail gave {torn:?}");
+    }
+}

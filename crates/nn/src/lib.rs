@@ -56,5 +56,5 @@ pub mod models;
 pub mod network;
 pub mod snapshot;
 
-pub use layer::Layer;
+pub use layer::{LaneStack, Layer};
 pub use network::{Network, Stage};

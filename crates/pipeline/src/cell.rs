@@ -1,0 +1,256 @@
+//! The per-stage schedule-execution primitive shared by the sequential
+//! core and the distributed runner.
+//!
+//! [`StageCell`] owns everything one pipeline stage needs to execute its
+//! slice of a [`MicrobatchSchedule`](crate::MicrobatchSchedule) action
+//! stream: the stage's optimizer (with its delay-mitigation
+//! configuration), the FIFO of forward weight versions whose length is
+//! the schedule's version lag plus one, and the stash of in-flight
+//! forward weights under weight stashing. The sequential
+//! [`ScheduleCore`](crate::scheduled) sweeps one microbatch through a
+//! `Vec<StageCell>`; the distributed runner in `pbp-dist` drives exactly
+//! one rank's cells against socket neighbors. Because both call the same
+//! methods in the same per-stage order, a multi-process run is
+//! bit-identical to the single-process emulation — the cross-process
+//! bit-identity invariant (DESIGN §12) reduces to this file being the
+//! only implementation of per-stage semantics.
+//!
+//! ## Ordering contract
+//!
+//! For a fixed stage, the cell's methods must be called in the schedule's
+//! per-stage order: `forward` for microbatch `i` before `forward` for
+//! `i+1`, `backward_input`/`backward_weight`/`update` in the exact
+//! [`Action`](crate::Action) stream order, and `push_next_version` once
+//! after each microbatch's backward actions. *Across* stages any
+//! interleaving that respects data dependencies yields the same bits:
+//! forwards read only queued versions (popped in push order) and
+//! backwards mutate only this stage's weights, so stage `s` running
+//! microbatch `i+2` while stage `s+1` still works on `i` — the real
+//! pipeline's overlap — cannot change any value. The only structural
+//! constraint is that a forward may not outrun its queue: at most
+//! `version_lag` microbatches may be in flight (forwarded but not yet
+//! backwarded) at a stage.
+
+use pbp_nn::{LaneStack, Stage};
+use pbp_optim::{Hyperparams, Mitigation, StageOptimizer};
+use pbp_snapshot::{SnapshotError, Snapshottable, StateReader, StateWriter};
+use pbp_tensor::Tensor;
+use std::collections::VecDeque;
+
+use crate::schedule::MicrobatchSchedule;
+
+/// One pipeline stage's schedule-execution state: optimizer, forward
+/// weight-version FIFO, and weight stash.
+pub struct StageCell {
+    opt: StageOptimizer,
+    /// Forward weight-version lag in microbatches (Eq. 5 `D_s` for PB);
+    /// `fwd_queue` always holds `version_lag + 1` entries between
+    /// microbatches.
+    version_lag: usize,
+    /// FIFO of forward weight versions; front is the version the next
+    /// microbatch's forward pass must see.
+    fwd_queue: VecDeque<Vec<Tensor>>,
+    /// Stashed forward weights for in-flight microbatches (weight
+    /// stashing only).
+    stash: VecDeque<Vec<Tensor>>,
+    weight_stashing: bool,
+}
+
+impl StageCell {
+    /// Builds the cell for stage `s` of a pipeline with
+    /// `pipeline_stages` stages under `plan`, deriving the version lag
+    /// and optimizer delay from the schedule (or from `delay_override`,
+    /// which forces both — the PB emulator's testing/ablation knob).
+    /// The queue starts with `lag + 1` copies of the stage's initial
+    /// weights, exactly like a freshly filled pipeline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        stage: &Stage,
+        s: usize,
+        pipeline_stages: usize,
+        plan: &MicrobatchSchedule,
+        mitigation: Mitigation,
+        weight_stashing: bool,
+        hp: Hyperparams,
+        delay_override: Option<usize>,
+    ) -> Self {
+        let lag = delay_override.unwrap_or_else(|| plan.stage_version_lag(s, pipeline_stages));
+        let delay = delay_override.unwrap_or_else(|| plan.stage_delay(s, pipeline_stages));
+        let stage_cfg = mitigation.stage_config(delay, s);
+        let opt = StageOptimizer::new(&stage.params(), stage_cfg, hp);
+        let snapshot = stage.snapshot();
+        let fwd_queue: VecDeque<Vec<Tensor>> = (0..=lag).map(|_| snapshot.clone()).collect();
+        StageCell {
+            opt,
+            version_lag: lag,
+            fwd_queue,
+            stash: VecDeque::new(),
+            weight_stashing,
+        }
+    }
+
+    /// Forward weight-version lag in microbatches.
+    pub fn version_lag(&self) -> usize {
+        self.version_lag
+    }
+
+    /// The stage's gradient delay in updates (`⌈D_s/M⌉` under the plan).
+    pub fn delay(&self) -> usize {
+        self.opt.config().delay
+    }
+
+    /// Entries currently in the forward version queue.
+    pub fn fwd_queue_len(&self) -> usize {
+        self.fwd_queue.len()
+    }
+
+    /// Entries currently stashed (weight stashing only).
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Sets the optimizer's hyperparameters (called at each update
+    /// window's first microbatch).
+    pub fn set_hyperparams(&mut self, hp: Hyperparams) {
+        self.opt.set_hyperparams(hp);
+    }
+
+    /// Runs the stage's forward pass under the scheduled weight version:
+    /// pops the queue front, loads it (skipping the snapshot/load/restore
+    /// dance when the queued version is bit-identical to the live
+    /// weights — no lag, no forward prediction), and stashes the version
+    /// under weight stashing.
+    pub fn forward(&mut self, stage: &mut Stage, stack: &mut LaneStack) {
+        let fwd_w = self
+            .fwd_queue
+            .pop_front()
+            .expect("queue maintains lag+1 entries");
+        // With no version lag and no forward prediction the queued
+        // version is bit-identical to the live weights, so the
+        // snapshot/load/restore dance is skipped — fill&drain falls
+        // out of the shared machinery at full speed.
+        let live = self.version_lag == 0 && self.opt.config().fwd_horizon == 0.0;
+        if fwd_w.is_empty() || live {
+            stage.forward(stack);
+        } else {
+            let current = stage.snapshot();
+            stage.load(&fwd_w);
+            stage.forward(stack);
+            stage.load(&current);
+        }
+        if self.weight_stashing {
+            self.stash.push_back(fwd_w);
+        }
+    }
+
+    /// The weights the backward pass must run under, when they differ
+    /// from the live weights: the stashed forward version (weight
+    /// stashing) or SpecTrain's backward re-prediction.
+    fn backward_override(&mut self, stage: &Stage) -> Option<Vec<Tensor>> {
+        if self.weight_stashing {
+            let stashed = self.stash.pop_front().expect("stash in sync");
+            (!stashed.is_empty()).then_some(stashed)
+        } else if self.opt.config().bwd_horizon != 0.0 {
+            let params = stage.params();
+            (!params.is_empty()).then(|| {
+                self.opt
+                    .backward_weights(&params)
+                    .expect("bwd horizon configured")
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Runs the stage's input-gradient backward pass, zeroing the
+    /// accumulated gradients first when this is the update window's
+    /// first microbatch.
+    pub fn backward_input(&mut self, stage: &mut Stage, gstack: &mut LaneStack, zero_grads: bool) {
+        let bwd_override = self.backward_override(stage);
+        if zero_grads {
+            stage.zero_grads();
+        }
+        match bwd_override {
+            Some(bw) => {
+                let current = stage.snapshot();
+                stage.load(&bw);
+                stage.backward_input(gstack);
+                stage.load(&current);
+            }
+            None => stage.backward_input(gstack),
+        }
+    }
+
+    /// Retires one pending weight-gradient half (2BP). Weight-gradient
+    /// halves read no weights, only values stashed at `backward_input`
+    /// time, so no override dance is needed.
+    pub fn backward_weight(&self, stage: &mut Stage) {
+        stage.backward_weight();
+    }
+
+    /// True if an `update` call would apply an optimizer step (the stage
+    /// has parameters carrying gradients).
+    pub fn will_update(&self, stage: &Stage) -> bool {
+        !stage.grads().is_empty()
+    }
+
+    /// Applies the optimizer update. Schedules that split backward
+    /// deliver the deferred weight-gradient halves through the
+    /// optimizer's deferred interface. Returns whether a step fired
+    /// (parameterless stages never update).
+    pub fn update(&mut self, stage: &mut Stage, split_backward: bool) -> bool {
+        let (mut params, grads) = stage.params_and_grads();
+        if grads.is_empty() {
+            return false;
+        }
+        if split_backward {
+            self.opt.accumulate_deferred(&grads);
+            self.opt.step_deferred(&mut params);
+        } else {
+            self.opt.step(&mut params, &grads);
+        }
+        true
+    }
+
+    /// Enqueues the forward weight version a future microbatch will see
+    /// (post-update when one fired, predicted when LWP is configured).
+    pub fn push_next_version(&mut self, stage: &Stage) {
+        let params = stage.params();
+        let next_fwd = self
+            .opt
+            .forward_weights(&params)
+            .unwrap_or_else(|| params.into_iter().cloned().collect());
+        self.fwd_queue.push_back(next_fwd);
+    }
+
+    /// Serializes the cell's evolving state (optimizer, version queue,
+    /// stash — the lag and configuration are rebuilt from the schedule).
+    pub fn write_state(&self, w: &mut StateWriter) {
+        self.opt.write_state(w);
+        crate::state::write_version_queue(w, &self.fwd_queue);
+        crate::state::write_version_queue(w, &self.stash);
+    }
+
+    /// Restores state written by [`StageCell::write_state`], enforcing
+    /// the queue-length invariant of the emulation: one forward version
+    /// per possible in-flight microbatch, `lag + 1` entries.
+    pub fn read_state(
+        &mut self,
+        r: &mut StateReader<'_>,
+        tag: &str,
+        s: usize,
+    ) -> Result<(), SnapshotError> {
+        self.opt.read_state(r)?;
+        let queue = crate::state::read_version_queue(r)?;
+        let want = self.version_lag + 1;
+        if queue.len() != want {
+            return Err(SnapshotError::Mismatch(format!(
+                "{tag} stage {s} forward queue holds {} versions, schedule requires {want}",
+                queue.len()
+            )));
+        }
+        self.fwd_queue = queue;
+        self.stash = crate::state::read_version_queue(r)?;
+        Ok(())
+    }
+}

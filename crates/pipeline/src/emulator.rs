@@ -116,7 +116,7 @@ impl PipelinedTrainer {
 
     /// The per-stage gradient delays in effect.
     pub fn delays(&self) -> Vec<usize> {
-        self.core.opts.iter().map(|o| o.config().delay).collect()
+        self.core.cells.iter().map(|c| c.delay()).collect()
     }
 
     /// Borrows the network (for evaluation etc.). Evaluation uses the
@@ -335,10 +335,10 @@ mod tests {
         let cfg = PbConfig::plain(schedule()).with_weight_stashing();
         let mut pb = PipelinedTrainer::new(net, cfg);
         pb.train_epoch(&data, 1, 0);
-        for (s, q) in pb.core.fwd_queues.iter().enumerate() {
-            assert_eq!(q.len(), pb.core.opts[s].config().delay + 1, "stage {s}");
+        for (s, cell) in pb.core.cells.iter().enumerate() {
+            assert_eq!(cell.fwd_queue_len(), cell.delay() + 1, "stage {s}");
         }
-        assert!(pb.core.stashes.iter().all(|st| st.is_empty()));
+        assert!(pb.core.cells.iter().all(|c| c.stash_len() == 0));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! uniformly.
 
 pub mod asgd;
+pub mod cell;
 pub mod delayed;
 pub mod emulator;
 pub mod engine;
@@ -52,6 +53,7 @@ pub mod timeline;
 pub mod trainer;
 
 pub use asgd::{AsgdTrainer, DelayDistribution};
+pub use cell::StageCell;
 pub use delayed::{DelayedConfig, DelayedTrainer};
 pub use emulator::{PbConfig, PipelinedTrainer};
 pub use engine::{run_training, EngineSpec, RunConfig, TrainEngine};

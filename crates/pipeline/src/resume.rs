@@ -175,7 +175,10 @@ fn save_snapshot(
     let mut w = StateWriter::new();
     write_runner_state(&mut w, state, &engine.label());
     snap.add_section(SECTION_RUN, w.into_bytes());
-    let path = policy.dir.join(format!("snap-{samples:012}.pbps"));
+    let path = policy.dir.join(pbp_snapshot::snapshot_file_name(
+        pbp_snapshot::SNAP_PREFIX,
+        samples,
+    ));
     snap.save_atomic(&path)?;
     hooks.on_snapshot(samples, &path, started.elapsed());
     prune(policy)
@@ -194,7 +197,13 @@ fn prune(policy: &SnapshotPolicy) -> Result<(), SnapshotError> {
     snaps.sort();
     let excess = snaps.len().saturating_sub(policy.keep);
     for old in &snaps[..excess] {
-        std::fs::remove_file(old)?;
+        match std::fs::remove_file(old) {
+            Ok(()) => {}
+            // Another process pruning the same directory may win the
+            // race; the file being gone is exactly what we wanted.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
     }
     Ok(())
 }

@@ -27,6 +27,7 @@
 //! it at the update boundary, delivering the summed gradients to the
 //! optimizer through its deferred-gradient interface.
 
+use crate::cell::StageCell;
 use crate::engine::{batch_rows, run_training, RunConfig, TrainEngine};
 use crate::metrics::{EngineMetrics, MetricsRecorder, NoHooks};
 use crate::schedule::{fill_drain_utilization, pb_utilization, Action, MicrobatchSchedule};
@@ -34,28 +35,19 @@ use crate::trainer::TrainReport;
 use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::Network;
-use pbp_optim::{LrSchedule, Mitigation, StageOptimizer};
+use pbp_optim::{LrSchedule, Mitigation};
 use pbp_tensor::Tensor;
-use std::collections::VecDeque;
 use std::time::Instant;
 
 /// The sequential schedule-execution machine shared by the deterministic
 /// pipeline engines. Fields are crate-visible so the wrapping engines can
-/// serialize their state in their own snapshot layouts.
+/// serialize their state in their own snapshot layouts. All per-stage
+/// semantics live in [`StageCell`], shared with the distributed runner.
 pub(crate) struct ScheduleCore {
     pub(crate) net: Network,
     pub(crate) plan: MicrobatchSchedule,
-    pub(crate) opts: Vec<StageOptimizer>,
-    /// Per stage: forward weight-version lag in microbatches;
-    /// `fwd_queues[s]` always holds `version_lags[s] + 1` entries.
-    pub(crate) version_lags: Vec<usize>,
-    /// Per stage: FIFO of forward weight versions; front is the version
-    /// the next microbatch's forward pass must see.
-    pub(crate) fwd_queues: Vec<VecDeque<Vec<Tensor>>>,
-    /// Per stage: stashed forward weights for in-flight microbatches
-    /// (weight stashing only).
-    pub(crate) stashes: Vec<VecDeque<Vec<Tensor>>>,
-    pub(crate) weight_stashing: bool,
+    /// One cell per layer stage: optimizer, forward version FIFO, stash.
+    pub(crate) cells: Vec<StageCell>,
     pub(crate) schedule: LrSchedule,
     pub(crate) samples_seen: usize,
     pub(crate) metrics: MetricsRecorder,
@@ -80,29 +72,25 @@ impl ScheduleCore {
         let pipeline_stages = net.pipeline_stage_count();
         let layer_stages = net.num_stages();
         let hp = schedule.at(0);
-        let mut opts = Vec::with_capacity(layer_stages);
-        let mut version_lags = Vec::with_capacity(layer_stages);
-        let mut fwd_queues = Vec::with_capacity(layer_stages);
-        for s in 0..layer_stages {
-            let lag = delay_override.unwrap_or_else(|| plan.stage_version_lag(s, pipeline_stages));
-            let delay = delay_override.unwrap_or_else(|| plan.stage_delay(s, pipeline_stages));
-            let stage_cfg = mitigation.stage_config(delay, s);
-            opts.push(StageOptimizer::new(&net.stage(s).params(), stage_cfg, hp));
-            let snapshot = net.stage(s).snapshot();
-            let queue: VecDeque<Vec<Tensor>> = (0..=lag).map(|_| snapshot.clone()).collect();
-            fwd_queues.push(queue);
-            version_lags.push(lag);
-        }
-        let stashes = (0..layer_stages).map(|_| VecDeque::new()).collect();
+        let cells = (0..layer_stages)
+            .map(|s| {
+                StageCell::new(
+                    net.stage(s),
+                    s,
+                    pipeline_stages,
+                    &plan,
+                    mitigation,
+                    weight_stashing,
+                    hp,
+                    delay_override,
+                )
+            })
+            .collect();
         let metrics = MetricsRecorder::new(layer_stages);
         ScheduleCore {
             net,
             plan,
-            opts,
-            version_lags,
-            fwd_queues,
-            stashes,
-            weight_stashing,
+            cells,
             schedule,
             samples_seen: 0,
             metrics,
@@ -135,26 +123,6 @@ impl ScheduleCore {
         }
     }
 
-    /// The weights the backward pass of stage `s` must run under, when
-    /// they differ from the live weights: the stashed forward version
-    /// (weight stashing) or SpecTrain's backward re-prediction.
-    fn backward_override(&mut self, s: usize) -> Option<Vec<Tensor>> {
-        if self.weight_stashing {
-            let stashed = self.stashes[s].pop_front().expect("stash in sync");
-            (!stashed.is_empty()).then_some(stashed)
-        } else if self.opts[s].config().bwd_horizon != 0.0 {
-            let stage = self.net.stage(s);
-            let params = stage.params();
-            (!params.is_empty()).then(|| {
-                self.opts[s]
-                    .backward_weights(&params)
-                    .expect("bwd horizon configured")
-            })
-        } else {
-            None
-        }
-    }
-
     /// Trains on one microbatch (`x` without batch dimension), executing
     /// the plan's action stream for the current microbatch index at every
     /// stage; returns the loss from the pipeline's loss stage.
@@ -168,8 +136,8 @@ impl ScheduleCore {
             // emulator's per-sample cadence; for fill&drain it is the
             // first sample of the batch, as before the refactor).
             let hp = self.schedule.at(self.samples_seen);
-            for opt in &mut self.opts {
-                opt.set_hyperparams(hp);
+            for cell in &mut self.cells {
+                cell.set_hyperparams(hp);
             }
         }
         let actions = self.plan.stage_actions(self.samples_seen);
@@ -197,26 +165,7 @@ impl ScheduleCore {
                     Some(self.metrics.stage_updates(s)),
                 );
             }
-            let fwd_w = self.fwd_queues[s]
-                .pop_front()
-                .expect("queue maintains lag+1 entries");
-            // With no version lag and no forward prediction the queued
-            // version is bit-identical to the live weights, so the
-            // snapshot/load/restore dance is skipped — fill&drain falls
-            // out of the shared machinery at full speed.
-            let live = self.version_lags[s] == 0 && self.opts[s].config().fwd_horizon == 0.0;
-            let stage = self.net.stage_mut(s);
-            if fwd_w.is_empty() || live {
-                stage.forward(&mut stack);
-            } else {
-                let current = stage.snapshot();
-                stage.load(&fwd_w);
-                stage.forward(&mut stack);
-                stage.load(&current);
-            }
-            if self.weight_stashing {
-                self.stashes[s].push_back(fwd_w);
-            }
+            self.cells[s].forward(self.net.stage_mut(s), &mut stack);
             if let Some(lanes) = self.lanes.as_mut() {
                 lanes[s].end();
             }
@@ -251,20 +200,11 @@ impl ScheduleCore {
                                 Some(self.metrics.stage_updates(s)),
                             );
                         }
-                        let bwd_override = self.backward_override(s);
-                        let stage = self.net.stage_mut(s);
-                        if first_of_update {
-                            stage.zero_grads();
-                        }
-                        match bwd_override {
-                            Some(bw) => {
-                                let current = stage.snapshot();
-                                stage.load(&bw);
-                                stage.backward_input(&mut gstack);
-                                stage.load(&current);
-                            }
-                            None => stage.backward_input(&mut gstack),
-                        }
+                        self.cells[s].backward_input(
+                            self.net.stage_mut(s),
+                            &mut gstack,
+                            first_of_update,
+                        );
                         if let Some(lanes) = self.lanes.as_mut() {
                             lanes[s].end();
                         }
@@ -277,18 +217,14 @@ impl ScheduleCore {
                                 Some(self.metrics.stage_updates(s)),
                             );
                         }
-                        // Weight-gradient halves read no weights, only
-                        // values stashed at BackwardInput time, so no
-                        // override dance is needed.
-                        self.net.stage_mut(s).backward_weight();
+                        self.cells[s].backward_weight(self.net.stage_mut(s));
                         if let Some(lanes) = self.lanes.as_mut() {
                             lanes[s].end();
                         }
                     }
                     Action::Update => {
-                        let stage = self.net.stage_mut(s);
-                        let (mut params, grads) = stage.params_and_grads();
-                        if !grads.is_empty() {
+                        let will = self.cells[s].will_update(self.net.stage(s));
+                        if will {
                             if let Some(lanes) = self.lanes.as_mut() {
                                 lanes[s].begin(
                                     pbp_trace::TracePhase::Update,
@@ -296,16 +232,8 @@ impl ScheduleCore {
                                     Some(self.metrics.stage_updates(s) + 1),
                                 );
                             }
-                            if self.plan.splits_backward() {
-                                // Deferred weight gradients arrive at the
-                                // boundary, detached from any backward
-                                // pass, through the optimizer's deferred
-                                // interface.
-                                self.opts[s].accumulate_deferred(&grads);
-                                self.opts[s].step_deferred(&mut params);
-                            } else {
-                                self.opts[s].step(&mut params, &grads);
-                            }
+                            self.cells[s]
+                                .update(self.net.stage_mut(s), self.plan.splits_backward());
                             if let Some(lanes) = self.lanes.as_mut() {
                                 lanes[s].end();
                             }
@@ -316,16 +244,11 @@ impl ScheduleCore {
             }
             // Enqueue the forward weight version a future microbatch will
             // see (post-update when one fired, predicted when configured).
-            let stage = self.net.stage(s);
-            let params = stage.params();
-            let next_fwd = self.opts[s]
-                .forward_weights(&params)
-                .unwrap_or_else(|| params.into_iter().cloned().collect());
-            self.fwd_queues[s].push_back(next_fwd);
+            self.cells[s].push_next_version(self.net.stage(s));
             if updated {
                 self.metrics.record_update(
                     s,
-                    self.opts[s].config().delay,
+                    self.cells[s].delay(),
                     stage_start.elapsed().as_nanos(),
                 );
             } else {
@@ -370,15 +293,9 @@ impl ScheduleCore {
     pub(crate) fn write_core_state(&self, w: &mut pbp_snapshot::StateWriter) {
         use pbp_snapshot::Snapshottable;
         w.put_usize(self.samples_seen);
-        w.put_u32(self.opts.len() as u32);
-        for opt in &self.opts {
-            opt.write_state(w);
-        }
-        for queue in &self.fwd_queues {
-            crate::state::write_version_queue(w, queue);
-        }
-        for stash in &self.stashes {
-            crate::state::write_version_queue(w, stash);
+        w.put_u32(self.cells.len() as u32);
+        for cell in &self.cells {
+            cell.write_state(w);
         }
         self.metrics.write_state(w);
     }
@@ -393,29 +310,14 @@ impl ScheduleCore {
         use pbp_snapshot::Snapshottable;
         self.samples_seen = r.take_usize()?;
         let n = r.take_u32()? as usize;
-        if n != self.opts.len() {
+        if n != self.cells.len() {
             return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
                 "{tag} state for {n} stages, engine has {}",
-                self.opts.len()
+                self.cells.len()
             )));
         }
-        for opt in &mut self.opts {
-            opt.read_state(r)?;
-        }
-        for (s, queue) in self.fwd_queues.iter_mut().enumerate() {
-            *queue = crate::state::read_version_queue(r)?;
-            // Invariant of the emulation: one forward version per possible
-            // in-flight microbatch, `lag + 1` entries.
-            let want = self.version_lags[s] + 1;
-            if queue.len() != want {
-                return Err(pbp_snapshot::SnapshotError::Mismatch(format!(
-                    "{tag} stage {s} forward queue holds {} versions, schedule requires {want}",
-                    queue.len()
-                )));
-            }
-        }
-        for stash in self.stashes.iter_mut() {
-            *stash = crate::state::read_version_queue(r)?;
+        for (s, cell) in self.cells.iter_mut().enumerate() {
+            cell.read_state(r, tag, s)?;
         }
         self.metrics.read_state(r)
     }
@@ -541,7 +443,7 @@ impl ScheduledTrainer {
 
     /// The per-stage gradient delays (in updates) in effect.
     pub fn delays(&self) -> Vec<usize> {
-        self.core.opts.iter().map(|o| o.config().delay).collect()
+        self.core.cells.iter().map(|c| c.delay()).collect()
     }
 
     /// Borrows the network (for evaluation etc.).

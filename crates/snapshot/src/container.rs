@@ -5,6 +5,7 @@ use crate::error::SnapshotError;
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic bytes at the head of every snapshot file.
 pub const MAGIC: &[u8; 8] = b"PBPSNAP1";
@@ -74,17 +75,22 @@ impl SnapshotBuilder {
     /// temp file in the same directory (same filesystem, so the final
     /// rename is atomic), are synced to disk, and only then renamed
     /// over the destination. A crash mid-write leaves either the old
-    /// snapshot or none — never a torn file.
+    /// snapshot or none — never a torn file. The temp name embeds the
+    /// process id *and* a process-wide counter, so concurrent writers —
+    /// two ranks sharing a snapshot directory, or two threads of one
+    /// process — never collide on the temp path.
     pub fn save_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let dir = path.parent().unwrap_or_else(|| Path::new("."));
         fs::create_dir_all(dir).map_err(SnapshotError::Io)?;
         let file_name = path.file_name().ok_or_else(|| {
             SnapshotError::Io(std::io::Error::other("snapshot path has no file name"))
         })?;
         let tmp = dir.join(format!(
-            ".{}.tmp-{}",
+            ".{}.tmp-{}-{}",
             file_name.to_string_lossy(),
-            std::process::id()
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let result = (|| -> Result<(), SnapshotError> {
             let mut file = fs::File::create(&tmp).map_err(SnapshotError::Io)?;
@@ -202,33 +208,83 @@ impl SnapshotArchive {
     }
 }
 
+/// The default snapshot file-name prefix; single-process runs write
+/// `snap-{samples:012}.pbps`.
+pub const SNAP_PREFIX: &str = "snap";
+
+/// The file-name prefix for one rank of a multi-process run. Rank
+/// prefixes embed the rank *before* the `snap` marker
+/// (`rank003-snap-…`), so rank snapshots sharing a directory are
+/// invisible to the default-prefix scans and two ranks never shadow
+/// each other's progress.
+pub fn rank_prefix(rank: usize) -> String {
+    format!("rank{rank:03}-snap")
+}
+
+/// The canonical snapshot file name for `prefix` at a progress counter:
+/// `{prefix}-{counter:012}.pbps`. Zero padding keeps lexicographic and
+/// numeric order identical, which the `latest_*` scans rely on.
+pub fn snapshot_file_name(prefix: &str, counter: usize) -> String {
+    format!("{prefix}-{counter:012}.pbps")
+}
+
+/// True if `name` is a snapshot file for `prefix`: exactly
+/// `{prefix}-{digits}.pbps`. The digit check keeps prefixes that extend
+/// one another (e.g. `snap` vs `rank000-snap`) from matching each
+/// other's files.
+fn matches_prefix(name: &str, prefix: &str) -> bool {
+    name.strip_prefix(prefix)
+        .and_then(|rest| rest.strip_prefix('-'))
+        .and_then(|rest| rest.strip_suffix(".pbps"))
+        .is_some_and(|digits| !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// Collects `{prefix}-{digits}.pbps` files in `dir`, sorted ascending by
+/// name (= ascending by progress counter). Entries that vanish while
+/// scanning (a concurrent writer pruning its retention window) are
+/// skipped, not errors. Returns an empty list for a missing directory.
+fn snapshot_candidates(dir: &Path, prefix: &str) -> Result<Vec<PathBuf>, SnapshotError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    let mut candidates: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let path = match entry {
+            Ok(entry) => entry.path(),
+            // A concurrently pruned entry can surface as a NotFound
+            // while iterating; losing a candidate another writer chose
+            // to delete is the correct outcome.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(SnapshotError::Io(e)),
+        };
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if matches_prefix(name, prefix) {
+            candidates.push(path);
+        }
+    }
+    candidates.sort();
+    Ok(candidates)
+}
+
 /// Finds the newest snapshot (`snap-*.pbps`, lexicographically greatest
 /// name — file names embed a zero-padded progress counter) in `dir`.
 /// Returns `Ok(None)` if the directory is missing or holds no snapshots.
 pub fn latest_snapshot(dir: &Path) -> Result<Option<PathBuf>, SnapshotError> {
-    let entries = match fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(SnapshotError::Io(e)),
-    };
-    let mut best: Option<PathBuf> = None;
-    for entry in entries {
-        let path = entry.map_err(SnapshotError::Io)?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-            continue;
-        };
-        if !name.starts_with("snap-") || !name.ends_with(".pbps") {
-            continue;
-        }
-        if best
-            .as_ref()
-            .and_then(|b| b.file_name().and_then(|n| n.to_str()))
-            .is_none_or(|b| name > b)
-        {
-            best = Some(path);
-        }
-    }
-    Ok(best)
+    latest_snapshot_with_prefix(dir, SNAP_PREFIX)
+}
+
+/// [`latest_snapshot`] for an arbitrary file-name prefix — used by
+/// multi-process runs where every rank owns a [`rank_prefix`] family in
+/// a shared directory.
+pub fn latest_snapshot_with_prefix(
+    dir: &Path,
+    prefix: &str,
+) -> Result<Option<PathBuf>, SnapshotError> {
+    Ok(snapshot_candidates(dir, prefix)?.pop())
 }
 
 /// Finds the newest snapshot in `dir` that actually **loads** — magic,
@@ -239,25 +295,21 @@ pub fn latest_snapshot(dir: &Path) -> Result<Option<PathBuf>, SnapshotError> {
 /// resume while an older good snapshot exists. Returns `Ok(None)` if the
 /// directory is missing or holds no loadable snapshot.
 pub fn latest_valid_snapshot(dir: &Path) -> Result<Option<PathBuf>, SnapshotError> {
-    let entries = match fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(SnapshotError::Io(e)),
-    };
-    let mut candidates: Vec<PathBuf> = Vec::new();
-    for entry in entries {
-        let path = entry.map_err(SnapshotError::Io)?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-            continue;
-        };
-        if name.starts_with("snap-") && name.ends_with(".pbps") {
-            candidates.push(path);
-        }
-    }
-    candidates.sort();
-    for path in candidates.into_iter().rev() {
+    latest_valid_snapshot_with_prefix(dir, SNAP_PREFIX)
+}
+
+/// [`latest_valid_snapshot`] for an arbitrary file-name prefix. Safe
+/// against concurrent writers in the same directory: candidates deleted
+/// between the scan and the load (a neighboring rank pruning its own
+/// files) are skipped like corrupt ones instead of aborting the resume.
+pub fn latest_valid_snapshot_with_prefix(
+    dir: &Path,
+    prefix: &str,
+) -> Result<Option<PathBuf>, SnapshotError> {
+    for path in snapshot_candidates(dir, prefix)?.into_iter().rev() {
         match SnapshotArchive::load(&path) {
             Ok(_) => return Ok(Some(path)),
+            Err(SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => {
                 eprintln!(
                     "warning: skipping unreadable snapshot {}: {e}",
@@ -402,6 +454,109 @@ mod tests {
         let ar = SnapshotArchive::load(&latest).unwrap();
         assert_eq!(ar.section("net").unwrap(), &[1, 2, 3, 4, 5]);
         // No temp files left behind.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                name.to_string_lossy().ends_with(".pbps"),
+                "stray file {name:?}"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefix_matching_is_digit_strict_and_family_scoped() {
+        assert!(matches_prefix("snap-000000000010.pbps", "snap"));
+        assert!(matches_prefix(
+            "rank003-snap-000000000010.pbps",
+            "rank003-snap"
+        ));
+        // Rank families and the default family never see each other.
+        assert!(!matches_prefix("rank003-snap-000000000010.pbps", "snap"));
+        assert!(!matches_prefix("snap-000000000010.pbps", "rank003-snap"));
+        // Non-digit counters, missing separators, foreign suffixes.
+        assert!(!matches_prefix("snap-final.pbps", "snap"));
+        assert!(!matches_prefix("snap-.pbps", "snap"));
+        assert!(!matches_prefix("snap000000000010.pbps", "snap"));
+        assert!(!matches_prefix("snap-000000000010.tmp", "snap"));
+        assert!(!matches_prefix(".snap-000000000010.pbps.tmp-1-2", "snap"));
+    }
+
+    #[test]
+    fn rank_prefixed_families_resolve_independently() {
+        let dir = std::env::temp_dir().join(format!("pbp_rank_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let b = sample_builder();
+        for (rank, counter) in [(0usize, 10usize), (0, 20), (1, 10)] {
+            let name = snapshot_file_name(&rank_prefix(rank), counter);
+            b.save_atomic(&dir.join(name)).unwrap();
+        }
+        b.save_atomic(&dir.join(snapshot_file_name(SNAP_PREFIX, 30)))
+            .unwrap();
+
+        let newest_r0 = latest_valid_snapshot_with_prefix(&dir, &rank_prefix(0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            newest_r0.file_name().unwrap().to_str().unwrap(),
+            "rank000-snap-000000000020.pbps"
+        );
+        let newest_r1 = latest_snapshot_with_prefix(&dir, &rank_prefix(1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            newest_r1.file_name().unwrap().to_str().unwrap(),
+            "rank001-snap-000000000010.pbps"
+        );
+        // The default scan is blind to every rank family.
+        let default = latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(
+            default.file_name().unwrap().to_str().unwrap(),
+            "snap-000000000030.pbps"
+        );
+        assert!(latest_valid_snapshot_with_prefix(&dir, &rank_prefix(2))
+            .unwrap()
+            .is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_in_one_directory_never_collide() {
+        // Two "ranks" (threads) hammer the same directory, each writing
+        // its own prefixed family via the temp+rename path, while a
+        // reader polls for the newest valid snapshot of each family.
+        // Every write must survive with valid contents and no stray
+        // temp files — the satellite fix this PR makes to the snapshot
+        // layer (per-writer temp names, prefix-scoped scans).
+        let dir = std::env::temp_dir().join(format!("pbp_concwr_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let writers: Vec<_> = (0..2usize)
+            .map(|rank| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let b = sample_builder();
+                    for counter in 1..=20usize {
+                        let name = snapshot_file_name(&rank_prefix(rank), counter);
+                        b.save_atomic(&dir.join(name)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        for rank in 0..2usize {
+            let newest = latest_valid_snapshot_with_prefix(&dir, &rank_prefix(rank))
+                .unwrap()
+                .unwrap();
+            assert_eq!(
+                newest.file_name().unwrap().to_str().unwrap(),
+                snapshot_file_name(&rank_prefix(rank), 20)
+            );
+            let ar = SnapshotArchive::load(&newest).unwrap();
+            assert_eq!(ar.section("net").unwrap(), &[1, 2, 3, 4, 5]);
+        }
         for entry in fs::read_dir(&dir).unwrap() {
             let name = entry.unwrap().file_name();
             assert!(

@@ -33,6 +33,12 @@ cargo run --release -q -p pbp-bench --bin chaos_smoke
 echo "== trace smoke (Chrome-trace schema, bubble ordering, MFU bounds) =="
 cargo run --release -q -p pbp-bench --bin trace_smoke
 
+echo "== dist smoke (2-rank unix-socket run, bit-identical to the emulator) =="
+cargo run --release -q -p pbp-bench --bin dist_smoke
+
+echo "== dist bench lane (socket runner vs threaded engine, results/BENCH_dist.json) =="
+PBP_BENCH_SMOKE=1 cargo run --release -q -p pbp-bench --bin bench_dist
+
 echo "== kernel bench smoke (compile + one tiny timed pass) =="
 cargo bench -p pbp-bench --bench layer_kernels -- --test
 # The bench asserts every lane (tiled, SIMD, parallel, batched eval) is
