@@ -15,10 +15,13 @@
 //! tiled-parallel path must beat the naive reference by ≥ 5×.
 
 use pbp_bench::{cifar_data, Table};
-use pbp_nn::models::{mlp, simple_cnn};
+use pbp_nn::models::{mlp, simple_cnn, vgg_cnn};
 use pbp_pipeline::evaluate;
 use pbp_tensor::ops::simd::{self, SimdTier};
-use pbp_tensor::ops::{conv2d, conv2d_backward, gemm_nn, reference, Conv2dSpec};
+use pbp_tensor::ops::{
+    conv2d, conv2d_backward, conv2d_batched_reusing, gemm_nn, reference, Conv2dSpec,
+    ConvBatchScratch,
+};
 use pbp_tensor::{pool, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,8 +125,9 @@ struct EvalRow {
 /// Times `evaluate` over `data` at several batch sizes and asserts the
 /// metrics are exactly equal at every size — the batched path is a
 /// throughput knob, not a numerics knob. Dense networks collapse each
-/// batch into one GEMM (big wins); conv networks lower per sample, so
-/// batching there mostly saves loop and loss-call overhead.
+/// batch into one GEMM; conv networks in eval mode lower the whole batch
+/// into one wide im2col GEMM (`conv2d_batched`), so both families convert
+/// batch size directly into GEMM width.
 fn bench_eval(
     model: &'static str,
     net: &mut pbp_nn::Network,
@@ -211,6 +215,46 @@ fn bench_conv(ch: usize, size: usize) -> ConvRow {
         gemm_fwd_par_s,
         naive_bwd_s,
         gemm_bwd_s,
+    }
+}
+
+struct ConvBatchedRow {
+    label: String,
+    batch: usize,
+    per_sample_s: f64,
+    batched_s: f64,
+}
+
+/// Batched conv lowering vs a per-sample `conv2d` loop over the same
+/// batch, bit-identity asserted between the two (the wide GEMM preserves
+/// every per-element fma chain).
+fn bench_conv_batched(ch: usize, size: usize, batch: usize) -> ConvBatchedRow {
+    let spec = Conv2dSpec::new(ch, ch, 3, 1, 1).unwrap();
+    let mut rng = StdRng::seed_from_u64((ch * size + batch) as u64);
+    let input = pbp_tensor::normal(&[batch, ch, size, size], 0.0, 1.0, &mut rng);
+    let weight = pbp_tensor::normal(&spec.weight_shape(), 0.0, 0.1, &mut rng);
+
+    pool::set_max_threads(1);
+    let (want, _) = conv2d(&input, &weight, &spec).unwrap();
+    let mut scratch = ConvBatchScratch::default();
+    let got = conv2d_batched_reusing(&input, &weight, &spec, &mut scratch).unwrap();
+    assert_bits_eq(got.as_slice(), want.as_slice(), "conv batched fwd");
+
+    let per_sample_s = time_it(|| {
+        black_box(conv2d(black_box(&input), black_box(&weight), &spec).unwrap());
+    });
+    let batched_s = time_it(|| {
+        black_box(
+            conv2d_batched_reusing(black_box(&input), black_box(&weight), &spec, &mut scratch)
+                .unwrap(),
+        );
+    });
+
+    ConvBatchedRow {
+        label: format!("{ch}c{size}px"),
+        batch,
+        per_sample_s,
+        batched_s,
     }
 }
 
@@ -309,14 +353,46 @@ fn main() {
     }
     table.print();
 
+    let conv_batched_configs: &[(usize, usize, usize)] = if smoke {
+        &[(8, 12, 16)]
+    } else {
+        &[(8, 12, 16), (8, 12, 64), (16, 12, 64)]
+    };
+    let conv_batched_rows: Vec<ConvBatchedRow> = conv_batched_configs
+        .iter()
+        .map(|&(c, s, b)| bench_conv_batched(c, s, b))
+        .collect();
+    let mut table = Table::new([
+        "conv batched",
+        "batch",
+        "per-sample ms",
+        "batched ms",
+        "batched x",
+    ]);
+    for r in &conv_batched_rows {
+        table.row([
+            r.label.clone(),
+            format!("{}", r.batch),
+            format!("{:.3}", r.per_sample_s * 1e3),
+            format!("{:.3}", r.batched_s * 1e3),
+            format!("{:.1}", r.per_sample_s / r.batched_s),
+        ]);
+    }
+    table.print();
+
     let eval_batches: &[usize] = if smoke { &[1, 16] } else { &[1, 16, 64] };
     let val_n = if smoke { 48 } else { 256 };
     let (_, val) = cifar_data(12, 1, val_n);
     let mut rng = StdRng::seed_from_u64(99);
     let mut cnn = simple_cnn(3, 8, 3, val.num_classes(), &mut rng);
+    // VGG-style trunk + wide fc head: the family the serving bench uses.
+    // Batch-one is memory-bound on the fc weights, so batched eval shows
+    // the model-level win the conv_batched lane measures at the op level.
+    let mut vgg = vgg_cnn(3, 16, 2, 12, 256, val.num_classes(), &mut rng);
     let mut dense = mlp(&[3 * 12 * 12, 96, 96, val.num_classes()], &mut rng);
     let flat_val = flatten_dataset(&val);
     let mut eval_rows = bench_eval("cnn", &mut cnn, &val, eval_batches);
+    eval_rows.extend(bench_eval("vgg", &mut vgg, &val, eval_batches));
     eval_rows.extend(bench_eval("mlp", &mut dense, &flat_val, eval_batches));
     let mut table = Table::new(["eval model", "batch", "eval ms", "x vs batch 1", "metrics"]);
     for r in &eval_rows {
@@ -374,6 +450,24 @@ fn main() {
             r.loss,
             r.acc,
             if i + 1 < eval_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"conv_batched\": [\n");
+    for (i, r) in conv_batched_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{}\", \"batch\": {}, \"per_sample_ms\": {:.4}, \
+             \"batched_ms\": {:.4}, \"speedup\": {:.2}, \"bit_identical\": true}}{}",
+            r.label,
+            r.batch,
+            r.per_sample_s * 1e3,
+            r.batched_s * 1e3,
+            r.per_sample_s / r.batched_s,
+            if i + 1 < conv_batched_rows.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     json.push_str("  ],\n  \"conv\": [\n");

@@ -1,0 +1,116 @@
+//! CI smoke for the serving layer: a tiny MLP behind a one-worker
+//! [`Server`] must coalesce pre-queued requests into multi-request
+//! batches, reply bit-identically to a direct eval-mode forward, survive
+//! a graceful drain, and produce a p50/p99/QPS summary that parses back
+//! through the crate's own JSON parser with the `BENCH_serving.json`
+//! lane schema.
+
+use pbp_bench::percentile;
+use pbp_nn::models::mlp;
+use pbp_serve::{ServeConfig, ServeError, Server};
+use pbp_tensor::{normal, Tensor};
+use pbp_trace::json::Json;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const REQUESTS: usize = 24;
+const FEATURES: usize = 6;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let net = mlp(&[FEATURES, 16, 4], &mut rng);
+    let mut reference_net = mlp(&[FEATURES, 16, 4], &mut StdRng::seed_from_u64(11));
+    reference_net.set_training(false);
+
+    let mut inputs_rng = StdRng::seed_from_u64(12);
+    let inputs: Vec<Tensor> = (0..REQUESTS)
+        .map(|_| normal(&[FEATURES], 0.0, 1.0, &mut inputs_rng))
+        .collect();
+
+    // A generous deadline lets the batcher see the whole pre-queued burst,
+    // so coalescing is deterministic rather than timing-dependent.
+    let server = Server::start(
+        vec![net],
+        ServeConfig {
+            max_batch: 8,
+            deadline: Duration::from_millis(200),
+        },
+    );
+    let client = server.client();
+
+    let started = Instant::now();
+    let pendings: Vec<_> = inputs
+        .iter()
+        .map(|x| (Instant::now(), client.submit(x.clone()).expect("submit")))
+        .collect();
+    let mut latencies = Vec::with_capacity(REQUESTS);
+    for (i, (submitted, pending)) in pendings.into_iter().enumerate() {
+        let reply = pending.wait().expect("serving reply");
+        latencies.push(submitted.elapsed().as_secs_f64() * 1e6);
+
+        // Bit-identity vs a direct eval-mode forward of the same input.
+        let mut shape = vec![1];
+        shape.extend_from_slice(inputs[i].shape());
+        let batched = Tensor::from_vec(inputs[i].as_slice().to_vec(), &shape).unwrap();
+        let want = reference_net.forward(&batched);
+        reference_net.clear_stash();
+        assert_eq!(reply.shape(), &want.shape()[1..], "reply {i} shape");
+        for (j, (g, w)) in reply.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert!(
+                g.to_bits() == w.to_bits(),
+                "reply {i} element {j} differs from direct forward: {g} vs {w}"
+            );
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    let (nets, stats) = server.shutdown();
+    assert_eq!(nets.len(), 1, "shutdown returns the worker's network");
+    assert_eq!(stats.submitted, REQUESTS as u64);
+    assert_eq!(stats.replied, REQUESTS as u64);
+    assert!(
+        stats.max_coalesced >= 2,
+        "pre-queued burst never coalesced (max batch seen: {})",
+        stats.max_coalesced
+    );
+    assert!(
+        stats.batches < REQUESTS as u64,
+        "dynamic batching dispatched one batch per request"
+    );
+    assert_eq!(
+        client.infer(inputs[0].clone()).unwrap_err(),
+        ServeError::ShuttingDown,
+        "post-shutdown submits must be rejected"
+    );
+
+    // Round-trip the summary through the crate's own parser and validate
+    // the lane schema bench_serving writes to results/BENCH_serving.json.
+    let p50 = percentile(&latencies, 0.5);
+    let p99 = percentile(&latencies, 0.99);
+    let qps = REQUESTS as f64 / wall;
+    let summary = format!(
+        "{{\"qps\": {qps:.1}, \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \
+         \"max_coalesced\": {}, \"batches\": {}}}",
+        stats.max_coalesced, stats.batches
+    );
+    let json = Json::parse(&summary).expect("serving summary parses");
+    for key in ["qps", "p50_us", "p99_us", "max_coalesced", "batches"] {
+        let v = json
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("summary missing numeric {key}"));
+        assert!(v.is_finite() && v >= 0.0, "{key} out of range: {v}");
+    }
+    assert!(
+        json.get("p99_us").and_then(|v| v.as_f64()).unwrap()
+            >= json.get("p50_us").and_then(|v| v.as_f64()).unwrap(),
+        "p99 below p50"
+    );
+
+    println!(
+        "PASS: {REQUESTS} replies bit-identical, coalesced up to {} per batch \
+         ({} batches), schema-valid summary {summary}",
+        stats.max_coalesced, stats.batches
+    );
+}

@@ -16,4 +16,4 @@ pub mod suite;
 
 pub use families::{cifar_data, family_data, imagenet_data, Family};
 pub use fmt::{print_heatmap, print_table, Table};
-pub use suite::{mean_std, Budget, MethodSpec, RunOutcome};
+pub use suite::{mean_std, percentile, Budget, MethodSpec, RunOutcome};

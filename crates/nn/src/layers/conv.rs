@@ -1,7 +1,10 @@
 //! Convolutional layer.
 
 use crate::layer::{LaneStack, Layer};
-use pbp_tensor::ops::{conv2d_backward_input, conv2d_backward_weight, conv2d_reusing, Conv2dSpec};
+use pbp_tensor::ops::{
+    conv2d_backward_input, conv2d_backward_weight, conv2d_batched_reusing, conv2d_reusing,
+    Conv2dSpec, ConvBatchScratch,
+};
 use pbp_tensor::{he_normal, Tensor};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -24,12 +27,15 @@ pub struct Conv2d {
     wgrad_pending: VecDeque<(Tensor, Vec<Vec<f32>>)>,
     /// Retired im2col buffers recycled by later forwards.
     spare: Vec<Vec<f32>>,
+    /// Recycled wide-lowering buffers for the eval-mode batched path.
+    batch_scratch: ConvBatchScratch,
     /// Input spatial size seen by the most recent forward pass; lets
     /// [`Layer::flops_per_sample`] report the spatially-resolved cost.
     last_hw: Option<(usize, usize)>,
-    /// In eval mode no backward will consume the stash, so forward recycles
-    /// its im2col buffers straight back to `spare` — batched evaluation
-    /// then reuses warm buffers instead of allocating cold ones per sample.
+    /// In eval mode no backward will consume the stash, so forward lowers
+    /// the whole batch into one wide GEMM via
+    /// [`conv2d_batched_reusing`] (bit-identical to the per-sample path)
+    /// instead of stashing per-sample column buffers.
     training: bool,
 }
 
@@ -58,6 +64,7 @@ impl Conv2d {
             stash: VecDeque::new(),
             wgrad_pending: VecDeque::new(),
             spare: Vec::new(),
+            batch_scratch: ConvBatchScratch::default(),
             last_hw: None,
             training: true,
             spec,
@@ -110,8 +117,15 @@ impl Layer for Conv2d {
         let x = stack.pop().expect("conv2d: empty stack");
         let (h, w) = (x.shape()[2], x.shape()[3]);
         self.last_hw = Some((h, w));
-        let (mut y, cols) =
-            conv2d_reusing(&x, &self.weight, &self.spec, &mut self.spare).expect("conv2d shapes");
+        let mut y = if self.training {
+            let (y, cols) = conv2d_reusing(&x, &self.weight, &self.spec, &mut self.spare)
+                .expect("conv2d shapes");
+            self.stash.push_back((cols, (h, w)));
+            y
+        } else {
+            conv2d_batched_reusing(&x, &self.weight, &self.spec, &mut self.batch_scratch)
+                .expect("conv2d shapes")
+        };
         if let Some(b) = &self.bias {
             let [n, oc, oh, ow] = [y.shape()[0], y.shape()[1], y.shape()[2], y.shape()[3]];
             let ys = y.as_mut_slice();
@@ -124,11 +138,6 @@ impl Layer for Conv2d {
                     }
                 }
             }
-        }
-        if self.training {
-            self.stash.push_back((cols, (h, w)));
-        } else {
-            self.spare.extend(cols);
         }
         stack.push(y);
     }
@@ -319,6 +328,31 @@ mod tests {
         for (a, b) in fused.grads().iter().zip(split.grads()) {
             for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "weight grads differ");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batched_forward_matches_training_forward_bitwise() {
+        // Eval mode lowers the whole batch into one wide GEMM; training
+        // mode lowers per sample. Same bits either way — batched lowering
+        // only widens the GEMM output, never re-associates a k chain.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut layer = Conv2d::new(3, 5, 3, 2, 1, true, &mut rng);
+        for n in [1usize, 2, 6] {
+            let x = pbp_tensor::normal(&[n, 3, 7, 7], 0.0, 1.0, &mut rng);
+            let mut s = vec![x.clone()];
+            layer.forward(&mut s);
+            let y_train = s.pop().unwrap();
+            layer.clear_stash();
+            layer.set_training(false);
+            let mut s = vec![x];
+            layer.forward(&mut s);
+            let y_eval = s.pop().unwrap();
+            layer.set_training(true);
+            assert_eq!(y_train.shape(), y_eval.shape());
+            for (a, b) in y_train.as_slice().iter().zip(y_eval.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batch {n}");
             }
         }
     }

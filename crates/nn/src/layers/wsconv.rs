@@ -8,7 +8,9 @@
 //! one.
 
 use crate::layer::{LaneStack, Layer};
-use pbp_tensor::ops::{conv2d_backward, conv2d_reusing, Conv2dSpec};
+use pbp_tensor::ops::{
+    conv2d_backward, conv2d_batched_reusing, conv2d_reusing, Conv2dSpec, ConvBatchScratch,
+};
 use pbp_tensor::{he_normal, Tensor};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -29,11 +31,14 @@ pub struct WsConv2d {
     stash: VecDeque<WsStash>,
     /// Retired im2col buffers recycled by later forwards.
     spare: Vec<Vec<f32>>,
+    /// Recycled wide-lowering buffers for the eval-mode batched path.
+    batch_scratch: ConvBatchScratch,
     /// Input spatial size seen by the most recent forward pass; lets
     /// [`Layer::flops_per_sample`] report the spatially-resolved cost.
     last_hw: Option<(usize, usize)>,
-    /// In eval mode no backward will consume the stash, so forward recycles
-    /// its im2col buffers straight back to `spare` (see [`Conv2d`]).
+    /// In eval mode no backward will consume the stash, so forward lowers
+    /// the whole batch into one wide GEMM over the standardized weight
+    /// (see [`Conv2d`] — bit-identical to the per-sample path).
     ///
     /// [`Conv2d`]: crate::layers::Conv2d
     training: bool,
@@ -64,6 +69,7 @@ impl WsConv2d {
             spec,
             stash: VecDeque::new(),
             spare: Vec::new(),
+            batch_scratch: ConvBatchScratch::default(),
             last_hw: None,
             training: true,
         }
@@ -118,13 +124,15 @@ impl Layer for WsConv2d {
         let (h, w) = (x.shape()[2], x.shape()[3]);
         self.last_hw = Some((h, w));
         let (what, _) = self.standardized();
-        let (y, cols) =
-            conv2d_reusing(&x, &what, &self.spec, &mut self.spare).expect("ws_conv shapes");
-        if self.training {
+        let y = if self.training {
+            let (y, cols) =
+                conv2d_reusing(&x, &what, &self.spec, &mut self.spare).expect("ws_conv shapes");
             self.stash.push_back((cols, (h, w), what));
+            y
         } else {
-            self.spare.extend(cols);
-        }
+            conv2d_batched_reusing(&x, &what, &self.spec, &mut self.batch_scratch)
+                .expect("ws_conv shapes")
+        };
         stack.push(y);
     }
 
@@ -280,6 +288,27 @@ mod tests {
                 "weight grad {idx}: {num} vs {}",
                 gw.as_slice()[idx]
             );
+        }
+    }
+
+    #[test]
+    fn eval_batched_forward_matches_training_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut layer = WsConv2d::new(2, 4, 3, 1, 1, &mut rng);
+        for n in [1usize, 3, 5] {
+            let x = pbp_tensor::normal(&[n, 2, 6, 6], 0.0, 1.0, &mut rng);
+            let mut s = vec![x.clone()];
+            layer.forward(&mut s);
+            let y_train = s.pop().unwrap();
+            layer.clear_stash();
+            layer.set_training(false);
+            let mut s = vec![x];
+            layer.forward(&mut s);
+            let y_eval = s.pop().unwrap();
+            layer.set_training(true);
+            for (a, b) in y_train.as_slice().iter().zip(y_eval.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batch {n}");
+            }
         }
     }
 

@@ -74,6 +74,64 @@ pub fn simple_cnn(
     Network::new(stages)
 }
 
+/// VGG-style convolutional classifier: `depth` fused `conv3x3+gn+relu`
+/// stages followed by a flatten and a two-layer fully-connected head,
+/// like the paper's CIFAR VGG networks (conv trunk, wide fc head).
+///
+/// `image` is the input side length, needed to size the flatten; `hidden`
+/// is the width of the first fc layer. Unlike [`simple_cnn`]'s global
+/// average pool, the wide fc head makes batch-1 inference memory-bound on
+/// the fc weight matrix — the shape where batched evaluation (one matrix
+/// product for the whole batch) pays off most, which is why the serving
+/// benchmarks use this family.
+///
+/// # Panics
+///
+/// Panics if `depth < 1` or the downsampled feature map collapses to zero.
+pub fn vgg_cnn(
+    in_channels: usize,
+    width: usize,
+    depth: usize,
+    image: usize,
+    hidden: usize,
+    num_classes: usize,
+    rng: &mut impl Rng,
+) -> Network {
+    assert!(depth >= 1, "vgg_cnn needs at least one conv stage");
+    let mut stages = Vec::new();
+    let mut c = in_channels;
+    let mut side = image;
+    for i in 0..depth {
+        let stride = if i > 0 && i % 2 == 0 { 2 } else { 1 };
+        stages.push(Stage::new(
+            format!("conv{i}"),
+            vec![
+                Box::new(Conv2d::new(c, width, 3, stride, 1, false, rng)) as Box<dyn crate::Layer>,
+                Box::new(GroupNorm::with_group_size_two(width)),
+                Box::new(Relu::new()),
+            ],
+        ));
+        c = width;
+        side = (side + 2 - 3) / stride + 1;
+        assert!(side > 0, "feature map collapsed at stage {i}");
+    }
+    stages.push(Stage::new(
+        "fc0",
+        vec![
+            Box::new(Flatten::new()) as Box<dyn crate::Layer>,
+            Box::new(Linear::new(width * side * side, hidden, true, rng)),
+            Box::new(Relu::new()),
+        ],
+    ));
+    stages.push(Stage::single(Box::new(Linear::new(
+        hidden,
+        num_classes,
+        true,
+        rng,
+    ))));
+    Network::new(stages)
+}
+
 /// [`simple_cnn`] with weight-standardized convolutions (Qiao et al.,
 /// 2019) — the Discussion-section variant expected to tolerate gradient
 /// delay better than plain conv+GN.
@@ -137,6 +195,20 @@ mod tests {
         assert!(loss.is_finite());
         let gx = net.backward(&grad);
         assert_eq!(gx.shape(), &[1, 3, 8, 8]);
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    fn vgg_cnn_forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = vgg_cnn(3, 8, 3, 16, 32, 10, &mut rng);
+        let x = pbp_tensor::normal(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let logits = net.forward(&x);
+        assert_eq!(logits.shape(), &[2, 10]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[3, 1]);
+        assert!(loss.is_finite());
+        let gx = net.backward(&grad);
+        assert_eq!(gx.shape(), &[2, 3, 16, 16]);
         assert!(gx.all_finite());
     }
 

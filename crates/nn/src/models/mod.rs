@@ -25,6 +25,6 @@ mod mlp;
 mod resnet;
 mod vgg;
 
-pub use mlp::{mlp, simple_cnn, simple_cnn_ws};
+pub use mlp::{mlp, simple_cnn, simple_cnn_ws, vgg_cnn};
 pub use resnet::{resnet50_like, resnet_cifar, ResNetConfig};
 pub use vgg::{vgg, vgg_gn, VggVariant};

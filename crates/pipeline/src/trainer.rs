@@ -23,8 +23,11 @@ use std::time::Instant;
 /// same bits at any batch size; metrics are then accumulated per sample
 /// (`f64` loss terms summed in dataset order, integer correct counts)
 /// rather than per batch. Large batches are purely a throughput win:
-/// bigger GEMMs tile and parallelize better. `batched_eval.rs` enforces
-/// the invariance.
+/// linear layers run one `batch`-row GEMM, and conv layers in eval mode
+/// lower the whole batch into one wide im2col GEMM
+/// (`pbp_tensor::ops::conv2d_batched`) — wider GEMMs tile and parallelize
+/// better without re-associating any accumulation chain. `batched_eval.rs`
+/// enforces the invariance.
 pub fn evaluate(net: &mut Network, data: &Dataset, batch: usize) -> (f64, f64) {
     assert!(batch > 0, "batch must be positive");
     let was_training = net.is_training();

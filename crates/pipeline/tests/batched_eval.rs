@@ -18,7 +18,7 @@
 
 use pbp_data::Dataset;
 use pbp_nn::layers::{BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d, Linear, Relu};
-use pbp_nn::models::{mlp, simple_cnn};
+use pbp_nn::models::{mlp, simple_cnn, simple_cnn_ws};
 use pbp_nn::{Layer, Network, Stage};
 use pbp_pipeline::evaluate;
 use pbp_tensor::normal;
@@ -75,6 +75,18 @@ fn cnn_eval_metrics_are_batch_size_invariant() {
     let mut net = simple_cnn(3, 8, 3, 4, &mut rng);
     let data = image_dataset(41, 3, 6, 6, 4, 10);
     let (loss, _) = assert_batch_invariant(&mut net, &data, "cnn");
+    assert!(loss.is_finite() && loss > 0.0);
+}
+
+#[test]
+fn wsconv_cnn_eval_metrics_are_batch_size_invariant() {
+    // Weight-standardized convolutions share the batched eval lowering
+    // (one wide GEMM over the standardized kernel), so they must show the
+    // same exact batch-size invariance as plain convs.
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut net = simple_cnn_ws(3, 8, 3, 4, &mut rng);
+    let data = image_dataset(41, 3, 6, 6, 4, 22);
+    let (loss, _) = assert_batch_invariant(&mut net, &data, "wsconv cnn");
     assert!(loss.is_finite() && loss > 0.0);
 }
 

@@ -43,7 +43,8 @@ use std::cell::RefCell;
 pub(crate) const MR: usize = 4;
 /// Columns of `C` computed per register tile: one AVX-512 lane set, two
 /// AVX2 lanes. Full-width tiles dispatch to the explicit micro-kernels in
-/// [`super::simd`]; ragged edges run the scalar tile.
+/// [`super::simd`]; ragged right edges (`nr < NR`) dispatch to the masked
+/// variants, falling back to the scalar tile on the scalar tier.
 pub(crate) const NR: usize = 16;
 /// `k`-panel depth: a packed `KC × NR` tile of `B` stays L1-resident.
 const KC: usize = 256;
@@ -340,10 +341,12 @@ fn pack_b<const BT: bool>(
 /// bit-exact association across `KC` blocking.
 ///
 /// Full-width tiles (`nr == NR`) dispatch to the explicit SIMD
-/// micro-kernels in [`super::simd`] when a tier is active; those compute
-/// the identical fma chains with `vfmadd`, so which path runs is
-/// unobservable in the output bits. Ragged right-edge tiles always run the
-/// scalar loop below.
+/// micro-kernels in [`super::simd`] when a tier is active; ragged
+/// right-edge tiles (`nr < NR`) dispatch to the masked variants, which
+/// read the zero-padded packed `B` panel at full width and mask only the
+/// `C` loads/stores. Both compute the identical fma chains with `vfmadd`,
+/// so which path runs is unobservable in the output bits; the scalar loop
+/// below is the fallback on the scalar tier.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn micro<const AT: bool, const MRL: usize>(
@@ -367,6 +370,16 @@ fn micro<const AT: bool, const MRL: usize>(
         // exactly as in the scalar loop below.
         let dispatched = unsafe {
             simd::tile_full_width::<AT, MRL>(a, lda, i0, p0, kc, bp, bstride, c.0, ldc, j0, load_c)
+        };
+        if dispatched {
+            return;
+        }
+    } else {
+        // SAFETY: same region contract as above; ragged tiles always come
+        // from `tiled_region`'s packing branch, so `bp` is a zero-padded
+        // `kc × NR` panel the masked kernels may read at full width.
+        let dispatched = unsafe {
+            simd::tile_ragged::<AT, MRL>(a, lda, i0, p0, kc, bp, bstride, c.0, ldc, j0, nr, load_c)
         };
         if dispatched {
             return;
@@ -447,7 +460,11 @@ fn micro_scalar<const AT: bool, const MRL: usize>(
 /// Simple accumulating kernels for small products. Loop orders are chosen
 /// per layout so the innermost loop either vectorizes across `j` or runs
 /// several independent `k` chains, while each element still accumulates in
-/// increasing `k` order.
+/// increasing `k` order. The `nn` and `tn` row sweeps dispatch to the
+/// [`simd::axpy_row`] micro-kernels on the active tier, so small
+/// (batch-1-sized) products hit AVX2/AVX-512 too; the `nt` path keeps its
+/// scalar dot products — vectorizing across `k` would break the
+/// single-chain accumulation contract.
 fn simple<const AT: bool, const BT: bool>(
     a: &[f32],
     b: &[f32],
@@ -494,27 +511,37 @@ fn simple<const AT: bool, const BT: bool>(
         }
     } else if AT {
         // Aᵀ·B: axpy with `k` outermost, so each element's chain still runs
-        // in increasing `k`; the inner `j` loop vectorizes.
+        // in increasing `k`; each row sweep dispatches to the
+        // [`simd::axpy_row`] micro-kernels (scalar fallback vectorizes
+        // across `j`).
         for kk in 0..k {
             let arow = &a[kk * m..][..m];
             let brow = &b[kk * n..][..n];
             for i in 0..m {
                 let av = arow[i];
                 let crow = &mut c[i * n..][..n];
-                for j in 0..n {
-                    crow[j] = av.mul_add(brow[j], crow[j]);
+                if !simd::axpy_row(av, brow, crow, false) {
+                    for j in 0..n {
+                        crow[j] = av.mul_add(brow[j], crow[j]);
+                    }
                 }
             }
         }
     } else {
-        // A·B: the classic i-k-j axpy order; vectorizes across `j`.
+        // A·B: the classic i-k-j axpy order; each row sweep dispatches to
+        // the [`simd::axpy_row`] micro-kernels (scalar fallback vectorizes
+        // across `j`). This is the batch-1 serving hot path: conv layers at
+        // batch one lower to products below `TILED_MIN_ELEMS` that land
+        // here instead of the tiled kernels.
         for i in 0..m {
             let arow = &a[i * k..][..k];
             let crow = &mut c[i * n..][..n];
             for (kk, &av) in arow.iter().enumerate() {
                 let brow = &b[kk * n..][..n];
-                for j in 0..n {
-                    crow[j] = av.mul_add(brow[j], crow[j]);
+                if !simd::axpy_row(av, brow, crow, false) {
+                    for j in 0..n {
+                        crow[j] = av.mul_add(brow[j], crow[j]);
+                    }
                 }
             }
         }

@@ -24,16 +24,25 @@
 //! inside one process. On non-x86-64 targets every query answers
 //! [`SimdTier::Scalar`] and the scalar tile runs unconditionally.
 //!
-//! Only full-width tiles (`nr == NR`) dispatch here; ragged right-edge
-//! tiles always take the scalar path, which is why edge tiles need no
-//! masked loads — and why the two paths meeting in one output matrix is
-//! routinely exercised rather than a corner case.
+//! Full-width tiles (`nr == NR`) dispatch through [`tile_full_width`];
+//! ragged right-edge tiles (`nr < NR`) dispatch through [`tile_ragged`],
+//! whose kernels mask the loads and stores of `C` down to the `nr` live
+//! columns (`vmaskmov` on AVX2, a `__mmask16` on AVX-512) while reading the
+//! zero-padded packed `B` panel at full width. Masked-off lanes are
+//! computed but never stored, and each live lane runs the identical fma
+//! chain — so ragged tiles are bit-identical across tiers too, and the
+//! batch-one conv shapes whose output widths are not multiples of `NR`
+//! stay on the vector units instead of falling back to scalar.
 //!
 //! Besides the register tiles, the short-reduction `tn` axpy path (conv
 //! input gradients and the deferred weight-gradient GEMMs of split-backward
 //! schedules, see `TN_AXPY_MAX_K` in [`super::gemm`]) dispatches its row
 //! sweeps through [`axpy_row`] — the same per-element fma chains, vectorized
-//! across the row instead of across a tile.
+//! across the row instead of across a tile. The small-shape `simple`
+//! kernels (products under the tiled threshold: the tiny per-stage GEMMs a
+//! batch-one latency-critical request runs) route their `nn` and `tn`
+//! row sweeps through [`axpy_row`] as well, so even sub-threshold products
+//! hit AVX2/AVX-512.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -214,6 +223,68 @@ pub(crate) unsafe fn tile_full_width<const AT: bool, const MRL: usize>(
     }
 }
 
+/// Runs a ragged (`nr < NR`) register tile on the active SIMD tier.
+/// Returns `false` when the caller should run the scalar tile instead
+/// (scalar tier active, or a non-x86-64 target).
+///
+/// `bp` must be the *packed* `B` panel (ragged tiles always pack, see
+/// [`super::gemm`]): `kc` rows of `NR` floats, columns past `nr`
+/// zero-padded. The kernels read `B` at full vector width — safe because
+/// of the padding — and mask the `C` loads and stores down to the `nr`
+/// live columns, so each stored element runs the same fma chain as the
+/// scalar tile. Masked-off lanes accumulate on the zero padding and are
+/// discarded.
+///
+/// # Safety
+///
+/// Same bounds contract as [`tile_full_width`], with the output tile
+/// `MRL × nr` (only the first `nr` columns are written) and `bp`
+/// guaranteed to hold `kc` full `NR`-float rows at stride `bstride`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) unsafe fn tile_ragged<const AT: bool, const MRL: usize>(
+    a: &[f32],
+    lda: usize,
+    i0: usize,
+    p0: usize,
+    kc: usize,
+    bp: &[f32],
+    bstride: usize,
+    c: *mut f32,
+    ldc: usize,
+    j0: usize,
+    nr: usize,
+    load_c: bool,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match active_tier() {
+            SimdTier::Avx512Fma => {
+                // SAFETY: tier selection proved avx512f; bounds are the
+                // caller's contract above.
+                x86::tile_avx512_ragged::<AT, MRL>(
+                    a, lda, i0, p0, kc, bp, bstride, c, ldc, j0, nr, load_c,
+                );
+                true
+            }
+            SimdTier::Avx2Fma => {
+                // SAFETY: tier selection proved avx2+fma; bounds are the
+                // caller's contract above.
+                x86::tile_avx2_ragged::<AT, MRL>(
+                    a, lda, i0, p0, kc, bp, bstride, c, ldc, j0, nr, load_c,
+                );
+                true
+            }
+            SimdTier::Scalar => false,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (a, lda, i0, p0, kc, bp, bstride, c, ldc, j0, nr, load_c);
+        false
+    }
+}
+
 /// Runs one fused-multiply-add axpy sweep of the short-reduction `tn`
 /// path on the active SIMD tier: `c[j] = fma(av, b[j], c[j])`, or
 /// `c[j] = fma(av, b[j], 0.0)` when `zero_init` (the first sweep in
@@ -370,6 +441,153 @@ mod x86 {
         }
         for (r, acc_row) in acc.iter().enumerate() {
             _mm512_storeu_ps(c.add((i0 + r) * ldc + j0), *acc_row);
+        }
+    }
+
+    /// Lane-mask table for AVX2 masked loads/stores: `mask_avx2(w)` reads
+    /// an eight-lane window with exactly `w` leading all-ones lanes.
+    const MASK_TABLE: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+
+    /// A `__m256i` whose first `w` (≤ 8) lanes are all-ones — the mask
+    /// `vmaskmovps` wants for a `w`-lane partial row.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx` (callers are `avx2`-gated) and `w <= 8`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mask_avx2(w: usize) -> __m256i {
+        debug_assert!(w <= 8);
+        _mm256_loadu_si256(MASK_TABLE.as_ptr().add(8 - w) as *const __m256i)
+    }
+
+    /// AVX2+FMA ragged `MRL × nr` tile (`nr < NR`): `B` panel rows are
+    /// read at full width (the pack zero-pads them), `C` rows are loaded
+    /// and stored through lane masks covering the `nr` live columns. Each
+    /// stored element runs the same exactly-rounded fma chain as the
+    /// scalar edge tile; masked-off lanes accumulate on the zero padding
+    /// and are never written back.
+    ///
+    /// # Safety
+    ///
+    /// `avx2` and `fma` must be available at runtime, and the bounds
+    /// contract of [`super::tile_ragged`] must hold.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn tile_avx2_ragged<const AT: bool, const MRL: usize>(
+        a: &[f32],
+        lda: usize,
+        i0: usize,
+        p0: usize,
+        kc: usize,
+        bp: &[f32],
+        bstride: usize,
+        c: *mut f32,
+        ldc: usize,
+        j0: usize,
+        nr: usize,
+        load_c: bool,
+    ) {
+        debug_assert!(nr > 0 && nr < NR);
+        debug_assert!(bp.len() >= (kc - 1) * bstride + NR);
+        let lo = nr.min(8);
+        let hi = nr - lo;
+        let mask_lo = mask_avx2(lo);
+        let mask_hi = mask_avx2(hi);
+        let mut acc = [[_mm256_setzero_ps(); 2]; MRL];
+        if load_c {
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let crow = c.add((i0 + r) * ldc + j0) as *const f32;
+                acc_row[0] = _mm256_maskload_ps(crow, mask_lo);
+                if hi > 0 {
+                    acc_row[1] = _mm256_maskload_ps(crow.add(8), mask_hi);
+                }
+            }
+        }
+        let ap = a.as_ptr();
+        let bpp = bp.as_ptr();
+        let mut boff = 0usize;
+        for kk in 0..kc {
+            let b0 = _mm256_loadu_ps(bpp.add(boff));
+            let b1 = _mm256_loadu_ps(bpp.add(boff + 8));
+            if AT {
+                let arow = ap.add((p0 + kk) * lda + i0);
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*arow.add(r));
+                    acc_row[0] = _mm256_fmadd_ps(av, b0, acc_row[0]);
+                    acc_row[1] = _mm256_fmadd_ps(av, b1, acc_row[1]);
+                }
+            } else {
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add((i0 + r) * lda + p0 + kk));
+                    acc_row[0] = _mm256_fmadd_ps(av, b0, acc_row[0]);
+                    acc_row[1] = _mm256_fmadd_ps(av, b1, acc_row[1]);
+                }
+            }
+            boff += bstride;
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let crow = c.add((i0 + r) * ldc + j0);
+            _mm256_maskstore_ps(crow, mask_lo, acc_row[0]);
+            if hi > 0 {
+                _mm256_maskstore_ps(crow.add(8), mask_hi, acc_row[1]);
+            }
+        }
+    }
+
+    /// AVX-512F ragged `MRL × nr` tile (`nr < NR`): one masked zmm
+    /// accumulator per row, `__mmask16` covering the `nr` live columns.
+    /// Same exactly-rounded fma chains as the scalar edge tile.
+    ///
+    /// # Safety
+    ///
+    /// `avx512f` must be available at runtime, and the bounds contract of
+    /// [`super::tile_ragged`] must hold.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn tile_avx512_ragged<const AT: bool, const MRL: usize>(
+        a: &[f32],
+        lda: usize,
+        i0: usize,
+        p0: usize,
+        kc: usize,
+        bp: &[f32],
+        bstride: usize,
+        c: *mut f32,
+        ldc: usize,
+        j0: usize,
+        nr: usize,
+        load_c: bool,
+    ) {
+        debug_assert!(nr > 0 && nr < NR);
+        debug_assert!(bp.len() >= (kc - 1) * bstride + NR);
+        let mask: __mmask16 = ((1u32 << nr) - 1) as __mmask16;
+        let mut acc = [_mm512_setzero_ps(); MRL];
+        if load_c {
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                *acc_row = _mm512_maskz_loadu_ps(mask, c.add((i0 + r) * ldc + j0) as *const f32);
+            }
+        }
+        let ap = a.as_ptr();
+        let bpp = bp.as_ptr();
+        let mut boff = 0usize;
+        for kk in 0..kc {
+            let bv = _mm512_loadu_ps(bpp.add(boff));
+            if AT {
+                let arow = ap.add((p0 + kk) * lda + i0);
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = _mm512_set1_ps(*arow.add(r));
+                    *acc_row = _mm512_fmadd_ps(av, bv, *acc_row);
+                }
+            } else {
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = _mm512_set1_ps(*ap.add((i0 + r) * lda + p0 + kk));
+                    *acc_row = _mm512_fmadd_ps(av, bv, *acc_row);
+                }
+            }
+            boff += bstride;
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            _mm512_mask_storeu_ps(c.add((i0 + r) * ldc + j0), mask, *acc_row);
         }
     }
 

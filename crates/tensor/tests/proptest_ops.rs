@@ -1,6 +1,9 @@
 //! Property-based tests for tensor operations.
 
-use pbp_tensor::ops::{avg_pool2d, avg_pool2d_backward, col2im, im2col, Conv2dSpec, PoolSpec};
+use pbp_tensor::ops::{
+    avg_pool2d, avg_pool2d_backward, col2im, conv2d, conv2d_batched_reusing, im2col, Conv2dSpec,
+    ConvBatchScratch, PoolSpec,
+};
 use pbp_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -116,5 +119,48 @@ proptest! {
         let a = Tensor::from_vec(data, &[10]).unwrap();
         let scaled = a.scale(s);
         prop_assert!((scaled.norm() - (s as f64) * a.norm()).abs() < 1e-2 * (1.0 + a.norm()));
+    }
+
+    #[test]
+    fn batched_conv_is_bit_identical_to_per_sample(
+        n in 1usize..9,
+        channels in 1usize..4,
+        oc in 1usize..5,
+        side in 3usize..8,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u32..1000,
+    ) {
+        // The batched lowering (wide strip-mined im2col GEMM) must agree
+        // with the per-sample path bit for bit at every geometry and batch
+        // size — the invariant dynamic batching in pbp-serve rests on.
+        let spec = Conv2dSpec::new(channels, oc, 3, stride, padding).unwrap();
+        prop_assume!(spec.out_size(side) > 0);
+        let len = n * channels * side * side;
+        let data: Vec<f32> = (0..len)
+            .map(|i| (((i as u32).wrapping_mul(seed.wrapping_mul(2654435761).max(1)) >> 16) % 64) as f32 / 8.0 - 4.0)
+            .collect();
+        let x = Tensor::from_vec(data, &[n, channels, side, side]).unwrap();
+        let wlen = oc * channels * 9;
+        let wdata: Vec<f32> = (0..wlen).map(|i| ((i * 131 % 97) as f32 - 48.0) / 32.0).collect();
+        let w = Tensor::from_vec(wdata, &spec.weight_shape()).unwrap();
+        let (per_sample, _cols) = conv2d(&x, &w, &spec).unwrap();
+        let mut scratch = ConvBatchScratch::default();
+        let batched = conv2d_batched_reusing(&x, &w, &spec, &mut scratch).unwrap();
+        prop_assert_eq!(batched.shape(), per_sample.shape());
+        for (i, (b, p)) in batched.as_slice().iter().zip(per_sample.as_slice()).enumerate() {
+            prop_assert_eq!(b.to_bits(), p.to_bits(),
+                "element {} differs: {} vs {}", i, b, p);
+        }
+        // Scratch reuse across a different batch size must not leak state.
+        let x1 = Tensor::from_vec(
+            x.as_slice()[..channels * side * side].to_vec(),
+            &[1, channels, side, side],
+        ).unwrap();
+        let again = conv2d_batched_reusing(&x1, &w, &spec, &mut scratch).unwrap();
+        let (want1, _) = conv2d(&x1, &w, &spec).unwrap();
+        for (b, p) in again.as_slice().iter().zip(want1.as_slice()) {
+            prop_assert_eq!(b.to_bits(), p.to_bits());
+        }
     }
 }

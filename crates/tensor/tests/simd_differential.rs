@@ -5,10 +5,12 @@
 //! IEEE 754 fma rounds exactly once — so the tiers are the *same function*
 //! and every comparison here is `to_bits` equality, never a tolerance (see
 //! `pbp_tensor::ops::simd`). The shapes are chosen to hit the dispatch
-//! edges: full `MR×NR` register tiles (the only ones that go to SIMD),
-//! ragged `mr < MR` / `nr < NR` remainder tiles (always scalar, meeting the
-//! SIMD tiles in one output matrix), single and multiple `KC` panels, the
-//! short-reduction `tn` path, and non-finite inputs.
+//! edges: full `MR×NR` register tiles, ragged `nr < NR` right-edge tiles
+//! (masked SIMD variants — every width 1..NR swept below), ragged `mr < MR`
+//! row remainders, single and multiple `KC` panels, the short-reduction
+//! `tn` path, the small-shape `simple` path (whose `nn`/`tn` row sweeps
+//! also dispatch to the per-tier axpy micro-kernels), and non-finite
+//! inputs.
 //!
 //! Tier and thread caps are process globals; `GLOBALS_LOCK` serializes the
 //! tests that flip them so each test measures the configuration it names.
@@ -212,6 +214,91 @@ fn tn_axpy_micro_kernel_edges_match_reference_per_tier() {
                     &format!("tn-axpy {tag} {m}x{k}x{n} acc={acc} tier={}", tier.name()),
                 );
             }
+        }
+    }
+    set_tier(detected_tier());
+}
+
+/// Every ragged right-edge width `nr` in `1..NR`, per tier, per layout.
+/// The masked micro-kernels read the zero-padded packed `B` panel at full
+/// width and mask only the `C` loads/stores — masked-off lanes may compute
+/// on the padding but are never stored, so each width must match the
+/// scalar tile (and the naive reference) bit for bit. `n = NR + nr` gives
+/// one full-width tile followed by the ragged edge; `m = MR + 1` adds a
+/// ragged row remainder on top; `k` spans two `KC` panels so the masked
+/// `load_c` path (accumulating the second panel onto the first) runs too.
+#[test]
+fn every_ragged_edge_width_matches_reference_per_tier() {
+    let _g = lock();
+    pool::set_max_threads(1);
+    let (m, k) = (5usize, 300usize);
+    for nr in 1..16usize {
+        let n = 16 + nr;
+        let a_nn = rand_vec(m * k, 100 + nr as u64);
+        let b_nn = rand_vec(k * n, 200 + nr as u64);
+        let a_tn = rand_vec(k * m, 300 + nr as u64);
+        let b_nt = rand_vec(n * k, 400 + nr as u64);
+        let init = rand_vec(m * n, 500 + nr as u64);
+        for acc in [false, true] {
+            let base = if acc { init.clone() } else { vec![0.0; m * n] };
+            let mut want = base.clone();
+            reference::matmul_acc_ref(&a_nn, &b_nn, &mut want, m, k, n);
+            let mut want_tn = base.clone();
+            reference::matmul_tn_acc_ref(&a_tn, &b_nn, &mut want_tn, m, k, n);
+            let mut want_nt = base.clone();
+            reference::matmul_nt_acc_ref(&a_nn, &b_nt, &mut want_nt, m, k, n);
+            for tier in supported_tiers() {
+                set_tier(tier);
+                let ctx = |layout: &str| format!("{layout} nr={nr} acc={acc} tier={}", tier.name());
+                let mut got = base.clone();
+                gemm_nn(&a_nn, &b_nn, &mut got, m, k, n, acc);
+                assert_bits_eq(&got, &want, &ctx("ragged-nn"));
+                let mut got = base.clone();
+                gemm_tn(&a_tn, &b_nn, &mut got, m, k, n, acc);
+                assert_bits_eq(&got, &want_tn, &ctx("ragged-tn"));
+                let mut got = base.clone();
+                gemm_nt(&a_nn, &b_nt, &mut got, m, k, n, acc);
+                assert_bits_eq(&got, &want_nt, &ctx("ragged-nt"));
+            }
+        }
+    }
+    set_tier(detected_tier());
+}
+
+/// The small-shape `simple` path — everything under the tiled threshold,
+/// the batch-1 serving hot path — now dispatches its `nn` and `tn` row
+/// sweeps to the per-tier axpy micro-kernels. Sweep widths covering full
+/// AVX-512/AVX2 lanes, sub-lane tails, and single columns, per tier,
+/// bitwise against the reference.
+#[test]
+fn simple_path_small_shapes_are_tier_independent() {
+    let _g = lock();
+    pool::set_max_threads(1);
+    for &n in &[1usize, 3, 7, 8, 9, 15, 16, 17, 23, 31] {
+        let (m, k) = (6usize, 10usize);
+        debug_assert!(m * k * n < 16 * 1024, "must stay on the simple path");
+        let a_nn = rand_vec(m * k, 700 + n as u64);
+        let b_nn = rand_vec(k * n, 800 + n as u64);
+        let a_tn = rand_vec(k * m, 900 + n as u64);
+        let b_nt = rand_vec(n * k, 1000 + n as u64);
+        let mut want = vec![0.0; m * n];
+        reference::matmul_ref(&a_nn, &b_nn, &mut want, m, k, n);
+        let mut want_tn = vec![0.0; m * n];
+        reference::matmul_tn_ref(&a_tn, &b_nn, &mut want_tn, m, k, n);
+        let mut want_nt = vec![0.0; m * n];
+        reference::matmul_nt_ref(&a_nn, &b_nt, &mut want_nt, m, k, n);
+        for tier in supported_tiers() {
+            set_tier(tier);
+            let ctx = |layout: &str| format!("{layout} n={n} tier={}", tier.name());
+            let mut got = vec![0.0; m * n];
+            gemm_nn(&a_nn, &b_nn, &mut got, m, k, n, false);
+            assert_bits_eq(&got, &want, &ctx("simple-nn"));
+            let mut got = vec![0.0; m * n];
+            gemm_tn(&a_tn, &b_nn, &mut got, m, k, n, false);
+            assert_bits_eq(&got, &want_tn, &ctx("simple-tn"));
+            let mut got = vec![0.0; m * n];
+            gemm_nt(&a_nn, &b_nt, &mut got, m, k, n, false);
+            assert_bits_eq(&got, &want_nt, &ctx("simple-nt"));
         }
     }
     set_tier(detected_tier());

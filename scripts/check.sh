@@ -49,4 +49,10 @@ cargo bench -p pbp-bench --bench layer_kernels -- --test
 PBP_THREADS=2 PBP_BENCH_SMOKE=1 cargo run --release -q -p pbp-bench --bin bench_kernels >/dev/null
 PBP_THREADS=2 PBP_BENCH_SMOKE=1 PBP_SIMD=0 cargo run --release -q -p pbp-bench --bin bench_kernels >/dev/null
 
+echo "== serving smoke (dynamic batching coalesces, replies bit-identical, p50/p99 schema) =="
+cargo run --release -q -p pbp-bench --bin serving_smoke
+
+echo "== serving bench lane (baseline vs closed/open loop, smoke scale) =="
+PBP_THREADS=1 PBP_BENCH_SMOKE=1 cargo run --release -q -p pbp-bench --bin bench_serving >/dev/null
+
 echo "All checks passed."
