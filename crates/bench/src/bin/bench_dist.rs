@@ -15,7 +15,10 @@
 //! scripts/check.sh gate.
 
 use pbp_data::{spirals, Dataset};
-use pbp_dist::{run_rank, splice_owned_stages, RankOutcome, RankSpec, Topology, Transport};
+use pbp_dist::{
+    run_rank, splice_owned_stages, LinkEndpoint, RankOutcome, RankRecovery, RankSpec, Topology,
+    Transport,
+};
 use pbp_nn::models::mlp;
 use pbp_nn::Network;
 use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
@@ -115,14 +118,18 @@ fn run_dist(
             snapshots: None,
             resume_at: 0,
             abort_after: None,
+            recovery: RankRecovery::default(),
         };
         let transport = transport.clone();
         let data = data.clone();
         let layers = layers.to_vec();
         handles.push(std::thread::spawn(move || {
-            let listener = (rank + 1 < world).then(|| transport.listen(rank).expect("bind"));
-            let up = (rank > 0).then(|| transport.connect(rank - 1, stall).expect("dial"));
-            let down = listener.map(|l| l.accept(stall).expect("accept"));
+            let down = (rank + 1 < world)
+                .then(|| LinkEndpoint::Listen(transport.listen(rank).expect("bind")));
+            let up = (rank > 0).then(|| LinkEndpoint::Dial {
+                transport: transport.clone(),
+                link: rank - 1,
+            });
             run_rank(fresh_net(&layers), &data, &spec, up, down, None).expect("rank run")
         }));
     }

@@ -115,6 +115,7 @@ fn closed_loop_lane(inputs: &[Tensor], reference: &[Tensor], max_batch: usize) -
         ServeConfig {
             max_batch,
             deadline: Duration::from_micros(500),
+            ..ServeConfig::default()
         },
     );
     let client = server.client();
@@ -155,6 +156,7 @@ fn open_loop_lane(inputs: &[Tensor], reference: &[Tensor], target_qps: f64) -> (
         ServeConfig {
             max_batch: 64,
             deadline: Duration::from_millis(2),
+            ..ServeConfig::default()
         },
     );
     let client = server.client();

@@ -8,7 +8,9 @@
 //! `pbp-launch`.
 
 use pbp_data::spirals;
-use pbp_dist::{run_rank, splice_owned_stages, RankSpec, Topology, Transport};
+use pbp_dist::{
+    run_rank, splice_owned_stages, LinkEndpoint, RankRecovery, RankSpec, Topology, Transport,
+};
 use pbp_nn::models::mlp;
 use pbp_nn::Network;
 use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
@@ -67,13 +69,17 @@ fn main() {
             snapshots: None,
             resume_at: 0,
             abort_after: None,
+            recovery: RankRecovery::default(),
         };
         let transport = transport.clone();
         let data = data.clone();
         handles.push(std::thread::spawn(move || {
-            let listener = (rank + 1 < WORLD).then(|| transport.listen(rank).expect("bind link"));
-            let up = (rank > 0).then(|| transport.connect(rank - 1, stall).expect("dial link"));
-            let down = listener.map(|l| l.accept(stall).expect("accept link"));
+            let down = (rank + 1 < WORLD)
+                .then(|| LinkEndpoint::Listen(transport.listen(rank).expect("bind link")));
+            let up = (rank > 0).then(|| LinkEndpoint::Dial {
+                transport: transport.clone(),
+                link: rank - 1,
+            });
             run_rank(fresh_net(), &data, &spec, up, down, None).expect("rank run")
         }));
     }

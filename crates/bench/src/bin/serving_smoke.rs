@@ -35,6 +35,7 @@ fn main() {
         ServeConfig {
             max_batch: 8,
             deadline: Duration::from_millis(200),
+            ..ServeConfig::default()
         },
     );
     let client = server.client();

@@ -18,11 +18,14 @@
 //!
 //! Fault injection for tests: `PBP_DIST_ABORT_AT=rank:count` makes that
 //! rank abort after `count` microbatches; the parent clears the variable
-//! on respawn so the injection fires exactly once.
+//! on respawn so the injection fires exactly once. `PBP_NET_FAULTS`
+//! scripts wire chaos (see `pbp_dist::netfault`); with `--fine-grained`
+//! the supervisor respawns only the dead rank and survivors rewind in
+//! place instead of being killed.
 
 use pbp_dist::{
-    env_rank, env_world, launch, DistError, LaunchSpec, RankSnapshots, RankSpec, Topology,
-    Transport,
+    env_abort_at, env_net_faults, env_rank, env_world, launch, DistError, LaunchSpec, LinkEndpoint,
+    RankRecovery, RankSnapshots, RankSpec, ReconnectPolicy, Topology, Transport,
 };
 use pbp_optim::{Hyperparams, LrSchedule, Mitigation};
 use pbp_pipeline::MicrobatchSchedule;
@@ -51,6 +54,8 @@ struct Args {
     stall_ms: u64,
     max_restarts: usize,
     attempt_timeout_ms: u64,
+    fine_grained: bool,
+    generation: u64,
 }
 
 impl Default for Args {
@@ -75,6 +80,8 @@ impl Default for Args {
             stall_ms: 10_000,
             max_restarts: 3,
             attempt_timeout_ms: 120_000,
+            fine_grained: false,
+            generation: 0,
         }
     }
 }
@@ -113,6 +120,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--attempt-timeout-ms" => {
                 args.attempt_timeout_ms = parse(&value(&mut it, flag)?, flag)?
             }
+            "--fine-grained" => args.fine_grained = true,
+            "--generation" => args.generation = parse(&value(&mut it, flag)?, flag)?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -176,16 +185,6 @@ fn parse_mitigation(raw: &str) -> Result<Mitigation, String> {
     }
 }
 
-/// `PBP_DIST_ABORT_AT=rank:count` → `Some(count)` when it names us.
-fn abort_after(rank: usize) -> Option<usize> {
-    let raw = std::env::var("PBP_DIST_ABORT_AT").ok()?;
-    let (r, count) = raw.split_once(':')?;
-    if r.trim().parse::<usize>().ok()? != rank {
-        return None;
-    }
-    count.trim().parse::<usize>().ok()
-}
-
 fn run_child(args: &Args, rank: usize) -> Result<(), DistError> {
     let world = args
         .world
@@ -205,6 +204,12 @@ fn run_child(args: &Args, rank: usize) -> Result<(), DistError> {
         },
     };
     let stall = Duration::from_millis(args.stall_ms);
+    // Fine-grained mode needs every rewind point on disk, so pruning is
+    // off; the supervisor wipes the snapshot directory between runs.
+    let mut snapshots = RankSnapshots::new(&args.snap_dir, every);
+    if args.fine_grained {
+        snapshots.keep = usize::MAX;
+    }
     let spec = RankSpec {
         rank,
         topology,
@@ -215,9 +220,18 @@ fn run_child(args: &Args, rank: usize) -> Result<(), DistError> {
         seed: args.order_seed,
         total_microbatches: total,
         stall,
-        snapshots: Some(RankSnapshots::new(&args.snap_dir, every)),
+        snapshots: Some(snapshots),
         resume_at: args.resume_at,
-        abort_after: abort_after(rank),
+        abort_after: env_abort_at(rank),
+        recovery: RankRecovery {
+            net_faults: env_net_faults(),
+            reconnect: Some(ReconnectPolicy {
+                deadline: stall.min(Duration::from_secs(5)),
+                backoff: Duration::from_millis(10),
+            }),
+            rewind: args.fine_grained.then(|| Duration::from_secs(30)),
+            generation: args.generation,
+        },
     };
 
     let mut rng = StdRng::seed_from_u64(args.net_seed);
@@ -225,14 +239,16 @@ fn run_child(args: &Args, rank: usize) -> Result<(), DistError> {
 
     // Bind the downstream listener before dialing upstream, so the whole
     // chain comes up regardless of spawn order: everyone's listener
-    // exists by the time anyone's connect retries give up.
-    let listener = (rank + 1 < world)
-        .then(|| transport.listen(rank))
+    // exists by the time anyone's connect retries give up. The reliable
+    // layer keeps the endpoints, so a torn link re-dials / re-accepts
+    // through the same transport.
+    let downstream = (rank + 1 < world)
+        .then(|| transport.listen(rank).map(LinkEndpoint::Listen))
         .transpose()?;
-    let upstream = (rank > 0)
-        .then(|| transport.connect(rank - 1, stall))
-        .transpose()?;
-    let downstream = listener.map(|l| l.accept(stall)).transpose()?;
+    let upstream = (rank > 0).then(|| LinkEndpoint::Dial {
+        transport: transport.clone(),
+        link: rank - 1,
+    });
 
     let outcome = pbp_dist::run_rank(net, &data, &spec, upstream, downstream, None)?;
     eprintln!(
@@ -256,6 +272,7 @@ fn run_parent(args: &Args, argv: Vec<String>) -> Result<(), DistError> {
         max_restarts: args.max_restarts,
         backoff: Duration::from_millis(100),
         attempt_timeout: Some(Duration::from_millis(args.attempt_timeout_ms)),
+        fine_grained: args.fine_grained,
     };
     let report = launch(&spec)?;
     for event in &report.events {

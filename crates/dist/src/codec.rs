@@ -36,6 +36,7 @@ const KIND_ACTIVATION: u8 = 2;
 const KIND_GRADIENT: u8 = 3;
 const KIND_HEARTBEAT: u8 = 4;
 const KIND_SHUTDOWN: u8 = 5;
+const KIND_ACK: u8 = 6;
 
 /// One message on a rank-to-rank link.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,12 +44,26 @@ pub enum Frame {
     /// Connection handshake: who is talking and which run this is.
     /// `digest` commits to the topology, schedule, and seeds; a
     /// mismatch means two processes from different launches met.
-    Hello { rank: u32, world: u32, digest: u64 },
+    /// `epoch` is the link session epoch (high 32 bits: the supervisor's
+    /// rewind generation, low 32 bits: the reconnect attempt within it)
+    /// and `last_seq` the highest data-frame sequence number this side
+    /// has delivered — together they let a re-established connection
+    /// resume mid-schedule by replaying exactly the frames the peer
+    /// never saw (DESIGN §14).
+    Hello {
+        rank: u32,
+        world: u32,
+        digest: u64,
+        epoch: u64,
+        last_seq: u64,
+    },
     /// Forward activations for one microbatch, flowing downstream. The
     /// lane stack is a tensor *list* (residual topologies keep several
     /// lanes in flight); `label` rides along so only the loss-owning
-    /// rank needs it.
+    /// rank needs it. `seq` is the per-link per-direction delivery
+    /// sequence number the replay window keys on.
     Activation {
+        seq: u64,
         microbatch: u64,
         weight_version: u64,
         label: u32,
@@ -58,6 +73,7 @@ pub enum Frame {
     /// the microbatch loss from the loss stage, relayed so rank 0 can
     /// report training progress.
     Gradient {
+        seq: u64,
         microbatch: u64,
         weight_version: u64,
         loss: f32,
@@ -66,6 +82,10 @@ pub enum Frame {
     /// Liveness beacon sent before long local pauses (snapshot writes);
     /// receivers reset their stall clock and keep waiting.
     Heartbeat { rank: u32, beat: u64 },
+    /// Cumulative delivery acknowledgement: every data frame up to and
+    /// including `seq` arrived and was accepted on this link direction.
+    /// The sender prunes its replay window up to `seq`.
+    Ack { rank: u32, seq: u64 },
     /// Clean end-of-stream marker. Receiving one where data frames are
     /// expected is reported as [`DistError::PeerClosed`].
     Shutdown { rank: u32 },
@@ -79,7 +99,25 @@ impl Frame {
             Frame::Activation { .. } => "activation",
             Frame::Gradient { .. } => "gradient",
             Frame::Heartbeat { .. } => "heartbeat",
+            Frame::Ack { .. } => "ack",
             Frame::Shutdown { .. } => "shutdown",
+        }
+    }
+
+    /// The replay sequence number of a data frame (`None` for control
+    /// frames, which are never replayed).
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Frame::Activation { seq, .. } | Frame::Gradient { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+
+    /// Stamps the replay sequence number on a data frame; a no-op for
+    /// control frames.
+    pub fn set_seq(&mut self, new_seq: u64) {
+        if let Frame::Activation { seq, .. } | Frame::Gradient { seq, .. } = self {
+            *seq = new_seq;
         }
     }
 }
@@ -91,31 +129,39 @@ fn encode_body(frame: &Frame) -> Vec<u8> {
             rank,
             world,
             digest,
+            epoch,
+            last_seq,
         } => {
             w.put_u8(KIND_HELLO);
             w.put_u32(*rank);
             w.put_u32(*world);
             w.put_u64(*digest);
+            w.put_u64(*epoch);
+            w.put_u64(*last_seq);
         }
         Frame::Activation {
+            seq,
             microbatch,
             weight_version,
             label,
             lanes,
         } => {
             w.put_u8(KIND_ACTIVATION);
+            w.put_u64(*seq);
             w.put_u64(*microbatch);
             w.put_u64(*weight_version);
             w.put_u32(*label);
             w.put_tensor_list(lanes);
         }
         Frame::Gradient {
+            seq,
             microbatch,
             weight_version,
             loss,
             lanes,
         } => {
             w.put_u8(KIND_GRADIENT);
+            w.put_u64(*seq);
             w.put_u64(*microbatch);
             w.put_u64(*weight_version);
             w.put_f32(*loss);
@@ -125,6 +171,11 @@ fn encode_body(frame: &Frame) -> Vec<u8> {
             w.put_u8(KIND_HEARTBEAT);
             w.put_u32(*rank);
             w.put_u64(*beat);
+        }
+        Frame::Ack { rank, seq } => {
+            w.put_u8(KIND_ACK);
+            w.put_u32(*rank);
+            w.put_u64(*seq);
         }
         Frame::Shutdown { rank } => {
             w.put_u8(KIND_SHUTDOWN);
@@ -148,14 +199,18 @@ fn decode_body(body: &[u8]) -> Result<Frame, DistError> {
             rank: r.take_u32().map_err(corrupt)?,
             world: r.take_u32().map_err(corrupt)?,
             digest: r.take_u64().map_err(corrupt)?,
+            epoch: r.take_u64().map_err(corrupt)?,
+            last_seq: r.take_u64().map_err(corrupt)?,
         },
         KIND_ACTIVATION => Frame::Activation {
+            seq: r.take_u64().map_err(corrupt)?,
             microbatch: r.take_u64().map_err(corrupt)?,
             weight_version: r.take_u64().map_err(corrupt)?,
             label: r.take_u32().map_err(corrupt)?,
             lanes: r.take_tensor_list().map_err(corrupt)?,
         },
         KIND_GRADIENT => Frame::Gradient {
+            seq: r.take_u64().map_err(corrupt)?,
             microbatch: r.take_u64().map_err(corrupt)?,
             weight_version: r.take_u64().map_err(corrupt)?,
             loss: r.take_f32().map_err(corrupt)?,
@@ -164,6 +219,10 @@ fn decode_body(body: &[u8]) -> Result<Frame, DistError> {
         KIND_HEARTBEAT => Frame::Heartbeat {
             rank: r.take_u32().map_err(corrupt)?,
             beat: r.take_u64().map_err(corrupt)?,
+        },
+        KIND_ACK => Frame::Ack {
+            rank: r.take_u32().map_err(corrupt)?,
+            seq: r.take_u64().map_err(corrupt)?,
         },
         KIND_SHUTDOWN => Frame::Shutdown {
             rank: r.take_u32().map_err(corrupt)?,
@@ -266,14 +325,18 @@ mod tests {
                 rank: 2,
                 world: 4,
                 digest: 0xDEAD_BEEF_CAFE_F00D,
+                epoch: (3 << 32) | 2,
+                last_seq: 17,
             },
             Frame::Activation {
+                seq: 42,
                 microbatch: 41,
                 weight_version: 7,
                 label: 2,
                 lanes: vec![tensor(&[1.0, -2.5, 3.25], &[1, 3])],
             },
             Frame::Gradient {
+                seq: 42,
                 microbatch: 41,
                 weight_version: 7,
                 loss: 0.625,
@@ -283,6 +346,7 @@ mod tests {
                 ],
             },
             Frame::Heartbeat { rank: 1, beat: 99 },
+            Frame::Ack { rank: 3, seq: 41 },
             Frame::Shutdown { rank: 0 },
         ]
     }

@@ -1,10 +1,35 @@
-//! Hardened parsing of the `PBP_RANK` / `PBP_WORLD` environment
-//! variables, mirroring the `PBP_THREADS` / `PBP_SIMD` treatment in
-//! `pbp-tensor`: an invalid value is ignored with a one-time warning
-//! and the caller's fallback applies, instead of a panic or a silently
-//! wrong rank.
+//! Hardened parsing of the distributed layer's environment variables
+//! (`PBP_RANK`, `PBP_WORLD`, `PBP_DIST_ABORT_AT`, `PBP_NET_FAULTS`),
+//! mirroring the `PBP_THREADS` / `PBP_SIMD` treatment in `pbp-tensor`:
+//! an invalid value is ignored with a one-time warning and the caller's
+//! fallback applies, instead of a panic or a silently wrong rank.
 
+use crate::netfault::NetFaultPlan;
 use std::sync::Once;
+
+/// Reads `var` and runs it through `parse`. Unset returns `None`; a
+/// set-but-invalid value warns once on stderr (via `warning`, with
+/// `expect` describing the accepted form) and also returns `None`, so
+/// the caller's explicit flag or default applies.
+fn env_parsed<T>(
+    var: &str,
+    warning: &'static Once,
+    expect: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Option<T> {
+    match std::env::var(var) {
+        Ok(raw) => {
+            let parsed = parse(&raw);
+            if parsed.is_none() {
+                warning.call_once(|| {
+                    eprintln!("warning: ignoring invalid {var}={raw:?} (want {expect})");
+                });
+            }
+            parsed
+        }
+        Err(_) => None,
+    }
+}
 
 /// Parses a `PBP_RANK` value: a non-negative integer (`0`-based).
 fn parse_rank(raw: &str) -> Option<usize> {
@@ -17,48 +42,74 @@ fn parse_world(raw: &str) -> Option<usize> {
     raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
+/// Parses a `PBP_DIST_ABORT_AT` value (`rank:count`) into its parts.
+fn parse_abort_at(raw: &str) -> Option<(usize, usize)> {
+    let (rank, count) = raw.split_once(':')?;
+    Some((
+        rank.trim().parse::<usize>().ok()?,
+        count.trim().parse::<usize>().ok()?,
+    ))
+}
+
 static RANK_WARNING: Once = Once::new();
 static WORLD_WARNING: Once = Once::new();
+static ABORT_WARNING: Once = Once::new();
+static FAULTS_WARNING: Once = Once::new();
 
 /// Reads `PBP_RANK` from the environment. Unset returns `None`; an
 /// invalid value warns once on stderr and also returns `None`, so the
 /// caller's explicit `--rank` flag or default applies.
 pub fn env_rank() -> Option<usize> {
-    match std::env::var("PBP_RANK") {
-        Ok(raw) => {
-            let parsed = parse_rank(&raw);
-            if parsed.is_none() {
-                RANK_WARNING.call_once(|| {
-                    eprintln!(
-                        "warning: ignoring invalid PBP_RANK={raw:?} \
-                         (want a non-negative integer)"
-                    );
-                });
-            }
-            parsed
-        }
-        Err(_) => None,
-    }
+    env_parsed(
+        "PBP_RANK",
+        &RANK_WARNING,
+        "a non-negative integer",
+        parse_rank,
+    )
 }
 
 /// Reads `PBP_WORLD` from the environment. Unset returns `None`; an
 /// invalid or zero value warns once on stderr and returns `None`.
 pub fn env_world() -> Option<usize> {
-    match std::env::var("PBP_WORLD") {
-        Ok(raw) => {
-            let parsed = parse_world(&raw);
-            if parsed.is_none() {
-                WORLD_WARNING.call_once(|| {
-                    eprintln!(
-                        "warning: ignoring invalid PBP_WORLD={raw:?} \
-                         (want a positive integer)"
-                    );
-                });
+    env_parsed(
+        "PBP_WORLD",
+        &WORLD_WARNING,
+        "a positive integer",
+        parse_world,
+    )
+}
+
+/// Reads the `PBP_DIST_ABORT_AT=rank:count` crash injection: `Some
+/// (count)` when it names `rank`. A malformed value warns once and
+/// injects nothing — a chaos run with a typo'd knob must not silently
+/// become a clean run on *some* ranks.
+pub fn env_abort_at(rank: usize) -> Option<usize> {
+    env_parsed(
+        "PBP_DIST_ABORT_AT",
+        &ABORT_WARNING,
+        "rank:count with non-negative integers",
+        parse_abort_at,
+    )
+    .and_then(|(r, count)| (r == rank).then_some(count))
+}
+
+/// Reads the `PBP_NET_FAULTS` wire-chaos plan (see
+/// [`NetFaultPlan::parse`] for the grammar). Unset returns `None`; an
+/// invalid spec warns once with the parser's diagnosis and returns
+/// `None`, so the run proceeds un-faulted.
+pub fn env_net_faults() -> Option<NetFaultPlan> {
+    env_parsed(
+        "PBP_NET_FAULTS",
+        &FAULTS_WARNING,
+        "a net-fault spec",
+        |raw| match NetFaultPlan::parse(raw) {
+            Ok(plan) => Some(plan),
+            Err(msg) => {
+                eprintln!("warning: PBP_NET_FAULTS rejected: {msg}");
+                None
             }
-            parsed
-        }
-        Err(_) => None,
-    }
+        },
+    )
 }
 
 #[cfg(test)]
@@ -86,5 +137,16 @@ mod tests {
         assert_eq!(parse_world("four"), None);
         assert_eq!(parse_world(""), None);
         assert_eq!(parse_world("2.0"), None);
+    }
+
+    #[test]
+    fn parse_abort_at_wants_rank_colon_count() {
+        assert_eq!(parse_abort_at("1:24"), Some((1, 24)));
+        assert_eq!(parse_abort_at(" 0 : 7 "), Some((0, 7)));
+        assert_eq!(parse_abort_at("1"), None);
+        assert_eq!(parse_abort_at("1:"), None);
+        assert_eq!(parse_abort_at(":24"), None);
+        assert_eq!(parse_abort_at("one:24"), None);
+        assert_eq!(parse_abort_at("1:-3"), None);
     }
 }

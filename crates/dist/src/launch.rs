@@ -17,9 +17,25 @@
 //! not coordinating snapshot barriers across failures — and the restart
 //! converges to bit-identical final weights because resume is
 //! bit-identical per rank.
+//!
+//! ## Fine-grained mode
+//!
+//! With [`LaunchSpec::fine_grained`] the parent keeps surviving ranks
+//! alive across a single-rank death: it bumps the group's *rewind
+//! generation*, writes a [`rewind token`](rewind_token_path) naming the
+//! newest common snapshot counter, and respawns only the dead rank at
+//! that counter and generation. Survivors notice their links failing,
+//! park at the rewind barrier (polling the token), roll back to the
+//! common counter from their own snapshots, and re-establish links at
+//! the new generation — see `crate::runner`. The whole-group kill
+//! remains the fallback: restart-budget exhaustion or an attempt
+//! timeout still tears everything down.
 
 use crate::error::DistError;
-use pbp_snapshot::{rank_prefix, SnapshotArchive};
+use pbp_snapshot::{
+    rank_prefix, valid_snapshot_counters, SnapshotArchive, SnapshotBuilder, StateReader,
+    StateWriter,
+};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -41,6 +57,9 @@ pub struct LaunchSpec {
     pub backoff: Duration,
     /// Kill the whole attempt if it runs longer than this.
     pub attempt_timeout: Option<Duration>,
+    /// Surviving-rank recovery: respawn a dead rank alone and rewind
+    /// the survivors in place instead of killing the whole group.
+    pub fine_grained: bool,
 }
 
 /// What the supervision loop did.
@@ -54,40 +73,15 @@ pub struct LaunchReport {
     pub resume_points: Vec<usize>,
 }
 
-/// Snapshot counters for which `rank`'s family holds a *valid* (fully
-/// CRC-checked) snapshot, ascending.
-fn valid_counters(dir: &Path, rank: usize) -> Vec<usize> {
-    let prefix = format!("{}-", rank_prefix(rank));
-    let entries = match std::fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(_) => return Vec::new(),
-    };
-    let mut counters: Vec<usize> = entries
-        .filter_map(|e| e.ok())
-        .filter_map(|e| {
-            let name = e.file_name().into_string().ok()?;
-            let digits = name.strip_prefix(&prefix)?.strip_suffix(".pbps")?;
-            if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
-                return None;
-            }
-            let counter = digits.parse::<usize>().ok()?;
-            // Valid means loadable: the archive load verifies magic,
-            // version and every section CRC.
-            SnapshotArchive::load(&e.path()).ok()?;
-            Some(counter)
-        })
-        .collect();
-    counters.sort_unstable();
-    counters
-}
-
 /// The newest snapshot counter for which **all** `world` ranks hold a
 /// valid snapshot — the only point the whole group can restart from.
-/// Returns 0 (fresh start) when no common counter exists.
+/// Returns 0 (fresh start) when no common counter exists. Validity is
+/// the snapshot crate's bar ([`valid_snapshot_counters`]): the file
+/// fully loads with every CRC verified.
 pub fn common_resume_point(dir: &Path, world: usize) -> usize {
     let mut common: Option<Vec<usize>> = None;
     for rank in 0..world {
-        let counters = valid_counters(dir, rank);
+        let counters = valid_snapshot_counters(dir, &rank_prefix(rank));
         common = Some(match common {
             None => counters,
             Some(prev) => prev.into_iter().filter(|c| counters.contains(c)).collect(),
@@ -96,12 +90,102 @@ pub fn common_resume_point(dir: &Path, world: usize) -> usize {
     common.and_then(|c| c.into_iter().max()).unwrap_or(0)
 }
 
-/// Spawns the stage group and supervises it to completion, restarting
-/// from the newest common snapshot on any child failure.
+/// Where the group's rewind token lives. The name is outside every
+/// snapshot family's `{prefix}-{digits}.pbps` shape, so resume scans
+/// never mistake it for a snapshot.
+pub fn rewind_token_path(dir: &Path) -> PathBuf {
+    dir.join("rewind.token")
+}
+
+/// Section name inside the rewind token file.
+const SECTION_REWIND: &str = "rewind";
+
+/// Atomically publishes the rewind barrier: surviving ranks that poll
+/// the token roll back to snapshot counter `resume_at` and rejoin at
+/// `generation`.
+pub fn write_rewind_token(dir: &Path, generation: u64, resume_at: usize) -> Result<(), DistError> {
+    std::fs::create_dir_all(dir)?;
+    let mut w = StateWriter::new();
+    w.put_u64(generation);
+    w.put_usize(resume_at);
+    let mut b = SnapshotBuilder::new();
+    b.add_section(SECTION_REWIND, w.into_bytes());
+    b.save_atomic(&rewind_token_path(dir))?;
+    Ok(())
+}
+
+/// Reads the rewind token, if a valid one is present:
+/// `(generation, resume_at)`. A missing, partial, or corrupt token
+/// reads as `None` — pollers just keep waiting.
+pub fn read_rewind_token(dir: &Path) -> Option<(u64, usize)> {
+    let archive = SnapshotArchive::load(&rewind_token_path(dir)).ok()?;
+    let mut r = StateReader::new(archive.section(SECTION_REWIND).ok()?);
+    let generation = r.take_u64().ok()?;
+    let resume_at = r.take_usize().ok()?;
+    r.finish().ok()?;
+    Some((generation, resume_at))
+}
+
+/// Spawns one rank process. `generation` is appended only in
+/// fine-grained mode; `clear_abort` strips the one-shot crash injection
+/// on respawns.
+fn spawn_rank(
+    spec: &LaunchSpec,
+    rank: usize,
+    resume: usize,
+    generation: Option<u64>,
+    clear_abort: bool,
+) -> Result<std::process::Child, DistError> {
+    let mut cmd = std::process::Command::new(&spec.program);
+    cmd.args(&spec.args)
+        .arg("--rank")
+        .arg(rank.to_string())
+        .arg("--resume-at")
+        .arg(resume.to_string());
+    if let Some(generation) = generation {
+        cmd.arg("--generation").arg(generation.to_string());
+    }
+    if clear_abort {
+        // One-shot fault injection: a child that aborted once must not
+        // re-abort after the supervised restart.
+        cmd.env_remove("PBP_DIST_ABORT_AT");
+    }
+    cmd.spawn().map_err(|e| DistError::Rank {
+        rank,
+        detail: format!("failed to spawn: {e}"),
+    })
+}
+
+fn kill_group(children: &mut [std::process::Child]) {
+    for c in children.iter_mut() {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+}
+
+/// Spawns the stage group and supervises it to completion. In classic
+/// mode any child failure kills and respawns the whole group from the
+/// newest common snapshot; in [fine-grained](LaunchSpec::fine_grained)
+/// mode only the dead rank respawns while survivors rewind in place.
 pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, DistError> {
     if spec.world == 0 {
         return Err(DistError::Spec("world size must be at least 1".into()));
     }
+    // A rewind token from an earlier launch in the same directory must
+    // not stampede this run's ranks into a rewind.
+    match std::fs::remove_file(rewind_token_path(&spec.snapshot_dir)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    if spec.fine_grained {
+        launch_fine(spec)
+    } else {
+        launch_group(spec)
+    }
+}
+
+fn launch_group(spec: &LaunchSpec) -> Result<LaunchReport, DistError> {
     let mut report = LaunchReport {
         attempts: 0,
         events: Vec::new(),
@@ -119,28 +203,11 @@ pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, DistError> {
         }
         let mut children = Vec::with_capacity(spec.world);
         for rank in 0..spec.world {
-            let mut cmd = std::process::Command::new(&spec.program);
-            cmd.args(&spec.args)
-                .arg("--rank")
-                .arg(rank.to_string())
-                .arg("--resume-at")
-                .arg(resume.to_string());
-            if attempt > 0 {
-                // One-shot fault injection: a child that aborted once
-                // must not re-abort after the supervised restart.
-                cmd.env_remove("PBP_DIST_ABORT_AT");
-            }
-            match cmd.spawn() {
+            match spawn_rank(spec, rank, resume, None, attempt > 0) {
                 Ok(child) => children.push(child),
                 Err(e) => {
-                    for mut c in children {
-                        let _ = c.kill();
-                        let _ = c.wait();
-                    }
-                    return Err(DistError::Rank {
-                        rank,
-                        detail: format!("failed to spawn: {e}"),
-                    });
+                    kill_group(&mut children);
+                    return Err(e);
                 }
             }
         }
@@ -150,10 +217,7 @@ pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, DistError> {
         match fault {
             None => return Ok(report),
             Some(detail) => {
-                for mut c in children {
-                    let _ = c.kill();
-                    let _ = c.wait();
-                }
+                kill_group(&mut children);
                 report.events.push(format!("fault: {detail}"));
                 if attempt >= spec.max_restarts {
                     return Err(DistError::Rank {
@@ -164,6 +228,93 @@ pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, DistError> {
                 std::thread::sleep(spec.backoff * 2u32.pow(attempt.min(8) as u32));
             }
         }
+    }
+}
+
+/// Fine-grained supervision: survivors stay up through a single-rank
+/// death. The recovery arc per death: bump the rewind generation,
+/// publish the rewind token at the newest common counter, respawn only
+/// the dead rank there. Budget exhaustion and the attempt timeout fall
+/// back to killing the whole group, exactly like classic mode's
+/// terminal paths.
+fn launch_fine(spec: &LaunchSpec) -> Result<LaunchReport, DistError> {
+    let mut report = LaunchReport {
+        attempts: 1,
+        events: Vec::new(),
+        resume_points: Vec::new(),
+    };
+    let mut generation = 0u64;
+    let mut restarts = 0usize;
+    let resume = common_resume_point(&spec.snapshot_dir, spec.world);
+    report.resume_points.push(resume);
+    let mut children = Vec::with_capacity(spec.world);
+    for rank in 0..spec.world {
+        match spawn_rank(spec, rank, resume, Some(generation), false) {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                kill_group(&mut children);
+                return Err(e);
+            }
+        }
+    }
+    let mut done = vec![false; spec.world];
+    let started = Instant::now();
+    loop {
+        let mut all_done = true;
+        for rank in 0..spec.world {
+            if done[rank] {
+                continue;
+            }
+            match children[rank].try_wait() {
+                Ok(Some(status)) if status.success() => done[rank] = true,
+                Ok(Some(status)) => {
+                    restarts += 1;
+                    if restarts > spec.max_restarts {
+                        kill_group(&mut children);
+                        return Err(DistError::Rank {
+                            rank: spec.world,
+                            detail: format!(
+                                "fine-grained restart budget exhausted after rank {rank} \
+                                 exited with {status}"
+                            ),
+                        });
+                    }
+                    generation += 1;
+                    let resume = common_resume_point(&spec.snapshot_dir, spec.world);
+                    write_rewind_token(&spec.snapshot_dir, generation, resume)?;
+                    report.events.push(format!(
+                        "fine restart {restarts}: rank {rank} exited with {status}; \
+                         rewinding group to {resume} at generation {generation}"
+                    ));
+                    report.resume_points.push(resume);
+                    report.attempts += 1;
+                    std::thread::sleep(spec.backoff);
+                    children[rank] = spawn_rank(spec, rank, resume, Some(generation), true)?;
+                    all_done = false;
+                }
+                Ok(None) => all_done = false,
+                Err(e) => {
+                    kill_group(&mut children);
+                    return Err(DistError::Rank {
+                        rank,
+                        detail: format!("unwaitable: {e}"),
+                    });
+                }
+            }
+        }
+        if all_done {
+            return Ok(report);
+        }
+        if let Some(t) = spec.attempt_timeout {
+            if started.elapsed() > t {
+                kill_group(&mut children);
+                return Err(DistError::Rank {
+                    rank: spec.world,
+                    detail: format!("attempt exceeded {} ms", t.as_millis()),
+                });
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
     }
 }
 
@@ -252,5 +403,25 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pbp_launch_missing_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         assert_eq!(common_resume_point(&dir, 4), 0);
+    }
+
+    #[test]
+    fn rewind_token_round_trips_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("pbp_launch_token_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(read_rewind_token(&dir), None, "no token yet");
+        write_rewind_token(&dir, 3, 48).unwrap();
+        assert_eq!(read_rewind_token(&dir), Some((3, 48)));
+        // A newer token atomically replaces the old one.
+        write_rewind_token(&dir, 4, 96).unwrap();
+        assert_eq!(read_rewind_token(&dir), Some((4, 96)));
+        // Bit damage makes the token unreadable, not garbage.
+        let path = rewind_token_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        assert_eq!(read_rewind_token(&dir), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

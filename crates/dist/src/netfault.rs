@@ -1,0 +1,539 @@
+//! Deterministic network fault injection for rank-to-rank links.
+//!
+//! A [`NetFaultPlan`] is the wire-level sibling of the threaded
+//! runtime's [`FaultPlan`](pbp_pipeline::FaultPlan): a seeded,
+//! reproducible script of link misbehaviour — drop a frame, truncate
+//! it, flip a bit, duplicate it, delay it, or partition the link for a
+//! stretch of frames — addressed per *link* and per *direction*. The
+//! randomized generator draws from the same SplitMix64 the thread-fault
+//! plans use ([`pbp_pipeline::splitmix64`]), so one chaos seed means the
+//! same thing across both fault layers.
+//!
+//! Faults are applied on the **receiving** end of a link by the
+//! [`FaultyConn`](crate::transport::FaultyConn) decorator: the injector
+//! indexes data frames as they come off the wire, and each triggered
+//! spec turns the clean frame into the corresponding network event
+//! (silently vanished, corrupted-on-decode, doubled, late). One-shot
+//! semantics match the thread plans: the fired flag is shared across
+//! clones, so a fault survives a reconnect without re-firing — a
+//! transient network event, not a broken NIC.
+//!
+//! `PBP_NET_FAULTS` (parsed in [`crate::env`]) configures a plan from
+//! the launcher environment, e.g.
+//! `1:down:drop@7,0:up:partition:5@12,random:42`.
+
+use pbp_pipeline::splitmix64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which way frames flow on a link. Link `i` connects rank `i` to rank
+/// `i + 1`; `Down` is toward the higher rank (activations), `Up` toward
+/// the lower rank (gradients, acks for activations ride `Up` too but
+/// faults index data frames only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDir {
+    /// Rank `i` → rank `i + 1` (forward activations).
+    Down,
+    /// Rank `i + 1` → rank `i` (backward gradients).
+    Up,
+}
+
+impl LinkDir {
+    /// The spec-string token (`down` / `up`).
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkDir::Down => "down",
+            LinkDir::Up => "up",
+        }
+    }
+}
+
+/// What a triggered fault does to the frame it lands on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The frame silently vanishes (the sender keeps it in its replay
+    /// window; recovery is reconnect-with-replay).
+    Drop,
+    /// The frame's wire bytes are cut short — surfaces as a typed
+    /// decode error on the receiver, never a hang.
+    Truncate,
+    /// One byte of the frame body is flipped — surfaces as
+    /// [`DistError::ChecksumMismatch`](crate::DistError) (or `Corrupt`
+    /// when the flip lands in the length prefix).
+    BitFlip,
+    /// The frame arrives twice; the second copy must be discarded by
+    /// sequence number.
+    Duplicate,
+    /// The frame arrives late by this much (bounded so chaos sweeps
+    /// stay fast).
+    Delay(Duration),
+    /// The link goes dark: this frame and the following `count - 1`
+    /// frames all vanish, modelling a transient partition.
+    Partition {
+        /// Consecutive frames dropped, `>= 1`.
+        count: u64,
+    },
+}
+
+impl NetFaultKind {
+    fn label(&self) -> String {
+        match self {
+            NetFaultKind::Drop => "drop".into(),
+            NetFaultKind::Truncate => "trunc".into(),
+            NetFaultKind::BitFlip => "flip".into(),
+            NetFaultKind::Duplicate => "dup".into(),
+            NetFaultKind::Delay(d) => format!("delay:{}", d.as_millis()),
+            NetFaultKind::Partition { count } => format!("partition:{count}"),
+        }
+    }
+}
+
+/// One scripted wire fault: a [`NetFaultKind`] armed on one link, one
+/// direction, at one received-data-frame index.
+#[derive(Debug, Clone)]
+pub struct NetFaultSpec {
+    /// Link index the fault lives on (link `i` joins ranks `i`, `i+1`).
+    pub link: usize,
+    /// Which direction's frames it hits.
+    pub dir: LinkDir,
+    /// Zero-based index (per link, per direction) of the received data
+    /// frame the fault triggers on.
+    pub at_frame: u64,
+    /// What happens to that frame.
+    pub kind: NetFaultKind,
+    fired: Arc<AtomicBool>,
+}
+
+impl NetFaultSpec {
+    /// A fault of `kind` on `link`/`dir` at received frame `at_frame`.
+    pub fn new(link: usize, dir: LinkDir, at_frame: u64, kind: NetFaultKind) -> Self {
+        NetFaultSpec {
+            link,
+            dir,
+            at_frame,
+            kind,
+            fired: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Whether this spec covers `frame`, consuming the one-shot charge
+    /// on its first frame. A partition spans `[at_frame, at_frame +
+    /// count)` and keeps matching inside the span without re-arming.
+    fn triggers(&self, frame: u64) -> bool {
+        match self.kind {
+            NetFaultKind::Partition { count } => {
+                if frame == self.at_frame {
+                    // Consume the charge at the partition's left edge so
+                    // a replayed frame 0..at_frame never re-opens it.
+                    return !self.fired.swap(true, Ordering::Relaxed);
+                }
+                frame > self.at_frame
+                    && frame < self.at_frame + count
+                    && self.fired.load(Ordering::Relaxed)
+            }
+            _ => frame == self.at_frame && !self.fired.swap(true, Ordering::Relaxed),
+        }
+    }
+
+    /// The spec-string clause this fault round-trips through
+    /// ([`NetFaultPlan::parse`]).
+    pub fn clause(&self) -> String {
+        format!(
+            "{}:{}:{}@{}",
+            self.link,
+            self.dir.label(),
+            self.kind.label(),
+            self.at_frame
+        )
+    }
+}
+
+/// A seeded, reproducible script of wire faults for a whole launch.
+#[derive(Debug, Clone, Default)]
+pub struct NetFaultPlan {
+    specs: Vec<NetFaultSpec>,
+    seed: u64,
+}
+
+/// Upper bound on scripted delays so a chaos soak cannot stall a run
+/// past its watchdogs.
+const MAX_DELAY_MS: u64 = 20;
+
+/// Upper bound on a random partition's width in frames.
+const MAX_PARTITION: u64 = 6;
+
+impl NetFaultPlan {
+    /// An empty plan; the seed names the plan in logs and feeds
+    /// [`NetFaultPlan::random`].
+    pub fn new(seed: u64) -> Self {
+        NetFaultPlan {
+            specs: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Adds a fault to the script.
+    pub fn with(mut self, spec: NetFaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The scripted faults.
+    pub fn specs(&self) -> &[NetFaultSpec] {
+        &self.specs
+    }
+
+    /// The seed the plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rearms every one-shot fault (tests that replay a plan from
+    /// scratch).
+    pub fn reset(&self) {
+        for spec in &self.specs {
+            spec.fired.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Draws a random plan of 1–4 faults over `links` links and frame
+    /// indices below `max_frame`, fully determined by `seed` — the wire
+    /// sibling of [`pbp_pipeline::FaultPlan::random`].
+    pub fn random(seed: u64, links: usize, max_frame: u64) -> Self {
+        let links = links.max(1);
+        let max_frame = max_frame.max(1);
+        let mut rng = seed;
+        let mut plan = NetFaultPlan::new(seed);
+        let count = 1 + (splitmix64(&mut rng) % 4) as usize;
+        for _ in 0..count {
+            let link = (splitmix64(&mut rng) % links as u64) as usize;
+            let dir = if splitmix64(&mut rng).is_multiple_of(2) {
+                LinkDir::Down
+            } else {
+                LinkDir::Up
+            };
+            let at = splitmix64(&mut rng) % max_frame;
+            let kind = match splitmix64(&mut rng) % 6 {
+                0 => NetFaultKind::Drop,
+                1 => NetFaultKind::Truncate,
+                2 => NetFaultKind::BitFlip,
+                3 => NetFaultKind::Duplicate,
+                4 => NetFaultKind::Delay(Duration::from_millis(
+                    1 + splitmix64(&mut rng) % MAX_DELAY_MS,
+                )),
+                _ => NetFaultKind::Partition {
+                    count: 1 + splitmix64(&mut rng) % MAX_PARTITION,
+                },
+            };
+            plan = plan.with(NetFaultSpec::new(link, dir, at, kind));
+        }
+        plan
+    }
+
+    /// The injector for one end of one link: the slice of the plan
+    /// matching `link` in the direction that end *receives*.
+    pub fn injector(&self, link: usize, dir: LinkDir) -> NetFaultInjector {
+        NetFaultInjector {
+            specs: self
+                .specs
+                .iter()
+                .filter(|s| s.link == link && s.dir == dir)
+                .cloned()
+                .collect(),
+            frames_seen: 0,
+        }
+    }
+
+    /// The spec string this plan round-trips through [`Self::parse`].
+    /// Random plans serialize clause-by-clause, not as `random:seed`,
+    /// so what fired is always spelled out in logs.
+    pub fn spec_string(&self) -> String {
+        self.specs
+            .iter()
+            .map(NetFaultSpec::clause)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses a `PBP_NET_FAULTS` spec: comma-separated clauses, each
+    /// either `random:<seed>[:<links>[:<max_frame>]]` or
+    /// `<link>:<dir>:<kind>@<frame>` where `dir` is `down`/`up` and
+    /// `kind` is `drop`, `trunc`, `flip`, `dup`, `delay:<ms>`, or
+    /// `partition:<count>`.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let mut plan = NetFaultPlan::new(0);
+        for clause in raw.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            if let Some(rest) = clause.strip_prefix("random:") {
+                let mut parts = rest.split(':');
+                let seed = parse_num(parts.next().unwrap_or(""), clause)?;
+                let links = match parts.next() {
+                    Some(p) => parse_num(p, clause)? as usize,
+                    None => 4,
+                };
+                let max_frame = match parts.next() {
+                    Some(p) => parse_num(p, clause)?,
+                    None => 64,
+                };
+                if parts.next().is_some() {
+                    return Err(format!("trailing fields in {clause:?}"));
+                }
+                for spec in NetFaultPlan::random(seed, links, max_frame).specs {
+                    plan = plan.with(spec);
+                }
+                plan.seed = seed;
+                continue;
+            }
+            let (head, frame) = clause
+                .rsplit_once('@')
+                .ok_or_else(|| format!("clause {clause:?} needs @<frame>"))?;
+            let at_frame = parse_num(frame, clause)?;
+            let mut parts = head.splitn(3, ':');
+            let link = parse_num(parts.next().unwrap_or(""), clause)? as usize;
+            let dir = match parts.next() {
+                Some("down") => LinkDir::Down,
+                Some("up") => LinkDir::Up,
+                other => return Err(format!("direction {other:?} in {clause:?} (want down/up)")),
+            };
+            let kind = match parts.next() {
+                Some("drop") => NetFaultKind::Drop,
+                Some("trunc") => NetFaultKind::Truncate,
+                Some("flip") => NetFaultKind::BitFlip,
+                Some("dup") => NetFaultKind::Duplicate,
+                Some(k) if k.starts_with("delay:") => NetFaultKind::Delay(Duration::from_millis(
+                    parse_num(&k["delay:".len()..], clause)?.min(1_000),
+                )),
+                Some(k) if k.starts_with("partition:") => NetFaultKind::Partition {
+                    count: parse_num(&k["partition:".len()..], clause)?.max(1),
+                },
+                other => {
+                    return Err(format!(
+                        "kind {other:?} in {clause:?} (want drop, trunc, flip, dup, \
+                         delay:<ms>, or partition:<count>)"
+                    ))
+                }
+            };
+            plan = plan.with(NetFaultSpec::new(link, dir, at_frame, kind));
+        }
+        if plan.specs.is_empty() {
+            return Err("empty fault spec".into());
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_num(raw: &str, clause: &str) -> Result<u64, String> {
+    raw.trim()
+        .parse::<u64>()
+        .map_err(|_| format!("invalid number {raw:?} in clause {clause:?}"))
+}
+
+/// What the receiving decorator does to the data frame at hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFaultAction {
+    /// Deliver untouched.
+    None,
+    /// Pretend it never arrived.
+    Drop,
+    /// Cut the wire bytes short before decoding.
+    Truncate,
+    /// Flip one body byte before decoding.
+    BitFlip,
+    /// Deliver it, then deliver it again.
+    Duplicate,
+    /// Sleep, then deliver.
+    Delay(Duration),
+}
+
+/// The slice of a [`NetFaultPlan`] owned by one end of one link. Counts
+/// the data frames it sees; control frames (heartbeats, acks, hellos)
+/// pass through untouched so liveness and recovery machinery stay
+/// observable even under heavy data-plane chaos.
+#[derive(Debug, Clone, Default)]
+pub struct NetFaultInjector {
+    specs: Vec<NetFaultSpec>,
+    frames_seen: u64,
+}
+
+impl NetFaultInjector {
+    /// An injector that never fires.
+    pub fn none() -> Self {
+        NetFaultInjector::default()
+    }
+
+    /// Whether any faults are scripted for this end at all.
+    pub fn is_armed(&self) -> bool {
+        !self.specs.is_empty()
+    }
+
+    /// Resolves the action for the next received data frame, advancing
+    /// the frame index. The first triggering spec wins.
+    pub fn on_data_frame(&mut self) -> NetFaultAction {
+        let frame = self.frames_seen;
+        self.frames_seen += 1;
+        for spec in &self.specs {
+            if !spec.triggers(frame) {
+                continue;
+            }
+            return match spec.kind {
+                NetFaultKind::Drop | NetFaultKind::Partition { .. } => NetFaultAction::Drop,
+                NetFaultKind::Truncate => NetFaultAction::Truncate,
+                NetFaultKind::BitFlip => NetFaultAction::BitFlip,
+                NetFaultKind::Duplicate => NetFaultAction::Duplicate,
+                NetFaultKind::Delay(d) => NetFaultAction::Delay(d),
+            };
+        }
+        NetFaultAction::None
+    }
+
+    /// The number of data frames this end has pulled off the wire.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actions(mut inj: NetFaultInjector, n: u64) -> Vec<NetFaultAction> {
+        (0..n).map(|_| inj.on_data_frame()).collect()
+    }
+
+    #[test]
+    fn single_faults_fire_once_at_their_frame() {
+        let plan = NetFaultPlan::new(0)
+            .with(NetFaultSpec::new(0, LinkDir::Down, 2, NetFaultKind::Drop))
+            .with(NetFaultSpec::new(
+                0,
+                LinkDir::Down,
+                4,
+                NetFaultKind::Duplicate,
+            ));
+        let got = actions(plan.injector(0, LinkDir::Down), 6);
+        assert_eq!(
+            got,
+            vec![
+                NetFaultAction::None,
+                NetFaultAction::None,
+                NetFaultAction::Drop,
+                NetFaultAction::None,
+                NetFaultAction::Duplicate,
+                NetFaultAction::None,
+            ]
+        );
+        // One-shot across clones: a reconnected link (fresh injector
+        // from the same plan) does not re-fire.
+        let again = actions(plan.injector(0, LinkDir::Down), 6);
+        assert!(
+            again.iter().all(|a| *a == NetFaultAction::None),
+            "{again:?}"
+        );
+        plan.reset();
+        assert_eq!(
+            actions(plan.injector(0, LinkDir::Down), 3)[2],
+            NetFaultAction::Drop
+        );
+    }
+
+    #[test]
+    fn partition_drops_a_contiguous_span() {
+        let plan = NetFaultPlan::new(0).with(NetFaultSpec::new(
+            1,
+            LinkDir::Up,
+            3,
+            NetFaultKind::Partition { count: 3 },
+        ));
+        let got = actions(plan.injector(1, LinkDir::Up), 8);
+        let dropped: Vec<u64> = got
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == NetFaultAction::Drop)
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(dropped, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn injector_only_sees_its_link_and_direction() {
+        let plan = NetFaultPlan::new(0)
+            .with(NetFaultSpec::new(0, LinkDir::Down, 1, NetFaultKind::Drop))
+            .with(NetFaultSpec::new(1, LinkDir::Up, 1, NetFaultKind::BitFlip));
+        assert_eq!(
+            actions(plan.injector(0, LinkDir::Down), 2)[1],
+            NetFaultAction::Drop
+        );
+        assert!(actions(plan.injector(0, LinkDir::Up), 4)
+            .iter()
+            .all(|a| *a == NetFaultAction::None));
+        assert_eq!(
+            actions(plan.injector(1, LinkDir::Up), 2)[1],
+            NetFaultAction::BitFlip
+        );
+    }
+
+    #[test]
+    fn random_plans_are_reproducible_and_bounded() {
+        let a = NetFaultPlan::random(9, 3, 40);
+        let b = NetFaultPlan::random(9, 3, 40);
+        assert_eq!(a.specs().len(), b.specs().len());
+        for (x, y) in a.specs().iter().zip(b.specs()) {
+            assert_eq!(x.link, y.link);
+            assert_eq!(x.dir, y.dir);
+            assert_eq!(x.at_frame, y.at_frame);
+            assert_eq!(x.kind, y.kind);
+        }
+        assert!(!a.specs().is_empty() && a.specs().len() <= 4);
+        for spec in a.specs() {
+            assert!(spec.link < 3);
+            assert!(spec.at_frame < 40);
+            if let NetFaultKind::Delay(d) = spec.kind {
+                assert!(d <= Duration::from_millis(MAX_DELAY_MS));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_strings_round_trip() {
+        let plan = NetFaultPlan::parse(
+            "0:down:drop@3, 1:up:flip@10,0:down:partition:4@20,1:down:delay:5@2,0:up:dup@7,\
+             1:up:trunc@9",
+        )
+        .unwrap();
+        assert_eq!(plan.specs().len(), 6);
+        let round = NetFaultPlan::parse(&plan.spec_string()).unwrap();
+        assert_eq!(round.specs().len(), plan.specs().len());
+        for (x, y) in plan.specs().iter().zip(round.specs()) {
+            assert_eq!(x.clause(), y.clause());
+        }
+    }
+
+    #[test]
+    fn random_spec_clause_expands_deterministically() {
+        let a = NetFaultPlan::parse("random:7").unwrap();
+        let b = NetFaultPlan::parse("random:7").unwrap();
+        assert_eq!(a.spec_string(), b.spec_string());
+        assert_eq!(a.seed(), 7);
+        let sized = NetFaultPlan::parse("random:7:2:16").unwrap();
+        for spec in sized.specs() {
+            assert!(spec.link < 2);
+            assert!(spec.at_frame < 16);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_typed_parse_errors() {
+        for bad in [
+            "",
+            "0:down:drop", // no @frame
+            "0:sideways:drop@3",
+            "0:down:explode@3",
+            "x:down:drop@3",
+            "0:down:delay:@3",
+            "random:",
+            "random:1:2:3:4",
+        ] {
+            assert!(NetFaultPlan::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+}

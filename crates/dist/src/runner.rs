@@ -46,8 +46,11 @@
 
 use crate::codec::Frame;
 use crate::error::DistError;
+use crate::launch::read_rewind_token;
+use crate::netfault::{LinkDir, NetFaultPlan};
+use crate::reliable::{LinkEndpoint, LinkIdentity, LinkOptions, ReconnectPolicy, ReliableConn};
 use crate::topology::{fold, Topology};
-use crate::transport::{handshake, Connection};
+use crate::transport::Connection;
 use pbp_data::Dataset;
 use pbp_nn::loss::softmax_cross_entropy;
 use pbp_nn::Network;
@@ -63,8 +66,35 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Section of a rank snapshot holding the runner's distributed state
-/// (identity, cursors, stage cells, metrics).
+/// (identity, cursors, stage cells).
 pub const SECTION_DIST: &str = "dist";
+
+/// Section of a rank snapshot holding the rank's metrics recorder
+/// (update counts, busy time, Eq. 5 delay histograms). Kept separate
+/// from [`SECTION_DIST`] so verification harnesses can read the
+/// histograms without reconstructing stage cells.
+pub const SECTION_DIST_METRICS: &str = "dist/metrics";
+
+/// How a rank behaves when the wire misbehaves. The default is the
+/// classic contract: no injected faults, any link fault is terminal for
+/// the process, and the launcher restarts the whole group.
+#[derive(Debug, Clone, Default)]
+pub struct RankRecovery {
+    /// Scripted wire chaos (`PBP_NET_FAULTS`); each link end applies
+    /// its own slice.
+    pub net_faults: Option<NetFaultPlan>,
+    /// Reconnect-with-replay budget per link fault; `None` keeps wire
+    /// faults terminal.
+    pub reconnect: Option<ReconnectPolicy>,
+    /// Surviving-rank mode: after an irrecoverable link fault, park at
+    /// the rewind barrier for up to this long waiting for the
+    /// launcher's rewind token, then roll back and rejoin. `None`
+    /// (default) exits instead — the kill-group fallback.
+    pub rewind: Option<Duration>,
+    /// Rewind generation this process starts in (0 for a first launch;
+    /// the launcher's `--generation` after a fine-grained respawn).
+    pub generation: u64,
+}
 
 /// When and where a rank writes its snapshots.
 #[derive(Debug, Clone)]
@@ -123,6 +153,9 @@ pub struct RankSpec {
     /// Fault injection: abort the process (as a crash would) right after
     /// this many microbatches have completed backward.
     pub abort_after: Option<usize>,
+    /// Chaos-hardening knobs: wire fault injection, reconnect budget,
+    /// and the surviving-rank rewind barrier.
+    pub recovery: RankRecovery,
 }
 
 impl RankSpec {
@@ -169,6 +202,11 @@ impl RankSpec {
             if snaps.keep == 0 {
                 return Err(DistError::Spec("must keep at least one snapshot".into()));
             }
+        }
+        if self.recovery.rewind.is_some() && self.snapshots.is_none() {
+            return Err(DistError::Spec(
+                "surviving-rank rewind requires snapshots".into(),
+            ));
         }
         if self.resume_at > 0 {
             let snaps = self.snapshots.as_ref().ok_or_else(|| {
@@ -220,8 +258,8 @@ pub fn run_rank(
     net: Network,
     data: &Dataset,
     spec: &RankSpec,
-    upstream: Option<Box<dyn Connection>>,
-    downstream: Option<Box<dyn Connection>>,
+    upstream: Option<LinkEndpoint>,
+    downstream: Option<LinkEndpoint>,
     tracer: Option<&Tracer>,
 ) -> Result<RankOutcome, DistError> {
     spec.validate(&net)?;
@@ -237,11 +275,22 @@ pub fn run_rank(
         ));
     }
     let mut rank = Rank::new(net, spec, upstream, downstream, tracer)?;
-    rank.handshake_neighbors()?;
+    rank.establish_links()?;
     if spec.resume_at > 0 {
         rank.restore(spec.resume_at)?;
     }
-    rank.run(data)?;
+    if spec.recovery.rewind.is_some() {
+        // Surviving-rank mode needs a snapshot at the current resume
+        // point so a rewind back to it is always possible, even before
+        // the first cadence boundary.
+        rank.ensure_rewind_base()?;
+    }
+    loop {
+        match rank.run(data) {
+            Ok(()) => break,
+            Err(e) => rank.rewind_or_fail(e)?,
+        }
+    }
     rank.finish()
 }
 
@@ -251,8 +300,8 @@ struct Rank<'a> {
     net: Network,
     /// One cell per owned stage, indexed by `global_stage - range.start`.
     cells: Vec<StageCell>,
-    upstream: Option<Box<dyn Connection>>,
-    downstream: Option<Box<dyn Connection>>,
+    upstream: Option<ReliableConn>,
+    downstream: Option<ReliableConn>,
     metrics: pbp_pipeline::MetricsRecorder,
     lanes: Option<Vec<Lane>>,
     /// Global microbatch index of the next forward / backward.
@@ -269,14 +318,18 @@ struct Rank<'a> {
     beat: u64,
     /// Snapshot counters this process wrote, oldest first (for pruning).
     written: Vec<usize>,
+    /// Rewind generation this rank is executing in.
+    generation: u64,
+    /// Link reconnects already surfaced as trace instants.
+    seen_reconnects: u64,
 }
 
 impl<'a> Rank<'a> {
     fn new(
         net: Network,
         spec: &'a RankSpec,
-        upstream: Option<Box<dyn Connection>>,
-        downstream: Option<Box<dyn Connection>>,
+        upstream: Option<LinkEndpoint>,
+        downstream: Option<LinkEndpoint>,
         tracer: Option<&Tracer>,
     ) -> Result<Self, DistError> {
         let pipeline_stages = spec.topology.pipeline_stages();
@@ -303,6 +356,50 @@ impl<'a> Rank<'a> {
                 .map(|s| t.lane(PID_WALL, format!("rank{}/stage-{s}", spec.rank), s as i64))
                 .collect()
         });
+        let digest = spec.digest();
+        let world = spec.topology.world() as u32;
+        let me = spec.rank as u32;
+        // Link `i` joins rank `i` and rank `i+1`; each end applies the
+        // faults scripted for frames *arriving* at it — activations
+        // travel Down (toward higher ranks), gradients Up.
+        let link_opts = |injector| LinkOptions {
+            policy: spec.recovery.reconnect,
+            injector,
+            stall: spec.stall,
+            generation: spec.recovery.generation,
+            ..LinkOptions::default()
+        };
+        let injector = |link: usize, dir: LinkDir| {
+            spec.recovery
+                .net_faults
+                .as_ref()
+                .map(|p| p.injector(link, dir))
+                .unwrap_or_default()
+        };
+        let upstream = upstream.map(|ep| {
+            ReliableConn::new(
+                ep,
+                LinkIdentity {
+                    my_rank: me,
+                    peer_rank: me - 1,
+                    world,
+                    digest,
+                },
+                link_opts(injector(spec.rank - 1, LinkDir::Down)),
+            )
+        });
+        let downstream = downstream.map(|ep| {
+            ReliableConn::new(
+                ep,
+                LinkIdentity {
+                    my_rank: me,
+                    peer_rank: me + 1,
+                    world,
+                    digest,
+                },
+                link_opts(injector(spec.rank, LinkDir::Up)),
+            )
+        });
         Ok(Rank {
             spec,
             metrics: pbp_pipeline::MetricsRecorder::new(net.num_stages()),
@@ -319,6 +416,8 @@ impl<'a> Rank<'a> {
             order_epoch: usize::MAX,
             beat: 0,
             written: Vec::new(),
+            generation: spec.recovery.generation,
+            seen_reconnects: 0,
         })
     }
 
@@ -326,16 +425,15 @@ impl<'a> Rank<'a> {
         self.spec.topology.range(self.spec.rank)
     }
 
-    fn handshake_neighbors(&mut self) -> Result<(), DistError> {
-        let digest = self.spec.digest();
-        let world = self.spec.topology.world() as u32;
-        let me = self.spec.rank as u32;
-        let stall = self.spec.stall;
-        if let Some(up) = self.upstream.as_deref_mut() {
-            handshake(up, me, me - 1, world, digest, stall)?;
+    /// Connects and handshakes both links. Dialing upstream before
+    /// accepting downstream lets the chain come up from rank 0 without
+    /// deadlock.
+    fn establish_links(&mut self) -> Result<(), DistError> {
+        if let Some(up) = self.upstream.as_mut() {
+            up.establish()?;
         }
-        if let Some(down) = self.downstream.as_deref_mut() {
-            handshake(down, me, me + 1, world, digest, stall)?;
+        if let Some(down) = self.downstream.as_mut() {
+            down.establish()?;
         }
         Ok(())
     }
@@ -375,6 +473,7 @@ impl<'a> Rank<'a> {
             } else {
                 self.backward_one()?;
             }
+            self.note_reconnects();
         }
         self.flush_lanes();
         // Final snapshot (unconditional): the launcher assembles the full
@@ -382,23 +481,52 @@ impl<'a> Rank<'a> {
         if self.spec.snapshots.is_some() && self.written.last() != Some(&total) {
             self.save_snapshot(total)?;
         }
-        // Courteous shutdown; a peer that already exited is fine.
+        // Courteous shutdown; a peer that already exited is fine. Send
+        // the bye on every link first, then drain each link until the
+        // peer's bye arrives: closing a TCP socket with unread trailing
+        // acks in its buffer would RST the link and can destroy data
+        // the peer has not read yet (its last gradients).
         let bye = Frame::Shutdown {
             rank: self.spec.rank as u32,
         };
-        if let Some(up) = self.upstream.as_deref_mut() {
+        if let Some(up) = self.upstream.as_mut() {
             let _ = up.send(&bye);
         }
-        if let Some(down) = self.downstream.as_deref_mut() {
+        if let Some(down) = self.downstream.as_mut() {
             let _ = down.send(&bye);
         }
+        if let Some(up) = self.upstream.as_mut() {
+            up.drain_shutdown(self.spec.stall);
+        }
+        if let Some(down) = self.downstream.as_mut() {
+            down.drain_shutdown(self.spec.stall);
+        }
         Ok(())
+    }
+
+    /// Surfaces link reconnects as `Reconnect` trace instants on the
+    /// rank's first lane, one per reconnect since the last check.
+    fn note_reconnects(&mut self) {
+        let total = self.upstream.as_ref().map_or(0, ReliableConn::reconnects)
+            + self.downstream.as_ref().map_or(0, ReliableConn::reconnects);
+        while self.seen_reconnects < total {
+            self.seen_reconnects += 1;
+            if let Some(lanes) = self.lanes.as_mut() {
+                lanes[0].instant(
+                    TracePhase::Reconnect,
+                    Some(format!(
+                        "rank {} link reconnect {}",
+                        self.spec.rank, self.seen_reconnects
+                    )),
+                );
+            }
+        }
     }
 
     fn forward_one(&mut self, data: &Dataset) -> Result<(), DistError> {
         let mb = self.next_fwd;
         let range = self.range();
-        let (mut stack, label) = match self.upstream.as_deref_mut() {
+        let (mut stack, label) = match self.upstream.as_mut() {
             None => {
                 // Rank 0 feeds from the dataset in the deterministic
                 // (seed, epoch) order the sequential core uses.
@@ -451,7 +579,7 @@ impl<'a> Rank<'a> {
             }
             self.metrics.add_busy_ns(s, t0.elapsed().as_nanos());
         }
-        match self.downstream.as_deref_mut() {
+        match self.downstream.as_mut() {
             None => {
                 // Last rank: the loss stage is local. Compute the loss
                 // gradient now and queue it for this microbatch's
@@ -468,7 +596,10 @@ impl<'a> Rank<'a> {
                 self.pending.push_back((grad, loss));
             }
             Some(down) => {
+                // seq 0 is a placeholder; the reliable link stamps the
+                // real session sequence number on send.
                 down.send(&Frame::Activation {
+                    seq: 0,
                     microbatch: mb as u64,
                     weight_version: self.metrics.stage_updates(range.end - 1),
                     label: label as u32,
@@ -494,7 +625,7 @@ impl<'a> Rank<'a> {
                 cell.set_hyperparams(hp);
             }
         }
-        let (mut gstack, mb_loss) = match self.downstream.as_deref_mut() {
+        let (mut gstack, mb_loss) = match self.downstream.as_mut() {
             None => {
                 let (grad, loss) = self
                     .pending
@@ -590,8 +721,9 @@ impl<'a> Rank<'a> {
                 self.metrics.add_busy_ns(s, t0.elapsed().as_nanos());
             }
         }
-        if let Some(up) = self.upstream.as_deref_mut() {
+        if let Some(up) = self.upstream.as_mut() {
             up.send(&Frame::Gradient {
+                seq: 0,
                 microbatch: mb as u64,
                 weight_version: self.metrics.stage_updates(range.start),
                 loss: mb_loss,
@@ -626,10 +758,10 @@ impl<'a> Rank<'a> {
             rank: self.spec.rank as u32,
             beat: self.beat,
         };
-        if let Some(up) = self.upstream.as_deref_mut() {
+        if let Some(up) = self.upstream.as_mut() {
             let _ = up.send(&frame);
         }
-        if let Some(down) = self.downstream.as_deref_mut() {
+        if let Some(down) = self.downstream.as_mut() {
             let _ = down.send(&frame);
         }
     }
@@ -652,8 +784,10 @@ impl<'a> Rank<'a> {
         for cell in &self.cells {
             cell.write_state(&mut w);
         }
-        pbp_snapshot::Snapshottable::write_state(&self.metrics, &mut w);
         snap.add_section(SECTION_DIST, w.into_bytes());
+        let mut w = StateWriter::new();
+        pbp_snapshot::Snapshottable::write_state(&self.metrics, &mut w);
+        snap.add_section(SECTION_DIST_METRICS, w.into_bytes());
         let path = rank_snapshot_path(&dir, self.spec.rank, counter);
         snap.save_atomic(&path)?;
         self.written.push(counter);
@@ -714,12 +848,146 @@ impl<'a> Rank<'a> {
         for (local, cell) in self.cells.iter_mut().enumerate() {
             cell.read_state(&mut r, "dist", first_owned + local)?;
         }
+        r.finish()?;
+        let mut r = StateReader::new(archive.section(SECTION_DIST_METRICS)?);
         pbp_snapshot::Snapshottable::read_state(&mut self.metrics, &mut r)?;
         r.finish()?;
         self.next_fwd = counter;
         self.next_bwd = counter;
-        self.written.push(counter);
+        if !self.written.contains(&counter) {
+            self.written.push(counter);
+        }
         Ok(())
+    }
+
+    /// Guarantees a snapshot exists at the current resume point so a
+    /// rewind can always land on it (surviving-rank mode only).
+    fn ensure_rewind_base(&mut self) -> Result<(), DistError> {
+        let base = self.spec.resume_at;
+        if !self.written.contains(&base) {
+            self.save_snapshot(base)?;
+        }
+        Ok(())
+    }
+
+    /// The surviving-rank rewind barrier. Called when `run` surfaced an
+    /// error: if this rank is configured to survive and the error is a
+    /// link fault, park until the launcher posts a rewind token for a
+    /// newer generation, then roll the whole rank state back to the
+    /// token's resume point and rejoin the group. Anything else — or a
+    /// barrier timeout — propagates the original error so the process
+    /// exits and the launcher's kill-group fallback takes over.
+    fn rewind_or_fail(&mut self, err: DistError) -> Result<(), DistError> {
+        let Some(wait) = self.spec.recovery.rewind else {
+            return Err(err);
+        };
+        let rewindable = matches!(
+            err,
+            DistError::Io(_)
+                | DistError::Corrupt(_)
+                | DistError::ChecksumMismatch
+                | DistError::PeerClosed
+                | DistError::PeerStalled(_)
+                | DistError::StaleGeneration { .. }
+        );
+        if !rewindable {
+            return Err(err);
+        }
+        let snaps = self.spec.snapshots.as_ref().expect("validated");
+        let dir = snaps.dir.clone();
+        if let Some(lanes) = self.lanes.as_mut() {
+            lanes[0].instant(
+                TracePhase::Fault,
+                Some(format!("rank {} parking for rewind: {err}", self.spec.rank)),
+            );
+        }
+        eprintln!("rank {}: parking for rewind: {err}", self.spec.rank);
+        // Drop both links so neighbors observe EOF immediately instead
+        // of waiting out their stall windows, cascading the park down
+        // the chain.
+        if let Some(up) = self.upstream.as_mut() {
+            up.disconnect();
+        }
+        if let Some(down) = self.downstream.as_mut() {
+            down.disconnect();
+        }
+        if let Some(lanes) = self.lanes.as_mut() {
+            lanes[0].instant(
+                TracePhase::Backoff,
+                Some(format!(
+                    "rank {} awaiting rewind token past generation {}",
+                    self.spec.rank, self.generation
+                )),
+            );
+        }
+        let deadline = Instant::now() + wait;
+        let (generation, resume) = loop {
+            if let Some((generation, resume)) = read_rewind_token(&dir) {
+                if generation > self.generation {
+                    break (generation, resume);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(err);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        if let Some(lanes) = self.lanes.as_mut() {
+            lanes[0].instant(
+                TracePhase::Restart,
+                Some(format!(
+                    "rank {} rewinding to microbatch {resume} at generation {generation}",
+                    self.spec.rank
+                )),
+            );
+        }
+        eprintln!(
+            "rank {}: rewinding to microbatch {resume} at generation {generation}",
+            self.spec.rank
+        );
+        self.rewind_to(generation, resume)
+    }
+
+    /// Rolls the rank back to `resume` and rejoins the group in
+    /// `generation`: fresh cells and metrics, state restored from the
+    /// rank's own snapshot, links re-established under the new epoch.
+    fn rewind_to(&mut self, generation: u64, resume: usize) -> Result<(), DistError> {
+        // Forwards that were in flight at the fault stashed activations
+        // in the stages and never got their backward; a replayed
+        // backward must not pop those stale entries.
+        self.net.clear_stash();
+        let spec = self.spec;
+        let pipeline_stages = spec.topology.pipeline_stages();
+        let hp = spec.schedule.at(0);
+        self.cells = self
+            .range()
+            .map(|s| {
+                StageCell::new(
+                    self.net.stage(s),
+                    s,
+                    pipeline_stages,
+                    &spec.plan,
+                    spec.mitigation,
+                    spec.weight_stashing,
+                    hp,
+                    None,
+                )
+            })
+            .collect();
+        self.metrics = pbp_pipeline::MetricsRecorder::new(self.net.num_stages());
+        self.pending.clear();
+        self.loss_sum = 0.0;
+        self.next_fwd = 0;
+        self.next_bwd = 0;
+        self.generation = generation;
+        self.restore(resume)?;
+        if let Some(up) = self.upstream.as_mut() {
+            up.begin_generation(generation);
+        }
+        if let Some(down) = self.downstream.as_mut() {
+            down.begin_generation(generation);
+        }
+        self.establish_links()
     }
 
     fn flush_lanes(&mut self) {

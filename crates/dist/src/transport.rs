@@ -17,9 +17,17 @@
 //! Reconnect: [`Transport::connect`] retries with a deadline, so a rank
 //! that comes up first (or comes back after a supervised restart) simply
 //! waits for its neighbor to bind the link again.
+//!
+//! Chaos: [`FaultyConn`] wraps any connection and applies a
+//! [`NetFaultInjector`](crate::netfault::NetFaultInjector)'s scripted
+//! faults on the receive path. Corruptions are injected into the *wire
+//! bytes* (re-encoded, mutated, re-decoded), so they surface through the
+//! exact codec error paths a hostile network would hit.
 
-use crate::codec::{read_frame, write_frame, Frame};
+use crate::codec::{decode_frame, encode_frame, read_frame, write_frame, Frame};
 use crate::error::DistError;
+use crate::netfault::{NetFaultAction, NetFaultInjector};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -153,6 +161,99 @@ impl Connection for LoopbackConn {
             Ok(bytes) => crate::codec::decode_frame(&bytes),
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(DistError::PeerStalled(stall)),
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(DistError::PeerClosed),
+        }
+    }
+}
+
+/// A connection decorator that applies one link-end's slice of a
+/// [`NetFaultPlan`](crate::netfault::NetFaultPlan) to received frames.
+///
+/// Only data frames (activations, gradients) are faulted; control
+/// traffic passes through so the recovery machinery itself stays
+/// observable. `Truncate`/`BitFlip` re-encode the frame, damage the
+/// wire bytes, and decode the wreckage — the resulting
+/// [`DistError::Corrupt`]/[`DistError::ChecksumMismatch`] is the same
+/// typed error a genuinely hostile network produces.
+pub struct FaultyConn {
+    inner: Box<dyn Connection>,
+    injector: NetFaultInjector,
+    pending: VecDeque<Frame>,
+}
+
+impl FaultyConn {
+    /// Wraps `inner`, faulting its received data frames per `injector`.
+    pub fn new(inner: Box<dyn Connection>, injector: NetFaultInjector) -> Self {
+        FaultyConn {
+            inner,
+            injector,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+/// Applies one fault action to a received data frame. Returns `None`
+/// when the frame should be treated as never having arrived (dropped);
+/// otherwise the (possibly corrupted-on-decode) delivery result. A
+/// duplicate's second copy lands in `pending` for the next receive.
+pub(crate) fn apply_net_fault(
+    frame: Frame,
+    action: NetFaultAction,
+    pending: &mut VecDeque<Frame>,
+) -> Option<Result<Frame, DistError>> {
+    match action {
+        NetFaultAction::None => Some(Ok(frame)),
+        NetFaultAction::Drop => None,
+        NetFaultAction::Truncate => {
+            let mut wire = encode_frame(&frame);
+            let keep = wire.len().saturating_sub(wire.len() / 3).max(4);
+            wire.truncate(keep);
+            // A short body on a live link is corruption, not a closed
+            // peer — keep the fault typed as such.
+            Some(match decode_frame(&wire) {
+                Err(DistError::PeerClosed) => Err(DistError::Corrupt(format!(
+                    "frame truncated to {keep} bytes in flight"
+                ))),
+                other => other,
+            })
+        }
+        NetFaultAction::BitFlip => {
+            let mut wire = encode_frame(&frame);
+            // Flip inside the body (past the length prefix, before the
+            // trailing CRC) so the damage reads as a checksum mismatch,
+            // not a framing error.
+            let mid = 4 + (wire.len() - 8) / 2;
+            wire[mid] ^= 0x40;
+            Some(decode_frame(&wire))
+        }
+        NetFaultAction::Duplicate => {
+            pending.push_back(frame.clone());
+            Some(Ok(frame))
+        }
+        NetFaultAction::Delay(pause) => {
+            std::thread::sleep(pause);
+            Some(Ok(frame))
+        }
+    }
+}
+
+impl Connection for FaultyConn {
+    fn send(&mut self, frame: &Frame) -> Result<(), DistError> {
+        self.inner.send(frame)
+    }
+
+    fn recv_raw(&mut self, stall: Duration) -> Result<Frame, DistError> {
+        if let Some(frame) = self.pending.pop_front() {
+            return Ok(frame);
+        }
+        loop {
+            let frame = self.inner.recv_raw(stall)?;
+            if !matches!(frame, Frame::Activation { .. } | Frame::Gradient { .. }) {
+                return Ok(frame);
+            }
+            let action = self.injector.on_data_frame();
+            if let Some(result) = apply_net_fault(frame, action, &mut self.pending) {
+                return result;
+            }
         }
     }
 }
@@ -313,27 +414,48 @@ impl LinkListener {
     }
 }
 
+/// What the peer announced in its `Hello` during [`handshake`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerHello {
+    /// The peer's rank (already validated against the expected one).
+    pub rank: u32,
+    /// The peer's session epoch: `(rewind generation << 32) | attempt`.
+    pub epoch: u64,
+    /// Highest data-frame sequence number the peer has delivered on
+    /// this link — where replay must resume from.
+    pub last_seq: u64,
+}
+
 /// Exchanges `Hello` frames on a fresh connection and verifies the peer
 /// belongs to this run: same world size, same topology/run digest, and
-/// the expected neighbor rank. Returns the peer's rank.
+/// the expected neighbor rank. `epoch`/`last_seq` advertise this side's
+/// session state for reconnect-with-replay (zero on first contact).
+/// Returns what the peer announced.
+#[allow(clippy::too_many_arguments)]
 pub fn handshake(
     conn: &mut dyn Connection,
     my_rank: u32,
     expect_peer: u32,
     world: u32,
     digest: u64,
+    epoch: u64,
+    last_seq: u64,
     stall: Duration,
-) -> Result<u32, DistError> {
+) -> Result<PeerHello, DistError> {
     conn.send(&Frame::Hello {
         rank: my_rank,
         world,
         digest,
+        epoch,
+        last_seq,
     })?;
     match conn.recv_raw(stall)? {
         Frame::Hello {
             rank,
             world: peer_world,
             digest: peer_digest,
+            epoch: peer_epoch,
+            last_seq: peer_last_seq,
         } => {
             if peer_world != world {
                 return Err(DistError::Handshake(format!(
@@ -350,7 +472,11 @@ pub fn handshake(
                     "expected rank {expect_peer} on this link, got rank {rank}"
                 )));
             }
-            Ok(rank)
+            Ok(PeerHello {
+                rank,
+                epoch: peer_epoch,
+                last_seq: peer_last_seq,
+            })
         }
         other => Err(DistError::Handshake(format!(
             "expected hello, got {}",
@@ -461,16 +587,25 @@ mod tests {
 
     #[test]
     fn handshake_rejects_wrong_run_and_wrong_neighbor() {
-        // Matching digests succeed.
+        // Matching digests succeed and surface the peer's session state.
         let (mut a, mut b) = loopback_pair();
-        let server = std::thread::spawn(move || handshake(&mut b, 1, 0, 2, 42, STALL).map(|_| b));
-        assert_eq!(handshake(&mut a, 0, 1, 2, 42, STALL).unwrap(), 1);
+        let server =
+            std::thread::spawn(move || handshake(&mut b, 1, 0, 2, 42, 7, 19, STALL).map(|_| b));
+        let peer = handshake(&mut a, 0, 1, 2, 42, 0, 0, STALL).unwrap();
+        assert_eq!(
+            peer,
+            PeerHello {
+                rank: 1,
+                epoch: 7,
+                last_seq: 19
+            }
+        );
         server.join().unwrap().unwrap();
 
         // Digest mismatch is a typed handshake error.
         let (mut a, mut b) = loopback_pair();
-        let server = std::thread::spawn(move || handshake(&mut b, 1, 0, 2, 43, STALL));
-        let res = handshake(&mut a, 0, 1, 2, 42, STALL);
+        let server = std::thread::spawn(move || handshake(&mut b, 1, 0, 2, 43, 0, 0, STALL));
+        let res = handshake(&mut a, 0, 1, 2, 42, 0, 0, STALL);
         assert!(matches!(res, Err(DistError::Handshake(_))), "{res:?}");
         assert!(matches!(
             server.join().unwrap(),
@@ -479,10 +614,63 @@ mod tests {
 
         // Unexpected neighbor rank on the link.
         let (mut a, mut b) = loopback_pair();
-        let server = std::thread::spawn(move || handshake(&mut b, 3, 0, 4, 42, STALL));
-        let res = handshake(&mut a, 0, 1, 4, 42, STALL);
+        let server = std::thread::spawn(move || handshake(&mut b, 3, 0, 4, 42, 0, 0, STALL));
+        let res = handshake(&mut a, 0, 1, 4, 42, 0, 0, STALL);
         assert!(matches!(res, Err(DistError::Handshake(_))), "{res:?}");
         let _ = server.join().unwrap();
+    }
+
+    #[test]
+    fn faulty_conn_drops_duplicates_and_corrupts_typed() {
+        use crate::netfault::{LinkDir, NetFaultKind, NetFaultPlan, NetFaultSpec};
+        use pbp_tensor::Tensor;
+
+        let data = |seq: u64| Frame::Activation {
+            seq,
+            microbatch: seq,
+            weight_version: 0,
+            label: 0,
+            lanes: vec![Tensor::from_vec(vec![seq as f32; 3], &[3]).unwrap()],
+        };
+        let plan = NetFaultPlan::new(0)
+            .with(NetFaultSpec::new(0, LinkDir::Down, 1, NetFaultKind::Drop))
+            .with(NetFaultSpec::new(
+                0,
+                LinkDir::Down,
+                2,
+                NetFaultKind::Duplicate,
+            ))
+            .with(NetFaultSpec::new(
+                0,
+                LinkDir::Down,
+                4,
+                NetFaultKind::BitFlip,
+            ))
+            .with(NetFaultSpec::new(
+                0,
+                LinkDir::Down,
+                5,
+                NetFaultKind::Truncate,
+            ));
+        let (mut tx, rx) = loopback_pair();
+        let mut faulty = FaultyConn::new(Box::new(rx), plan.injector(0, LinkDir::Down));
+        for seq in 0..6 {
+            tx.send(&data(seq)).unwrap();
+        }
+        // Heartbeats pass through un-faulted and un-counted.
+        tx.send(&beat(0, 9)).unwrap();
+
+        assert_eq!(faulty.recv_raw(STALL).unwrap(), data(0));
+        // Frame 1 dropped; frame 2 delivered twice.
+        assert_eq!(faulty.recv_raw(STALL).unwrap(), data(2));
+        assert_eq!(faulty.recv_raw(STALL).unwrap(), data(2));
+        assert_eq!(faulty.recv_raw(STALL).unwrap(), data(3));
+        assert!(matches!(
+            faulty.recv_raw(STALL),
+            Err(DistError::ChecksumMismatch)
+        ));
+        assert!(matches!(faulty.recv_raw(STALL), Err(DistError::Corrupt(_))));
+        assert_eq!(faulty.recv_raw(STALL).unwrap(), beat(0, 9));
     }
 
     #[test]

@@ -41,6 +41,7 @@ proptest! {
         lane_bits in proptest::collection::vec(
             proptest::collection::vec(0u32..=u32::MAX, 1..9), 1..4),
         rows in 1usize..4,
+        seq in 0u64..u64::MAX,
         microbatch in 0u64..u64::MAX,
         weight_version in 0u64..u64::MAX,
         label in 0u32..=u32::MAX,
@@ -50,13 +51,14 @@ proptest! {
         let lanes = lanes_from_bits(&lane_bits, rows);
         let frame = if gradient == 1 {
             Frame::Gradient {
+                seq,
                 microbatch,
                 weight_version,
                 loss: f32::from_bits(loss_bits),
                 lanes,
             }
         } else {
-            Frame::Activation { microbatch, weight_version, label, lanes }
+            Frame::Activation { seq, microbatch, weight_version, label, lanes }
         };
         let wire = encode_frame(&frame);
         let decoded = decode_frame(&wire).unwrap();
@@ -79,11 +81,14 @@ proptest! {
         world in 0u32..=u32::MAX,
         digest in 0u64..u64::MAX,
         beat in 0u64..u64::MAX,
+        epoch in 0u64..u64::MAX,
+        last_seq in 0u64..u64::MAX,
     ) {
         for frame in [
-            Frame::Hello { rank, world, digest },
+            Frame::Hello { rank, world, digest, epoch, last_seq },
             Frame::Heartbeat { rank, beat },
             Frame::Shutdown { rank },
+            Frame::Ack { rank, seq: last_seq },
         ] {
             let decoded = decode_frame(&encode_frame(&frame)).unwrap();
             prop_assert_eq!(&decoded, &frame);
@@ -98,6 +103,7 @@ proptest! {
         frac in 0.0f64..1.0,
     ) {
         let frame = Frame::Activation {
+            seq: 0,
             microbatch,
             weight_version: 3,
             label: 1,
@@ -128,6 +134,7 @@ proptest! {
         mask in 1u8..=255,
     ) {
         let frame = Frame::Gradient {
+            seq: 0,
             microbatch: 7,
             weight_version: 2,
             loss: 0.25,

@@ -10,8 +10,8 @@
 
 use pbp_data::{spirals, Dataset};
 use pbp_dist::{
-    loopback_pair, run_rank, splice_owned_stages, Connection, RankOutcome, RankSnapshots, RankSpec,
-    Topology, Transport,
+    loopback_pair, run_rank, splice_owned_stages, LinkEndpoint, RankOutcome, RankRecovery,
+    RankSnapshots, RankSpec, Topology, Transport,
 };
 use pbp_nn::models::mlp;
 use pbp_nn::Network;
@@ -111,6 +111,7 @@ impl DistRun {
             snapshots: self.snapshots.clone(),
             resume_at: self.resume_at,
             abort_after: None,
+            recovery: RankRecovery::default(),
         }
     }
 
@@ -120,13 +121,13 @@ impl DistRun {
         let topology = Topology::contiguous(self.layers.len() - 1, self.world).unwrap();
         let total = self.epochs * dataset().len();
         // Pre-build loopback link ends; sockets are set up per-thread.
-        let mut ups: Vec<Option<Box<dyn Connection>>> = (0..self.world).map(|_| None).collect();
-        let mut downs: Vec<Option<Box<dyn Connection>>> = (0..self.world).map(|_| None).collect();
+        let mut ups: Vec<Option<LinkEndpoint>> = (0..self.world).map(|_| None).collect();
+        let mut downs: Vec<Option<LinkEndpoint>> = (0..self.world).map(|_| None).collect();
         if let Links::Loopback = links {
             for link in 0..self.world - 1 {
                 let (down_end, up_end) = loopback_pair();
-                downs[link] = Some(Box::new(down_end) as Box<dyn Connection>);
-                ups[link + 1] = Some(Box::new(up_end) as Box<dyn Connection>);
+                downs[link] = Some(LinkEndpoint::Conn(Box::new(down_end)));
+                ups[link + 1] = Some(LinkEndpoint::Conn(Box::new(up_end)));
             }
         }
         let transport = match &links {
@@ -152,13 +153,17 @@ impl DistRun {
                     Some(t) => {
                         // Same order as a launch child: bind the
                         // downstream listener before dialing upstream.
-                        let listener = (rank + 1 < world).then(|| t.listen(rank).unwrap());
-                        let up = (rank > 0).then(|| t.connect(rank - 1, STALL).unwrap());
-                        let down = listener.map(|l| l.accept(STALL).unwrap());
+                        let down = (rank + 1 < world)
+                            .then(|| LinkEndpoint::Listen(t.listen(rank).unwrap()));
+                        let up = (rank > 0).then(|| LinkEndpoint::Dial {
+                            transport: t.clone(),
+                            link: rank - 1,
+                        });
                         (up, down)
                     }
                 };
-                run_rank(net, &data, &spec, up, down, None).unwrap()
+                run_rank(net, &data, &spec, up, down, None)
+                    .unwrap_or_else(|e| panic!("rank {rank} failed: {e}"))
             }));
         }
         handles
@@ -352,6 +357,7 @@ fn link_topology_is_validated() {
         snapshots: None,
         resume_at: 0,
         abort_after: None,
+        recovery: RankRecovery::default(),
     };
     // Rank 0 of a 2-rank world must have a downstream link and no
     // upstream; both violations are typed spec errors.
@@ -367,7 +373,7 @@ fn link_topology_is_validated() {
         fresh_net(&[2, 8, 6, 3]),
         &data,
         &spec,
-        Some(Box::new(a)),
+        Some(LinkEndpoint::Conn(Box::new(a))),
         None,
         None,
     );

@@ -179,6 +179,48 @@ fn killed_rank_restarts_from_common_snapshot_and_converges() {
 }
 
 #[test]
+fn fine_grained_restart_respawns_one_rank_and_rewinds_survivors() {
+    let dir = scratch_dir("fine");
+    // Same injected abort as the classic test, but in fine-grained mode:
+    // only rank 1 is respawned. Rank 0 stays alive, sees its downstream
+    // link die, parks at the rewind barrier, picks up the supervisor's
+    // rewind token (generation 1, counter 24), rolls itself back from its
+    // own snapshot, and re-establishes the link with the respawned rank.
+    let output = Command::new(launch_bin())
+        .args(common_args(&dir))
+        .args(["--snap-every", "24", "--fine-grained"])
+        .env_remove("PBP_RANK")
+        .env("PBP_DIST_ABORT_AT", "1:30")
+        .output()
+        .expect("spawn pbp-launch");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "fine-grained run failed ({}):\n{stderr}",
+        output.status
+    );
+    assert!(
+        stderr.contains("injected abort"),
+        "fault injection must have fired:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("fine restart 1: rank 1 exited with"),
+        "supervisor must respawn only the dead rank:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("rewinding group to 24 at generation 1"),
+        "survivors must rewind to the common snapshot 24:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("resuming all ranks"),
+        "fine-grained mode must not fall back to a group restart:\n{stderr}"
+    );
+    let net = assemble_from_snapshots(&dir, 2);
+    assert_bit_identical(&net, &baseline_net(), "fine-grained restarted launch");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_arguments_exit_with_usage_error() {
     let output = Command::new(launch_bin())
         .args(["--world", "two"])

@@ -242,7 +242,11 @@ impl FaultInjector {
 }
 
 /// SplitMix64 step: advances `state` and returns the next draw.
-fn splitmix64(state: &mut u64) -> u64 {
+///
+/// Public because the distributed layer's network-fault plans
+/// (`pbp-dist`) draw from the same generator, so a chaos seed means the
+/// same thing for thread faults and for wire faults.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

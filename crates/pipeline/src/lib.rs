@@ -57,7 +57,7 @@ pub use cell::StageCell;
 pub use delayed::{DelayedConfig, DelayedTrainer};
 pub use emulator::{PbConfig, PipelinedTrainer};
 pub use engine::{run_training, EngineSpec, RunConfig, TrainEngine};
-pub use fault::{FaultKind, FaultPlan, FaultSpec, PipelineFault, RunError};
+pub use fault::{splitmix64, FaultKind, FaultPlan, FaultSpec, PipelineFault, RunError};
 pub use filldrain::FillDrainTrainer;
 pub use memory::MemoryModel;
 pub use metrics::{

@@ -11,6 +11,10 @@
 //!   (integer ≥ 0). The batcher closes a batch once the oldest queued
 //!   request has waited this long, full or not. `0` disables coalescing:
 //!   every batch is whatever is already queued when the batcher looks.
+//! * `PBP_SERVE_QUEUE` — pending-request queue bound (integer ≥ 1). A
+//!   submission that finds the queue full is rejected immediately with a
+//!   typed `Overloaded` error instead of growing the backlog without
+//!   limit.
 
 use std::time::Duration;
 
@@ -23,6 +27,12 @@ pub const DEFAULT_MAX_BATCH: usize = 64;
 /// to a CNN forward pass.
 pub const DEFAULT_DEADLINE_US: u64 = 2_000;
 
+/// Default pending-request queue bound: deep enough that transient bursts
+/// (many batch budgets' worth) queue instead of bouncing, shallow enough
+/// that a stalled worker pool surfaces as `Overloaded` errors rather than
+/// unbounded memory growth.
+pub const DEFAULT_QUEUE: usize = 1_024;
+
 /// Configuration for a [`crate::Server`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -31,6 +41,9 @@ pub struct ServeConfig {
     /// Dispatch a batch once its oldest request has waited this long,
     /// even if it is not full.
     pub deadline: Duration,
+    /// Pending-request queue bound (≥ 1): submissions beyond this many
+    /// queued requests fail fast with [`crate::ServeError::Overloaded`].
+    pub queue: usize,
 }
 
 impl Default for ServeConfig {
@@ -38,6 +51,7 @@ impl Default for ServeConfig {
         ServeConfig {
             max_batch: DEFAULT_MAX_BATCH,
             deadline: Duration::from_micros(DEFAULT_DEADLINE_US),
+            queue: DEFAULT_QUEUE,
         }
     }
 }
@@ -55,10 +69,17 @@ fn parse_deadline_us(raw: &str) -> Option<u64> {
     raw.trim().parse::<u64>().ok()
 }
 
+/// Parses a `PBP_SERVE_QUEUE` value. Rejects anything that is not an
+/// integer ≥ 1 — a zero-slot queue could never accept a request.
+fn parse_queue(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
 /// One-time warning gates for invalid knob values: clients can rebuild
 /// configs at any rate, and repeating the warning would flood stderr.
 static BATCH_WARNING: std::sync::Once = std::sync::Once::new();
 static DEADLINE_WARNING: std::sync::Once = std::sync::Once::new();
+static QUEUE_WARNING: std::sync::Once = std::sync::Once::new();
 
 impl ServeConfig {
     /// Builds a config from `PBP_SERVE_BATCH` and `PBP_SERVE_DEADLINE_US`,
@@ -84,6 +105,17 @@ impl ServeConfig {
                     eprintln!(
                         "warning: ignoring invalid PBP_SERVE_DEADLINE_US={raw:?} \
                          (expected an integer >= 0); using {DEFAULT_DEADLINE_US}"
+                    );
+                }),
+            }
+        }
+        if let Ok(raw) = std::env::var("PBP_SERVE_QUEUE") {
+            match parse_queue(&raw) {
+                Some(n) => cfg.queue = n,
+                None => QUEUE_WARNING.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid PBP_SERVE_QUEUE={raw:?} \
+                         (expected an integer >= 1); using {DEFAULT_QUEUE}"
                     );
                 }),
             }
@@ -118,10 +150,21 @@ mod tests {
     }
 
     #[test]
+    fn queue_parsing_accepts_positive_integers_only() {
+        assert_eq!(parse_queue("1"), Some(1));
+        assert_eq!(parse_queue(" 4096 "), Some(4096));
+        assert_eq!(parse_queue("0"), None);
+        assert_eq!(parse_queue("-8"), None);
+        assert_eq!(parse_queue("deep"), None);
+        assert_eq!(parse_queue(""), None);
+    }
+
+    #[test]
     fn default_config_matches_constants() {
         let cfg = ServeConfig::default();
         assert_eq!(cfg.max_batch, DEFAULT_MAX_BATCH);
         assert_eq!(cfg.deadline, Duration::from_micros(DEFAULT_DEADLINE_US));
+        assert_eq!(cfg.queue, DEFAULT_QUEUE);
     }
 
     #[test]
@@ -130,15 +173,19 @@ mod tests {
         // its whole body and restores them before returning.
         let saved_batch = std::env::var("PBP_SERVE_BATCH").ok();
         let saved_deadline = std::env::var("PBP_SERVE_DEADLINE_US").ok();
+        let saved_queue = std::env::var("PBP_SERVE_QUEUE").ok();
 
         std::env::set_var("PBP_SERVE_BATCH", "17");
         std::env::set_var("PBP_SERVE_DEADLINE_US", "350");
+        std::env::set_var("PBP_SERVE_QUEUE", "9");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.max_batch, 17);
         assert_eq!(cfg.deadline, Duration::from_micros(350));
+        assert_eq!(cfg.queue, 9);
 
         std::env::set_var("PBP_SERVE_BATCH", "zero");
         std::env::set_var("PBP_SERVE_DEADLINE_US", "-9");
+        std::env::set_var("PBP_SERVE_QUEUE", "0");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.max_batch, DEFAULT_MAX_BATCH);
         assert_eq!(
@@ -146,6 +193,7 @@ mod tests {
             Duration::from_micros(DEFAULT_DEADLINE_US),
             "invalid deadline falls back"
         );
+        assert_eq!(cfg.queue, DEFAULT_QUEUE, "invalid queue bound falls back");
 
         match saved_batch {
             Some(v) => std::env::set_var("PBP_SERVE_BATCH", v),
@@ -154,6 +202,10 @@ mod tests {
         match saved_deadline {
             Some(v) => std::env::set_var("PBP_SERVE_DEADLINE_US", v),
             None => std::env::remove_var("PBP_SERVE_DEADLINE_US"),
+        }
+        match saved_queue {
+            Some(v) => std::env::set_var("PBP_SERVE_QUEUE", v),
+            None => std::env::remove_var("PBP_SERVE_QUEUE"),
         }
     }
 }

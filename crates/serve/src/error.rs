@@ -13,6 +13,11 @@ pub enum ServeError {
     /// on an input whose shape the network rejects). The worker survives
     /// and keeps serving later batches.
     WorkerPanicked,
+    /// The pending-request queue is full (`PBP_SERVE_QUEUE` /
+    /// [`crate::ServeConfig::queue`] slots): the request was rejected at
+    /// submission without queueing. The caller owns the retry policy —
+    /// back off and resubmit, or shed the load.
+    Overloaded,
 }
 
 impl fmt::Display for ServeError {
@@ -21,6 +26,9 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::WorkerPanicked => {
                 write!(f, "worker panicked while evaluating this request's batch")
+            }
+            ServeError::Overloaded => {
+                write!(f, "server overloaded: pending-request queue is full")
             }
         }
     }

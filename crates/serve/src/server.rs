@@ -28,7 +28,7 @@
 
 use crate::{ServeConfig, ServeError};
 use crossbeam::channel::{
-    bounded, select2, unbounded, Receiver, RecvTimeoutError, Select2, Sender,
+    bounded, select2, unbounded, Receiver, RecvTimeoutError, Select2, Sender, TrySendError,
 };
 use pbp_nn::Network;
 use pbp_tensor::{pool, Tensor};
@@ -52,6 +52,9 @@ struct StatsInner {
     submitted: AtomicU64,
     /// Requests rejected at submission (shutdown in progress).
     rejected: AtomicU64,
+    /// Requests rejected at submission because the bounded ingress queue
+    /// was full.
+    overloaded: AtomicU64,
     /// Batches dispatched to the worker queue.
     batches: AtomicU64,
     /// Requests replied to (success or typed error).
@@ -69,6 +72,8 @@ pub struct ServeStats {
     pub submitted: u64,
     /// Requests rejected at submission because shutdown had begun.
     pub rejected: u64,
+    /// Requests rejected at submission because the queue was full.
+    pub overloaded: u64,
     /// Batches dispatched to the worker queue.
     pub batches: u64,
     /// Requests replied to (success or typed error).
@@ -84,6 +89,7 @@ impl StatsInner {
         ServeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             replied: self.replied.load(Ordering::Relaxed),
             max_coalesced: self.max_coalesced.load(Ordering::Relaxed),
@@ -122,18 +128,29 @@ pub struct Client {
 
 impl Client {
     /// Enqueues one sample (shaped like a single network input, no batch
-    /// dimension) and returns a [`Pending`] reply handle.
+    /// dimension) and returns a [`Pending`] reply handle. A full ingress
+    /// queue rejects immediately with [`ServeError::Overloaded`] — the
+    /// backlog is bounded by [`ServeConfig::queue`], never by memory.
     pub fn submit(&self, x: Tensor) -> Result<Pending, ServeError> {
         if self.shutting_down.load(Ordering::Acquire) {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::ShuttingDown);
         }
         let (reply, rx) = bounded(1);
-        self.ingress
-            .send(Request { x, reply })
-            .map_err(|_| ServeError::ShuttingDown)?;
-        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        Ok(Pending { rx })
+        match self.ingress.try_send(Request { x, reply }) {
+            Ok(()) => {
+                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Pending { rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::ShuttingDown)
+            }
+        }
     }
 
     /// Submits one sample and blocks for its logits.
@@ -174,9 +191,10 @@ impl Server {
         assert!(!nets.is_empty(), "serve: need at least one network");
         let config = ServeConfig {
             max_batch: config.max_batch.max(1),
+            queue: config.queue.max(1),
             ..config
         };
-        let (ingress_tx, ingress_rx) = unbounded::<Request>();
+        let (ingress_tx, ingress_rx) = bounded::<Request>(config.queue);
         let (control_tx, control_rx) = unbounded::<Control>();
         let (work_tx, work_rx) = unbounded::<Vec<Request>>();
         let stats = Arc::new(StatsInner::default());
@@ -382,4 +400,41 @@ fn worker_loop(mut net: Network, work: Receiver<Vec<Request>>, stats: Arc<StatsI
     }
     net.set_training(was_training);
     net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A client wired to an undrained bounded(1) ingress queue: the first
+    /// submit fills the only slot, the second must be rejected with the
+    /// typed overload error — deterministically, with no batcher racing to
+    /// empty the queue.
+    #[test]
+    fn full_ingress_queue_rejects_with_overloaded() {
+        let (ingress, ingress_rx) = bounded::<Request>(1);
+        let client = Client {
+            ingress,
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            stats: Arc::new(StatsInner::default()),
+        };
+        let x = || Tensor::from_slice(&[1.0, 2.0]);
+
+        let _first = client.submit(x()).expect("one slot is free");
+        let second = client.submit(x());
+        assert!(matches!(second, Err(ServeError::Overloaded)));
+        let stats = client.stats.snapshot();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.overloaded, 1);
+        assert_eq!(stats.rejected, 0);
+
+        // Draining the slot re-opens admission.
+        drop(ingress_rx.recv().expect("queued request"));
+        client.submit(x()).expect("slot freed");
+
+        // Receiver gone entirely: that is shutdown, not overload.
+        drop(ingress_rx);
+        assert!(matches!(client.submit(x()), Err(ServeError::ShuttingDown)));
+        assert_eq!(client.stats.snapshot().rejected, 1);
+    }
 }

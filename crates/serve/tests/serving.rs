@@ -62,6 +62,7 @@ fn coalesced_batches_reply_identically_to_solo_requests() {
         ServeConfig {
             max_batch: 16,
             deadline: Duration::from_millis(500),
+            ..ServeConfig::default()
         },
     );
     let client = server.client();
@@ -102,6 +103,7 @@ fn cnn_serving_uses_batched_lowering_bit_identically() {
         ServeConfig {
             max_batch: 8,
             deadline: Duration::from_millis(200),
+            ..ServeConfig::default()
         },
     );
     let client = server.client();
@@ -134,6 +136,7 @@ fn shape_cohorts_are_batched_separately() {
         ServeConfig {
             max_batch: 8,
             deadline: Duration::from_millis(200),
+            ..ServeConfig::default()
         },
     );
     let client = server.client();
@@ -185,6 +188,7 @@ fn shutdown_serves_queued_requests_then_rejects_new_ones() {
             // A long deadline keeps requests queued in the batcher when
             // shutdown lands; the drain must still serve them.
             deadline: Duration::from_secs(5),
+            ..ServeConfig::default()
         },
     );
     let client = server.client();
@@ -216,6 +220,7 @@ fn multiple_workers_serve_concurrently_and_identically() {
         ServeConfig {
             max_batch: 2,
             deadline: Duration::from_micros(200),
+            ..ServeConfig::default()
         },
     );
     let client = server.client();

@@ -321,6 +321,30 @@ pub fn latest_valid_snapshot_with_prefix(
     Ok(None)
 }
 
+/// The progress counters for which `prefix`'s family in `dir` holds a
+/// *valid* snapshot — every candidate is fully loaded, so magic,
+/// version, and all section CRCs verify — ascending. Corrupt,
+/// truncated, or concurrently-pruned files are silently skipped: a
+/// counter in this list is a counter the family can genuinely resume
+/// from. Distributed launchers intersect these lists across ranks to
+/// find the group's common rewind point.
+pub fn valid_snapshot_counters(dir: &Path, prefix: &str) -> Vec<usize> {
+    let Ok(candidates) = snapshot_candidates(dir, prefix) else {
+        return Vec::new();
+    };
+    let marker = format!("{prefix}-");
+    candidates
+        .into_iter()
+        .filter_map(|path| {
+            let name = path.file_name()?.to_str()?;
+            let digits = name.strip_prefix(&marker)?.strip_suffix(".pbps")?;
+            let counter = digits.parse::<usize>().ok()?;
+            SnapshotArchive::load(&path).ok()?;
+            Some(counter)
+        })
+        .collect()
+}
+
 /// Section checksum: covers the name bytes and the payload, so flips in
 /// either are detected.
 fn section_crc(name: &[u8], payload: &[u8]) -> u32 {

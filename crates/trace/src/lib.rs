@@ -60,6 +60,8 @@ pub enum TracePhase {
     Restart,
     /// Supervisor backoff sleep before a restart attempt.
     Backoff,
+    /// A rank-to-rank link tore down and re-established with replay.
+    Reconnect,
     /// Switchover to the degraded (deterministic emulator) engine.
     Degraded,
 }
@@ -77,6 +79,7 @@ impl TracePhase {
             TracePhase::Fault => "fault",
             TracePhase::Restart => "restart",
             TracePhase::Backoff => "backoff",
+            TracePhase::Reconnect => "reconnect",
             TracePhase::Degraded => "degraded",
         }
     }

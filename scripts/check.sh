@@ -39,6 +39,9 @@ cargo run --release -q -p pbp-bench --bin dist_smoke
 echo "== dist bench lane (socket runner vs threaded engine, results/BENCH_dist.json) =="
 PBP_BENCH_SMOKE=1 cargo run --release -q -p pbp-bench --bin bench_dist
 
+echo "== chaos dist smoke (4-rank net-fault soak: drops/dups/partition + single-rank kill) =="
+PBP_BENCH_SMOKE=1 cargo run --release -q -p pbp-bench --bin chaos_dist
+
 echo "== kernel bench smoke (compile + one tiny timed pass) =="
 cargo bench -p pbp-bench --bench layer_kernels -- --test
 # The bench asserts every lane (tiled, SIMD, parallel, batched eval) is

@@ -75,6 +75,34 @@ pub mod channel {
         }
     }
 
+    /// Non-blocking send outcome when the message was not enqueued; carries
+    /// the message back like the real crate.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity right now.
+        Full(T),
+        /// Every `Receiver` was dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Bounded-wait send outcome when the message was not enqueued; carries
     /// the message back like the real crate.
     #[derive(PartialEq, Eq)]
@@ -239,6 +267,22 @@ pub mod channel {
                     break;
                 }
                 inner = self.shared.not_full.wait(inner).unwrap();
+            }
+            inner.queue.push_back(value);
+            inner.notify_waiters();
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: enqueues the message only if a slot is free
+        /// right now, otherwise hands it back as `Full`/`Disconnected`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+                return Err(TrySendError::Full(value));
             }
             inner.queue.push_back(value);
             inner.notify_waiters();
@@ -495,7 +539,7 @@ macro_rules! select {
 mod tests {
     use super::channel::{
         bounded, select2_timeout, unbounded, RecvError, RecvTimeoutError, Select2, SendError,
-        SendTimeoutError, TryRecvError,
+        SendTimeoutError, TryRecvError, TrySendError,
     };
     use std::thread;
     use std::time::{Duration, Instant};
@@ -616,6 +660,25 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         tx.send(8).unwrap();
         assert_eq!(handle.join().unwrap(), Ok(8));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+
+        // Unbounded channels are never Full.
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            assert_eq!(tx.try_send(i), Ok(()));
+        }
+        drop(rx);
+        assert_eq!(tx.try_send(100), Err(TrySendError::Disconnected(100)));
     }
 
     #[test]
